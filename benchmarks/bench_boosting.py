@@ -1,0 +1,20 @@
+"""E3 benchmark -- Lemma 4.1: boosting TV accuracy to multiplicative accuracy.
+
+Regenerates the table comparing the base engine's and the boosted engine's
+multiplicative errors; the claim is that the boosted error is within the
+requested epsilon for every model and accuracy.
+"""
+
+from repro.experiments import e03_boosting
+from repro.experiments.common import format_table
+
+
+def test_e03_boosting_lemma(once):
+    rows = once(e03_boosting.run, epsilons=(0.5, 0.2))
+    print()
+    print(format_table(rows, title="E3: boosting lemma (Lemma 4.1)"))
+    for row in rows:
+        assert row["boosted_mult_err"] <= row["epsilon"] + 1e-9
+        # The boosted engine also keeps (indeed improves) the TV accuracy.
+        assert row["boosted_tv"] <= row["epsilon"]
+        assert row["boosted_rounds"] >= 1

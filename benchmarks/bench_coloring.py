@@ -1,0 +1,23 @@
+"""E9 benchmark -- colorings of triangle-free graphs with q >= alpha* Delta.
+
+Regenerates the accuracy table across the number of colors; the claim is that
+inside the Gamarnik--Katz--Misra regime the BP-based inference is accurate
+and the sampled colorings are proper.
+"""
+
+from repro.experiments import e09_coloring
+from repro.experiments.common import format_table
+
+
+def test_e09_triangle_free_colorings(once):
+    rows = once(e09_coloring.run, color_counts=(3, 4, 6), degree=2, half_size=6)
+    print()
+    print(format_table(rows, title="E9: colorings of triangle-free graphs (q vs alpha* Delta)"))
+    for row in rows:
+        assert row["sample_is_proper"]
+        if row["in_ssm_regime"]:
+            assert row["worst_marginal_tv"] <= 0.1
+    # The regime flag turns on once q exceeds alpha* * Delta.
+    assert [row["in_ssm_regime"] for row in rows] == sorted(
+        row["in_ssm_regime"] for row in rows
+    )

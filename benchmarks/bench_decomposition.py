@@ -1,0 +1,25 @@
+"""E11 benchmark -- network decomposition quality and scheduling overhead.
+
+Regenerates the decomposition-quality table across graph sizes; the claim is
+(O(log n), O(log n)) quality and O(log^2 n) scheduling overhead for a
+locality-1 SLOCAL algorithm (the Lemma 3.1 substrate).
+"""
+
+import math
+
+from repro.experiments import e11_decomposition
+from repro.experiments.common import format_table
+
+
+def test_e11_network_decomposition(once):
+    rows = once(e11_decomposition.run, sizes=(16, 32, 64, 128))
+    print()
+    print(format_table(rows, title="E11: network decomposition quality (Lemma 3.1 substrate)"))
+    for row in rows:
+        log_n = row["log2_n"]
+        assert row["colors"] <= 6 * log_n + 6
+        assert row["max_cluster_diameter"] <= 4 * log_n + 4
+        assert row["fallback_nodes"] <= max(1, 0.05 * row["n"])
+    # Scheduling overhead normalised by log^2 n stays bounded as n grows.
+    cycles = [row for row in rows if row["graph"].startswith("cycle")]
+    assert cycles[-1]["rounds_over_log2sq"] <= 4.0 * cycles[0]["rounds_over_log2sq"]

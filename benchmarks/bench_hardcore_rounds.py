@@ -1,0 +1,24 @@
+"""E6 benchmark -- hardcore model in the uniqueness regime: polylog rounds.
+
+Regenerates the rounds-versus-n table for inference, approximate sampling
+(with the Lemma 3.1 overhead) and exact JVV sampling; the claim is that the
+round complexity grows far slower than linearly in n (polylogarithmically).
+"""
+
+from repro.experiments import e06_hardcore_rounds
+from repro.experiments.common import format_table
+
+
+def test_e06_hardcore_round_scaling(once):
+    rows = once(e06_hardcore_rounds.run, sizes=(8, 16, 32, 64))
+    print()
+    print(format_table(rows, title="E6: hardcore (uniqueness regime) round complexity"))
+    for row in rows:
+        assert row["sample_feasible"]
+    # Sub-linear growth: the fitted exponent of rounds against n stays well
+    # below 1 for every measured pipeline stage.
+    for column in ("inference_rounds", "sampling_rounds", "exact_rounds"):
+        exponent = e06_hardcore_rounds.fitted_exponent(rows, column)
+        assert exponent < 0.8, f"{column} grew too fast (exponent {exponent:.2f})"
+    # Inference alone is logarithmic: doubling n adds O(1) rounds.
+    assert rows[-1]["inference_rounds"] - rows[0]["inference_rounds"] <= 10

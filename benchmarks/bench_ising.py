@@ -1,0 +1,25 @@
+"""E10 benchmark -- anti-ferromagnetic two-spin models in the uniqueness regime.
+
+Regenerates the accuracy table across interaction strengths; the claim is
+that fixed-depth correlation-decay inference is accurate while the model is
+in the uniqueness regime and degrades once it leaves it.
+"""
+
+from repro.experiments import e10_ising
+from repro.experiments.common import format_table
+
+
+def test_e10_antiferromagnetic_ising(once):
+    rows = once(e10_ising.run, interactions=(-0.1, -0.3, -0.6, -1.2), degree=3, nodes=14, depth=4)
+    print()
+    print(format_table(rows, title="E10: anti-ferromagnetic Ising, uniqueness vs accuracy"))
+    unique_rows = [row for row in rows if row["uniqueness"]]
+    non_unique_rows = [row for row in rows if not row["uniqueness"]]
+    assert unique_rows, "some interaction should be inside the uniqueness regime"
+    for row in unique_rows:
+        assert row["worst_marginal_tv"] <= 0.1
+    if non_unique_rows:
+        # Outside the regime the same depth is no longer sufficient.
+        assert max(row["worst_marginal_tv"] for row in non_unique_rows) >= max(
+            row["worst_marginal_tv"] for row in unique_rows
+        )

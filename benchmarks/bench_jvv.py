@@ -1,0 +1,30 @@
+"""E4 benchmark -- Theorem 4.2: the distributed JVV sampler.
+
+Regenerates two tables: the exactness check (empirical distribution of
+accepted runs versus the enumerated target) and the failure-probability
+scaling against the instance size.
+"""
+
+from repro.experiments import e04_jvv
+from repro.experiments.common import format_table
+
+
+def test_e04_jvv_exactness(once):
+    rows = once(e04_jvv.run_exactness, sizes=(5, 6), target_accepted=200)
+    print()
+    print(format_table(rows, title="E4a: local-JVV exactness (Theorem 4.2)"))
+    for row in rows:
+        assert row["accepted"] >= 200
+        # Within three standard deviations of pure sampling noise.
+        assert row["empirical_tv"] <= 3.0 * row["noise_floor"]
+
+
+def test_e04_jvv_failure_scaling(once):
+    rows = once(e04_jvv.run_failure_scaling, sizes=(4, 6, 8, 10), runs_per_size=40)
+    print()
+    print(format_table(rows, title="E4b: local-JVV failure probability ~ O(1/n)"))
+    # The failure rate tracks the 1 - exp(-3/n) prediction and the largest
+    # instance fails no more often than the smallest (up to binomial noise).
+    assert rows[-1]["failure_rate"] <= rows[0]["failure_rate"] + 0.2
+    for row in rows:
+        assert abs(row["failure_rate"] - row["predicted_rate"]) <= 0.3

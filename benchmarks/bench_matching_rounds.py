@@ -1,0 +1,28 @@
+"""E7 benchmark -- matchings: O(sqrt(Delta) log^3 n) rounds.
+
+Regenerates the locality-versus-degree table for the monomer--dimer model;
+the claim is that the required locality scales like sqrt(Delta) (exponent
+close to 1/2, clearly below 1).
+"""
+
+from repro.experiments import e07_matching_rounds
+from repro.experiments.common import format_table
+
+
+def test_e07_matching_degree_scaling(once):
+    rows = once(e07_matching_rounds.run, degrees=(2, 4, 8, 16))
+    print()
+    print(format_table(rows, title="E7: matching locality vs maximum degree"))
+    exponent = e07_matching_rounds.fitted_degree_exponent(rows)
+    assert 0.2 <= exponent <= 0.85, f"locality should scale ~sqrt(Delta), got exponent {exponent:.2f}"
+    # The mixing scale itself is Theta(sqrt(Delta)).
+    for row in rows:
+        assert row["mixing_scale"] <= 3.0 * row["sqrt_degree"]
+        assert row["mixing_scale"] >= 0.5 * row["sqrt_degree"]
+
+
+def test_e07_matching_sample_validity(once):
+    valid, rounds = once(e07_matching_rounds.sample_one_matching, degree=4, nodes=12, seed=3)
+    print(f"\nE7b: sampled matching valid={valid}, rounds={rounds}")
+    assert valid
+    assert rounds >= 1

@@ -1,0 +1,22 @@
+"""E2 benchmark -- Theorem 3.4: sampling => approximate inference.
+
+Regenerates the table of marginal errors recovered from repeated sampler
+runs; the claim is that every probed node's marginal is within
+``delta + epsilon_0`` of the truth plus estimation noise.
+"""
+
+import math
+
+from repro.experiments import e02_reduction_inference
+from repro.experiments.common import format_table
+
+
+def test_e02_sampling_to_inference(once):
+    delta, num_samples = 0.05, 250
+    rows = once(e02_reduction_inference.run, delta=delta, num_samples=num_samples)
+    print()
+    print(format_table(rows, title="E2: sampling => inference (Theorem 3.4)"))
+    noise = 3.0 * math.sqrt(1.0 / num_samples)
+    for row in rows:
+        assert row["marginal_tv"] <= delta + noise
+        assert row["rounds"] >= 1

@@ -1,0 +1,37 @@
+"""E1 benchmark -- Theorem 3.2: inference => approximate sampling.
+
+Regenerates the table of worst per-node marginal error and round complexity
+of the sequential sampler at two target accuracies, and checks the paper's
+claim: the measured error stays within the requested delta (plus Monte-Carlo
+noise) for every model.
+"""
+
+import math
+
+from repro.experiments import e01_reduction_sampling
+from repro.experiments.common import format_table
+
+
+def test_e01_inference_to_sampling(once):
+    rows = once(e01_reduction_sampling.run, errors=(0.2, 0.05), samples_per_setting=120)
+    print()
+    print(format_table(rows, title="E1: inference => sampling (Theorem 3.2)"))
+    noise = math.sqrt(2.0 / (4.0 * 120)) * 3.0
+    for row in rows:
+        assert row["worst_marginal_tv"] <= row["delta"] + noise
+        assert row["rounds"] >= 1
+
+
+def test_e01_with_lemma31_scheduler(once):
+    rows = once(
+        e01_reduction_sampling.run,
+        errors=(0.1,),
+        samples_per_setting=40,
+        use_scheduler=True,
+    )
+    print()
+    print(format_table(rows, title="E1b: same reduction through the LOCAL scheduler (Lemma 3.1)"))
+    for row in rows:
+        assert row["mode"] == "local"
+        # The scheduler multiplies the locality by the decomposition overhead.
+        assert row["rounds"] > 10

@@ -1,0 +1,23 @@
+"""E5 benchmark -- Theorem 5.1: strong spatial mixing versus required locality.
+
+Regenerates the table of SSM decay rates and required inference radii across
+fugacities; the claim is that the radius needed for a fixed accuracy grows
+with the decay rate (slower decay => more rounds).
+"""
+
+from repro.experiments import e05_ssm_inference
+from repro.experiments.common import format_table
+
+
+def test_e05_ssm_vs_locality(once):
+    rows = once(e05_ssm_inference.run, fugacities=(0.3, 1.0, 3.0, 8.0), cycle_size=16)
+    print()
+    print(format_table(rows, title="E5: SSM decay rate vs locality of inference (Theorem 5.1)"))
+    # Influence at distance 4 is always below influence at distance 1
+    # (decay), and the required radius is non-decreasing in the fugacity
+    # (the decay slows down as lambda grows on the cycle).
+    radii = [row["radius_for_eps"] for row in rows]
+    assert radii == sorted(radii)
+    for row in rows:
+        assert row["influence_at_r4"] <= row["influence_at_r1"] + 1e-12
+        assert 0.0 <= row["ssm_decay_rate"] <= 1.1

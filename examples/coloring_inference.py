@@ -1,0 +1,78 @@
+"""Distributed inference and sampling for proper colorings.
+
+Proper list-colorings are the paper's running example of self-reducibility:
+pinning part of a q-coloring turns the rest into a list-coloring instance.
+This example works on a triangle-free graph with q >= alpha* * Delta colors
+(the Gamarnik--Katz--Misra strong-spatial-mixing regime the paper's coloring
+application relies on) and shows:
+
+1. per-node marginal inference with belief propagation and its accuracy,
+2. approximate sampling through the Theorem 3.2 reduction,
+3. the self-reduction: conditioning on a partial coloring and re-running
+   inference on the reduced instance,
+4. counting proper colorings through the chain rule.
+
+Run with::
+
+    python examples/coloring_inference.py
+"""
+
+from repro.analysis import total_variation
+from repro.core import LocalSamplingProblem, estimate_solution_count
+from repro.graphs import random_bipartite_regular_graph
+from repro.inference import ExactInference
+from repro.models import ALPHA_STAR, coloring_model
+
+
+def main() -> None:
+    degree, half_size = 3, 5
+    graph = random_bipartite_regular_graph(degree, half_size, seed=11)
+    num_colors = 6  # > alpha* * Delta = 5.29
+    model = coloring_model(graph, num_colors=num_colors)
+    print(
+        f"triangle-free graph with {graph.number_of_nodes()} nodes, Delta = {degree}; "
+        f"q = {num_colors} colors (alpha* * Delta = {ALPHA_STAR * degree:.2f}) "
+        f"-> SSM regime: {model.metadata['ssm_regime']}"
+    )
+
+    anchor = ("L", 0)
+    problem = LocalSamplingProblem(model, pinning={anchor: 0}, seed=3)
+
+    # --- inference ----------------------------------------------------------
+    report = problem.infer(error=0.05)
+    print(f"\nBP inference, rounds = {report.rounds}")
+    probes = list(problem.instance.free_nodes)[:3]
+    for node in probes:
+        estimate = report.marginals[node]
+        exact = problem.exact_marginal(node)
+        error = total_variation(estimate, exact)
+        top = max(estimate, key=estimate.get)
+        print(f"  node {node}: most likely color {top}, P ~ {estimate[top]:.3f}, TV error {error:.4f}")
+
+    # --- sampling -----------------------------------------------------------
+    sample = problem.sample(error=0.05)
+    proper = all(
+        sample.configuration[u] != sample.configuration[v] for u, v in graph.edges()
+    )
+    print(f"\nsampled coloring is proper: {proper} (rounds = {sample.rounds})")
+
+    # --- self-reduction -----------------------------------------------------
+    reduced = problem.conditioned({("R", 0): 1, ("R", 1): 2})
+    reduced_report = reduced.infer(error=0.05)
+    node = probes[0]
+    print(
+        f"\nafter pinning two more nodes, P(node {node} = 0) moves from "
+        f"{report.marginals[node][0]:.3f} to {reduced_report.marginals[node][0]:.3f}"
+    )
+
+    # --- counting -----------------------------------------------------------
+    count = estimate_solution_count(problem.instance, ExactInference())
+    exact_count = model.partition_function({anchor: 0})
+    print(
+        f"\nproper colorings consistent with the pinning: "
+        f"chain-rule estimate {count:.1f}, exact {exact_count:.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The computational phase transition for distributed sampling.
+
+The paper's headline application: sampling from the hardcore model takes
+O(log^3 n) rounds below the uniqueness threshold lambda_c(Delta) and
+Omega(diam) rounds above it.  This example measures the quantity behind both
+sides of that statement -- the influence of a far-away boundary condition on
+a node's marginal -- on a complete binary tree (Delta = 3, lambda_c = 4):
+
+* below the threshold the influence decays with the distance, so a node only
+  needs a small ball to answer accurately (the paper's upper bound applies);
+* above the threshold the influence stays bounded away from zero even at the
+  full depth of the tree, so any algorithm accurate on all boundary
+  conditions must look essentially that far -- the Omega(diam) lower bound.
+
+Run with::
+
+    python examples/hardcore_phase_transition.py
+"""
+
+import networkx as nx
+
+from repro.gibbs import SamplingInstance
+from repro.models import hardcore_model, hardcore_uniqueness_threshold
+from repro.spatialmixing import long_range_correlation
+
+
+def main() -> None:
+    depth = 4
+    tree = nx.balanced_tree(2, depth)
+    threshold = hardcore_uniqueness_threshold(3)
+    accuracy = 0.1
+    print(f"complete binary tree of depth {depth} ({tree.number_of_nodes()} nodes)")
+    print(f"uniqueness threshold lambda_c(3) = {threshold:.3f}")
+    print(f"target accuracy for the implied locality lower bound: {accuracy}\n")
+
+    distances = list(range(1, depth + 1))
+    header = (
+        f"{'lambda/lambda_c':>16} | "
+        + " | ".join(f"infl@d={d}" for d in distances)
+        + " | locality lower bound"
+    )
+    print(header)
+    print("-" * len(header))
+    for ratio in (0.1, 0.25, 0.5, 1.0, 1.5, 2.5, 4.0):
+        fugacity = ratio * threshold
+        model = hardcore_model(tree, fugacity=fugacity)
+        instance = SamplingInstance(model)
+        influences = {
+            d: long_range_correlation(instance, 0, distance=d, max_configs=24)
+            for d in distances
+        }
+        lower_bound = depth
+        for radius in range(0, depth + 1):
+            if all(influences[d] <= 2 * accuracy for d in distances if d > radius):
+                lower_bound = radius
+                break
+        regime = "uniqueness" if ratio < 1.0 else "NON-uniqueness"
+        influence_cells = " | ".join(f"{influences[d]:>9.4f}" for d in distances)
+        print(f"{ratio:>16.2f} | {influence_cells} | {lower_bound:>20d}   {regime}")
+
+    print(
+        "\nReading: below the threshold the boundary influence decays with the\n"
+        "distance, so a logarithmic-radius ball determines every marginal and\n"
+        "the paper's O(log^3 n)-round exact sampler applies.  Above the\n"
+        "threshold the influence at distance = depth stays large, so accurate\n"
+        "inference (hence sampling) needs to see a constant fraction of the\n"
+        "tree -- the Omega(diam) lower bound of [FSY17], and together with the\n"
+        "upper bound the first computational phase transition for distributed\n"
+        "sampling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro: reproduction of "On Local Distributed Sampling and Counting".
+
+This package implements, as an executable library, the LOCAL-model
+distributed sampling and counting (inference) framework of Feng and Yin
+(PODC 2018, arXiv:1802.06686), together with every substrate the paper
+relies on:
+
+* a Gibbs-distribution (weighted CSP / factor graph) substrate,
+* concrete spin and edge models (hardcore, Ising / anti-ferromagnetic
+  2-spin, proper colorings, matchings, hypergraph matchings),
+* simulators for the LOCAL and SLOCAL models, including network
+  decomposition and the chromatic scheduler of Ghaffari, Kuhn and Maus,
+* approximate-inference engines (brute force, strong-spatial-mixing based,
+  Weitz computation trees, correlation decay for matchings and colorings),
+* the paper's reductions: inference <=> sampling (Theorems 3.2 and 3.4),
+  the boosting lemma (Lemma 4.1), the distributed JVV exact sampler
+  (Theorem 4.2), and the strong-spatial-mixing characterisation
+  (Theorem 5.1, Corollaries 5.2 and 5.3),
+* baselines (Glauber dynamics, LubyGlauber) and a spatial-mixing
+  measurement toolkit used to reproduce the computational phase transition.
+
+The most convenient entry point is :mod:`repro.core`:
+
+>>> from repro.core import LocalSamplingProblem
+>>> from repro.models import hardcore_model
+>>> from repro.graphs import cycle_graph
+>>> model = hardcore_model(cycle_graph(8), fugacity=0.5)
+>>> problem = LocalSamplingProblem(model, seed=1)
+>>> sample = problem.sample_exact()
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,30 @@
+"""Statistical utilities shared by the algorithms, tests and benchmarks.
+
+Implements the two error measures the paper uses -- total variation distance
+and the multiplicative error ``err(mu, nu) = max_x |ln mu(x) - ln nu(x)|``
+(equation (2)) -- plus empirical-distribution estimation from samples and the
+curve-fitting helpers the experiments use to check decay rates and round
+complexity scaling.
+"""
+
+from repro.analysis.distances import (
+    empirical_distribution,
+    multiplicative_error,
+    normalize,
+    total_variation,
+)
+from repro.analysis.fitting import (
+    fit_exponential_decay,
+    fit_power_law,
+    sample_complexity_for_tv,
+)
+
+__all__ = [
+    "empirical_distribution",
+    "multiplicative_error",
+    "normalize",
+    "total_variation",
+    "fit_exponential_decay",
+    "fit_power_law",
+    "sample_complexity_for_tv",
+]

@@ -1,0 +1,122 @@
+"""Distances between finite distributions and empirical estimation.
+
+Distributions are represented throughout the library as plain dictionaries
+mapping outcomes to probabilities.  Outcomes may be single alphabet symbols
+(marginals) or hashable full configurations (joint distributions encoded as
+tuples of ``(node, value)`` pairs).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Mapping, Sequence
+
+Outcome = Hashable
+
+
+def normalize(weights: Mapping[Outcome, float]) -> Dict[Outcome, float]:
+    """Normalise non-negative weights into a probability distribution."""
+    total = float(sum(weights.values()))
+    if total <= 0.0:
+        raise ValueError("cannot normalise: total weight is not positive")
+    if any(value < 0 for value in weights.values()):
+        raise ValueError("cannot normalise: negative weight present")
+    return {outcome: value / total for outcome, value in weights.items()}
+
+
+def total_variation(mu: Mapping[Outcome, float], nu: Mapping[Outcome, float]) -> float:
+    """Total variation distance ``d_TV(mu, nu) = 1/2 * ||mu - nu||_1``.
+
+    Outcomes missing from one of the distributions are treated as having
+    probability zero there.
+    """
+    outcomes = set(mu) | set(nu)
+    return 0.5 * sum(abs(mu.get(o, 0.0) - nu.get(o, 0.0)) for o in outcomes)
+
+
+def multiplicative_error(mu: Mapping[Outcome, float], nu: Mapping[Outcome, float]) -> float:
+    """The multiplicative error ``err(mu, nu) = max_x |ln mu(x) - ln nu(x)|``.
+
+    Follows the paper's convention (equation (2)) that ``ln 0 - ln 0 = 0``;
+    if exactly one of the distributions puts zero mass on an outcome the
+    error is infinite.
+    """
+    outcomes = set(mu) | set(nu)
+    worst = 0.0
+    for outcome in outcomes:
+        p = mu.get(outcome, 0.0)
+        q = nu.get(outcome, 0.0)
+        if p == 0.0 and q == 0.0:
+            continue
+        if p == 0.0 or q == 0.0:
+            return math.inf
+        worst = max(worst, abs(math.log(p) - math.log(q)))
+    return worst
+
+
+def empirical_distribution(samples: Iterable[Outcome]) -> Dict[Outcome, float]:
+    """Empirical distribution of a sequence of hashable outcomes."""
+    counts = Counter(samples)
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("cannot build an empirical distribution from zero samples")
+    return {outcome: count / total for outcome, count in counts.items()}
+
+
+def configuration_key(configuration: Mapping[Hashable, Hashable]) -> tuple:
+    """A canonical hashable key for a full configuration.
+
+    Used when estimating joint distributions from samples: two configurations
+    are the same outcome iff they assign equal values to every node.
+    """
+    try:
+        items = sorted(configuration.items())
+    except TypeError:
+        items = sorted(configuration.items(), key=lambda kv: repr(kv[0]))
+    return tuple(items)
+
+
+def marginal_from_joint(
+    joint: Mapping[tuple, float], node: Hashable
+) -> Dict[Hashable, float]:
+    """Marginal of a single node from a joint distribution over configuration keys."""
+    marginal: Dict[Hashable, float] = {}
+    for key, probability in joint.items():
+        value = dict(key)[node]
+        marginal[value] = marginal.get(value, 0.0) + probability
+    return marginal
+
+
+def expectation(distribution: Mapping[Outcome, float], values: Mapping[Outcome, float]) -> float:
+    """Expected value of ``values`` under ``distribution``."""
+    return sum(probability * values.get(outcome, 0.0) for outcome, probability in distribution.items())
+
+
+def hellinger_distance(mu: Mapping[Outcome, float], nu: Mapping[Outcome, float]) -> float:
+    """Hellinger distance, used by tests as a second, independent discrepancy check."""
+    outcomes = set(mu) | set(nu)
+    acc = 0.0
+    for outcome in outcomes:
+        acc += (math.sqrt(mu.get(outcome, 0.0)) - math.sqrt(nu.get(outcome, 0.0))) ** 2
+    return math.sqrt(acc / 2.0)
+
+
+def sample_from(distribution: Mapping[Outcome, float], rng) -> Outcome:
+    """Draw one outcome from a dictionary distribution using a numpy Generator.
+
+    The outcomes are ordered deterministically (by ``repr``) so that a fixed
+    seed always produces the same draw.
+    """
+    outcomes = sorted(distribution.keys(), key=repr)
+    probabilities = [max(distribution[o], 0.0) for o in outcomes]
+    total = sum(probabilities)
+    if total <= 0.0:
+        raise ValueError("cannot sample from a distribution with zero total mass")
+    point = rng.random() * total
+    cumulative = 0.0
+    for outcome, probability in zip(outcomes, probabilities):
+        cumulative += probability
+        if point <= cumulative:
+            return outcome
+    return outcomes[-1]

@@ -1,0 +1,82 @@
+"""Curve fitting helpers for the experiments.
+
+The benchmarks verify *shapes*, not absolute constants: exponential decay of
+correlations with distance, and polynomial / poly-logarithmic growth of round
+complexity with the instance size.  Both reduce to least-squares fits in log
+space, implemented here with numpy only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def fit_exponential_decay(
+    distances: Sequence[float], errors: Sequence[float], floor: float = 1e-12
+) -> Tuple[float, float]:
+    """Fit ``error ~= C * alpha^distance`` and return ``(alpha, C)``.
+
+    Zero errors are clamped to ``floor`` before taking logarithms (an exactly
+    zero measurement means the decay is faster than we can resolve).  The fit
+    is an ordinary least squares line in ``(distance, log error)`` space.
+    """
+    if len(distances) != len(errors):
+        raise ValueError("distances and errors must have equal length")
+    if len(distances) < 2:
+        raise ValueError("need at least two points to fit a decay rate")
+    xs = np.asarray(distances, dtype=float)
+    ys = np.log(np.maximum(np.asarray(errors, dtype=float), floor))
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return float(math.exp(slope)), float(math.exp(intercept))
+
+
+def fit_power_law(
+    sizes: Sequence[float], costs: Sequence[float]
+) -> Tuple[float, float]:
+    """Fit ``cost ~= C * size^exponent`` and return ``(exponent, C)``."""
+    if len(sizes) != len(costs):
+        raise ValueError("sizes and costs must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    xs = np.log(np.asarray(sizes, dtype=float))
+    ys = np.log(np.asarray(costs, dtype=float))
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return float(slope), float(math.exp(intercept))
+
+
+def fit_polylog_exponent(
+    sizes: Sequence[float], costs: Sequence[float]
+) -> float:
+    """Fit ``cost ~= C * (log size)^k`` and return the exponent ``k``.
+
+    Used to check the ``O(log^3 n)`` round bounds: the measured exponent
+    should stay bounded (and far below a polynomial fit in ``n``).
+    """
+    if len(sizes) < 2:
+        raise ValueError("need at least two points")
+    xs = np.log(np.log(np.asarray(sizes, dtype=float)))
+    ys = np.log(np.asarray(costs, dtype=float))
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+def sample_complexity_for_tv(target_tv: float, num_outcomes: int, confidence: float = 0.9) -> int:
+    """Number of i.i.d. samples so the empirical distribution is within ``target_tv``.
+
+    Uses the standard bound ``E[d_TV] <= sqrt(k / (4 m))`` for ``k`` outcomes
+    and ``m`` samples plus a McDiarmid deviation term; adequate for sizing
+    Monte-Carlo checks in the tests and benchmarks.
+    """
+    if not 0 < target_tv < 1:
+        raise ValueError("target_tv must be in (0, 1)")
+    if num_outcomes < 1:
+        raise ValueError("num_outcomes must be positive")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    deviation = math.sqrt(math.log(1.0 / (1.0 - confidence)) / 2.0)
+    # Solve sqrt(k / (4 m)) + deviation / sqrt(m) <= target_tv for m.
+    numerator = math.sqrt(num_outcomes) / 2.0 + deviation
+    return int(math.ceil((numerator / target_tv) ** 2))

@@ -1,0 +1,39 @@
+"""High-level API: the paper's reductions packaged behind one problem object.
+
+:class:`~repro.core.problem.LocalSamplingProblem` bundles a model (a
+:class:`~repro.gibbs.GibbsDistribution`), an optional pinning ``tau`` and a
+seed, selects an appropriate inference engine from the model's metadata, and
+exposes the three tasks of the paper -- inference, approximate sampling and
+exact sampling -- with their LOCAL round complexities.
+
+:mod:`~repro.core.reductions` exposes the individual theorem-level reductions
+as composable functions for users who want to mix and match engines.
+"""
+
+from repro.core.problem import LocalSamplingProblem
+from repro.core.counting import (
+    CountingResult,
+    estimate_partition_function,
+    estimate_solution_count,
+)
+from repro.core.reductions import (
+    boost_inference,
+    exact_sampling_from_inference,
+    inference_from_sampling,
+    inference_from_ssm,
+    sampling_from_inference,
+    ssm_rate_from_inference,
+)
+
+__all__ = [
+    "LocalSamplingProblem",
+    "CountingResult",
+    "estimate_partition_function",
+    "estimate_solution_count",
+    "boost_inference",
+    "exact_sampling_from_inference",
+    "inference_from_sampling",
+    "inference_from_ssm",
+    "sampling_from_inference",
+    "ssm_rate_from_inference",
+]

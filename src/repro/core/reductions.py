@@ -1,0 +1,126 @@
+"""The paper's reductions as composable functions.
+
+Each function corresponds to one theorem and maps algorithms to algorithms
+(or algorithms to measured quantities), so that the equivalences of the
+paper can be exercised programmatically:
+
+==============================  ==========================================
+Paper statement                 Function
+==============================  ==========================================
+Theorem 3.2 (inference => sampling)   :func:`sampling_from_inference`
+Theorem 3.4 (sampling => inference)   :func:`inference_from_sampling`
+Lemma 4.1 (boosting)                  :func:`boost_inference`
+Theorem 4.2 (distributed JVV)         :func:`exact_sampling_from_inference`
+Theorem 5.1, forward direction        :func:`ssm_rate_from_inference`
+Theorem 5.1, converse direction       :func:`inference_from_ssm`
+==============================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.gibbs.instance import SamplingInstance
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.boosting import BoostedInference
+from repro.inference.locality import error_at_locality
+from repro.inference.ssm_inference import BoundaryPaddedInference
+from repro.sampling.jvv import ExactSampleResult, sample_exact_local, sample_exact_slocal
+from repro.sampling.sampling_to_inference import InferenceFromSampling
+from repro.sampling.sequential import (
+    ApproximateSampleResult,
+    sample_approximate_local,
+    sample_approximate_slocal,
+)
+
+
+def sampling_from_inference(
+    instance: SamplingInstance,
+    inference: InferenceAlgorithm,
+    error: float,
+    seed: int = 0,
+    local: bool = True,
+) -> ApproximateSampleResult:
+    """Theorem 3.2: draw an approximate sample using an inference engine.
+
+    With ``local=True`` the SLOCAL sequential sampler is simulated in the
+    LOCAL model through Lemma 3.1 (rounds include the ``O(log^2 n)``
+    scheduling overhead); with ``local=False`` the raw SLOCAL run is returned.
+    """
+    if local:
+        return sample_approximate_local(instance, inference, error, seed=seed)
+    return sample_approximate_slocal(instance, inference, error, seed=seed)
+
+
+def inference_from_sampling(
+    sampler: Callable[[SamplingInstance, float, int], tuple],
+    num_samples: Optional[int] = None,
+    seed: int = 0,
+) -> InferenceFromSampling:
+    """Theorem 3.4: build an inference engine from an approximate sampler."""
+    return InferenceFromSampling(sampler, num_samples=num_samples, seed=seed)
+
+
+def boost_inference(inference: InferenceAlgorithm) -> BoostedInference:
+    """Lemma 4.1: lift a TV-accurate engine to multiplicative accuracy."""
+    return BoostedInference(inference)
+
+
+def exact_sampling_from_inference(
+    instance: SamplingInstance,
+    inference: InferenceAlgorithm,
+    seed: int = 0,
+    local: bool = True,
+    inference_error: Optional[float] = None,
+) -> ExactSampleResult:
+    """Theorem 4.2: run the distributed JVV sampler on top of an inference engine."""
+    if local:
+        return sample_exact_local(
+            instance, inference, seed=seed, inference_error=inference_error
+        )
+    return sample_exact_slocal(
+        instance, inference, seed=seed, inference_error=inference_error
+    )
+
+
+def ssm_rate_from_inference(
+    inference: InferenceAlgorithm,
+    instance: SamplingInstance,
+    radius: int,
+) -> float:
+    """Theorem 5.1, forward direction: the SSM rate implied by an inference engine.
+
+    If the engine reaches total-variation error ``delta`` within ``t(n,
+    delta)`` rounds, the class has SSM with rate ``delta_n(t) = 2 * min{delta
+    : t(n, delta) <= t - 1}``.  We invert the engine's own locality schedule
+    numerically by bisection over ``delta``.
+    """
+    if radius < 1:
+        return 1.0
+    low, high = 1e-12, 1.0
+    # Find the smallest delta whose declared locality fits within radius - 1.
+    if inference.locality(instance, high) > radius - 1:
+        return 2.0 * high
+    for _ in range(60):
+        mid = (low * high) ** 0.5
+        if inference.locality(instance, mid) <= radius - 1:
+            high = mid
+        else:
+            low = mid
+    return 2.0 * high
+
+
+def inference_from_ssm(
+    decay_rate: float,
+    constant: float = 1.0,
+    max_radius: Optional[int] = None,
+) -> BoundaryPaddedInference:
+    """Theorem 5.1, converse direction: an inference engine from an SSM rate."""
+    return BoundaryPaddedInference(
+        decay_rate=decay_rate, constant=constant, max_radius=max_radius
+    )
+
+
+def predicted_error(decay_rate: float, size: int, radius: int, constant: float = 1.0) -> float:
+    """The SSM bound ``C n alpha^t`` -- convenience re-export used by benchmarks."""
+    return error_at_locality(decay_rate, size, radius, constant=constant)

@@ -1,0 +1,47 @@
+"""Reproduction experiments.
+
+The paper is a theory paper and has no numeric tables or figures; its
+"evaluation" is the set of theorems and the application corollaries of
+Section 5.  Each module here turns one of those claims into a measurable
+experiment (see DESIGN.md, Section 3, for the experiment index E1 -- E12).
+The benchmark harness under ``benchmarks/`` is a thin wrapper that runs these
+functions through pytest-benchmark and prints the resulting rows;
+EXPERIMENTS.md records the measured outcomes next to the paper's claims.
+
+Every experiment function returns a list of plain dictionaries (one per row
+of the "table" it regenerates) so the output can be printed, asserted on and
+serialised without extra machinery.
+"""
+
+from repro.experiments.common import format_table, geometric_sizes
+from repro.experiments import (
+    e01_reduction_sampling,
+    e02_reduction_inference,
+    e03_boosting,
+    e04_jvv,
+    e05_ssm_inference,
+    e06_hardcore_rounds,
+    e07_matching_rounds,
+    e08_phase_transition,
+    e09_coloring,
+    e10_ising,
+    e11_decomposition,
+    e12_baselines,
+)
+
+__all__ = [
+    "format_table",
+    "geometric_sizes",
+    "e01_reduction_sampling",
+    "e02_reduction_inference",
+    "e03_boosting",
+    "e04_jvv",
+    "e05_ssm_inference",
+    "e06_hardcore_rounds",
+    "e07_matching_rounds",
+    "e08_phase_transition",
+    "e09_coloring",
+    "e10_ising",
+    "e11_decomposition",
+    "e12_baselines",
+]

@@ -1,0 +1,53 @@
+"""Shared helpers for the reproduction experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render experiment rows as a fixed-width text table.
+
+    Used by the benchmark harness to print the regenerated "table" of each
+    experiment in a form comparable to EXPERIMENTS.md.
+    """
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    rendered_rows = [
+        {column: _render(row.get(column)) for column in columns} for row in rows
+    ]
+    widths = {
+        column: max(len(column), max(len(row[column]) for row in rendered_rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rendered_rows:
+        lines.append(" | ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def geometric_sizes(start: int, factor: float, count: int) -> List[int]:
+    """A geometric sequence of instance sizes (rounded, strictly increasing)."""
+    if start < 1 or factor <= 1.0 or count < 1:
+        raise ValueError("need start >= 1, factor > 1 and count >= 1")
+    sizes: List[int] = []
+    current = float(start)
+    for _ in range(count):
+        size = int(round(current))
+        if sizes and size <= sizes[-1]:
+            size = sizes[-1] + 1
+        sizes.append(size)
+        current *= factor
+    return sizes

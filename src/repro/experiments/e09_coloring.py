@@ -1,0 +1,57 @@
+"""E9 -- Application: colorings of triangle-free graphs with q >= alpha * Delta.
+
+Gamarnik--Katz--Misra prove strong spatial mixing for proper q-colorings of
+triangle-free graphs once ``q > alpha* * Delta`` (``alpha* ~ 1.763``); the
+paper turns this into an ``O(log^3 n)``-round exact sampler.  We measure, on
+triangle-free (bipartite regular) graphs, the accuracy of the BP-based
+inference and the validity of the samples as the number of colors crosses
+``alpha* * Delta``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis import total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import random_bipartite_regular_graph
+from repro.inference import BeliefPropagationInference
+from repro.models import ALPHA_STAR, coloring_model
+from repro.sampling import sample_approximate_slocal
+
+
+def run(
+    color_counts=(3, 4, 6),
+    degree: int = 2,
+    half_size: int = 6,
+    error: float = 0.05,
+    probes: int = 3,
+) -> List[Dict]:
+    """Run E9 and return one row per number of colors."""
+    graph = random_bipartite_regular_graph(degree, half_size, seed=1)
+    rows: List[Dict] = []
+    for q in color_counts:
+        distribution = coloring_model(graph, num_colors=q)
+        pinned_node = next(iter(sorted(graph.nodes(), key=repr)))
+        instance = SamplingInstance(distribution, {pinned_node: 0})
+        engine = BeliefPropagationInference(iterations=12)
+        worst = 0.0
+        for node in instance.free_nodes[:probes]:
+            estimate = engine.marginal(instance, node, error)
+            truth = instance.target_marginal(node)
+            worst = max(worst, total_variation(estimate, truth))
+        sample = sample_approximate_slocal(instance, engine, error, seed=q)
+        proper = all(
+            sample.configuration[u] != sample.configuration[v] for u, v in graph.edges()
+        )
+        rows.append(
+            {
+                "colors": q,
+                "alpha_star_times_delta": ALPHA_STAR * degree,
+                "in_ssm_regime": distribution.metadata["ssm_regime"],
+                "worst_marginal_tv": worst,
+                "sample_is_proper": proper,
+                "rounds": sample.rounds,
+            }
+        )
+    return rows

@@ -1,0 +1,56 @@
+"""E10 -- Application: anti-ferromagnetic two-spin models in the uniqueness regime.
+
+Sweep the anti-ferromagnetic interaction strength of an Ising model on a
+bounded-degree graph across its uniqueness boundary and record (a) whether
+the model is classified as unique (Li--Lu--Yin criterion), (b) the accuracy
+of correlation-decay inference at a fixed depth, and (c) the measured SSM
+decay rate.  The claim is that accuracy degrades sharply once uniqueness
+fails, while inside the regime a constant depth already gives small error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.analysis import total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import random_regular_graph
+from repro.inference import correlation_decay_for
+from repro.models import ising_model, is_two_spin_uniqueness
+from repro.spatialmixing import estimate_decay_rate, ssm_profile
+
+
+def run(
+    interactions=(-0.1, -0.3, -0.6, -1.2),
+    degree: int = 3,
+    nodes: int = 14,
+    depth: int = 4,
+    probes: int = 3,
+) -> List[Dict]:
+    """Run E10 and return one row per interaction strength."""
+    graph = random_regular_graph(degree, nodes, seed=7)
+    rows: List[Dict] = []
+    for interaction in interactions:
+        distribution = ising_model(graph, interaction=interaction)
+        instance = SamplingInstance(distribution, {0: 1})
+        engine = correlation_decay_for(distribution, decay_rate=None, max_depth=depth)
+        engine.decay_rate = 0.99  # force the explicit depth cap to be binding
+        worst = 0.0
+        for node in instance.free_nodes[:probes]:
+            estimate = engine.marginal(instance, node, 0.05)
+            truth = instance.target_marginal(node)
+            worst = max(worst, total_variation(estimate, truth))
+        beta = math.exp(2.0 * interaction)
+        unique = is_two_spin_uniqueness(beta, beta, 1.0, degree)
+        profile = ssm_profile(distribution, 1, radii=[1, 2, 3], max_configs=16)
+        rows.append(
+            {
+                "interaction": interaction,
+                "uniqueness": unique,
+                "depth": depth,
+                "worst_marginal_tv": worst,
+                "ssm_decay_rate": estimate_decay_rate(profile) if len(profile) >= 2 else 0.0,
+            }
+        )
+    return rows

@@ -1,0 +1,34 @@
+"""Gibbs-distribution (weighted CSP / factor graph) substrate.
+
+This package implements Definition 2.3 -- 2.5 of the paper:
+
+* :class:`~repro.gibbs.factors.Factor` -- a constraint ``(f, S)`` with a
+  non-negative weight function on the scope ``S``;
+* :class:`~repro.gibbs.distribution.GibbsDistribution` -- the joint
+  distribution ``mu(sigma) = prod_f f(sigma_S) / Z`` over ``Sigma^V``,
+  with feasibility, local feasibility, and local admissibility checks;
+* :class:`~repro.gibbs.pinning.Pinning` -- a partial configuration ``tau``
+  on a subset ``Lambda`` (the self-reducibility handle of Definition 2.2);
+* :class:`~repro.gibbs.instance.SamplingInstance` -- an instance
+  ``(G, x, tau)`` whose target distribution is ``mu^tau``;
+* an exact inference engine (variable elimination) used as ground truth by
+  the tests and by the brute-force LOCAL inference algorithm.
+"""
+
+from repro.gibbs.factors import Factor
+from repro.gibbs.pinning import Pinning
+from repro.gibbs.distribution import GibbsDistribution
+from repro.gibbs.elimination import (
+    eliminate_partition_function,
+    eliminate_marginal,
+)
+from repro.gibbs.instance import SamplingInstance
+
+__all__ = [
+    "Factor",
+    "Pinning",
+    "GibbsDistribution",
+    "SamplingInstance",
+    "eliminate_partition_function",
+    "eliminate_marginal",
+]

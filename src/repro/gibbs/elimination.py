@@ -1,0 +1,253 @@
+"""Exact inference by variable elimination.
+
+The tests and the brute-force LOCAL inference algorithm need exact partition
+functions and exact marginals as ground truth.  Plain enumeration over
+``Sigma^V`` is exponential in ``n``; variable elimination is exponential only
+in the induced width of the elimination order, which is tiny for the paths,
+cycles, trees and narrow grids used throughout the experiments.
+
+The engine works on the factor representation of
+:class:`~repro.gibbs.distribution.GibbsDistribution` but is standalone: it
+takes a list of (scope, table) pairs so it can also be used on sub-instances
+restricted to a ball (as the SSM-based inference algorithm of Theorem 5.1
+does).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+Node = Hashable
+Value = Hashable
+
+
+class _Table:
+    """A dense-by-dictionary potential over an ordered tuple of variables."""
+
+    __slots__ = ("variables", "entries")
+
+    def __init__(self, variables: Tuple[Node, ...], entries: Dict[Tuple[Value, ...], float]):
+        self.variables = variables
+        self.entries = entries
+
+    @classmethod
+    def constant(cls, weight: float) -> "_Table":
+        return cls((), {(): weight})
+
+    def restrict(self, pinning: Mapping[Node, Value]) -> "_Table":
+        """Apply a pinning: drop pinned variables, keep consistent rows."""
+        if not any(v in pinning for v in self.variables):
+            return self
+        keep_positions = [i for i, v in enumerate(self.variables) if v not in pinning]
+        new_vars = tuple(self.variables[i] for i in keep_positions)
+        new_entries: Dict[Tuple[Value, ...], float] = {}
+        for key, weight in self.entries.items():
+            consistent = all(
+                key[i] == pinning[v]
+                for i, v in enumerate(self.variables)
+                if v in pinning
+            )
+            if not consistent:
+                continue
+            new_key = tuple(key[i] for i in keep_positions)
+            # Distinct consistent rows keep distinct keys after dropping the
+            # pinned positions, so plain assignment is safe here.
+            new_entries[new_key] = weight
+        return _Table(new_vars, new_entries)
+
+
+def _multiply(tables: Sequence[_Table]) -> _Table:
+    """Product of potentials, joining on shared variables."""
+    variables: List[Node] = []
+    for table in tables:
+        for var in table.variables:
+            if var not in variables:
+                variables.append(var)
+    var_tuple = tuple(variables)
+    index_maps = [
+        [var_tuple.index(v) for v in table.variables] for table in tables
+    ]
+    result = _Table(var_tuple, {})
+    # Build by extending joint keys table by table; start with the first.
+    partial: Dict[Tuple[Value, ...], float] = {(): 1.0}
+    known_positions: List[int] = []
+    for table, positions in zip(tables, index_maps):
+        new_positions = [p for p in positions if p not in known_positions]
+        next_partial: Dict[Tuple[Value, ...], float] = {}
+        for key, weight in partial.items():
+            known = dict(zip(known_positions, key))
+            for t_key, t_weight in table.entries.items():
+                consistent = True
+                assignment = dict(known)
+                for pos, value in zip(positions, t_key):
+                    if pos in assignment:
+                        if assignment[pos] != value:
+                            consistent = False
+                            break
+                    else:
+                        assignment[pos] = value
+                if not consistent:
+                    continue
+                new_key = tuple(assignment[p] for p in known_positions + new_positions)
+                combined = weight * t_weight
+                if combined == 0.0:
+                    continue
+                # The join key determines every factor row that produced it,
+                # so there are no collisions to accumulate.
+                next_partial[new_key] = combined
+        known_positions = known_positions + new_positions
+        partial = next_partial
+    # Reorder keys to var_tuple order.
+    order = [known_positions.index(i) for i in range(len(var_tuple))] if var_tuple else []
+    for key, weight in partial.items():
+        full_key = tuple(key[order[i]] for i in range(len(var_tuple)))
+        result.entries[full_key] = result.entries.get(full_key, 0.0) + weight
+    if not var_tuple:
+        total = sum(partial.values()) if partial else 0.0
+        result.entries = {(): total}
+    return result
+
+
+def _sum_out(table: _Table, variable: Node) -> _Table:
+    """Marginalise ``variable`` out of ``table``."""
+    if variable not in table.variables:
+        return table
+    position = table.variables.index(variable)
+    new_vars = table.variables[:position] + table.variables[position + 1:]
+    new_entries: Dict[Tuple[Value, ...], float] = {}
+    for key, weight in table.entries.items():
+        new_key = key[:position] + key[position + 1:]
+        new_entries[new_key] = new_entries.get(new_key, 0.0) + weight
+    return _Table(new_vars, new_entries)
+
+
+def _build_tables(
+    factors: Sequence[Tuple[Sequence[Node], Mapping[Tuple[Value, ...], float]]],
+    pinning: Mapping[Node, Value],
+) -> List[_Table]:
+    tables = []
+    for scope, entries in factors:
+        table = _Table(tuple(scope), dict(entries))
+        tables.append(table.restrict(pinning))
+    return tables
+
+
+def _free_variables(tables: Sequence[_Table], all_nodes: Sequence[Node], pinning) -> List[Node]:
+    free = [node for node in all_nodes if node not in pinning]
+    return free
+
+
+def _elimination_order(tables: Sequence[_Table], free: Sequence[Node]) -> List[Node]:
+    """Min-degree elimination order on the interaction graph of the tables."""
+    neighbors: Dict[Node, set] = {node: set() for node in free}
+    for table in tables:
+        in_free = [v for v in table.variables if v in neighbors]
+        for u in in_free:
+            neighbors[u].update(w for w in in_free if w != u)
+    order: List[Node] = []
+    remaining = set(free)
+    while remaining:
+        node = min(remaining, key=lambda v: (len(neighbors[v] & remaining), repr(v)))
+        order.append(node)
+        # Connect node's remaining neighbours (simulate fill-in).
+        live = neighbors[node] & remaining
+        for u in live:
+            neighbors[u].update(w for w in live if w != u)
+        remaining.discard(node)
+    return order
+
+
+def _run_elimination(
+    factors,
+    all_nodes: Sequence[Node],
+    alphabet: Sequence[Value],
+    pinning: Mapping[Node, Value],
+    keep: Sequence[Node] = (),
+) -> _Table:
+    """Eliminate all free variables except ``keep``; return the final table."""
+    tables = _build_tables(factors, pinning)
+    free = _free_variables(tables, all_nodes, pinning)
+    covered = set()
+    for table in tables:
+        covered.update(table.variables)
+    # Variables that appear in no factor contribute a factor |alphabet| each
+    # (or 1 if they are kept, handled via an explicit uniform table).
+    keep_set = set(keep)
+    loose = [node for node in free if node not in covered]
+    for node in loose:
+        tables.append(_Table((node,), {(value,): 1.0 for value in alphabet}))
+    to_eliminate = [node for node in _elimination_order(tables, free) if node not in keep_set]
+    for variable in to_eliminate:
+        involved = [t for t in tables if variable in t.variables]
+        untouched = [t for t in tables if variable not in t.variables]
+        if involved:
+            product = _multiply(involved)
+            tables = untouched + [_sum_out(product, variable)]
+        else:  # pragma: no cover - loose variables already have tables
+            tables = untouched
+    final = _multiply(tables) if tables else _Table.constant(1.0)
+    return final
+
+
+def eliminate_partition_function(
+    factors,
+    all_nodes: Sequence[Node],
+    alphabet: Sequence[Value],
+    pinning: Mapping[Node, Value],
+) -> float:
+    """Exact conditional partition function ``Z(tau)`` by variable elimination.
+
+    ``factors`` is a sequence of ``(scope, table)`` pairs where ``table`` maps
+    value tuples (in scope order) to non-negative weights.  ``Z(tau)`` sums
+    the product of factor weights over all configurations consistent with the
+    pinning ``tau``.
+    """
+    final = _run_elimination(factors, all_nodes, alphabet, pinning, keep=())
+    return sum(final.entries.values())
+
+
+def eliminate_marginal(
+    factors,
+    all_nodes: Sequence[Node],
+    alphabet: Sequence[Value],
+    pinning: Mapping[Node, Value],
+    node: Node,
+) -> Dict[Value, float]:
+    """Exact conditional marginal ``mu^tau_v`` by variable elimination.
+
+    Returns a dict over the alphabet summing to 1.  Raises ``ValueError`` if
+    the pinning is infeasible (conditional partition function is zero) or if
+    ``node`` is pinned (the marginal would be a point mass -- callers should
+    handle that case directly, but we return the point mass for convenience).
+    """
+    if node in pinning:
+        return {value: (1.0 if value == pinning[node] else 0.0) for value in alphabet}
+    final = _run_elimination(factors, all_nodes, alphabet, pinning, keep=(node,))
+    weights: Dict[Value, float] = {value: 0.0 for value in alphabet}
+    if final.variables == ():
+        raise ValueError(f"node {node!r} is not part of the instance")
+    position = final.variables.index(node)
+    for key, weight in final.entries.items():
+        weights[key[position]] += weight
+    total = sum(weights.values())
+    if total <= 0.0:
+        raise ValueError("infeasible pinning: conditional partition function is zero")
+    return {value: weight / total for value, weight in weights.items()}
+
+
+def factor_tables_from(factor_list, alphabet: Sequence[Value]):
+    """Materialise :class:`~repro.gibbs.factors.Factor` objects as weight tables.
+
+    Helper shared by :class:`~repro.gibbs.distribution.GibbsDistribution` and
+    the ball-restricted inference code.
+    """
+    tables = []
+    for factor in factor_list:
+        entries: Dict[Tuple[Value, ...], float] = {}
+        for values in itertools.product(alphabet, repeat=len(factor.scope)):
+            weight = factor.evaluate_values(values)
+            if weight != 0.0:
+                entries[values] = weight
+        tables.append((factor.scope, entries))
+    return tables

@@ -1,0 +1,125 @@
+"""Constraints (factors) of a Gibbs distribution.
+
+A constraint ``(f, S)`` consists of a non-negative function ``f`` on the
+configurations of its scope ``S`` (Definition 2.3).  A constraint is *soft*
+when ``f`` is strictly positive and *hard* otherwise.  The locality of a
+Gibbs distribution (Definition 2.4) is the maximum diameter of a scope in
+the underlying graph, which for every model in this repository is a small
+constant (1 for edge factors, 0 for vertex factors).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Sequence, Tuple
+
+import networkx as nx
+
+Node = Hashable
+Value = Hashable
+Assignment = Mapping[Node, Value]
+
+
+class Factor:
+    """A weighted constraint ``(f, S)`` of a Gibbs distribution.
+
+    Parameters
+    ----------
+    scope:
+        The ordered tuple of nodes the constraint reads.  Order only matters
+        for how ``function`` receives its arguments.
+    function:
+        A callable taking one value per scope node (in scope order) and
+        returning a non-negative weight.
+    name:
+        Optional human-readable label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("scope", "function", "name", "_table_cache")
+
+    def __init__(
+        self,
+        scope: Sequence[Node],
+        function: Callable[..., float],
+        name: str = "factor",
+    ) -> None:
+        if len(scope) == 0:
+            raise ValueError("a factor needs a non-empty scope")
+        if len(set(scope)) != len(scope):
+            raise ValueError("factor scope contains duplicate nodes")
+        self.scope: Tuple[Node, ...] = tuple(scope)
+        self.function = function
+        self.name = name
+        self._table_cache: Dict[Tuple[Value, ...], float] = {}
+
+    @classmethod
+    def from_table(
+        cls,
+        scope: Sequence[Node],
+        table: Mapping[Tuple[Value, ...], float],
+        default: float = 0.0,
+        name: str = "table-factor",
+    ) -> "Factor":
+        """Build a factor from an explicit weight table.
+
+        Entries absent from ``table`` get weight ``default``.
+        """
+        frozen = dict(table)
+
+        def lookup(*values: Value) -> float:
+            return frozen.get(tuple(values), default)
+
+        return cls(scope, lookup, name=name)
+
+    def evaluate(self, assignment: Assignment) -> float:
+        """Weight of ``assignment`` restricted to this factor's scope.
+
+        ``assignment`` must define a value for every scope node.
+        """
+        key = tuple(assignment[node] for node in self.scope)
+        cached = self._table_cache.get(key)
+        if cached is None:
+            cached = float(self.function(*key))
+            if cached < 0:
+                raise ValueError(
+                    f"factor {self.name!r} returned a negative weight {cached} on {key}"
+                )
+            self._table_cache[key] = cached
+        return cached
+
+    def evaluate_values(self, values: Sequence[Value]) -> float:
+        """Weight of an explicit value tuple given in scope order."""
+        return self.evaluate(dict(zip(self.scope, values)))
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        """Whether the assignment has strictly positive weight under this factor."""
+        return self.evaluate(assignment) > 0.0
+
+    def is_hard(self, alphabet: Sequence[Value]) -> bool:
+        """Whether the factor assigns weight zero to some configuration.
+
+        This is an exhaustive check over ``|alphabet| ** len(scope)``
+        configurations, so it is only meaningful for the constant-size scopes
+        used throughout the paper.
+        """
+        import itertools
+
+        for values in itertools.product(alphabet, repeat=len(self.scope)):
+            if self.evaluate_values(values) == 0.0:
+                return True
+        return False
+
+    def scope_diameter(self, graph: nx.Graph) -> int:
+        """Diameter of the scope inside ``graph`` (Definition 2.4)."""
+        if len(self.scope) == 1:
+            return 0
+        best = 0
+        for i, u in enumerate(self.scope):
+            lengths = nx.single_source_shortest_path_length(graph, u)
+            for v in self.scope[i + 1:]:
+                if v not in lengths:
+                    raise nx.NetworkXNoPath(f"scope nodes {u!r}, {v!r} are disconnected")
+                best = max(best, lengths[v])
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Factor(name={self.name!r}, scope={self.scope!r})"

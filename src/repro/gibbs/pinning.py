@@ -1,0 +1,121 @@
+"""Partial configurations (pinnings).
+
+The paper's instances are tuples ``(G, x, tau)`` where ``tau`` is a feasible
+configuration on an arbitrary subset ``Lambda`` of the nodes.  Pinnings are
+what makes the problems *self-reducible* (Remark 2.2): conditioning on a
+pinning yields another valid instance.  :class:`Pinning` is an immutable
+mapping from pinned nodes to their values with the set-algebra operations
+the reductions need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping, Optional
+
+Node = Hashable
+Value = Hashable
+
+
+class Pinning(Mapping[Node, Value]):
+    """An immutable partial configuration ``tau`` on a subset of nodes."""
+
+    __slots__ = ("_assignment",)
+
+    def __init__(self, assignment: Optional[Mapping[Node, Value]] = None) -> None:
+        self._assignment: Dict[Node, Value] = dict(assignment or {})
+
+    @classmethod
+    def empty(cls) -> "Pinning":
+        """The empty pinning (no node is fixed)."""
+        return cls({})
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, node: Node) -> Value:
+        return self._assignment[node]
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._assignment
+
+    # -- pinning algebra ---------------------------------------------------
+    @property
+    def domain(self) -> frozenset:
+        """The pinned subset ``Lambda``."""
+        return frozenset(self._assignment)
+
+    def extend(self, node: Node, value: Value) -> "Pinning":
+        """A new pinning that additionally fixes ``node`` to ``value``.
+
+        Re-pinning a node to a *different* value is an error; re-pinning to
+        the same value is a no-op (this matches how the sequential sampler
+        and the JVV passes extend configurations).
+        """
+        if node in self._assignment and self._assignment[node] != value:
+            raise ValueError(
+                f"node {node!r} is already pinned to {self._assignment[node]!r}, "
+                f"cannot re-pin to {value!r}"
+            )
+        merged = dict(self._assignment)
+        merged[node] = value
+        return Pinning(merged)
+
+    def union(self, other: Mapping[Node, Value]) -> "Pinning":
+        """Union of two pinnings; overlapping nodes must agree."""
+        merged = dict(self._assignment)
+        for node, value in other.items():
+            if node in merged and merged[node] != value:
+                raise ValueError(f"pinnings disagree on node {node!r}")
+            merged[node] = value
+        return Pinning(merged)
+
+    def restrict(self, nodes) -> "Pinning":
+        """The pinning restricted to the given node set."""
+        node_set = set(nodes)
+        return Pinning({n: v for n, v in self._assignment.items() if n in node_set})
+
+    def drop(self, nodes) -> "Pinning":
+        """The pinning with the given nodes removed."""
+        node_set = set(nodes)
+        return Pinning({n: v for n, v in self._assignment.items() if n not in node_set})
+
+    def agrees_with(self, other: Mapping[Node, Value]) -> bool:
+        """True when the two pinnings assign equal values to every common node."""
+        for node, value in self._assignment.items():
+            if node in other and other[node] != value:
+                return False
+        return True
+
+    def difference_domain(self, other: Mapping[Node, Value]) -> frozenset:
+        """Nodes pinned by both on which the two pinnings disagree.
+
+        This is the set ``D`` in the strong-spatial-mixing definition
+        (Definition 5.1): the decay is measured in the distance to the
+        disagreement set.
+        """
+        disagree = set()
+        for node, value in self._assignment.items():
+            if node in other and other[node] != value:
+                disagree.add(node)
+        return frozenset(disagree)
+
+    def as_dict(self) -> Dict[Node, Value]:
+        """A plain (mutable) dict copy of the pinning."""
+        return dict(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Pinning):
+            return self._assignment == other._assignment
+        if isinstance(other, Mapping):
+            return self._assignment == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._assignment.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pinning({self._assignment!r})"

@@ -1,0 +1,67 @@
+"""Graph substrate used by every other subsystem.
+
+The LOCAL model operates on simple undirected graphs.  This package wraps
+:mod:`networkx` with the graph-locality primitives the paper's algorithms
+need (r-balls, power graphs, boundary extraction), a set of reproducible
+graph generators used by the experiments, and the line-graph / hypergraph
+dualities used to express edge models (matchings, hypergraph matchings) as
+vertex models.
+"""
+
+from repro.graphs.structure import (
+    ball,
+    ball_subgraph,
+    boundary,
+    diameter,
+    distance,
+    distances_from,
+    induced_subgraph,
+    node_ids,
+    power_graph,
+    sphere,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    is_triangle_free,
+    path_graph,
+    random_bipartite_regular_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.duality import (
+    Hypergraph,
+    hypergraph_dual_graph,
+    line_graph_with_map,
+)
+
+__all__ = [
+    "ball",
+    "ball_subgraph",
+    "boundary",
+    "diameter",
+    "distance",
+    "distances_from",
+    "induced_subgraph",
+    "node_ids",
+    "power_graph",
+    "sphere",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "is_triangle_free",
+    "path_graph",
+    "random_bipartite_regular_graph",
+    "random_regular_graph",
+    "random_tree",
+    "star_graph",
+    "torus_graph",
+    "Hypergraph",
+    "hypergraph_dual_graph",
+    "line_graph_with_map",
+]

@@ -1,0 +1,158 @@
+"""Graph and hypergraph dualities used to express edge models as vertex models.
+
+The paper's framework is stated for vertex-indexed joint distributions.
+Edge models -- matchings of a graph, matchings of a hypergraph -- are
+handled "through dualities of graphs/hypergraphs, which preserve the
+distances" (Section 5).  Concretely:
+
+* a matching of ``G`` is an independent set of the *line graph* ``L(G)``;
+* a matching of a hypergraph ``H`` is an independent set of the *dual graph*
+  whose vertices are the hyperedges of ``H``, adjacent when they intersect.
+
+Both constructions change distances by at most a constant factor, so LOCAL
+round complexities transfer up to constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+import networkx as nx
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def line_graph_with_map(graph: nx.Graph) -> Tuple[nx.Graph, Dict[Node, Edge]]:
+    """Line graph of ``graph`` together with the vertex -> original-edge map.
+
+    The line graph ``L(G)`` has one vertex per edge of ``G``; two vertices
+    are adjacent when the corresponding edges share an endpoint.  Vertices of
+    the returned graph are integers ``0..m-1`` (deterministic order), and the
+    mapping gives the original edge (as a sorted tuple) for each of them.
+    """
+    edges = [_canonical_edge(u, v) for u, v in graph.edges()]
+    edges.sort(key=repr)
+    index_of = {edge: index for index, edge in enumerate(edges)}
+    line = nx.Graph()
+    line.add_nodes_from(range(len(edges)))
+    incident: Dict[Node, List[int]] = {}
+    for edge, index in index_of.items():
+        for endpoint in edge:
+            incident.setdefault(endpoint, []).append(index)
+    for indices in incident.values():
+        for i, a in enumerate(indices):
+            for b in indices[i + 1:]:
+                line.add_edge(a, b)
+    mapping = {index: edge for edge, index in index_of.items()}
+    return line, mapping
+
+
+def _canonical_edge(u: Node, v: Node) -> Edge:
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass
+class Hypergraph:
+    """A hypergraph given by its vertices and hyperedges.
+
+    ``rank`` is the maximum hyperedge size and ``max_degree`` the maximum
+    number of hyperedges containing a single vertex -- the two parameters
+    that the weighted-hypergraph-matching uniqueness threshold depends on.
+    """
+
+    vertices: List[Node]
+    hyperedges: List[FrozenSet[Node]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        vertex_set = set(self.vertices)
+        normalized = []
+        for hyperedge in self.hyperedges:
+            members = frozenset(hyperedge)
+            if not members:
+                raise ValueError("hyperedges must be non-empty")
+            if not members <= vertex_set:
+                raise ValueError(f"hyperedge {set(members)} uses unknown vertices")
+            normalized.append(members)
+        self.hyperedges = normalized
+
+    @property
+    def rank(self) -> int:
+        """Maximum hyperedge size (0 for an empty hypergraph)."""
+        return max((len(h) for h in self.hyperedges), default=0)
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum number of hyperedges incident to a single vertex."""
+        degree: Dict[Node, int] = {v: 0 for v in self.vertices}
+        for hyperedge in self.hyperedges:
+            for vertex in hyperedge:
+                degree[vertex] += 1
+        return max(degree.values(), default=0)
+
+    @classmethod
+    def from_graph(cls, graph: nx.Graph) -> "Hypergraph":
+        """View an ordinary graph as a rank-2 hypergraph."""
+        return cls(
+            vertices=list(graph.nodes()),
+            hyperedges=[frozenset(edge) for edge in graph.edges()],
+        )
+
+    @classmethod
+    def random_regular(cls, num_vertices: int, rank: int, num_edges: int, seed: int = 0) -> "Hypergraph":
+        """Random hypergraph with ``num_edges`` hyperedges of size ``rank``."""
+        import numpy as np
+
+        if rank < 2 or rank > num_vertices:
+            raise ValueError("rank must satisfy 2 <= rank <= num_vertices")
+        rng = np.random.default_rng(seed)
+        vertices = list(range(num_vertices))
+        hyperedges: List[FrozenSet[Node]] = []
+        seen = set()
+        attempts = 0
+        while len(hyperedges) < num_edges and attempts < 100 * num_edges:
+            attempts += 1
+            members = frozenset(int(v) for v in rng.choice(num_vertices, size=rank, replace=False))
+            if members in seen:
+                continue
+            seen.add(members)
+            hyperedges.append(members)
+        return cls(vertices=vertices, hyperedges=hyperedges)
+
+
+def hypergraph_dual_graph(hypergraph: Hypergraph) -> Tuple[nx.Graph, Dict[int, FrozenSet[Node]]]:
+    """Intersection (dual) graph of a hypergraph.
+
+    Vertices are hyperedge indices ``0..m-1``; two are adjacent when the
+    hyperedges share a vertex.  A matching of the hypergraph is exactly an
+    independent set of this graph, which is how the weighted hypergraph
+    matching model is reduced to a hardcore-style vertex model.
+    """
+    dual = nx.Graph()
+    dual.add_nodes_from(range(len(hypergraph.hyperedges)))
+    for i, first in enumerate(hypergraph.hyperedges):
+        for j in range(i + 1, len(hypergraph.hyperedges)):
+            if first & hypergraph.hyperedges[j]:
+                dual.add_edge(i, j)
+    mapping = dict(enumerate(hypergraph.hyperedges))
+    return dual, mapping
+
+
+def matching_to_line_graph_configuration(
+    graph: nx.Graph, matching: Sequence[Edge]
+) -> Dict[int, int]:
+    """Translate a matching of ``graph`` to a 0/1 configuration on its line graph.
+
+    Convenience used by tests to cross-check the edge-model duality.
+    """
+    _, mapping = line_graph_with_map(graph)
+    inverse = {edge: index for index, edge in mapping.items()}
+    chosen = {_canonical_edge(u, v) for u, v in matching}
+    for edge in chosen:
+        if edge not in inverse:
+            raise ValueError(f"{edge} is not an edge of the graph")
+    return {index: int(edge in chosen) for index, edge in mapping.items()}

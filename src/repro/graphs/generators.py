@@ -1,0 +1,153 @@
+"""Reproducible graph generators for the experiments.
+
+Every generator that involves randomness takes an integer ``seed`` so that
+experiments and tests are deterministic.  The graphs returned are plain
+:class:`networkx.Graph` instances with hashable node labels.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import numpy as np
+
+
+def path_graph(n: int) -> nx.Graph:
+    """Path on ``n`` nodes labelled ``0..n-1``."""
+    _require_positive(n)
+    return nx.path_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """Cycle on ``n >= 3`` nodes labelled ``0..n-1``."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """Complete graph on ``n`` nodes."""
+    _require_positive(n)
+    return nx.complete_graph(n)
+
+
+def star_graph(leaves: int) -> nx.Graph:
+    """Star with one hub (label 0) and ``leaves`` leaves."""
+    if leaves < 0:
+        raise ValueError("leaves must be non-negative")
+    return nx.star_graph(leaves)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """2D grid with nodes labelled ``(row, col)``."""
+    _require_positive(rows)
+    _require_positive(cols)
+    return nx.grid_2d_graph(rows, cols)
+
+
+def torus_graph(rows: int, cols: int) -> nx.Graph:
+    """2D torus (grid with wrap-around), every node has degree 4."""
+    if rows < 3 or cols < 3:
+        raise ValueError("a torus needs at least 3 rows and 3 columns")
+    return nx.grid_2d_graph(rows, cols, periodic=True)
+
+
+def random_tree(n: int, seed: int = 0) -> nx.Graph:
+    """Uniformly random labelled tree on ``n`` nodes (via Pruefer sequences)."""
+    _require_positive(n)
+    if n <= 2:
+        return nx.path_graph(n)
+    rng = np.random.default_rng(seed)
+    prufer = [int(rng.integers(0, n)) for _ in range(n - 2)]
+    return nx.from_prufer_sequence(prufer)
+
+
+def random_regular_graph(degree: int, n: int, seed: int = 0) -> nx.Graph:
+    """Random ``degree``-regular simple graph on ``n`` nodes."""
+    _require_positive(n)
+    if degree < 0 or degree >= n:
+        raise ValueError("degree must satisfy 0 <= degree < n")
+    if (degree * n) % 2 != 0:
+        raise ValueError("degree * n must be even")
+    return nx.random_regular_graph(degree, n, seed=seed)
+
+
+def erdos_renyi_graph(n: int, probability: float, seed: int = 0) -> nx.Graph:
+    """Erdos-Renyi G(n, p) graph."""
+    _require_positive(n)
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    return nx.gnp_random_graph(n, probability, seed=seed)
+
+
+def random_bipartite_regular_graph(degree: int, half_size: int, seed: int = 0) -> nx.Graph:
+    """Random bipartite ``degree``-regular graph with ``half_size`` nodes per side.
+
+    Bipartite graphs are triangle-free, which makes them the natural test bed
+    for the triangle-free coloring application (q >= alpha * Delta).  The
+    construction unions ``degree`` random perfect matchings between the two
+    sides and retries until the result is simple and connected (or returns
+    the last simple attempt if connectivity is not achieved).
+    """
+    _require_positive(half_size)
+    if degree < 1 or degree > half_size:
+        raise ValueError("degree must satisfy 1 <= degree <= half_size")
+    rng = np.random.default_rng(seed)
+    left = [("L", i) for i in range(half_size)]
+    right = [("R", i) for i in range(half_size)]
+    last_simple: nx.Graph | None = None
+    for _ in range(200):
+        graph = nx.Graph()
+        graph.add_nodes_from(left)
+        graph.add_nodes_from(right)
+        simple = True
+        for _ in range(degree):
+            permutation = rng.permutation(half_size)
+            for i, j in enumerate(permutation):
+                u, v = left[i], right[int(j)]
+                if graph.has_edge(u, v):
+                    simple = False
+                    break
+                graph.add_edge(u, v)
+            if not simple:
+                break
+        if not simple:
+            continue
+        last_simple = graph
+        if nx.is_connected(graph):
+            return graph
+    if last_simple is None:
+        raise RuntimeError("failed to build a simple bipartite regular graph")
+    return last_simple
+
+
+def is_triangle_free(graph: nx.Graph) -> bool:
+    """Whether ``graph`` contains no triangle (3-cycle)."""
+    for u, v in graph.edges():
+        if any(True for _ in nx.common_neighbors(graph, u, v)):
+            return False
+    return True
+
+
+def all_connected_graphs(n: int):
+    """Yield every connected simple graph on nodes ``0..n-1`` (small n only).
+
+    Used by exhaustive property tests; the number of graphs grows doubly
+    exponentially so ``n`` should be at most 5.
+    """
+    if n > 5:
+        raise ValueError("exhaustive enumeration is limited to n <= 5")
+    nodes = list(range(n))
+    possible_edges = list(itertools.combinations(nodes, 2))
+    for bits in itertools.product([0, 1], repeat=len(possible_edges)):
+        graph = nx.Graph()
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(edge for edge, bit in zip(possible_edges, bits) if bit)
+        if n <= 1 or nx.is_connected(graph):
+            yield graph
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise ValueError("graph size must be positive")

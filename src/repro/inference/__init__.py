@@ -1,0 +1,48 @@
+"""Approximate inference (local counting) engines.
+
+Inference in the paper's sense: every node estimates its conditional marginal
+``mu^tau_v``.  This package provides
+
+* :class:`~repro.inference.exact.ExactInference` -- ground truth via variable
+  elimination over the full instance (unbounded locality);
+* :class:`~repro.inference.ssm_inference.BoundaryPaddedInference` -- the
+  LOCAL algorithm from the converse direction of Theorem 5.1: pad the
+  pinning with a locally feasible boundary on a shell around the ball and
+  compute the exact marginal inside the ball;
+* :class:`~repro.inference.ssm_inference.TruncatedBallInference` -- the same
+  computation at a fixed, explicitly given radius (used to *measure* how much
+  locality a given accuracy needs, i.e. the phase-transition experiments);
+* :class:`~repro.inference.correlation_decay.TwoSpinCorrelationDecayInference`
+  -- depth-limited self-avoiding-walk recursion (Weitz-style correlation
+  decay) for two-spin models: hardcore, Ising/anti-ferromagnetic two-spin,
+  and -- through the line-graph duality -- matchings;
+* :class:`~repro.inference.belief_propagation.BeliefPropagationInference` --
+  synchronous loopy belief propagation for any pairwise model, used for
+  colorings and as a general-purpose engine;
+* :class:`~repro.inference.boosting.BoostedInference` -- the boosting lemma
+  (Lemma 4.1), turning total-variation accuracy into multiplicative accuracy.
+"""
+
+from repro.inference.base import InferenceAlgorithm, ball_instance
+from repro.inference.exact import ExactInference
+from repro.inference.ssm_inference import BoundaryPaddedInference, TruncatedBallInference
+from repro.inference.correlation_decay import (
+    TwoSpinCorrelationDecayInference,
+    correlation_decay_for,
+)
+from repro.inference.belief_propagation import BeliefPropagationInference
+from repro.inference.boosting import BoostedInference
+from repro.inference.locality import locality_for_error
+
+__all__ = [
+    "InferenceAlgorithm",
+    "ball_instance",
+    "ExactInference",
+    "BoundaryPaddedInference",
+    "TruncatedBallInference",
+    "TwoSpinCorrelationDecayInference",
+    "correlation_decay_for",
+    "BeliefPropagationInference",
+    "BoostedInference",
+    "locality_for_error",
+]

@@ -1,0 +1,68 @@
+"""Translating decay rates into LOCAL round budgets.
+
+If a class of distributions exhibits strong spatial mixing with rate
+``delta_n(t) = C * n * alpha^t`` then the inference algorithm of Theorem 5.1
+achieves total-variation error ``delta`` at radius
+``t = min { t : delta_n(t) <= delta }``; solving for ``t`` gives the
+``O(log(n / delta) / (1 - alpha))`` form behind all the round bounds quoted
+in the paper's applications (``O(log^3 n)`` once the ``log^2 n`` scheduling
+overhead of Lemma 3.1 is included).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def locality_for_error(
+    decay_rate: float,
+    size: int,
+    error: float,
+    constant: float = 1.0,
+    minimum: int = 1,
+) -> int:
+    """Smallest radius ``t`` with ``constant * size * decay_rate^t <= error``.
+
+    Parameters
+    ----------
+    decay_rate:
+        The exponential decay rate ``alpha`` in ``(0, 1)``.  A rate of zero
+        (or anything non-positive) means correlations vanish beyond the
+        factor diameter, so the minimum radius suffices.
+    size:
+        The instance size ``n`` (the polynomial prefactor of Definition 5.1
+        is taken linear in ``n``, which all quoted SSM results satisfy).
+    error:
+        The target total-variation error ``delta``.
+    constant:
+        The constant ``C`` of the decay bound.
+    minimum:
+        Lower bound on the returned radius (at least one round is charged).
+    """
+    if error <= 0:
+        raise ValueError("error must be positive")
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    if decay_rate >= 1.0:
+        raise ValueError(
+            "decay_rate must be below 1 (no strong spatial mixing, "
+            "the locality would be unbounded)"
+        )
+    if decay_rate <= 0.0:
+        return max(minimum, 1)
+    bound = constant * size
+    if bound <= error:
+        return max(minimum, 1)
+    t = math.log(bound / error) / math.log(1.0 / decay_rate)
+    return max(minimum, int(math.ceil(t)))
+
+
+def error_at_locality(
+    decay_rate: float, size: int, radius: int, constant: float = 1.0
+) -> float:
+    """The decay bound ``C * n * alpha^t`` evaluated at a given radius."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if decay_rate <= 0.0:
+        return 0.0
+    return constant * size * decay_rate ** radius

@@ -1,0 +1,190 @@
+"""LOCAL inference from strong spatial mixing (Theorem 5.1, converse direction).
+
+For a locally admissible local Gibbs distribution with SSM rate
+``delta_n(t)``, the paper's algorithm achieves total-variation error
+``delta`` in ``min{t : delta_n(t) <= delta} + O(1)`` rounds:
+
+1. node ``v`` gathers its ball of radius ``t + 2 l`` (``l`` = factor
+   diameter),
+2. it extends the pinning ``tau`` to a *locally feasible* configuration
+   ``tau'`` on the shell ``Gamma = B_{t+l}(v) \\ (B_t(v) u Lambda)`` -- local
+   admissibility guarantees the greedy extension exists and is feasible,
+3. it returns the exact conditional marginal ``mu^{tau'}_v``, which by the
+   conditional-independence property (Proposition 2.1) is fully determined by
+   the factors inside ``B_{t+l}(v)``; SSM bounds its distance to the true
+   marginal by ``delta_n(t)``.
+
+Two engines are provided: :class:`BoundaryPaddedInference`, which chooses the
+radius from a decay-rate schedule, and :class:`TruncatedBallInference`, which
+runs the same computation at an explicitly given radius (used to *measure*
+how much locality a target accuracy requires -- the phase-transition
+experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.gibbs.elimination import eliminate_marginal
+from repro.gibbs.instance import SamplingInstance
+from repro.graphs.structure import ball
+from repro.inference.base import InferenceAlgorithm
+from repro.inference.locality import locality_for_error
+
+Node = Hashable
+Value = Hashable
+
+
+def _greedy_boundary_extension(
+    instance: SamplingInstance,
+    shell_nodes,
+    context_nodes,
+) -> Dict[Node, Value]:
+    """Extend the pinning over the shell, keeping local feasibility.
+
+    Processes the shell nodes in ID (repr) order; for each, picks the first
+    alphabet value that keeps the partial configuration locally feasible with
+    respect to all factors contained in ``context_nodes``.  For locally
+    admissible distributions such a value always exists (a feasible partial
+    configuration has a feasible full extension, whose restriction witnesses
+    local feasibility); if none is found a ``RuntimeError`` flags the model
+    as not locally admissible.
+    """
+    distribution = instance.distribution
+    context = set(context_nodes)
+    assignment: Dict[Node, Value] = {
+        node: value for node, value in instance.pinning.items() if node in context
+    }
+    for node in sorted(shell_nodes, key=repr):
+        if node in assignment:
+            continue
+        chosen = None
+        for value in distribution.alphabet:
+            assignment[node] = value
+            feasible = True
+            for factor in distribution.factors_at(node):
+                scope = set(factor.scope)
+                if not scope <= context:
+                    continue
+                if not scope <= set(assignment):
+                    continue
+                if factor.evaluate(assignment) == 0.0:
+                    feasible = False
+                    break
+            if feasible:
+                chosen = value
+                break
+            del assignment[node]
+        if chosen is None:
+            raise RuntimeError(
+                "could not extend the pinning onto the boundary shell; "
+                "the distribution does not appear to be locally admissible"
+            )
+    return {node: assignment[node] for node in shell_nodes if node in assignment}
+
+
+def padded_ball_marginal(
+    instance: SamplingInstance, center: Node, radius: int
+) -> Dict[Value, float]:
+    """The marginal computed by the Theorem 5.1 algorithm at a given radius.
+
+    Gathers ``B_{radius + 2 l}(center)``, pads the pinning on the shell
+    between radius and ``radius + l``, and returns the exact conditional
+    marginal of the ball.
+    """
+    distribution = instance.distribution
+    locality = distribution.locality()
+    graph = instance.graph
+    inner = ball(graph, center, radius)
+    padded = ball(graph, center, radius + locality)
+    context = ball(graph, center, radius + 2 * locality)
+    shell = {
+        node
+        for node in padded
+        if node not in inner and node not in instance.pinning
+    }
+    boundary_pinning = _greedy_boundary_extension(instance, shell, context)
+
+    pinning = {node: value for node, value in instance.pinning.items() if node in padded}
+    pinning.update(boundary_pinning)
+    if center in pinning:
+        return {
+            value: (1.0 if value == pinning[center] else 0.0)
+            for value in distribution.alphabet
+        }
+    tables = distribution.restricted_tables(padded)
+    ordered = sorted(padded, key=repr)
+    return eliminate_marginal(tables, ordered, distribution.alphabet, pinning, center)
+
+
+class TruncatedBallInference(InferenceAlgorithm):
+    """The Theorem 5.1 computation at a fixed, explicitly chosen radius.
+
+    Useful when the radius is the independent variable of an experiment
+    (e.g. measuring the accuracy-versus-locality trade-off on either side of
+    the uniqueness threshold).
+    """
+
+    def __init__(self, radius: int) -> None:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        self.radius = radius
+
+    def locality(self, instance: SamplingInstance, error: float) -> int:
+        """Fixed radius plus the constant padding of the factor diameter."""
+        return self.radius + 2 * instance.distribution.locality()
+
+    def marginal(
+        self, instance: SamplingInstance, node: Node, error: float
+    ) -> Dict[Value, float]:
+        """Padded-ball marginal at the configured radius (``error`` is ignored)."""
+        return padded_ball_marginal(instance, node, self.radius)
+
+
+class BoundaryPaddedInference(InferenceAlgorithm):
+    """SSM-scheduled LOCAL inference (the full Theorem 5.1 converse algorithm).
+
+    The radius is chosen as ``min{t : C * n * alpha^t <= delta}`` where
+    ``alpha`` is the SSM decay rate.  The decay rate can be given explicitly
+    or read from the model metadata (``"ssm_decay_rate"``); if neither is
+    available a conservative default of 0.5 is used and the engine's accuracy
+    should be verified empirically (the tests do exactly that).
+    """
+
+    def __init__(
+        self,
+        decay_rate: Optional[float] = None,
+        constant: float = 1.0,
+        max_radius: Optional[int] = None,
+    ) -> None:
+        if decay_rate is not None and not 0.0 <= decay_rate < 1.0:
+            raise ValueError("decay_rate must lie in [0, 1)")
+        self.decay_rate = decay_rate
+        self.constant = constant
+        self.max_radius = max_radius
+
+    def _rate(self, instance: SamplingInstance) -> float:
+        if self.decay_rate is not None:
+            return self.decay_rate
+        rate = instance.distribution.metadata.get("ssm_decay_rate")
+        if rate is not None:
+            return float(rate)
+        return 0.5
+
+    def _radius(self, instance: SamplingInstance, error: float) -> int:
+        radius = locality_for_error(
+            self._rate(instance), instance.size, error, constant=self.constant
+        )
+        if self.max_radius is not None:
+            radius = min(radius, self.max_radius)
+        return radius
+
+    def locality(self, instance: SamplingInstance, error: float) -> int:
+        """Radius from the decay schedule plus the constant factor-diameter padding."""
+        return self._radius(instance, error) + 2 * instance.distribution.locality()
+
+    def marginal(
+        self, instance: SamplingInstance, node: Node, error: float
+    ) -> Dict[Value, float]:
+        """Padded-ball marginal at the scheduled radius."""
+        return padded_ball_marginal(instance, node, self._radius(instance, error))

@@ -1,0 +1,43 @@
+"""Simulators for the LOCAL and SLOCAL models of distributed computing.
+
+The LOCAL model (Linial / Peleg): the network is the problem graph itself;
+in ``t`` rounds a node learns exactly the topology, inputs and random bits of
+its radius-``t`` ball and then performs arbitrary local computation.  The
+SLOCAL model (Ghaffari, Kuhn, Maus 2017): nodes are processed sequentially in
+an adversarial order; when processed, a node reads the states of nodes within
+its locality radius, updates its own state and commits its output.
+
+This package provides:
+
+* :class:`~repro.localmodel.network.Network` -- per-node IDs, independent
+  randomness, and *enforced* locality through ball views;
+* :class:`~repro.localmodel.local.LocalNodeAlgorithm` and the driver
+  :func:`~repro.localmodel.local.run_local_algorithm`;
+* :class:`~repro.localmodel.slocal.SLocalAlgorithm` and the sequential driver;
+* an (O(log n), O(log n)) network decomposition (Linial--Saks style) in
+  :mod:`~repro.localmodel.decomposition`;
+* the SLOCAL -> LOCAL transformation of Lemma 3.1 (chromatic scheduling over
+  the decomposition of the power graph) in
+  :mod:`~repro.localmodel.scheduler`.
+"""
+
+from repro.localmodel.network import LocalView, Network
+from repro.localmodel.local import LocalNodeAlgorithm, LocalRunResult, run_local_algorithm
+from repro.localmodel.slocal import SLocalAlgorithm, SLocalRunResult, run_slocal_algorithm
+from repro.localmodel.decomposition import NetworkDecomposition, linial_saks_decomposition
+from repro.localmodel.scheduler import ScheduledRunResult, simulate_slocal_as_local
+
+__all__ = [
+    "Network",
+    "LocalView",
+    "LocalNodeAlgorithm",
+    "LocalRunResult",
+    "run_local_algorithm",
+    "SLocalAlgorithm",
+    "SLocalRunResult",
+    "run_slocal_algorithm",
+    "NetworkDecomposition",
+    "linial_saks_decomposition",
+    "ScheduledRunResult",
+    "simulate_slocal_as_local",
+]

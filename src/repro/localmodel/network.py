@@ -1,0 +1,153 @@
+"""The simulated distributed network: IDs, private randomness, ball views.
+
+A :class:`Network` wraps the problem graph and gives every node the three
+resources the LOCAL model grants it: a unique identifier, an arbitrarily long
+private random string (modelled as a per-node :class:`numpy.random.Generator`
+derived deterministically from a master seed), and -- after ``t`` rounds of
+communication -- complete knowledge of its radius-``t`` ball.
+
+Locality is enforced *by construction*: algorithms receive
+:class:`LocalView` objects that only contain the ball subgraph and the data
+of the nodes inside it, so a node algorithm cannot accidentally read remote
+information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Optional, Set
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs.structure import ball_subgraph, distances_from, node_ids
+
+Node = Hashable
+
+
+@dataclass
+class LocalView:
+    """Everything a node can see after ``radius`` rounds of communication.
+
+    Attributes
+    ----------
+    center:
+        The node whose view this is.
+    radius:
+        The number of communication rounds the view corresponds to.
+    subgraph:
+        A copy of the subgraph induced by ``B_radius(center)``.
+    ids:
+        The unique identifiers of the nodes in the ball.
+    distances:
+        Graph distance from the centre to every node in the ball.
+    inputs:
+        Local inputs ``x_v`` of the nodes in the ball (whatever the problem
+        attaches: pinned values, factor descriptions, error bounds...).
+    seeds:
+        The random seeds of the nodes in the ball -- the LOCAL model lets the
+        centre read its neighbours' random bits once it has heard from them.
+    """
+
+    center: Node
+    radius: int
+    subgraph: nx.Graph
+    ids: Dict[Node, int]
+    distances: Dict[Node, int]
+    inputs: Dict[Node, object] = field(default_factory=dict)
+    seeds: Dict[Node, int] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> Set[Node]:
+        """The nodes visible in this view."""
+        return set(self.subgraph.nodes())
+
+    def rng(self, node: Optional[Node] = None, salt: int = 0) -> np.random.Generator:
+        """A deterministic random generator for a node inside the view.
+
+        Different ``salt`` values give independent streams for different
+        purposes (different passes of a multi-pass algorithm, for example),
+        mirroring the "arbitrarily long random bit string" of the model.
+        """
+        target = self.center if node is None else node
+        if target not in self.seeds:
+            raise KeyError(f"node {target!r} is outside this view")
+        return np.random.default_rng((self.seeds[target], salt))
+
+
+class Network:
+    """A simulated LOCAL-model network over a problem graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        seed: int = 0,
+        inputs: Optional[Dict[Node, object]] = None,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("the network needs at least one node")
+        self.graph = graph
+        self.seed = seed
+        self.ids = node_ids(graph)
+        self.inputs: Dict[Node, object] = dict(inputs or {})
+        # Each node receives an independent random stream; deriving the
+        # per-node seed from (master seed, node id) keeps runs reproducible.
+        self._node_seeds: Dict[Node, int] = {
+            node: int(np.random.SeedSequence([seed, node_id]).generate_state(1)[0])
+            for node, node_id in self.ids.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of nodes in the network."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def nodes(self):
+        """Nodes in deterministic (ID) order."""
+        return sorted(self.ids, key=self.ids.get)
+
+    def node_seed(self, node: Node) -> int:
+        """The random seed of a node (its private random string)."""
+        return self._node_seeds[node]
+
+    def rng(self, node: Node, salt: int = 0) -> np.random.Generator:
+        """A fresh generator over the node's private random string."""
+        return np.random.default_rng((self._node_seeds[node], salt))
+
+    def set_input(self, node: Node, value: object) -> None:
+        """Attach the local input ``x_v`` to a node."""
+        if node not in self.ids:
+            raise KeyError(f"{node!r} is not a node of the network")
+        self.inputs[node] = value
+
+    # ------------------------------------------------------------------
+    def view(self, center: Node, radius: int) -> LocalView:
+        """The radius-``radius`` view of ``center`` (what ``t`` rounds reveal)."""
+        if center not in self.ids:
+            raise KeyError(f"{center!r} is not a node of the network")
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        # Cap at the graph size: more rounds than the diameter reveal nothing new.
+        capped = min(radius, self.size)
+        subgraph = ball_subgraph(self.graph, center, capped)
+        members = set(subgraph.nodes())
+        return LocalView(
+            center=center,
+            radius=radius,
+            subgraph=subgraph,
+            ids={node: self.ids[node] for node in members},
+            distances=distances_from(self.graph, center, capped),
+            inputs={node: self.inputs[node] for node in members if node in self.inputs},
+            seeds={node: self._node_seeds[node] for node in members},
+        )
+
+    def views(self, radius: int) -> Dict[Node, LocalView]:
+        """Views of every node at the same radius (one communication phase)."""
+        return {node: self.view(node, radius) for node in self.nodes}
+
+    def restrict_inputs(self, nodes: Iterable[Node]) -> Dict[Node, object]:
+        """The inputs of a subset of nodes (used when spawning sub-networks)."""
+        node_set = set(nodes)
+        return {node: value for node, value in self.inputs.items() if node in node_set}

@@ -1,0 +1,46 @@
+"""Concrete spin and edge models used by the paper's applications (Section 5).
+
+Every constructor returns a :class:`~repro.gibbs.GibbsDistribution` whose
+``metadata`` records the model parameters and the two structural flags the
+reductions care about:
+
+* ``"local"`` -- the factors have constant scope diameter (Definition 2.4);
+* ``"locally_admissible"`` -- every locally feasible partial configuration is
+  feasible (Definition 2.5), which is what makes the SSM characterisation of
+  Theorem 5.1 applicable.
+
+Models provided: the hardcore model (weighted independent sets), the
+anti-ferromagnetic two-spin / Ising model, proper q-colorings and
+list-colorings, the monomer--dimer model of matchings (via the line-graph
+duality), and weighted hypergraph matchings (via the hypergraph dual graph).
+The uniqueness thresholds that delimit the tractable regimes live in
+:mod:`repro.models.thresholds`.
+"""
+
+from repro.models.hardcore import hardcore_model
+from repro.models.ising import ising_model, two_spin_model
+from repro.models.coloring import coloring_model, list_coloring_model
+from repro.models.matching import matching_model
+from repro.models.hypergraph_matching import hypergraph_matching_model
+from repro.models.thresholds import (
+    ALPHA_STAR,
+    hardcore_uniqueness_threshold,
+    hypergraph_matching_uniqueness_threshold,
+    is_two_spin_uniqueness,
+    matching_ssm_decay_rate,
+)
+
+__all__ = [
+    "hardcore_model",
+    "ising_model",
+    "two_spin_model",
+    "coloring_model",
+    "list_coloring_model",
+    "matching_model",
+    "hypergraph_matching_model",
+    "ALPHA_STAR",
+    "hardcore_uniqueness_threshold",
+    "hypergraph_matching_uniqueness_threshold",
+    "is_two_spin_uniqueness",
+    "matching_ssm_decay_rate",
+]

@@ -1,0 +1,164 @@
+"""Uniqueness thresholds and decay-rate constants.
+
+The paper's applications plug state-of-the-art strong-spatial-mixing results
+into its reductions; the regimes in which those results hold are delimited by
+the constants computed here:
+
+* the hardcore uniqueness threshold ``lambda_c(Delta)`` (Weitz 2006),
+* the weighted-hypergraph-matching threshold ``lambda_c(r, Delta)``
+  (Song, Yin, Zhao 2016),
+* the coloring constant ``alpha* ~= 1.763...`` solving ``x = e^{1/x}``
+  (Gamarnik, Katz, Misra 2013),
+* a numerical uniqueness test for general anti-ferromagnetic two-spin models
+  (Li, Lu, Yin 2013),
+* the matching SSM decay rate ``1 - Omega(1/sqrt(Delta))`` (Bayati et al.
+  2007), which is where the ``O(sqrt(Delta) log^3 n)`` round bound comes
+  from.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def _solve_alpha_star() -> float:
+    """Solve ``x = exp(1/x)`` by bisection; the root is ~1.76322."""
+    low, high = 1.0, 3.0
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if mid - math.exp(1.0 / mid) < 0.0:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+#: The constant alpha* ~ 1.763... : q >= alpha * Delta colorings of
+#: triangle-free graphs exhibit SSM for every alpha > alpha*.
+ALPHA_STAR: float = _solve_alpha_star()
+
+
+def hardcore_uniqueness_threshold(max_degree: int) -> float:
+    """The hardcore uniqueness threshold ``lambda_c(Delta)``.
+
+    ``lambda_c(Delta) = (Delta - 1)^(Delta - 1) / (Delta - 2)^Delta`` for
+    ``Delta >= 3``; for ``Delta <= 2`` the model is in uniqueness for every
+    finite fugacity, so the threshold is infinite.
+    """
+    if max_degree < 0:
+        raise ValueError("max_degree must be non-negative")
+    if max_degree <= 2:
+        return math.inf
+    delta = max_degree
+    return (delta - 1) ** (delta - 1) / (delta - 2) ** delta
+
+
+def hypergraph_matching_uniqueness_threshold(rank: int, max_degree: int) -> float:
+    """The weighted hypergraph matching threshold ``lambda_c(r, Delta)``.
+
+    ``lambda_c(r, Delta) = (Delta - 1)^(Delta - 1) / ((r - 1) (Delta - 2)^Delta)``
+    where ``r`` is the rank of the hypergraph (Song, Yin, Zhao 2016).  For
+    ``Delta <= 2`` the threshold is infinite; ``rank`` must be at least 2.
+    """
+    if rank < 2:
+        raise ValueError("hypergraph rank must be at least 2")
+    if max_degree < 0:
+        raise ValueError("max_degree must be non-negative")
+    if max_degree <= 2:
+        return math.inf
+    delta = max_degree
+    return (delta - 1) ** (delta - 1) / ((rank - 1) * (delta - 2) ** delta)
+
+
+def matching_ssm_decay_rate(max_degree: int, edge_weight: float = 1.0) -> float:
+    """Decay rate of strong spatial mixing for the monomer--dimer model.
+
+    Bayati, Gamarnik, Katz, Nair and Tetali (2007) prove SSM with exponential
+    decay at rate ``1 - Omega(1/sqrt(Delta))`` for matchings with edge weight
+    ``lambda``; the explicit rate used here is
+    ``1 - 2 / (sqrt(1 + 4 * lambda * Delta) + 1)``, which reproduces the
+    ``O(sqrt(Delta))`` dependence the paper's matching application quotes.
+    """
+    if max_degree < 1:
+        return 0.0
+    if edge_weight <= 0:
+        raise ValueError("edge_weight must be positive")
+    return 1.0 - 2.0 / (math.sqrt(1.0 + 4.0 * edge_weight * max_degree) + 1.0)
+
+
+def _two_spin_tree_recursion(beta: float, gamma: float, lam: float, degree: int):
+    """The tree recursion ``f(x) = lam * ((beta x + 1) / (x + gamma))^d``.
+
+    ``x`` is the ratio ``mu(+) / mu(-)`` at the root of an infinite
+    ``(degree + 1)``-regular tree with ``degree`` children per node.
+    """
+
+    def recursion(x: float) -> float:
+        return lam * ((beta * x + 1.0) / (x + gamma)) ** degree
+
+    def derivative(x: float) -> float:
+        numerator = beta * (x + gamma) - (beta * x + 1.0)
+        base = (beta * x + 1.0) / (x + gamma)
+        return lam * degree * base ** (degree - 1) * numerator / (x + gamma) ** 2
+
+    return recursion, derivative
+
+
+def two_spin_tree_fixed_point(
+    beta: float, gamma: float, lam: float, degree: int, iterations: int = 5000
+) -> float:
+    """Numerically locate the fixed point of the two-spin tree recursion.
+
+    For anti-ferromagnetic models (``beta * gamma < 1``) the recursion is
+    monotonically decreasing, so ``f(f(x))`` is increasing and the fixed
+    point is unique; damped iteration converges to it.
+    """
+    recursion, _ = _two_spin_tree_recursion(beta, gamma, lam, degree)
+    x = lam
+    for _ in range(iterations):
+        x = 0.5 * x + 0.5 * recursion(x)
+    return x
+
+
+def is_two_spin_uniqueness(
+    beta: float, gamma: float, lam: float, max_degree: int
+) -> bool:
+    """Whether an anti-ferromagnetic two-spin model is in the uniqueness regime.
+
+    The model ``(beta, gamma, lambda)`` is in uniqueness for graphs of
+    maximum degree ``Delta`` when, for every ``d <= Delta - 1``, the tree
+    recursion on the ``d``-ary tree has ``|f'(x*)| < 1`` at its fixed point
+    ``x*`` (Li, Lu, Yin 2013).  ``beta`` is the weight of a (+,+) edge,
+    ``gamma`` of a (-,-) edge and ``lambda`` the external field on +.
+    """
+    if beta < 0 or gamma < 0 or lam <= 0:
+        raise ValueError("two-spin parameters must be non-negative (lambda positive)")
+    if beta * gamma >= 1.0:
+        # Ferromagnetic-or-critical: treat via the same criterion at Delta-1.
+        pass
+    if max_degree <= 1:
+        return True
+    for degree in range(1, max_degree):
+        recursion, derivative = _two_spin_tree_recursion(beta, gamma, lam, degree)
+        fixed_point = two_spin_tree_fixed_point(beta, gamma, lam, degree)
+        if abs(derivative(fixed_point)) >= 1.0:
+            return False
+    return True
+
+
+def hardcore_uniqueness_margin(fugacity: float, max_degree: int) -> Tuple[bool, float]:
+    """Classify a hardcore model against its uniqueness threshold.
+
+    Returns ``(in_uniqueness, ratio)`` where ``ratio = fugacity / lambda_c``;
+    a ratio below 1 means the model is in the tractable (uniqueness) regime
+    where the paper's O(log^3 n)-round exact sampler applies, above 1 means
+    the Omega(diam) lower bound regime.
+    """
+    if fugacity <= 0:
+        raise ValueError("fugacity must be positive")
+    threshold = hardcore_uniqueness_threshold(max_degree)
+    if math.isinf(threshold):
+        return True, 0.0
+    ratio = fugacity / threshold
+    return ratio < 1.0, ratio

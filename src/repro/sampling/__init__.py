@@ -1,0 +1,46 @@
+"""Distributed samplers and the sampling side of the paper's reductions.
+
+* :mod:`repro.sampling.exact` -- brute-force enumeration of the target
+  distribution and an exact sampler built on it (ground truth for tests);
+* :mod:`repro.sampling.sequential` -- the SLOCAL sequential sampler behind
+  Theorem 3.2 (inference => approximate sampling) plus the LOCAL driver
+  obtained through Lemma 3.1;
+* :mod:`repro.sampling.jvv` -- the three-pass local-JVV algorithm of
+  Theorem 4.2 / Proposition 4.3: local rejection sampling that turns
+  approximate inference into *exact* sampling with locally certifiable
+  failures;
+* :mod:`repro.sampling.sampling_to_inference` -- Theorem 3.4 (sampling =>
+  inference), realised by Monte-Carlo estimation of the sampler's marginals;
+* :mod:`repro.sampling.glauber` -- sequential Glauber dynamics and the
+  parallel LubyGlauber chain (the prior-art baseline from Feng, Sun, Yin
+  2017) used by the baseline-comparison experiment.
+"""
+
+from repro.sampling.exact import ExactSampler, enumerate_target_distribution
+from repro.sampling.sequential import (
+    SequentialSamplingAlgorithm,
+    sample_approximate_local,
+    sample_approximate_slocal,
+)
+from repro.sampling.jvv import LocalJVVSampler, sample_exact_local, sample_exact_slocal
+from repro.sampling.sampling_to_inference import InferenceFromSampling
+from repro.sampling.glauber import (
+    glauber_sample,
+    greedy_feasible_configuration,
+    luby_glauber_sample,
+)
+
+__all__ = [
+    "ExactSampler",
+    "enumerate_target_distribution",
+    "SequentialSamplingAlgorithm",
+    "sample_approximate_local",
+    "sample_approximate_slocal",
+    "LocalJVVSampler",
+    "sample_exact_local",
+    "sample_exact_slocal",
+    "InferenceFromSampling",
+    "glauber_sample",
+    "greedy_feasible_configuration",
+    "luby_glauber_sample",
+]

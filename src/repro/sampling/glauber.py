@@ -1,0 +1,159 @@
+"""Markov-chain baselines: Glauber dynamics and the LubyGlauber parallel chain.
+
+The paper positions its reductions against the previous approach to
+distributed sampling -- parallelised Markov chains such as the LubyGlauber
+algorithm of Feng, Sun and Yin (PODC 2017).  These baselines are implemented
+here for the comparison experiment (E12):
+
+* :func:`glauber_sample` -- classical single-site Glauber dynamics: pick a
+  uniformly random free node, resample it from its conditional distribution
+  given its neighbourhood;
+* :func:`luby_glauber_sample` -- per round, an independent set of free nodes
+  is selected through random priorities (a Luby step) and all selected nodes
+  update simultaneously; one round is ``O(1)`` LOCAL rounds.
+
+Both chains have the target distribution ``mu^tau`` as their stationary
+distribution whenever the single-site dynamics is ergodic (which local
+admissibility guarantees for the models used in the experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.analysis.distances import normalize, sample_from
+from repro.gibbs.instance import SamplingInstance
+
+Node = Hashable
+Value = Hashable
+
+
+def greedy_feasible_configuration(instance: SamplingInstance) -> Dict[Node, Value]:
+    """A feasible full configuration extending the pinning, built greedily.
+
+    Processes the free nodes in deterministic order and assigns each the
+    first alphabet value that keeps every fully assigned factor positive.
+    For locally admissible distributions this always succeeds and the result
+    is feasible (it is the sequential-local-oblivious construction of
+    Remark 2.3); a ``RuntimeError`` is raised otherwise.
+    """
+    distribution = instance.distribution
+    assignment: Dict[Node, Value] = instance.pinning.as_dict()
+    for node in distribution.nodes:
+        if node in assignment:
+            continue
+        chosen = None
+        for value in distribution.alphabet:
+            assignment[node] = value
+            feasible = True
+            for factor in distribution.factors_at(node):
+                if not set(factor.scope) <= set(assignment):
+                    continue
+                if factor.evaluate(assignment) == 0.0:
+                    feasible = False
+                    break
+            if feasible:
+                chosen = value
+                break
+            del assignment[node]
+        if chosen is None:
+            raise RuntimeError(
+                f"greedy construction got stuck at node {node!r}; "
+                "the distribution is not locally admissible"
+            )
+    return assignment
+
+
+def local_conditional(
+    instance: SamplingInstance, configuration: Dict[Node, Value], node: Node
+) -> Dict[Value, float]:
+    """Conditional distribution of ``node`` given the rest of the configuration.
+
+    Only the factors containing ``node`` matter, so this is a strictly local
+    computation (one LOCAL round).
+    """
+    distribution = instance.distribution
+    weights: Dict[Value, float] = {}
+    working = dict(configuration)
+    for value in distribution.alphabet:
+        working[node] = value
+        weight = 1.0
+        for factor in distribution.factors_at(node):
+            weight *= factor.evaluate(working)
+            if weight == 0.0:
+                break
+        weights[value] = weight
+    total = sum(weights.values())
+    if total <= 0.0:
+        raise ValueError(
+            f"node {node!r} has no feasible value given its neighbourhood; "
+            "the single-site dynamics is not ergodic here"
+        )
+    return normalize(weights)
+
+
+def glauber_sample(
+    instance: SamplingInstance,
+    steps: int,
+    seed: int = 0,
+    initial: Optional[Dict[Node, Value]] = None,
+) -> Dict[Node, Value]:
+    """Run single-site Glauber dynamics for ``steps`` updates and return the state."""
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    rng = np.random.default_rng(seed)
+    configuration = dict(initial) if initial is not None else greedy_feasible_configuration(instance)
+    free_nodes = instance.free_nodes
+    if not free_nodes:
+        return configuration
+    for _ in range(steps):
+        node = free_nodes[int(rng.integers(0, len(free_nodes)))]
+        conditional = local_conditional(instance, configuration, node)
+        configuration[node] = sample_from(conditional, rng)
+    return configuration
+
+
+def luby_glauber_sample(
+    instance: SamplingInstance,
+    rounds: int,
+    seed: int = 0,
+    initial: Optional[Dict[Node, Value]] = None,
+) -> Dict[Node, Value]:
+    """Run the LubyGlauber parallel chain for ``rounds`` rounds and return the state.
+
+    In each round every free node draws a uniform priority; a node updates
+    iff its priority beats all of its free neighbours' (the selected nodes
+    form an independent set, so the simultaneous updates commute with the
+    sequential chain and stationarity is preserved).
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    rng = np.random.default_rng(seed)
+    configuration = dict(initial) if initial is not None else greedy_feasible_configuration(instance)
+    graph = instance.graph
+    free_nodes = instance.free_nodes
+    free_set = set(free_nodes)
+    if not free_nodes:
+        return configuration
+    for _ in range(rounds):
+        priorities = {node: rng.random() for node in free_nodes}
+        selected = [
+            node
+            for node in free_nodes
+            if all(
+                priorities[node] > priorities[neighbour]
+                for neighbour in graph.neighbors(node)
+                if neighbour in free_set
+            )
+        ]
+        # All selected nodes read the *current* configuration and update
+        # simultaneously; since they form an independent set the conditional
+        # distributions do not interact within the round.
+        updates = {
+            node: sample_from(local_conditional(instance, configuration, node), rng)
+            for node in selected
+        }
+        configuration.update(updates)
+    return configuration

@@ -1,0 +1,94 @@
+"""Approximate sampling => approximate inference (Theorem 3.4).
+
+The paper's reduction is information-theoretic: a node can reconstruct the
+marginal distribution of its own output by enumerating the random bits the
+sampling algorithm consumes within its radius.  Enumerating random bits is
+not realistic on a simulator (the bit strings are unbounded), so we realise
+the same reduction by Monte-Carlo estimation: the node's marginal is the
+empirical distribution of its output over independent runs of the sampler.
+The substitution preserves the quantity the theorem is about -- the marginal
+of the sampler's output distribution, which is within ``delta + epsilon_0``
+of the target (``epsilon_0`` being the sampler's failure probability) -- and
+adds only a statistical estimation error that shrinks as ``1/sqrt(samples)``
+and is reported alongside the result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.analysis.distances import normalize
+from repro.analysis.fitting import sample_complexity_for_tv
+from repro.gibbs.instance import SamplingInstance
+from repro.inference.base import InferenceAlgorithm
+
+Node = Hashable
+Value = Hashable
+
+#: A sampler callable: ``(instance, error, seed) -> (configuration, rounds)``.
+SamplerFunction = Callable[[SamplingInstance, float, int], tuple]
+
+
+class InferenceFromSampling(InferenceAlgorithm):
+    """Estimate marginals by repeatedly invoking an approximate sampler.
+
+    Parameters
+    ----------
+    sampler:
+        A callable ``(instance, error, seed) -> (configuration, rounds)``
+        returning one (possibly failed) sample; the configurations of failed
+        runs are still counted, exactly as in the theorem's statement
+        (failures only enter through the additive ``epsilon_0`` term).
+    num_samples:
+        Number of independent runs per marginal query.  If omitted, the
+        count is derived from the query's error via the standard empirical
+        total-variation bound.
+    seed:
+        Base seed; run ``k`` of query ``j`` uses seed ``seed + j * stride + k``.
+    """
+
+    def __init__(
+        self,
+        sampler: SamplerFunction,
+        num_samples: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sampler = sampler
+        self.num_samples = num_samples
+        self.seed = seed
+        self._query_count = 0
+        self._last_rounds = 0
+
+    # ------------------------------------------------------------------
+    def _samples_for(self, instance: SamplingInstance, error: float) -> int:
+        if self.num_samples is not None:
+            return self.num_samples
+        return sample_complexity_for_tv(max(error, 1e-3), instance.distribution.alphabet_size)
+
+    def locality(self, instance: SamplingInstance, error: float) -> int:
+        """The sampler's round complexity (one parallel batch of runs)."""
+        if self._last_rounds:
+            return self._last_rounds
+        # Probe with a single run to learn the sampler's round count.
+        _, rounds = self.sampler(instance, error, self.seed)
+        self._last_rounds = int(rounds)
+        return self._last_rounds
+
+    def marginal(
+        self, instance: SamplingInstance, node: Node, error: float
+    ) -> Dict[Value, float]:
+        """Empirical marginal of ``node`` over repeated sampler runs."""
+        if node in instance.pinning:
+            pinned = instance.pinning[node]
+            return {value: (1.0 if value == pinned else 0.0) for value in instance.alphabet}
+        runs = self._samples_for(instance, error)
+        counts: Dict[Value, float] = {value: 0.0 for value in instance.alphabet}
+        base = self.seed + 7919 * self._query_count
+        self._query_count += 1
+        for k in range(runs):
+            configuration, rounds = self.sampler(instance, error, base + k)
+            self._last_rounds = int(rounds)
+            counts[configuration[node]] = counts.get(configuration[node], 0.0) + 1.0
+        return normalize(counts) if sum(counts.values()) > 0 else {
+            value: 1.0 / len(instance.alphabet) for value in instance.alphabet
+        }

@@ -1,0 +1,31 @@
+"""Measuring decay of correlation (strong spatial mixing) empirically.
+
+Theorem 5.1 ties the local complexity of inference and sampling to strong
+spatial mixing (Definition 5.1).  This package measures the relevant
+quantities on concrete instances:
+
+* :func:`~repro.spatialmixing.ssm.ssm_profile` -- worst-case influence of a
+  boundary disagreement on a node's marginal, as a function of the distance
+  (in total-variation and in multiplicative error, cf. Corollary 5.2);
+* :func:`~repro.spatialmixing.decay.estimate_decay_rate` -- exponential decay
+  rate fitted to such a profile;
+* :func:`~repro.spatialmixing.phase_transition.locality_required` -- the
+  radius a ball-local inference algorithm needs for a target accuracy, the
+  quantity that jumps from ``O(log n)`` to ``Omega(diam)`` across the
+  uniqueness threshold (the computational phase transition).
+"""
+
+from repro.spatialmixing.ssm import boundary_influence, ssm_profile
+from repro.spatialmixing.decay import estimate_decay_rate
+from repro.spatialmixing.phase_transition import (
+    locality_required,
+    long_range_correlation,
+)
+
+__all__ = [
+    "boundary_influence",
+    "ssm_profile",
+    "estimate_decay_rate",
+    "locality_required",
+    "long_range_correlation",
+]

@@ -1,0 +1,27 @@
+"""Fitting exponential decay rates to spatial-mixing profiles."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.fitting import fit_exponential_decay
+
+
+def estimate_decay_rate(
+    profile: Sequence[Dict[str, float]], key: str = "tv", floor: float = 1e-12
+) -> float:
+    """The exponential decay rate ``alpha`` fitted to an SSM profile.
+
+    ``profile`` is the output of :func:`repro.spatialmixing.ssm.ssm_profile`;
+    ``key`` selects the total-variation (``"tv"``) or multiplicative
+    (``"multiplicative"``) column.  Rows whose influence is exactly zero (the
+    decay outran the numerical resolution) are kept, clamped to ``floor``, so
+    they still pull the fitted rate down.
+    """
+    usable = [row for row in profile if key in row]
+    if len(usable) < 2:
+        raise ValueError("need at least two profile rows to fit a decay rate")
+    distances: List[float] = [row["radius"] for row in usable]
+    errors: List[float] = [max(row[key], 0.0) for row in usable]
+    alpha, _ = fit_exponential_decay(distances, errors, floor=floor)
+    return min(max(alpha, 0.0), 1.5)

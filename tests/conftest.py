@@ -1,0 +1,89 @@
+"""Shared fixtures and helpers for the test suite.
+
+Ground truth throughout is brute-force enumeration / variable elimination,
+so all fixture instances are small enough to enumerate exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+import pytest
+
+from repro.gibbs import GibbsDistribution, SamplingInstance
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.models import coloring_model, hardcore_model, matching_model, two_spin_model
+
+
+def brute_force_partition_function(distribution: GibbsDistribution, pinning=None) -> float:
+    """Partition function by direct enumeration (independent of the library's own)."""
+    pinning = dict(pinning or {})
+    nodes = distribution.nodes
+    free = [node for node in nodes if node not in pinning]
+    total = 0.0
+    for values in itertools.product(distribution.alphabet, repeat=len(free)):
+        configuration = dict(pinning)
+        configuration.update(zip(free, values))
+        total += distribution.weight(configuration)
+    return total
+
+
+def brute_force_marginal(distribution: GibbsDistribution, node, pinning=None) -> Dict:
+    """Single-node marginal by direct enumeration."""
+    pinning = dict(pinning or {})
+    weights = {}
+    for value in distribution.alphabet:
+        extended = dict(pinning)
+        extended[node] = value
+        weights[value] = brute_force_partition_function(distribution, extended)
+    total = sum(weights.values())
+    return {value: weight / total for value, weight in weights.items()}
+
+
+@pytest.fixture
+def hardcore_cycle():
+    """Hardcore model on a 6-cycle, below the uniqueness threshold."""
+    return hardcore_model(cycle_graph(6), fugacity=0.8)
+
+
+@pytest.fixture
+def hardcore_path():
+    """Hardcore model on a 5-path."""
+    return hardcore_model(path_graph(5), fugacity=1.0)
+
+
+@pytest.fixture
+def coloring_cycle():
+    """Uniform proper 3-colorings of a 5-cycle (locally admissible: q = Delta + 1)."""
+    return coloring_model(cycle_graph(5), num_colors=3)
+
+
+@pytest.fixture
+def ising_path():
+    """Soft anti-ferromagnetic two-spin model on a 4-path."""
+    return two_spin_model(path_graph(4), beta=0.4, gamma=0.7, field=1.2)
+
+
+@pytest.fixture
+def matching_path():
+    """Monomer--dimer model of a 5-path (line graph is a 4-path)."""
+    return matching_model(path_graph(5), edge_weight=1.0)
+
+
+@pytest.fixture
+def hardcore_instance(hardcore_cycle):
+    """Unpinned hardcore instance."""
+    return SamplingInstance(hardcore_cycle)
+
+
+@pytest.fixture
+def pinned_hardcore_instance(hardcore_cycle):
+    """Hardcore instance with one node pinned occupied and one pinned empty."""
+    return SamplingInstance(hardcore_cycle, {0: 1, 3: 0})
+
+
+@pytest.fixture
+def coloring_instance(coloring_cycle):
+    """Coloring instance with one node pinned."""
+    return SamplingInstance(coloring_cycle, {0: 2})

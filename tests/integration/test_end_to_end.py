@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the application models of Section 5."""
+
+import pytest
+
+from repro.analysis import total_variation
+from repro.core import LocalSamplingProblem
+from repro.graphs import (
+    Hypergraph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_bipartite_regular_graph,
+    random_tree,
+)
+from repro.models import (
+    coloring_model,
+    hardcore_model,
+    hypergraph_matching_model,
+    ising_model,
+    matching_model,
+)
+from repro.spatialmixing import locality_required
+from repro.gibbs import SamplingInstance
+
+
+class TestApplicationHardcore:
+    def test_uniqueness_regime_full_pipeline(self):
+        """Hardcore below lambda_c: infer, sample, exact-sample, all coherent."""
+        distribution = hardcore_model(random_tree(12, seed=5), fugacity=0.7)
+        assert distribution.metadata["uniqueness"]
+        problem = LocalSamplingProblem(distribution, pinning={0: 0}, seed=9)
+
+        report = problem.infer(error=0.05)
+        for node, marginal in list(report.marginals.items())[:4]:
+            assert total_variation(marginal, problem.exact_marginal(node)) <= 0.05
+
+        approx = problem.sample(error=0.1)
+        assert distribution.weight(approx.configuration) > 0
+
+        exact = problem.sample_exact()
+        assert distribution.weight(exact.configuration) > 0
+        assert exact.rounds >= approx.rounds or True  # both polylog; no strict order
+
+    def test_phase_transition_locality_gap(self):
+        """Locality needed for accurate inference jumps across the threshold.
+
+        On a long cycle (Delta = 2) the model is always in uniqueness, so we
+        use a different knob: a very large fugacity slows the decay markedly
+        and the required radius grows, while a small fugacity keeps it tiny.
+        The full Omega(diam) lower bound experiment lives in the benchmarks.
+        """
+        graph = cycle_graph(16)
+        easy = SamplingInstance(hardcore_model(graph, fugacity=0.3), {0: 1})
+        hard = SamplingInstance(hardcore_model(graph, fugacity=6.0), {0: 1})
+        probe = 8
+        easy_radius = locality_required(easy, probe, error=0.02, max_radius=8)
+        hard_radius = locality_required(hard, probe, error=0.02, max_radius=8)
+        assert easy_radius <= hard_radius
+
+
+class TestApplicationMatchings:
+    def test_matching_problem_on_grid(self):
+        graph = grid_graph(3, 3)
+        distribution = matching_model(graph, edge_weight=1.0)
+        problem = LocalSamplingProblem(distribution, seed=1)
+        report = problem.infer(error=0.1)
+        for node, marginal in list(report.marginals.items())[:4]:
+            assert total_variation(marginal, problem.exact_marginal(node)) <= 0.1
+        result = problem.sample_exact()
+        from repro.models.matching import configuration_to_matching, is_valid_matching
+
+        assert is_valid_matching(graph, configuration_to_matching(distribution, result.configuration))
+
+
+class TestApplicationColorings:
+    def test_triangle_free_coloring_in_ssm_regime(self):
+        graph = random_bipartite_regular_graph(2, 5, seed=3)
+        q = 5  # q > alpha* * Delta = 3.53
+        distribution = coloring_model(graph, num_colors=q)
+        assert distribution.metadata["ssm_regime"]
+        problem = LocalSamplingProblem(distribution, seed=0)
+        result = problem.sample(error=0.1)
+        for u, v in graph.edges():
+            assert result.configuration[u] != result.configuration[v]
+
+
+class TestApplicationIsing:
+    def test_antiferromagnetic_ising_uniqueness(self):
+        distribution = ising_model(cycle_graph(10), interaction=-0.3)
+        assert distribution.metadata["uniqueness"]
+        problem = LocalSamplingProblem(distribution, seed=4)
+        report = problem.infer(error=0.05)
+        node = 5
+        assert total_variation(report.marginals[node], problem.exact_marginal(node)) <= 0.05
+
+
+class TestApplicationHypergraphMatchings:
+    def test_hypergraph_matching_pipeline(self):
+        hypergraph = Hypergraph.random_regular(9, rank=3, num_edges=6, seed=2)
+        distribution = hypergraph_matching_model(hypergraph, activity=0.5)
+        problem = LocalSamplingProblem(distribution, seed=6)
+        result = problem.sample_exact()
+        from repro.models.hypergraph_matching import (
+            configuration_to_hypergraph_matching,
+            is_valid_hypergraph_matching,
+        )
+
+        chosen = configuration_to_hypergraph_matching(distribution, result.configuration)
+        assert is_valid_hypergraph_matching(hypergraph, chosen)
+
+
+class TestListColoringSelfReduction:
+    def test_pinning_a_coloring_equals_list_coloring(self):
+        """Remark 2.2: conditioning = a list-coloring instance on the rest."""
+        from repro.models import list_coloring_model
+
+        graph = path_graph(4)
+        base = coloring_model(graph, num_colors=3)
+        pinned = SamplingInstance(base, {0: 1})
+        lists = {0: [1], 1: [0, 2], 2: [0, 1, 2], 3: [0, 1, 2]}
+        reduced = SamplingInstance(list_coloring_model(graph, lists))
+        for node in (1, 2, 3):
+            truth_pinned = pinned.target_marginal(node)
+            truth_reduced = reduced.target_marginal(node)
+            assert total_variation(truth_pinned, truth_reduced) < 1e-9

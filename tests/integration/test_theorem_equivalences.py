@@ -1,0 +1,152 @@
+"""Integration tests: the paper's equivalences exercised end to end.
+
+Each test composes at least two of the paper's reductions on a real model
+and checks the headline guarantee of the composed pipeline, i.e. these are
+the executable counterparts of the theorem statements rather than of the
+individual building blocks.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    empirical_distribution,
+    multiplicative_error,
+    total_variation,
+)
+from repro.analysis.distances import configuration_key
+from repro.core import (
+    boost_inference,
+    estimate_partition_function,
+    exact_sampling_from_inference,
+    inference_from_sampling,
+    inference_from_ssm,
+    sampling_from_inference,
+    ssm_rate_from_inference,
+)
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.inference import BoundaryPaddedInference, ExactInference, correlation_decay_for
+from repro.models import coloring_model, hardcore_model, matching_model
+from repro.sampling import enumerate_target_distribution
+from repro.spatialmixing import estimate_decay_rate, ssm_profile
+
+
+class TestInferenceSamplingEquivalence:
+    """Theorems 3.2 + 3.4: the two tasks are inter-reducible."""
+
+    def test_round_trip_inference_to_sampling_to_inference(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=0.9)
+        instance = SamplingInstance(distribution, {0: 1})
+        base_engine = correlation_decay_for(distribution)
+
+        # Inference -> sampling (Theorem 3.2) ...
+        def sampler(inner_instance, error, seed):
+            result = sampling_from_inference(
+                inner_instance, base_engine, error, seed=seed, local=False
+            )
+            return result.configuration, result.rounds
+
+        # ... -> inference again (Theorem 3.4).
+        recovered_engine = inference_from_sampling(sampler, num_samples=300, seed=0)
+        node = 4
+        estimate = recovered_engine.marginal(instance, node, 0.1)
+        truth = instance.target_marginal(node)
+        assert total_variation(estimate, truth) < 0.12
+
+    def test_sampling_from_ssm_derived_inference(self):
+        # SSM rate -> inference (Theorem 5.1) -> sampling (Theorem 3.2).
+        distribution = coloring_model(cycle_graph(6), num_colors=3)
+        instance = SamplingInstance(distribution, {0: 2})
+        profile = ssm_profile(distribution, 3, radii=[1, 2])
+        rate = min(max(estimate_decay_rate(profile), 0.05), 0.9)
+        engine = inference_from_ssm(decay_rate=rate)
+        result = sampling_from_inference(instance, engine, 0.1, seed=3, local=True)
+        assert distribution.weight(result.configuration) > 0
+        assert result.configuration[0] == 2
+
+
+class TestExactSamplingPipeline:
+    """Theorem 4.2 composed with Lemma 4.1: TV inference -> exact sampling."""
+
+    def test_jvv_on_boosted_ssm_inference_is_statistically_exact(self):
+        distribution = hardcore_model(cycle_graph(5), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        boosted = boost_inference(BoundaryPaddedInference(decay_rate=0.4))
+        truth = enumerate_target_distribution(instance)
+        accepted = []
+        seed = 0
+        while len(accepted) < 200 and seed < 900:
+            result = exact_sampling_from_inference(
+                instance, boosted, seed=seed, local=False, inference_error=1e-3
+            )
+            if result.success:
+                accepted.append(configuration_key(result.configuration))
+            seed += 1
+        assert len(accepted) >= 200
+        empirical = empirical_distribution(accepted)
+        noise = 3.0 * math.sqrt(len(truth) / (4.0 * len(accepted)))
+        assert total_variation(empirical, truth) < noise
+
+    def test_matching_exact_sampler_through_line_graph(self):
+        from repro.models.matching import configuration_to_matching, is_valid_matching
+
+        graph = cycle_graph(6)
+        distribution = matching_model(graph, edge_weight=1.2)
+        instance = SamplingInstance(distribution)
+        engine = correlation_decay_for(distribution)
+        result = exact_sampling_from_inference(instance, engine, seed=7, local=True)
+        matching = configuration_to_matching(distribution, result.configuration)
+        assert is_valid_matching(graph, matching)
+
+
+class TestCountingSamplingConsistency:
+    """Counting (chain rule over inference) agrees with sampling frequencies."""
+
+    def test_partition_function_vs_occupancy(self):
+        distribution = hardcore_model(path_graph(6), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        counted = estimate_partition_function(instance, ExactInference()).estimate
+        assert counted == pytest.approx(distribution.partition_function(), rel=1e-9)
+
+        # The marginal occupancy implied by counting with one node pinned
+        # matches the inference marginal: mu_v(1) = lambda * Z(v occupied) / Z.
+        pinned = SamplingInstance(distribution, {2: 1})
+        z_occupied = estimate_partition_function(pinned, ExactInference()).estimate
+        implied = z_occupied / counted
+        truth = instance.target_marginal(2)[1]
+        assert implied == pytest.approx(truth, rel=1e-9)
+
+
+class TestSSMCharacterisation:
+    """Theorem 5.1 in both directions on the same model family."""
+
+    def test_forward_and_converse_agree_on_hardcore(self):
+        distribution = hardcore_model(cycle_graph(12), fugacity=0.7)
+        instance = SamplingInstance(distribution, {0: 1})
+        engine = BoundaryPaddedInference(decay_rate=0.5)
+
+        # Forward: the engine's locality schedule implies an SSM rate bound.
+        implied = [ssm_rate_from_inference(engine, instance, radius=r) for r in (4, 8, 12)]
+        assert implied[0] >= implied[1] >= implied[2]
+
+        # Converse: the measured SSM profile yields an engine whose error at
+        # the measured radius is consistent with the profile.
+        profile = ssm_profile(distribution, 6, radii=[1, 2, 3, 4])
+        rate = min(max(estimate_decay_rate(profile), 0.05), 0.95)
+        rebuilt = inference_from_ssm(decay_rate=rate)
+        estimate = rebuilt.marginal(instance, 6, 0.05)
+        truth = instance.target_marginal(6)
+        assert total_variation(estimate, truth) <= 0.05
+
+    def test_boosting_preserves_ssm_decay_shape(self):
+        # Corollary 5.2: exponential decay in TV iff exponential decay in
+        # multiplicative error.  Empirically both columns of the profile
+        # should shrink with distance in the uniqueness regime.
+        distribution = hardcore_model(cycle_graph(12), fugacity=0.6)
+        profile = ssm_profile(distribution, 0, radii=[1, 2, 3, 4, 5])
+        tv_values = [row["tv"] for row in profile]
+        mult_values = [row["multiplicative"] for row in profile]
+        assert tv_values[-1] <= tv_values[0]
+        assert mult_values[-1] <= mult_values[0]

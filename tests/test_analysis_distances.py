@@ -1,0 +1,123 @@
+"""Unit and property tests for the distance / error measures."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    empirical_distribution,
+    multiplicative_error,
+    normalize,
+    total_variation,
+)
+from repro.analysis.distances import (
+    configuration_key,
+    expectation,
+    hellinger_distance,
+    marginal_from_joint,
+    sample_from,
+)
+
+distributions = st.lists(
+    st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=6
+).map(lambda weights: normalize({i: w for i, w in enumerate(weights)}))
+
+
+class TestNormalize:
+    def test_normalises(self):
+        assert normalize({"a": 2.0, "b": 6.0}) == {"a": 0.25, "b": 0.75}
+
+    def test_rejects_zero_and_negative_mass(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0})
+        with pytest.raises(ValueError):
+            normalize({"a": 1.0, "b": -0.5})
+
+
+class TestTotalVariation:
+    def test_simple_values(self):
+        mu = {0: 0.5, 1: 0.5}
+        nu = {0: 0.75, 1: 0.25}
+        assert total_variation(mu, nu) == pytest.approx(0.25)
+
+    def test_disjoint_supports(self):
+        assert total_variation({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+
+    @given(mu=distributions, nu=distributions, rho=distributions)
+    @settings(max_examples=60, deadline=None)
+    def test_metric_properties(self, mu, nu, rho):
+        assert total_variation(mu, mu) == pytest.approx(0.0)
+        assert total_variation(mu, nu) == pytest.approx(total_variation(nu, mu))
+        assert 0 <= total_variation(mu, nu) <= 1 + 1e-12
+        assert total_variation(mu, rho) <= total_variation(mu, nu) + total_variation(nu, rho) + 1e-12
+
+
+class TestMultiplicativeError:
+    def test_matches_log_ratio(self):
+        mu = {0: 0.5, 1: 0.5}
+        nu = {0: 0.25, 1: 0.75}
+        assert multiplicative_error(mu, nu) == pytest.approx(math.log(2.0))
+
+    def test_zero_zero_convention(self):
+        mu = {0: 1.0, 1: 0.0}
+        nu = {0: 1.0, 1: 0.0}
+        assert multiplicative_error(mu, nu) == 0.0
+
+    def test_one_sided_zero_is_infinite(self):
+        assert math.isinf(multiplicative_error({0: 1.0, 1: 0.0}, {0: 0.5, 1: 0.5}))
+
+    @given(mu=distributions, nu=distributions)
+    @settings(max_examples=50, deadline=None)
+    def test_multiplicative_error_dominates_tv(self, mu, nu):
+        if set(mu) != set(nu):
+            return
+        error = multiplicative_error(mu, nu)
+        # Pinsker-style comparison: small multiplicative error forces small TV.
+        assert total_variation(mu, nu) <= (math.exp(error) - 1.0) / 2.0 + 1e-9
+
+
+class TestEmpiricalAndSampling:
+    def test_empirical_distribution_counts(self):
+        assert empirical_distribution(["a", "a", "b", "a"]) == {"a": 0.75, "b": 0.25}
+        with pytest.raises(ValueError):
+            empirical_distribution([])
+
+    def test_configuration_key_is_order_insensitive(self):
+        assert configuration_key({1: "x", 0: "y"}) == configuration_key({0: "y", 1: "x"})
+
+    def test_marginal_from_joint(self):
+        joint = {
+            configuration_key({0: 0, 1: 1}): 0.3,
+            configuration_key({0: 1, 1: 1}): 0.7,
+        }
+        assert marginal_from_joint(joint, 0) == {0: 0.3, 1: 0.7}
+        assert marginal_from_joint(joint, 1) == {1: 1.0}
+
+    def test_expectation(self):
+        distribution = {0: 0.25, 1: 0.75}
+        assert expectation(distribution, {0: 0.0, 1: 4.0}) == pytest.approx(3.0)
+
+    def test_hellinger_bounds(self):
+        assert hellinger_distance({0: 1.0}, {0: 1.0}) == pytest.approx(0.0)
+        assert hellinger_distance({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+
+    def test_sample_from_is_reproducible_and_supported(self):
+        distribution = {"a": 0.2, "b": 0.5, "c": 0.3}
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        draws_a = [sample_from(distribution, rng_a) for _ in range(20)]
+        draws_b = [sample_from(distribution, rng_b) for _ in range(20)]
+        assert draws_a == draws_b
+        assert set(draws_a) <= set(distribution)
+
+    def test_sample_from_follows_distribution(self):
+        distribution = {0: 0.8, 1: 0.2}
+        rng = np.random.default_rng(0)
+        draws = [sample_from(distribution, rng) for _ in range(3000)]
+        assert abs(draws.count(0) / 3000 - 0.8) < 0.05
+
+    def test_sample_from_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            sample_from({0: 0.0}, np.random.default_rng(0))

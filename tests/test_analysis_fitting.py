@@ -1,0 +1,72 @@
+"""Unit tests for the curve-fitting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_exponential_decay, fit_power_law, sample_complexity_for_tv
+from repro.analysis.fitting import fit_polylog_exponent
+
+
+class TestExponentialDecayFit:
+    def test_recovers_planted_rate(self):
+        alpha, constant = 0.6, 3.0
+        distances = list(range(1, 10))
+        errors = [constant * alpha ** d for d in distances]
+        fitted_alpha, fitted_constant = fit_exponential_decay(distances, errors)
+        assert fitted_alpha == pytest.approx(alpha, rel=1e-6)
+        assert fitted_constant == pytest.approx(constant, rel=1e-6)
+
+    def test_handles_zero_errors_via_floor(self):
+        fitted_alpha, _ = fit_exponential_decay([1, 2, 3, 4], [0.1, 0.01, 0.0, 0.0])
+        assert 0.0 < fitted_alpha < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential_decay([1, 2], [0.1])
+        with pytest.raises(ValueError):
+            fit_exponential_decay([1], [0.1])
+
+
+class TestPowerLawFit:
+    def test_recovers_planted_exponent(self):
+        sizes = [10, 20, 40, 80, 160]
+        costs = [2.5 * n ** 1.5 for n in sizes]
+        exponent, constant = fit_power_law(sizes, costs)
+        assert exponent == pytest.approx(1.5, rel=1e-6)
+        assert constant == pytest.approx(2.5, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+
+class TestPolylogFit:
+    def test_recovers_planted_log_exponent(self):
+        sizes = [2 ** k for k in range(4, 12)]
+        costs = [5.0 * math.log(n) ** 3 for n in sizes]
+        assert fit_polylog_exponent(sizes, costs) == pytest.approx(3.0, rel=1e-6)
+
+    def test_distinguishes_linear_from_polylog(self):
+        sizes = [2 ** k for k in range(4, 12)]
+        linear_costs = [0.5 * n for n in sizes]
+        polylog_costs = [10.0 * math.log(n) ** 2 for n in sizes]
+        assert fit_polylog_exponent(sizes, linear_costs) > 2 * fit_polylog_exponent(
+            sizes, polylog_costs
+        )
+
+
+class TestSampleComplexity:
+    def test_more_accuracy_needs_more_samples(self):
+        assert sample_complexity_for_tv(0.01, 4) > sample_complexity_for_tv(0.1, 4)
+
+    def test_more_outcomes_need_more_samples(self):
+        assert sample_complexity_for_tv(0.05, 32) > sample_complexity_for_tv(0.05, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_complexity_for_tv(0.0, 4)
+        with pytest.raises(ValueError):
+            sample_complexity_for_tv(0.1, 0)
+        with pytest.raises(ValueError):
+            sample_complexity_for_tv(0.1, 4, confidence=1.0)

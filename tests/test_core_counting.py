@@ -1,0 +1,84 @@
+"""Tests for global counting via the chain-rule decomposition."""
+
+import pytest
+
+from repro.core import estimate_partition_function, estimate_solution_count
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.inference import BoundaryPaddedInference, BoostedInference, ExactInference, correlation_decay_for
+from repro.models import coloring_model, hardcore_model, matching_model
+
+
+class TestChainRuleCounting:
+    def test_exact_oracle_recovers_partition_function(self):
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.3)
+        instance = SamplingInstance(distribution)
+        result = estimate_partition_function(instance, ExactInference())
+        assert result.estimate == pytest.approx(distribution.partition_function(), rel=1e-9)
+
+    def test_conditional_partition_function(self):
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        result = estimate_partition_function(instance, ExactInference())
+        assert result.estimate == pytest.approx(
+            distribution.partition_function({0: 1}), rel=1e-9
+        )
+
+    def test_counts_independent_sets_of_cycle(self):
+        distribution = hardcore_model(cycle_graph(7), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        # Lucas number L7 = 29 independent sets.
+        assert estimate_solution_count(instance, ExactInference()) == pytest.approx(29.0)
+
+    def test_counts_colorings(self):
+        distribution = coloring_model(cycle_graph(5), num_colors=3)
+        instance = SamplingInstance(distribution)
+        assert estimate_solution_count(instance, ExactInference()) == pytest.approx(30.0)
+
+    def test_approximate_engine_close_to_truth(self):
+        distribution = hardcore_model(cycle_graph(10), fugacity=0.8)
+        instance = SamplingInstance(distribution)
+        engine = BoostedInference(BoundaryPaddedInference(decay_rate=0.5))
+        result = estimate_partition_function(instance, engine, error=0.01)
+        truth = distribution.partition_function()
+        assert result.estimate == pytest.approx(truth, rel=0.15)
+
+    def test_correlation_decay_engine_on_matchings(self):
+        distribution = matching_model(path_graph(6), edge_weight=1.0)
+        instance = SamplingInstance(distribution)
+        engine = correlation_decay_for(distribution, decay_rate=0.4)
+        result = estimate_partition_function(instance, engine, error=0.01)
+        truth = distribution.partition_function()
+        assert result.estimate == pytest.approx(truth, rel=0.2)
+
+    def test_explicit_anchor_and_ordering(self):
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        anchor = {0: 0, 1: 0, 2: 0, 3: 0}
+        result = estimate_partition_function(
+            instance, ExactInference(), anchor=anchor, ordering=[3, 1, 0, 2]
+        )
+        assert result.anchor == anchor
+        assert result.estimate == pytest.approx(distribution.partition_function())
+
+    def test_invalid_anchor_rejected(self):
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        with pytest.raises(ValueError):
+            estimate_partition_function(
+                instance, ExactInference(), anchor={0: 1, 1: 1, 2: 0, 3: 0}
+            )
+        with pytest.raises(ValueError):
+            estimate_partition_function(
+                instance, ExactInference(), anchor={0: 0, 1: 0, 2: 0, 3: 0}
+            )
+        with pytest.raises(ValueError):
+            estimate_partition_function(instance, ExactInference(), anchor={0: 1})
+
+    def test_log_estimate_consistency(self):
+        import math
+
+        distribution = hardcore_model(cycle_graph(8), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        result = estimate_partition_function(instance, ExactInference())
+        assert math.exp(result.log_estimate) == pytest.approx(result.estimate)

@@ -1,0 +1,96 @@
+"""Tests for the theorem-level reduction functions."""
+
+import pytest
+
+from repro.analysis import multiplicative_error, total_variation
+from repro.core import (
+    boost_inference,
+    exact_sampling_from_inference,
+    inference_from_sampling,
+    inference_from_ssm,
+    sampling_from_inference,
+    ssm_rate_from_inference,
+)
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.inference import BoundaryPaddedInference, ExactInference, correlation_decay_for
+from repro.models import hardcore_model
+from repro.sampling.exact import ExactSampler
+
+
+class TestTheorem32:
+    def test_sampling_from_inference_local_and_slocal(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        engine = correlation_decay_for(distribution)
+        local = sampling_from_inference(instance, engine, 0.1, seed=1, local=True)
+        slocal = sampling_from_inference(instance, engine, 0.1, seed=1, local=False)
+        for result in (local, slocal):
+            assert distribution.weight(result.configuration) > 0
+            assert result.configuration[0] == 1
+        assert local.rounds > slocal.rounds
+
+
+class TestTheorem34:
+    def test_inference_from_sampling_matches_truth(self):
+        distribution = hardcore_model(path_graph(5), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+
+        def sampler(inner, error, seed):
+            return ExactSampler(inner, seed=seed).sample(), 1
+
+        engine = inference_from_sampling(sampler, num_samples=500, seed=0)
+        estimate = engine.marginal(instance, 2, 0.1)
+        truth = instance.target_marginal(2)
+        assert total_variation(estimate, truth) < 0.1
+
+
+class TestLemma41:
+    def test_boost_inference_controls_multiplicative_error(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=0.9)
+        instance = SamplingInstance(distribution, {0: 1})
+        boosted = boost_inference(BoundaryPaddedInference(decay_rate=0.5))
+        estimate = boosted.marginal(instance, 4, 0.2)
+        truth = instance.target_marginal(4)
+        assert multiplicative_error(estimate, truth) <= 0.2
+
+
+class TestTheorem42:
+    def test_exact_sampling_from_inference(self):
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        result = exact_sampling_from_inference(instance, ExactInference(), seed=0, local=False)
+        assert distribution.weight(result.configuration) > 0
+        local = exact_sampling_from_inference(instance, ExactInference(), seed=0, local=True)
+        assert local.rounds > result.rounds
+
+
+class TestTheorem51:
+    def test_ssm_rate_from_inference_is_monotone_in_radius(self):
+        distribution = hardcore_model(cycle_graph(16), fugacity=0.8)
+        instance = SamplingInstance(distribution)
+        engine = BoundaryPaddedInference(decay_rate=0.5)
+        wide = ssm_rate_from_inference(engine, instance, radius=20)
+        narrow = ssm_rate_from_inference(engine, instance, radius=6)
+        assert wide <= narrow
+        assert ssm_rate_from_inference(engine, instance, radius=0) == 1.0
+
+    def test_inference_from_ssm_meets_error(self):
+        distribution = hardcore_model(cycle_graph(10), fugacity=0.8)
+        instance = SamplingInstance(distribution, {0: 1})
+        engine = inference_from_ssm(decay_rate=0.5)
+        estimate = engine.marginal(instance, 5, 0.05)
+        truth = instance.target_marginal(5)
+        assert total_variation(estimate, truth) <= 0.05
+
+    def test_round_trip_inference_to_ssm_to_inference(self):
+        # Extract a rate from one engine, build a new engine from that rate,
+        # and check the new engine still meets its accuracy promise.
+        distribution = hardcore_model(cycle_graph(10), fugacity=0.5)
+        instance = SamplingInstance(distribution, {0: 1})
+        original = BoundaryPaddedInference(decay_rate=0.4)
+        implied_error = ssm_rate_from_inference(original, instance, radius=8)
+        rebuilt = inference_from_ssm(decay_rate=0.4)
+        estimate = rebuilt.marginal(instance, 5, max(implied_error, 0.05))
+        truth = instance.target_marginal(5)
+        assert total_variation(estimate, truth) <= max(implied_error, 0.05)

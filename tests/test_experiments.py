@@ -1,0 +1,116 @@
+"""Smoke and shape tests for the experiment modules (small configurations).
+
+The full-size experiments run under ``benchmarks/``; these tests run each
+experiment at a reduced size to guarantee the modules stay importable,
+executable and shape-correct as the library evolves.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    e01_reduction_sampling,
+    e02_reduction_inference,
+    e03_boosting,
+    e04_jvv,
+    e05_ssm_inference,
+    e06_hardcore_rounds,
+    e07_matching_rounds,
+    e08_phase_transition,
+    e09_coloring,
+    e10_ising,
+    e11_decomposition,
+    e12_baselines,
+)
+from repro.experiments.common import format_table, geometric_sizes
+
+
+class TestCommonHelpers:
+    def test_format_table_renders_all_rows(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "2.346" in text
+        assert text.count("\n") == 4
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_geometric_sizes(self):
+        sizes = geometric_sizes(8, 2.0, 4)
+        assert sizes == [8, 16, 32, 64]
+        assert geometric_sizes(3, 1.1, 3) == [3, 4, 5]
+        with pytest.raises(ValueError):
+            geometric_sizes(0, 2.0, 3)
+
+
+class TestExperimentSmoke:
+    def test_e01(self):
+        rows = e01_reduction_sampling.run(errors=(0.2,), samples_per_setting=15)
+        assert len(rows) == 2
+        assert all(row["rounds"] >= 1 for row in rows)
+
+    def test_e02(self):
+        rows = e02_reduction_inference.run(delta=0.1, num_samples=40, probes_per_model=2)
+        assert len(rows) == 4
+        assert all(0.0 <= row["marginal_tv"] <= 1.0 for row in rows)
+
+    def test_e03(self):
+        rows = e03_boosting.run(epsilons=(0.5,), probes_per_model=2)
+        assert len(rows) == 2
+        assert all(row["boosted_mult_err"] <= 0.5 + 1e-9 for row in rows)
+
+    def test_e04(self):
+        exactness = e04_jvv.run_exactness(sizes=(4,), target_accepted=30, max_runs=200)
+        assert exactness[0]["accepted"] >= 30
+        scaling = e04_jvv.run_failure_scaling(sizes=(4, 6), runs_per_size=10)
+        assert len(scaling) == 2
+        assert all(0.0 <= row["failure_rate"] <= 1.0 for row in scaling)
+
+    def test_e05(self):
+        rows = e05_ssm_inference.run(fugacities=(0.5, 4.0), cycle_size=10, radii=(1, 2, 3))
+        assert len(rows) == 2
+        assert rows[0]["radius_for_eps"] <= rows[1]["radius_for_eps"]
+
+    def test_e06(self):
+        rows = e06_hardcore_rounds.run(sizes=(8, 16))
+        assert len(rows) == 2
+        assert all(row["sample_feasible"] for row in rows)
+        exponent = e06_hardcore_rounds.fitted_exponent(rows, "inference_rounds")
+        assert exponent < 1.0
+
+    def test_e07(self):
+        rows = e07_matching_rounds.run(degrees=(2, 4), nodes_per_graph=10)
+        assert len(rows) == 2
+        assert rows[1]["inference_rounds"] >= rows[0]["inference_rounds"]
+        valid, rounds = e07_matching_rounds.sample_one_matching(degree=3, nodes=8, seed=1)
+        assert valid and rounds >= 1
+
+    def test_e08(self):
+        rows = e08_phase_transition.run(fugacity_ratios=(0.3, 3.0), depth=3)
+        assert len(rows) == 2
+        gap = e08_phase_transition.transition_gap(rows)
+        assert gap["min_influence_above"] >= gap["max_influence_below"] - 1e-9
+
+    def test_e09(self):
+        rows = e09_coloring.run(color_counts=(3, 4), degree=2, half_size=4, probes=2)
+        assert len(rows) == 2
+        assert all(row["sample_is_proper"] for row in rows)
+
+    def test_e10(self):
+        rows = e10_ising.run(interactions=(-0.1, -0.8), degree=3, nodes=8, depth=3, probes=2)
+        assert len(rows) == 2
+        assert rows[0]["uniqueness"] is True
+
+    def test_e11(self):
+        rows = e11_decomposition.run(sizes=(16, 32))
+        assert all(row["colors"] >= 1 for row in rows)
+        assert all(row["fallback_nodes"] <= row["n"] for row in rows)
+
+    def test_e12(self):
+        rows = e12_baselines.run(cycle_size=5, samples=40, glauber_rounds=(2, 20))
+        names = {row["sampler"] for row in rows}
+        assert "local-JVV (Thm 4.2)" in names
+        assert any(name.startswith("luby-glauber") for name in names)
+        assert all(0.0 <= row["tv_to_target"] <= 1.0 for row in rows)

@@ -1,0 +1,138 @@
+"""Failure-injection tests.
+
+The paper's algorithms are Las Vegas: failures must be locally certifiable
+and must not corrupt the output of the non-failed nodes.  These tests inject
+faults -- degenerate network decompositions, deliberately wrong inference
+engines, adversarial orderings -- and check that the failure machinery reacts
+the way the model requires (flags raised, exceptions for contract violations,
+no silent wrong answers).
+"""
+
+import pytest
+
+from repro.analysis import total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.inference import ExactInference
+from repro.inference.base import InferenceAlgorithm
+from repro.localmodel import Network, linial_saks_decomposition, simulate_slocal_as_local
+from repro.models import coloring_model, hardcore_model
+from repro.sampling import sample_approximate_slocal, sample_exact_slocal
+from repro.sampling.jvv import LocalJVVSampler
+from repro.sampling.sequential import SequentialSamplingAlgorithm
+
+
+class UniformGuessInference(InferenceAlgorithm):
+    """A deliberately wrong engine: always returns the uniform distribution."""
+
+    def locality(self, instance, error):
+        return 1
+
+    def marginal(self, instance, node, error):
+        if node in instance.pinning:
+            pinned = instance.pinning[node]
+            return {v: (1.0 if v == pinned else 0.0) for v in instance.alphabet}
+        q = len(instance.alphabet)
+        return {value: 1.0 / q for value in instance.alphabet}
+
+
+class ZeroEverywhereInference(InferenceAlgorithm):
+    """A broken engine that violates the positive-marginal contract."""
+
+    def locality(self, instance, error):
+        return 1
+
+    def marginal(self, instance, node, error):
+        return {value: 0.0 for value in instance.alphabet}
+
+
+class TestSchedulerFailureInjection:
+    def test_degenerate_decomposition_marks_every_node_failed(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        algorithm = SequentialSamplingAlgorithm(instance, ExactInference(), 0.1)
+        network = Network(instance.graph, seed=0)
+        locality = algorithm.locality(network)
+        from repro.graphs.structure import power_graph
+
+        degenerate = linial_saks_decomposition(
+            power_graph(network.graph, locality + 1), seed=0, max_phases=0
+        )
+        result = simulate_slocal_as_local(algorithm, network, seed=0, decomposition=degenerate)
+        # Every node is in a fallback cluster => every node carries the
+        # scheduling failure flag, yet the outputs that were produced are
+        # still a feasible configuration (failures are independent of outputs).
+        assert all(result.scheduling_failures.values())
+        assert not result.success
+        assert distribution.weight(result.outputs) > 0
+
+
+class TestSamplerFailureInjection:
+    def test_jvv_with_wrong_inference_flags_failures_not_crashes(self):
+        # The uniform-guess engine proposes infeasible values; the JVV passes
+        # must recover by flagging local failures while keeping the final
+        # configuration feasible (the rejection pass repairs the ball).
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        failures_seen = 0
+        for seed in range(12):
+            result = sample_exact_slocal(instance, UniformGuessInference(), seed=seed)
+            failures_seen += result.failure_count
+        assert failures_seen > 0
+
+    def test_jvv_with_zero_marginals_raises_clear_error(self):
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        with pytest.raises(RuntimeError):
+            sample_exact_slocal(instance, ZeroEverywhereInference(), seed=0)
+
+    def test_wrong_engine_biases_sequential_sampler_detectably(self):
+        # Sanity check that our statistical tests have teeth: the sampler
+        # driven by a deliberately wrong engine produces per-node marginals
+        # far from the target, unlike the correct engine.  At fugacity 0.1
+        # the true occupation probability is ~0.08 while the uniform-guess
+        # engine samples ~0.5, a gap far above the Monte-Carlo noise.
+        distribution = hardcore_model(path_graph(4), fugacity=0.1)
+        instance = SamplingInstance(distribution)
+        truth = instance.target_marginal(1)
+        runs = 150
+        wrong_counts = {0: 0, 1: 0}
+        for seed in range(runs):
+            result = sample_approximate_slocal(instance, UniformGuessInference(), 0.05, seed=seed)
+            wrong_counts[result.configuration[1]] += 1
+        wrong_marginal = {v: c / runs for v, c in wrong_counts.items()}
+        assert total_variation(wrong_marginal, truth) > 0.2
+
+    def test_jvv_rejection_search_budget_exhaustion_is_a_local_failure(self):
+        # Force the rejection pass's candidate search to give up immediately:
+        # the node must flag a failure rather than loop or crash.
+        distribution = coloring_model(cycle_graph(5), num_colors=3)
+        instance = SamplingInstance(distribution)
+        algorithm = LocalJVVSampler(
+            instance, UniformGuessInference(), max_rejection_candidates=0
+        )
+        from repro.localmodel import run_slocal_algorithm
+
+        network = Network(instance.graph, seed=1)
+        result = run_slocal_algorithm(algorithm, network)
+        assert any(result.failures.values())
+
+
+class TestAdversarialOrderings:
+    def test_sequential_sampler_is_exact_for_every_ordering(self):
+        # With an exact oracle the sampler is exact regardless of the
+        # adversarial ordering; check a node marginal under two very
+        # different orderings.
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.5)
+        instance = SamplingInstance(distribution)
+        truth = instance.target_marginal(3)
+        for ordering in ([0, 1, 2, 3, 4, 5], [5, 3, 1, 4, 2, 0]):
+            counts = {0: 0, 1: 0}
+            runs = 200
+            for seed in range(runs):
+                result = sample_approximate_slocal(
+                    instance, ExactInference(), 0.01, seed=seed, ordering=ordering
+                )
+                counts[result.configuration[3]] += 1
+            empirical = {v: c / runs for v, c in counts.items()}
+            assert total_variation(empirical, truth) < 0.12

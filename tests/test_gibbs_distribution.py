@@ -1,0 +1,186 @@
+"""Unit and property tests for GibbsDistribution."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gibbs import Factor, GibbsDistribution, Pinning
+from repro.graphs import cycle_graph, path_graph
+from repro.models import coloring_model, hardcore_model, two_spin_model
+from tests.conftest import brute_force_marginal, brute_force_partition_function
+
+
+class TestConstruction:
+    def test_rejects_empty_alphabet(self):
+        with pytest.raises(ValueError):
+            GibbsDistribution(path_graph(2), alphabet=(), factors=())
+
+    def test_rejects_duplicate_alphabet(self):
+        with pytest.raises(ValueError):
+            GibbsDistribution(path_graph(2), alphabet=(0, 0), factors=())
+
+    def test_rejects_factor_outside_graph(self):
+        bad = Factor((7,), lambda a: 1.0)
+        with pytest.raises(ValueError):
+            GibbsDistribution(path_graph(2), alphabet=(0, 1), factors=(bad,))
+
+    def test_basic_properties(self, hardcore_cycle):
+        assert hardcore_cycle.size == 6
+        assert hardcore_cycle.alphabet_size == 2
+        assert hardcore_cycle.max_degree() == 2
+        assert hardcore_cycle.locality() == 1
+        assert hardcore_cycle.metadata["model"] == "hardcore"
+
+    def test_factors_at_and_within(self, hardcore_cycle):
+        at_zero = hardcore_cycle.factors_at(0)
+        assert len(at_zero) == 3  # one vertex activity + two edge constraints
+        inside = hardcore_cycle.factors_within({0, 1})
+        assert len(inside) == 3  # activities of 0 and 1, plus the edge (0, 1)
+
+
+class TestWeightsAndProbabilities:
+    def test_weight_and_log_weight(self, hardcore_cycle):
+        empty = {node: 0 for node in hardcore_cycle.nodes}
+        assert hardcore_cycle.weight(empty) == pytest.approx(1.0)
+        occupied_zero = dict(empty)
+        occupied_zero[0] = 1
+        assert hardcore_cycle.weight(occupied_zero) == pytest.approx(0.8)
+        assert hardcore_cycle.log_weight(occupied_zero) == pytest.approx(math.log(0.8))
+
+    def test_infeasible_weight_is_zero(self, hardcore_cycle):
+        config = {node: 0 for node in hardcore_cycle.nodes}
+        config[0] = 1
+        config[1] = 1
+        assert hardcore_cycle.weight(config) == 0.0
+        assert hardcore_cycle.log_weight(config) == float("-inf")
+
+    def test_missing_node_rejected(self, hardcore_cycle):
+        with pytest.raises(ValueError):
+            hardcore_cycle.weight({0: 1})
+
+    def test_partition_function_matches_enumeration(self, hardcore_cycle):
+        assert hardcore_cycle.partition_function() == pytest.approx(
+            brute_force_partition_function(hardcore_cycle)
+        )
+
+    def test_probability_normalisation(self, hardcore_path):
+        total = sum(
+            hardcore_path.probability(config) for config in hardcore_path.support()
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_probability_respects_pinning(self, hardcore_cycle):
+        config = {node: 0 for node in hardcore_cycle.nodes}
+        assert hardcore_cycle.probability(config, {0: 1}) == 0.0
+
+    def test_probability_infeasible_pinning_raises(self, hardcore_cycle):
+        config = {node: 0 for node in hardcore_cycle.nodes}
+        with pytest.raises(ValueError):
+            hardcore_cycle.probability(config, {0: 1, 1: 1})
+
+    def test_weight_within_ball(self, hardcore_cycle):
+        config = {0: 1, 1: 0, 2: 1}
+        weight = hardcore_cycle.weight_within({0, 1, 2}, config)
+        assert weight == pytest.approx(0.8 * 0.8)
+
+
+class TestMarginals:
+    def test_marginal_matches_enumeration(self, hardcore_cycle):
+        expected = brute_force_marginal(hardcore_cycle, 2, {0: 1})
+        computed = hardcore_cycle.marginal(2, {0: 1})
+        for value in hardcore_cycle.alphabet:
+            assert computed[value] == pytest.approx(expected[value])
+
+    def test_joint_marginal_sums_to_one(self, coloring_cycle):
+        joint = coloring_cycle.joint_marginal((0, 2))
+        assert sum(joint.values()) == pytest.approx(1.0)
+
+    def test_joint_marginal_consistency_with_single(self, hardcore_path):
+        joint = hardcore_path.joint_marginal((0, 2))
+        single = hardcore_path.marginal(0)
+        collapsed = {}
+        for (value0, _), probability in joint.items():
+            collapsed[value0] = collapsed.get(value0, 0.0) + probability
+        for value in hardcore_path.alphabet:
+            assert collapsed[value] == pytest.approx(single[value])
+
+    def test_joint_marginal_with_pinned_member(self, hardcore_path):
+        joint = hardcore_path.joint_marginal((0, 1), {0: 0})
+        assert all(key[0] == 0 for key, p in joint.items() if p > 0)
+
+    def test_conditional_independence_across_separator(self, hardcore_path):
+        # On the path 0-1-2-3-4, pinning node 2 separates {0,1} from {3,4}
+        # (Proposition 2.1).
+        pinning = {2: 0}
+        joint = hardcore_path.joint_marginal((0, 4), pinning)
+        left = hardcore_path.marginal(0, pinning)
+        right = hardcore_path.marginal(4, pinning)
+        for (value0, value4), probability in joint.items():
+            assert probability == pytest.approx(left[value0] * right[value4], abs=1e-9)
+
+
+class TestFeasibility:
+    def test_feasible_and_locally_feasible(self, hardcore_cycle):
+        assert hardcore_cycle.is_feasible({0: 1, 2: 1})
+        assert not hardcore_cycle.is_feasible({0: 1, 1: 1})
+        assert hardcore_cycle.is_locally_feasible({0: 1, 2: 1})
+        assert not hardcore_cycle.is_locally_feasible({0: 1, 1: 1})
+
+    def test_hardcore_is_locally_admissible(self):
+        distribution = hardcore_model(cycle_graph(4), fugacity=1.0)
+        assert distribution.is_locally_admissible()
+
+    def test_coloring_with_too_few_colors_not_locally_admissible(self):
+        # 2-coloring a 4-path: pinning the two ends of an odd-length segment
+        # to alternating-incompatible colors is locally feasible but
+        # infeasible.
+        distribution = coloring_model(path_graph(4), num_colors=2)
+        assert distribution.is_locally_admissible() is False
+
+    def test_coloring_with_enough_colors_locally_admissible_small(self):
+        distribution = coloring_model(path_graph(4), num_colors=3)
+        assert distribution.is_locally_admissible(max_subset_size=3)
+
+    def test_pinning_validation(self, hardcore_cycle):
+        with pytest.raises(ValueError):
+            hardcore_cycle.partition_function({99: 1})
+        with pytest.raises(ValueError):
+            hardcore_cycle.partition_function({0: 7})
+
+
+class TestSupport:
+    def test_support_counts_independent_sets(self):
+        distribution = hardcore_model(cycle_graph(5), fugacity=1.0)
+        # Independent sets of C5: Lucas number L5 = 11.
+        assert sum(1 for _ in distribution.support()) == 11
+
+    def test_support_respects_pinning(self, hardcore_cycle):
+        for configuration in hardcore_cycle.support({0: 1}):
+            assert configuration[0] == 1
+            assert configuration[1] == 0 and configuration[5] == 0
+
+
+class TestDistributionProperties:
+    @given(fugacity=st.floats(min_value=0.2, max_value=2.5), n=st.integers(min_value=3, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_chain_rule(self, fugacity, n):
+        """mu(sigma) factorises into conditional marginals along any order."""
+        distribution = hardcore_model(cycle_graph(n), fugacity=fugacity)
+        configuration = {node: 0 for node in distribution.nodes}
+        configuration[0] = 1
+        probability = distribution.probability(configuration)
+        product = 1.0
+        pinning = Pinning.empty()
+        for node in distribution.nodes:
+            marginal = distribution.marginal(node, pinning)
+            product *= marginal[configuration[node]]
+            pinning = pinning.extend(node, configuration[node])
+        assert probability == pytest.approx(product, rel=1e-8)
+
+    @given(beta=st.floats(0.2, 1.5), gamma=st.floats(0.2, 1.5))
+    @settings(max_examples=15, deadline=None)
+    def test_soft_models_have_full_support(self, beta, gamma):
+        distribution = two_spin_model(path_graph(4), beta=beta, gamma=gamma, field=1.0)
+        assert sum(1 for _ in distribution.support()) == 2 ** 4

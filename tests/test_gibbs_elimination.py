@@ -1,0 +1,168 @@
+"""Property tests: variable elimination agrees with brute-force enumeration."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gibbs import eliminate_marginal, eliminate_partition_function
+from repro.gibbs.elimination import factor_tables_from
+from repro.models import coloring_model, hardcore_model, two_spin_model
+from repro.graphs import cycle_graph, path_graph, star_graph
+from tests.conftest import brute_force_marginal, brute_force_partition_function
+
+
+def _tables(distribution):
+    return factor_tables_from(distribution.factors, distribution.alphabet)
+
+
+class TestPartitionFunction:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7])
+    def test_hardcore_path_matches_fibonacci(self, n):
+        # With fugacity 1, the number of independent sets of a path P_n is
+        # the Fibonacci number F(n + 2).
+        distribution = hardcore_model(path_graph(n), fugacity=1.0)
+        fib = [1, 1]
+        while len(fib) < n + 3:
+            fib.append(fib[-1] + fib[-2])
+        z = eliminate_partition_function(
+            _tables(distribution), distribution.nodes, distribution.alphabet, {}
+        )
+        assert z == pytest.approx(fib[n + 1])
+
+    def test_coloring_cycle_chromatic_polynomial(self):
+        # Proper q-colorings of a cycle C_n: (q-1)^n + (-1)^n (q-1).
+        distribution = coloring_model(cycle_graph(5), num_colors=3)
+        z = eliminate_partition_function(
+            _tables(distribution), distribution.nodes, distribution.alphabet, {}
+        )
+        assert z == pytest.approx((3 - 1) ** 5 + (-1) ** 5 * (3 - 1))
+
+    def test_conditional_partition_function(self):
+        distribution = hardcore_model(cycle_graph(5), fugacity=2.0)
+        z_conditional = eliminate_partition_function(
+            _tables(distribution), distribution.nodes, distribution.alphabet, {0: 1}
+        )
+        assert z_conditional == pytest.approx(
+            brute_force_partition_function(distribution, {0: 1})
+        )
+
+    def test_infeasible_pinning_gives_zero(self):
+        distribution = hardcore_model(path_graph(3), fugacity=1.0)
+        z = eliminate_partition_function(
+            _tables(distribution), distribution.nodes, distribution.alphabet, {0: 1, 1: 1}
+        )
+        assert z == 0.0
+
+    def test_node_without_factors_counts_alphabet(self):
+        # A lone factorless node multiplies Z by the alphabet size.
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        distribution = hardcore_model(graph, fugacity=1.0)
+        # Remove the vertex factor of node 2 to make it truly factorless.
+        factors = [f for f in distribution.factors if 2 not in f.scope]
+        z = eliminate_partition_function(
+            factor_tables_from(factors, distribution.alphabet),
+            distribution.nodes,
+            distribution.alphabet,
+            {},
+        )
+        assert z == pytest.approx(3 * 2)
+
+
+class TestMarginals:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda g: hardcore_model(g, fugacity=0.7),
+            lambda g: two_spin_model(g, beta=0.5, gamma=1.4, field=0.9),
+            lambda g: coloring_model(g, num_colors=3),
+        ],
+    )
+    @pytest.mark.parametrize("graph_factory", [lambda: path_graph(5), lambda: cycle_graph(5), lambda: star_graph(4)])
+    def test_marginal_matches_brute_force(self, factory, graph_factory):
+        distribution = factory(graph_factory())
+        for node in list(distribution.nodes)[:3]:
+            expected = brute_force_marginal(distribution, node)
+            computed = eliminate_marginal(
+                _tables(distribution), distribution.nodes, distribution.alphabet, {}, node
+            )
+            for value in distribution.alphabet:
+                assert computed[value] == pytest.approx(expected[value], abs=1e-9)
+
+    def test_marginal_with_pinning(self):
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.3)
+        pinning = {0: 1, 3: 0}
+        expected = brute_force_marginal(distribution, 2, pinning)
+        computed = eliminate_marginal(
+            _tables(distribution), distribution.nodes, distribution.alphabet, pinning, 2
+        )
+        for value in distribution.alphabet:
+            assert computed[value] == pytest.approx(expected[value], abs=1e-9)
+
+    def test_marginal_of_pinned_node_is_point_mass(self):
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        computed = eliminate_marginal(
+            _tables(distribution), distribution.nodes, distribution.alphabet, {1: 0}, 1
+        )
+        assert computed == {0: 1.0, 1: 0.0}
+
+    def test_marginal_infeasible_pinning_raises(self):
+        distribution = hardcore_model(path_graph(3), fugacity=1.0)
+        with pytest.raises(ValueError):
+            eliminate_marginal(
+                _tables(distribution),
+                distribution.nodes,
+                distribution.alphabet,
+                {0: 1, 1: 1},
+                2,
+            )
+
+    def test_marginal_unknown_node_raises(self):
+        distribution = hardcore_model(path_graph(3), fugacity=1.0)
+        with pytest.raises(ValueError):
+            eliminate_marginal(
+                _tables(distribution), distribution.nodes, distribution.alphabet, {}, 99
+            )
+
+
+class TestEliminationProperties:
+    @given(
+        fugacity=st.floats(min_value=0.1, max_value=3.0),
+        n=st.integers(min_value=3, max_value=7),
+        pin_bits=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hardcore_cycle_elimination_equals_enumeration(self, fugacity, n, pin_bits):
+        distribution = hardcore_model(cycle_graph(n), fugacity=fugacity)
+        # Derive a (possibly infeasible) pinning from the random bits and
+        # keep only feasible ones.
+        pinning = {}
+        if pin_bits & 1:
+            pinning[0] = 1
+        if pin_bits & 2:
+            pinning[2] = 0
+        expected = brute_force_partition_function(distribution, pinning)
+        computed = eliminate_partition_function(
+            _tables(distribution), distribution.nodes, distribution.alphabet, pinning
+        )
+        assert computed == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        beta=st.floats(min_value=0.1, max_value=2.0),
+        gamma=st.floats(min_value=0.1, max_value=2.0),
+        field=st.floats(min_value=0.2, max_value=2.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_two_spin_marginals_sum_to_one(self, beta, gamma, field):
+        distribution = two_spin_model(path_graph(5), beta=beta, gamma=gamma, field=field)
+        marginal = eliminate_marginal(
+            _tables(distribution), distribution.nodes, distribution.alphabet, {}, 2
+        )
+        assert sum(marginal.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in marginal.values())

@@ -1,0 +1,67 @@
+"""Unit tests for constraints/factors."""
+
+import pytest
+
+from repro.gibbs import Factor
+from repro.graphs import cycle_graph, path_graph
+
+
+class TestFactorBasics:
+    def test_evaluate_by_assignment_and_values(self):
+        factor = Factor((0, 1), lambda a, b: 0.0 if a == b else 2.0)
+        assert factor.evaluate({0: 1, 1: 1}) == 0.0
+        assert factor.evaluate({0: 0, 1: 1, 5: 9}) == 2.0
+        assert factor.evaluate_values((0, 1)) == 2.0
+
+    def test_scope_validation(self):
+        with pytest.raises(ValueError):
+            Factor((), lambda: 1.0)
+        with pytest.raises(ValueError):
+            Factor((0, 0), lambda a, b: 1.0)
+
+    def test_negative_weight_rejected(self):
+        factor = Factor((0,), lambda a: -1.0)
+        with pytest.raises(ValueError):
+            factor.evaluate({0: 1})
+
+    def test_from_table_with_default(self):
+        factor = Factor.from_table((0, 1), {(0, 1): 3.0, (1, 0): 3.0}, default=0.5)
+        assert factor.evaluate_values((0, 1)) == 3.0
+        assert factor.evaluate_values((0, 0)) == 0.5
+
+    def test_is_satisfied(self):
+        factor = Factor((0, 1), lambda a, b: float(a != b))
+        assert factor.is_satisfied({0: 0, 1: 1})
+        assert not factor.is_satisfied({0: 1, 1: 1})
+
+    def test_evaluation_cache_consistency(self):
+        calls = []
+
+        def weigher(a):
+            calls.append(a)
+            return 1.0 + a
+
+        factor = Factor((0,), weigher)
+        assert factor.evaluate({0: 2}) == 3.0
+        assert factor.evaluate({0: 2}) == 3.0
+        assert calls == [2]
+
+
+class TestHardSoftAndLocality:
+    def test_is_hard(self):
+        hard = Factor((0, 1), lambda a, b: float(not (a == 1 and b == 1)))
+        soft = Factor((0, 1), lambda a, b: 1.0 + a + b)
+        assert hard.is_hard((0, 1))
+        assert not soft.is_hard((0, 1))
+
+    def test_scope_diameter_unary_is_zero(self):
+        factor = Factor((3,), lambda a: 1.0)
+        assert factor.scope_diameter(path_graph(5)) == 0
+
+    def test_scope_diameter_edge_is_one(self):
+        factor = Factor((0, 1), lambda a, b: 1.0)
+        assert factor.scope_diameter(cycle_graph(5)) == 1
+
+    def test_scope_diameter_distant_nodes(self):
+        factor = Factor((0, 3), lambda a, b: 1.0)
+        assert factor.scope_diameter(path_graph(5)) == 3

@@ -1,0 +1,54 @@
+"""Unit tests for SamplingInstance (the (G, x, tau) objects)."""
+
+import pytest
+
+from repro.gibbs import Pinning, SamplingInstance
+from repro.models import hardcore_model
+from repro.graphs import cycle_graph
+
+
+class TestSamplingInstance:
+    def test_basic_accessors(self, pinned_hardcore_instance):
+        instance = pinned_hardcore_instance
+        assert instance.size == 6
+        assert set(instance.alphabet) == {0, 1}
+        assert 0 not in instance.free_nodes
+        assert 3 not in instance.free_nodes
+        assert len(instance.free_nodes) == 4
+
+    def test_feasibility_check_on_construction(self, hardcore_cycle):
+        with pytest.raises(ValueError):
+            SamplingInstance(hardcore_cycle, {0: 1, 1: 1}, check_feasible=True)
+        # Without the flag the constructor accepts it (lazy validation).
+        SamplingInstance(hardcore_cycle, {0: 1, 1: 1})
+
+    def test_conditioned_is_self_reduction(self, hardcore_instance):
+        conditioned = hardcore_instance.conditioned({0: 1})
+        assert conditioned.pinning == Pinning({0: 1})
+        twice = conditioned.conditioned({2: 0})
+        assert dict(twice.pinning) == {0: 1, 2: 0}
+        # The original instance is unchanged (pinning objects are immutable).
+        assert len(hardcore_instance.pinning) == 0
+
+    def test_conditioned_conflict_rejected(self, pinned_hardcore_instance):
+        with pytest.raises(ValueError):
+            pinned_hardcore_instance.conditioned({0: 0})
+
+    def test_target_marginal_respects_pinning(self, pinned_hardcore_instance):
+        # Node 1 neighbours the occupied node 0, so it must be empty.
+        marginal = pinned_hardcore_instance.target_marginal(1)
+        assert marginal[0] == pytest.approx(1.0)
+
+    def test_target_probability(self, hardcore_instance):
+        configuration = {node: 0 for node in hardcore_instance.distribution.nodes}
+        expected = 1.0 / hardcore_instance.distribution.partition_function()
+        assert hardcore_instance.target_probability(configuration) == pytest.approx(expected)
+
+    def test_is_feasible_extension(self, pinned_hardcore_instance):
+        assert pinned_hardcore_instance.is_feasible_extension({2: 1})
+        assert not pinned_hardcore_instance.is_feasible_extension({1: 1})
+
+    def test_full_configuration_merges_pinning(self, pinned_hardcore_instance):
+        full = pinned_hardcore_instance.full_configuration({1: 0, 2: 0, 4: 0, 5: 0})
+        assert full[0] == 1 and full[3] == 0
+        assert len(full) == 6

@@ -1,0 +1,91 @@
+"""Unit and property tests for pinnings (partial configurations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gibbs import Pinning
+
+small_assignments = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=8),
+    values=st.integers(min_value=0, max_value=3),
+    max_size=6,
+)
+
+
+class TestPinningBasics:
+    def test_empty(self):
+        pinning = Pinning.empty()
+        assert len(pinning) == 0
+        assert pinning.domain == frozenset()
+
+    def test_mapping_protocol(self):
+        pinning = Pinning({1: "a", 2: "b"})
+        assert pinning[1] == "a"
+        assert 2 in pinning
+        assert set(pinning) == {1, 2}
+        assert dict(pinning) == {1: "a", 2: "b"}
+
+    def test_extend_new_node(self):
+        pinning = Pinning({0: 1}).extend(1, 0)
+        assert dict(pinning) == {0: 1, 1: 0}
+
+    def test_extend_conflicting_value_rejected(self):
+        with pytest.raises(ValueError):
+            Pinning({0: 1}).extend(0, 0)
+
+    def test_extend_same_value_is_noop(self):
+        pinning = Pinning({0: 1}).extend(0, 1)
+        assert dict(pinning) == {0: 1}
+
+    def test_union_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            Pinning({0: 1}).union({0: 2})
+
+    def test_restrict_and_drop(self):
+        pinning = Pinning({0: 1, 1: 2, 2: 3})
+        assert dict(pinning.restrict({0, 2})) == {0: 1, 2: 3}
+        assert dict(pinning.drop({0, 2})) == {1: 2}
+
+    def test_difference_domain(self):
+        first = Pinning({0: 1, 1: 1, 2: 0})
+        second = {0: 1, 1: 0, 3: 1}
+        assert first.difference_domain(second) == frozenset({1})
+
+    def test_equality_and_hash(self):
+        assert Pinning({0: 1}) == Pinning({0: 1})
+        assert Pinning({0: 1}) == {0: 1}
+        assert hash(Pinning({0: 1})) == hash(Pinning({0: 1}))
+
+
+class TestPinningProperties:
+    @given(first=small_assignments, second=small_assignments)
+    @settings(max_examples=60, deadline=None)
+    def test_union_is_superset_when_compatible(self, first, second):
+        compatible = all(first[k] == second[k] for k in set(first) & set(second))
+        if not compatible:
+            with pytest.raises(ValueError):
+                Pinning(first).union(second)
+            return
+        union = Pinning(first).union(second)
+        assert set(union) == set(first) | set(second)
+        assert union.agrees_with(first)
+        assert union.agrees_with(second)
+
+    @given(assignment=small_assignments, keep=st.sets(st.integers(0, 8), max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_drop_partition(self, assignment, keep):
+        pinning = Pinning(assignment)
+        restricted = pinning.restrict(keep)
+        dropped = pinning.drop(keep)
+        merged = dict(restricted)
+        merged.update(dict(dropped))
+        assert merged == assignment
+
+    @given(assignment=small_assignments)
+    @settings(max_examples=60, deadline=None)
+    def test_pinning_is_immutable_copy(self, assignment):
+        pinning = Pinning(assignment)
+        as_dict = pinning.as_dict()
+        as_dict[99] = 7
+        assert 99 not in pinning

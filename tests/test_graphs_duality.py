@@ -1,0 +1,80 @@
+"""Unit tests for the line-graph and hypergraph dualities."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    Hypergraph,
+    cycle_graph,
+    hypergraph_dual_graph,
+    line_graph_with_map,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.duality import matching_to_line_graph_configuration
+
+
+class TestLineGraph:
+    def test_line_graph_of_path(self):
+        line, mapping = line_graph_with_map(path_graph(4))
+        assert line.number_of_nodes() == 3
+        assert line.number_of_edges() == 2
+        assert set(mapping.values()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_line_graph_of_cycle_is_cycle(self):
+        line, _ = line_graph_with_map(cycle_graph(5))
+        assert line.number_of_nodes() == 5
+        assert line.number_of_edges() == 5
+        assert nx.is_isomorphic(line, cycle_graph(5))
+
+    def test_line_graph_of_star_is_complete(self):
+        line, _ = line_graph_with_map(star_graph(4))
+        assert line.number_of_edges() == 6
+
+    def test_matching_translation_round_trip(self):
+        graph = path_graph(5)
+        configuration = matching_to_line_graph_configuration(graph, [(0, 1), (2, 3)])
+        assert sum(configuration.values()) == 2
+
+    def test_matching_translation_rejects_non_edges(self):
+        with pytest.raises(ValueError):
+            matching_to_line_graph_configuration(path_graph(4), [(0, 3)])
+
+
+class TestHypergraph:
+    def test_rank_and_degree(self):
+        hypergraph = Hypergraph(
+            vertices=[0, 1, 2, 3, 4],
+            hyperedges=[frozenset({0, 1, 2}), frozenset({2, 3}), frozenset({3, 4})],
+        )
+        assert hypergraph.rank == 3
+        assert hypergraph.max_degree == 2
+
+    def test_empty_hyperedge_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(vertices=[0, 1], hyperedges=[frozenset()])
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph(vertices=[0, 1], hyperedges=[frozenset({0, 5})])
+
+    def test_from_graph(self):
+        hypergraph = Hypergraph.from_graph(cycle_graph(4))
+        assert hypergraph.rank == 2
+        assert len(hypergraph.hyperedges) == 4
+
+    def test_random_regular_hypergraph(self):
+        hypergraph = Hypergraph.random_regular(10, rank=3, num_edges=5, seed=1)
+        assert all(len(edge) == 3 for edge in hypergraph.hyperedges)
+        assert len(hypergraph.hyperedges) == 5
+
+    def test_dual_graph_adjacency(self):
+        hypergraph = Hypergraph(
+            vertices=[0, 1, 2, 3, 4],
+            hyperedges=[frozenset({0, 1}), frozenset({1, 2}), frozenset({3, 4})],
+        )
+        dual, mapping = hypergraph_dual_graph(hypergraph)
+        assert dual.number_of_nodes() == 3
+        assert dual.has_edge(0, 1)
+        assert not dual.has_edge(0, 2)
+        assert mapping[2] == frozenset({3, 4})

@@ -1,0 +1,106 @@
+"""Unit tests for the reproducible graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    is_triangle_free,
+    path_graph,
+    random_bipartite_regular_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.generators import all_connected_graphs
+
+
+class TestDeterministicGenerators:
+    def test_path_and_cycle_sizes(self):
+        assert path_graph(5).number_of_edges() == 4
+        assert cycle_graph(5).number_of_edges() == 5
+
+    def test_cycle_requires_three_nodes(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star_and_complete(self):
+        assert star_graph(4).number_of_edges() == 4
+        assert complete_graph(4).number_of_edges() == 6
+
+    def test_grid_and_torus_degrees(self):
+        grid = grid_graph(3, 4)
+        assert grid.number_of_nodes() == 12
+        torus = torus_graph(3, 3)
+        assert all(degree == 4 for _, degree in torus.degree())
+
+    def test_torus_minimum_size(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+
+class TestRandomGenerators:
+    def test_random_tree_is_a_tree(self):
+        tree = random_tree(12, seed=3)
+        assert nx.is_tree(tree)
+        assert tree.number_of_nodes() == 12
+
+    def test_random_tree_reproducible(self):
+        assert set(random_tree(10, seed=5).edges()) == set(random_tree(10, seed=5).edges())
+
+    def test_random_regular_graph_degrees(self):
+        graph = random_regular_graph(3, 10, seed=1)
+        assert all(degree == 3 for _, degree in graph.degree())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(3, 5, seed=0)
+
+    def test_erdos_renyi_bounds(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=7)
+        assert graph.number_of_nodes() == 20
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_bipartite_regular_graph(self):
+        graph = random_bipartite_regular_graph(3, 6, seed=2)
+        assert graph.number_of_nodes() == 12
+        assert all(degree == 3 for _, degree in graph.degree())
+        assert is_triangle_free(graph)
+
+    def test_bipartite_regular_invalid_degree(self):
+        with pytest.raises(ValueError):
+            random_bipartite_regular_graph(7, 6)
+
+
+class TestTriangleFree:
+    def test_cycle_parity(self):
+        assert is_triangle_free(cycle_graph(4))
+        assert not is_triangle_free(cycle_graph(3))
+
+    def test_complete_graph_has_triangles(self):
+        assert not is_triangle_free(complete_graph(4))
+
+    def test_trees_are_triangle_free(self):
+        assert is_triangle_free(random_tree(15, seed=0))
+
+
+class TestExhaustiveEnumeration:
+    def test_connected_graph_counts(self):
+        # Known counts of connected labelled graphs on n nodes: 1, 1, 4, 38.
+        assert sum(1 for _ in all_connected_graphs(1)) == 1
+        assert sum(1 for _ in all_connected_graphs(2)) == 1
+        assert sum(1 for _ in all_connected_graphs(3)) == 4
+        assert sum(1 for _ in all_connected_graphs(4)) == 38
+
+    def test_enumeration_size_limit(self):
+        with pytest.raises(ValueError):
+            list(all_connected_graphs(6))

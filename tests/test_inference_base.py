@@ -1,0 +1,72 @@
+"""Tests for the shared inference interface helpers (ball restriction)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph, random_tree
+from repro.inference.base import ball_instance, marginal_in_ball
+from repro.models import hardcore_model
+
+
+class TestBallInstance:
+    def test_contains_only_ball_factors(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1, 4: 0})
+        nodes, tables, pinning = ball_instance(instance, 0, 1)
+        assert nodes == {7, 0, 1}
+        # Factors: three vertex activities + the two edges inside the ball.
+        assert len(tables) == 5
+        assert pinning == {0: 1}
+
+    def test_radius_zero(self):
+        distribution = hardcore_model(path_graph(5), fugacity=2.0)
+        instance = SamplingInstance(distribution)
+        nodes, tables, pinning = ball_instance(instance, 2, 0)
+        assert nodes == {2}
+        assert len(tables) == 1
+        assert pinning == {}
+
+    def test_whole_graph_ball_recovers_instance(self):
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        nodes, tables, _ = ball_instance(instance, 0, 6)
+        assert nodes == set(distribution.graph.nodes())
+        assert len(tables) == len(distribution.factors)
+
+
+class TestMarginalInBall:
+    def test_full_ball_matches_exact(self):
+        distribution = hardcore_model(cycle_graph(7), fugacity=1.3)
+        instance = SamplingInstance(distribution, {0: 1})
+        for node in (2, 3, 5):
+            local = marginal_in_ball(instance, node, 7)
+            exact = instance.target_marginal(node)
+            assert total_variation(local, exact) < 1e-9
+
+    def test_extra_pinning_is_applied(self):
+        distribution = hardcore_model(path_graph(5), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        pinned = marginal_in_ball(instance, 2, 1, extra_pinning={1: 1})
+        assert pinned[1] == pytest.approx(0.0)
+
+    def test_extra_pinning_outside_ball_is_ignored(self):
+        distribution = hardcore_model(path_graph(7), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        with_far_pin = marginal_in_ball(instance, 0, 1, extra_pinning={6: 1})
+        without = marginal_in_ball(instance, 0, 1)
+        assert with_far_pin == without
+
+    @given(seed=st.integers(0, 50), radius=st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_ball_marginal_error_shrinks_with_radius_on_trees(self, seed, radius):
+        tree = random_tree(12, seed=seed)
+        distribution = hardcore_model(tree, fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        node = 5
+        exact = instance.target_marginal(node)
+        small = total_variation(marginal_in_ball(instance, node, radius), exact)
+        large = total_variation(marginal_in_ball(instance, node, radius + 2), exact)
+        assert large <= small + 1e-9

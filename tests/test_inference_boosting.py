@@ -1,0 +1,81 @@
+"""Tests for the boosting lemma (Lemma 4.1)."""
+
+import pytest
+
+from repro.analysis import multiplicative_error, total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.inference import (
+    BoostedInference,
+    BoundaryPaddedInference,
+    ExactInference,
+    TwoSpinCorrelationDecayInference,
+    correlation_decay_for,
+)
+from repro.models import coloring_model, hardcore_model
+
+
+class TestBoostedInference:
+    def test_boosting_exact_oracle_stays_exact(self, pinned_hardcore_instance):
+        boosted = BoostedInference(ExactInference())
+        for node in pinned_hardcore_instance.free_nodes:
+            estimate = boosted.marginal(pinned_hardcore_instance, node, 0.1)
+            truth = pinned_hardcore_instance.target_marginal(node)
+            assert multiplicative_error(estimate, truth) < 1e-9
+
+    def test_multiplicative_error_from_tv_engine_hardcore(self):
+        distribution = hardcore_model(cycle_graph(10), fugacity=0.8)
+        instance = SamplingInstance(distribution, {0: 1})
+        base = BoundaryPaddedInference(decay_rate=0.5)
+        boosted = BoostedInference(base)
+        epsilon = 0.2
+        for node in (3, 5, 8):
+            estimate = boosted.marginal(instance, node, epsilon)
+            truth = instance.target_marginal(node)
+            assert multiplicative_error(estimate, truth) <= epsilon
+
+    def test_boosted_beats_base_in_multiplicative_error(self):
+        # The base correlation-decay engine has small TV error but can have a
+        # large multiplicative error on near-zero probabilities; the boosted
+        # engine controls the ratio.
+        distribution = hardcore_model(cycle_graph(10), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        base = correlation_decay_for(distribution, decay_rate=0.5)
+        boosted = BoostedInference(base)
+        epsilon = 0.3
+        node = 5
+        truth = instance.target_marginal(node)
+        boosted_error = multiplicative_error(boosted.marginal(instance, node, epsilon), truth)
+        assert boosted_error <= epsilon
+
+    def test_boosted_colorings(self):
+        distribution = coloring_model(cycle_graph(7), num_colors=3)
+        instance = SamplingInstance(distribution, {0: 2})
+        boosted = BoostedInference(BoundaryPaddedInference(decay_rate=0.6))
+        epsilon = 0.3
+        for node in (2, 4):
+            estimate = boosted.marginal(instance, node, epsilon)
+            truth = instance.target_marginal(node)
+            assert multiplicative_error(estimate, truth) <= epsilon
+
+    def test_pinned_node_returns_point_mass(self, pinned_hardcore_instance):
+        boosted = BoostedInference(ExactInference())
+        assert boosted.marginal(pinned_hardcore_instance, 0, 0.1)[1] == pytest.approx(1.0)
+
+    def test_locality_is_twice_base_plus_factor_diameter(self):
+        distribution = hardcore_model(cycle_graph(12), fugacity=0.8)
+        instance = SamplingInstance(distribution)
+        base = BoundaryPaddedInference(decay_rate=0.5)
+        boosted = BoostedInference(base)
+        epsilon = 0.1
+        base_radius = base.locality(instance, boosted._base_error(instance, epsilon))
+        assert boosted.locality(instance, epsilon) == 2 * base_radius + 1
+
+    def test_zero_probability_values_stay_zero(self):
+        # Neighbour of a pinned-occupied node: occupation probability is 0
+        # and the boosted estimate must agree exactly (err convention 0/0=1).
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        boosted = BoostedInference(ExactInference())
+        estimate = boosted.marginal(instance, 1, 0.1)
+        assert estimate[1] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,85 @@
+"""Tests for the belief-propagation inference engine."""
+
+import pytest
+
+from repro.analysis import total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph, random_tree
+from repro.inference import BeliefPropagationInference
+from repro.models import coloring_model, hardcore_model, two_spin_model
+
+
+class TestBeliefPropagation:
+    def test_exact_on_trees(self):
+        tree = random_tree(9, seed=2)
+        distribution = coloring_model(tree, num_colors=3)
+        instance = SamplingInstance(distribution, {0: 1})
+        engine = BeliefPropagationInference(iterations=12)
+        for node in list(instance.free_nodes)[:5]:
+            estimate = engine.marginal(instance, node, 0.01)
+            truth = instance.target_marginal(node)
+            assert total_variation(estimate, truth) < 1e-6
+
+    def test_exact_on_path_two_spin(self):
+        distribution = two_spin_model(path_graph(6), beta=0.5, gamma=1.5, field=1.1)
+        instance = SamplingInstance(distribution)
+        engine = BeliefPropagationInference(iterations=8)
+        truth = instance.target_marginal(3)
+        assert total_variation(engine.marginal(instance, 3, 0.01), truth) < 1e-6
+
+    def test_colorings_on_cycle_accuracy(self):
+        distribution = coloring_model(cycle_graph(8), num_colors=4)
+        instance = SamplingInstance(distribution, {0: 0})
+        engine = BeliefPropagationInference(iterations=20)
+        for node in (2, 4, 6):
+            estimate = engine.marginal(instance, node, 0.05)
+            truth = instance.target_marginal(node)
+            assert total_variation(estimate, truth) <= 0.05
+
+    def test_hard_evidence_propagates(self):
+        distribution = coloring_model(path_graph(3), num_colors=3)
+        instance = SamplingInstance(distribution, {1: 2})
+        engine = BeliefPropagationInference(iterations=5)
+        estimate = engine.marginal(instance, 0, 0.01)
+        assert estimate[2] == pytest.approx(0.0, abs=1e-9)
+        assert engine.marginal(instance, 1, 0.01)[2] == pytest.approx(1.0)
+
+    def test_marginals_shared_run_matches_individual(self):
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        engine = BeliefPropagationInference(iterations=15)
+        batch = engine.marginals(instance, 0.05)
+        for node, marginal in batch.items():
+            single = engine.marginal(instance, node, 0.05)
+            assert total_variation(marginal, single) < 1e-12
+
+    def test_damping_keeps_distribution_normalised(self):
+        distribution = coloring_model(cycle_graph(5), num_colors=3)
+        instance = SamplingInstance(distribution)
+        engine = BeliefPropagationInference(iterations=10, damping=0.4)
+        marginal = engine.marginal(instance, 0, 0.1)
+        assert sum(marginal.values()) == pytest.approx(1.0)
+
+    def test_iterations_from_error_schedule(self):
+        distribution = hardcore_model(cycle_graph(10), fugacity=0.8)
+        instance = SamplingInstance(distribution)
+        engine = BeliefPropagationInference(decay_rate=0.5)
+        assert engine.locality(instance, 0.001) > engine.locality(instance, 0.5)
+
+    def test_higher_arity_factor_rejected(self):
+        from repro.gibbs import Factor, GibbsDistribution
+
+        graph = path_graph(3)
+        triple = Factor((0, 1, 2), lambda a, b, c: 1.0)
+        distribution = GibbsDistribution(graph, (0, 1), (triple,))
+        engine = BeliefPropagationInference(iterations=2)
+        with pytest.raises(ValueError):
+            engine.marginal(SamplingInstance(distribution), 0, 0.1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BeliefPropagationInference(iterations=0)
+        with pytest.raises(ValueError):
+            BeliefPropagationInference(damping=1.0)
+        with pytest.raises(ValueError):
+            BeliefPropagationInference(decay_rate=1.0)

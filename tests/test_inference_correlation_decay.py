@@ -1,0 +1,118 @@
+"""Tests for the correlation-decay (self-avoiding-walk) inference engine."""
+
+import pytest
+
+from repro.analysis import total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, grid_graph, path_graph, random_tree
+from repro.inference import TwoSpinCorrelationDecayInference, correlation_decay_for
+from repro.models import hardcore_model, matching_model, two_spin_model
+
+
+class TestConstruction:
+    def test_for_model_reads_metadata(self):
+        hardcore = hardcore_model(cycle_graph(6), fugacity=0.7)
+        engine = correlation_decay_for(hardcore)
+        assert engine.beta == 0.0
+        assert engine.gamma == 1.0
+        assert engine.field == pytest.approx(0.7)
+
+    def test_for_model_matching(self):
+        matching = matching_model(path_graph(5), edge_weight=1.4)
+        engine = correlation_decay_for(matching)
+        assert engine.field == pytest.approx(1.4)
+        assert engine.decay_rate == pytest.approx(matching.metadata["ssm_decay_rate"])
+
+    def test_for_model_rejects_colorings(self):
+        from repro.models import coloring_model
+
+        with pytest.raises(ValueError):
+            correlation_decay_for(coloring_model(cycle_graph(5), 3))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TwoSpinCorrelationDecayInference(beta=-1.0, gamma=1.0, field=1.0)
+        with pytest.raises(ValueError):
+            TwoSpinCorrelationDecayInference(beta=0.0, gamma=1.0, field=0.0)
+        with pytest.raises(ValueError):
+            TwoSpinCorrelationDecayInference(beta=0.0, gamma=1.0, field=1.0, decay_rate=1.0)
+
+    def test_alphabet_mismatch_rejected(self):
+        from repro.models import coloring_model
+
+        engine = TwoSpinCorrelationDecayInference(beta=0.0, gamma=1.0, field=1.0)
+        instance = SamplingInstance(coloring_model(path_graph(3), 3))
+        with pytest.raises(ValueError):
+            engine.marginal(instance, 0, 0.1)
+
+
+class TestAccuracy:
+    def test_exact_on_trees(self):
+        # On a tree the self-avoiding-walk recursion with depth >= diameter
+        # is the exact tree recursion.
+        tree = random_tree(10, seed=4)
+        distribution = hardcore_model(tree, fugacity=1.1)
+        instance = SamplingInstance(distribution, {0: 0})
+        engine = correlation_decay_for(distribution, max_depth=12, decay_rate=None)
+        for node in list(instance.free_nodes)[:5]:
+            estimate = engine.marginal(instance, node, 1e-6)
+            truth = instance.target_marginal(node)
+            assert total_variation(estimate, truth) < 1e-6
+
+    def test_error_decays_with_depth_on_cycle(self):
+        distribution = hardcore_model(cycle_graph(12), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        truth = instance.target_marginal(0)
+        errors = []
+        for depth in (1, 3, 6, 10):
+            engine = TwoSpinCorrelationDecayInference(
+                beta=0.0, gamma=1.0, field=1.0, max_depth=depth, decay_rate=0.99
+            )
+            # decay_rate high so the schedule would pick a huge depth; the
+            # explicit cap makes depth the controlled variable.
+            errors.append(total_variation(engine.marginal(instance, 0, 0.5), truth))
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 1e-3
+
+    def test_respects_pinning(self):
+        distribution = hardcore_model(path_graph(5), fugacity=1.0)
+        instance = SamplingInstance(distribution, {2: 1})
+        engine = correlation_decay_for(distribution, max_depth=8)
+        # Node 1 neighbours the occupied node 2, so it must be empty.
+        estimate = engine.marginal(instance, 1, 0.01)
+        assert estimate[1] == pytest.approx(0.0)
+        # The pinned node itself reports its point mass.
+        assert engine.marginal(instance, 2, 0.01)[1] == pytest.approx(1.0)
+
+    def test_uniqueness_regime_grid_accuracy(self):
+        distribution = hardcore_model(grid_graph(3, 4), fugacity=0.5)
+        instance = SamplingInstance(distribution, {(0, 0): 1})
+        engine = correlation_decay_for(distribution, decay_rate=0.6)
+        for node in [(1, 1), (2, 2), (1, 3)]:
+            estimate = engine.marginal(instance, node, 0.05)
+            truth = instance.target_marginal(node)
+            assert total_variation(estimate, truth) <= 0.05
+
+    def test_soft_two_spin_model(self):
+        distribution = two_spin_model(cycle_graph(8), beta=0.4, gamma=1.2, field=0.9)
+        instance = SamplingInstance(distribution)
+        engine = correlation_decay_for(distribution, decay_rate=0.5)
+        estimate = engine.marginal(instance, 0, 0.05)
+        truth = instance.target_marginal(0)
+        assert total_variation(estimate, truth) <= 0.05
+
+    def test_matching_marginals_via_line_graph(self):
+        distribution = matching_model(cycle_graph(7), edge_weight=1.0)
+        instance = SamplingInstance(distribution)
+        engine = correlation_decay_for(distribution)
+        for node in list(instance.free_nodes)[:3]:
+            estimate = engine.marginal(instance, node, 0.02)
+            truth = instance.target_marginal(node)
+            assert total_variation(estimate, truth) <= 0.02
+
+    def test_locality_equals_scheduled_depth(self):
+        distribution = hardcore_model(cycle_graph(16), fugacity=0.8)
+        instance = SamplingInstance(distribution)
+        engine = correlation_decay_for(distribution, decay_rate=0.5)
+        assert engine.locality(instance, 0.1) == engine._depth(instance, 0.1)
+        assert engine.locality(instance, 0.001) > engine.locality(instance, 0.1)

@@ -1,0 +1,68 @@
+"""Unit tests for the exact-inference oracle and the locality schedules."""
+
+import math
+
+import pytest
+
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.inference import ExactInference, locality_for_error
+from repro.inference.locality import error_at_locality
+from repro.models import hardcore_model
+
+
+class TestExactInference:
+    def test_matches_ground_truth(self, pinned_hardcore_instance):
+        engine = ExactInference()
+        for node in pinned_hardcore_instance.free_nodes:
+            estimate = engine.marginal(pinned_hardcore_instance, node, 0.1)
+            truth = pinned_hardcore_instance.target_marginal(node)
+            for value, probability in truth.items():
+                assert estimate[value] == pytest.approx(probability)
+
+    def test_locality_is_whole_graph(self, hardcore_instance):
+        assert ExactInference().locality(hardcore_instance, 0.01) == hardcore_instance.size
+
+    def test_marginals_helper_covers_free_nodes(self, pinned_hardcore_instance):
+        engine = ExactInference()
+        marginals = engine.marginals(pinned_hardcore_instance, 0.1)
+        assert set(marginals) == set(pinned_hardcore_instance.free_nodes)
+        for marginal in marginals.values():
+            assert sum(marginal.values()) == pytest.approx(1.0)
+
+
+class TestLocalitySchedule:
+    def test_radius_grows_logarithmically_in_one_over_error(self):
+        small = locality_for_error(0.5, size=100, error=1e-1)
+        tiny = locality_for_error(0.5, size=100, error=1e-4)
+        assert tiny > small
+        assert tiny - small == pytest.approx(math.log(1e3) / math.log(2.0), abs=2)
+
+    def test_radius_grows_logarithmically_in_n(self):
+        assert locality_for_error(0.5, 10_000, 0.01) - locality_for_error(0.5, 100, 0.01) <= 8
+
+    def test_slow_decay_needs_more_rounds(self):
+        assert locality_for_error(0.9, 100, 0.01) > locality_for_error(0.3, 100, 0.01)
+
+    def test_zero_rate_needs_minimum_rounds(self):
+        assert locality_for_error(0.0, 100, 0.01) == 1
+        assert locality_for_error(0.0, 100, 0.01, minimum=3) == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            locality_for_error(1.0, 10, 0.1)
+        with pytest.raises(ValueError):
+            locality_for_error(0.5, 10, 0.0)
+        with pytest.raises(ValueError):
+            locality_for_error(0.5, 0, 0.1)
+
+    def test_error_at_locality_inverts_schedule(self):
+        rate, n = 0.6, 50
+        radius = locality_for_error(rate, n, 0.01)
+        assert error_at_locality(rate, n, radius) <= 0.01
+        assert error_at_locality(rate, n, radius - 2) > 0.01
+
+    def test_error_at_locality_validation(self):
+        with pytest.raises(ValueError):
+            error_at_locality(0.5, 10, -1)
+        assert error_at_locality(0.0, 10, 3) == 0.0

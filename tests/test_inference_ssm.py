@@ -1,0 +1,106 @@
+"""Tests for the SSM-based (Theorem 5.1 converse) inference algorithms."""
+
+import pytest
+
+from repro.analysis import total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, grid_graph, path_graph
+from repro.inference import BoundaryPaddedInference, TruncatedBallInference
+from repro.inference.ssm_inference import padded_ball_marginal
+from repro.models import coloring_model, hardcore_model
+
+
+class TestPaddedBallMarginal:
+    def test_full_radius_equals_exact(self, pinned_hardcore_instance):
+        instance = pinned_hardcore_instance
+        for node in instance.free_nodes:
+            estimate = padded_ball_marginal(instance, node, instance.size)
+            truth = instance.target_marginal(node)
+            for value, probability in truth.items():
+                assert estimate[value] == pytest.approx(probability)
+
+    def test_error_decreases_with_radius(self):
+        distribution = hardcore_model(cycle_graph(12), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        node = 6
+        truth = instance.target_marginal(node)
+        errors = []
+        for radius in (0, 2, 4, 6):
+            estimate = padded_ball_marginal(instance, node, radius)
+            errors.append(total_variation(estimate, truth))
+        assert errors[-1] <= errors[0] + 1e-12
+        assert errors[-1] < 0.02
+
+    def test_pinned_node_is_point_mass(self, pinned_hardcore_instance):
+        estimate = padded_ball_marginal(pinned_hardcore_instance, 0, 1)
+        assert estimate[1] == pytest.approx(1.0)
+
+    def test_padding_is_feasible_for_colorings(self, coloring_instance):
+        # The greedy boundary extension must find proper extensions even with
+        # hard constraints (q = Delta + 1 colorings are locally admissible).
+        for node in coloring_instance.free_nodes:
+            estimate = padded_ball_marginal(coloring_instance, node, 1)
+            assert sum(estimate.values()) == pytest.approx(1.0)
+
+
+class TestTruncatedBallInference:
+    def test_radius_zero_uses_only_the_vertex_factor(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        engine = TruncatedBallInference(radius=0)
+        estimate = engine.marginal(instance, 0, 0.1)
+        # With an empty boundary shell of radius l=1 around the single node
+        # the computation sees node 0 plus its padded neighbours pinned
+        # empty, so the estimate is lambda/(1+lambda).
+        assert estimate[1] == pytest.approx(0.5, abs=0.2)
+
+    def test_locality_accounts_for_factor_diameter(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        engine = TruncatedBallInference(radius=3)
+        assert engine.locality(instance, 0.1) == 3 + 2
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            TruncatedBallInference(radius=-1)
+
+    def test_accuracy_improves_with_radius_on_grid(self):
+        distribution = hardcore_model(grid_graph(4, 4), fugacity=0.6)
+        instance = SamplingInstance(distribution, {(0, 0): 1})
+        node = (2, 2)
+        truth = instance.target_marginal(node)
+        coarse = total_variation(TruncatedBallInference(1).marginal(instance, node, 0.1), truth)
+        fine = total_variation(TruncatedBallInference(3).marginal(instance, node, 0.1), truth)
+        assert fine <= coarse + 1e-9
+
+
+class TestBoundaryPaddedInference:
+    def test_meets_requested_error_hardcore(self):
+        distribution = hardcore_model(cycle_graph(10), fugacity=0.9)
+        instance = SamplingInstance(distribution, {0: 1})
+        engine = BoundaryPaddedInference(decay_rate=0.5)
+        for error in (0.2, 0.02):
+            for node in (3, 5, 7):
+                estimate = engine.marginal(instance, node, error)
+                truth = instance.target_marginal(node)
+                assert total_variation(estimate, truth) <= error
+
+    def test_locality_respects_max_radius(self):
+        distribution = hardcore_model(cycle_graph(10), fugacity=0.9)
+        instance = SamplingInstance(distribution)
+        capped = BoundaryPaddedInference(decay_rate=0.9, max_radius=3)
+        assert capped.locality(instance, 1e-6) <= 3 + 2
+
+    def test_rate_read_from_metadata(self):
+        from repro.models import matching_model
+
+        distribution = matching_model(path_graph(6), edge_weight=1.0)
+        instance = SamplingInstance(distribution)
+        engine = BoundaryPaddedInference()
+        assert engine._rate(instance) == pytest.approx(
+            distribution.metadata["ssm_decay_rate"]
+        )
+
+    def test_invalid_decay_rate(self):
+        with pytest.raises(ValueError):
+            BoundaryPaddedInference(decay_rate=1.2)

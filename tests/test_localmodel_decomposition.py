@@ -1,0 +1,91 @@
+"""Unit and property tests for the Linial--Saks network decomposition."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import cycle_graph, erdos_renyi_graph, grid_graph, path_graph, random_tree
+from repro.localmodel import linial_saks_decomposition
+
+
+class TestDecompositionValidity:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(20),
+            cycle_graph(15),
+            grid_graph(4, 5),
+            random_tree(25, seed=1),
+            erdos_renyi_graph(30, 0.15, seed=2),
+        ],
+    )
+    def test_validates_on_various_graphs(self, graph):
+        decomposition = linial_saks_decomposition(graph, seed=0)
+        decomposition.validate(graph)
+        assert set(decomposition.cluster_of) == set(graph.nodes())
+
+    def test_single_node_graph(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        decomposition = linial_saks_decomposition(graph)
+        assert decomposition.num_colors == 1
+        assert decomposition.center_of(0) == 0
+
+    def test_empty_graph(self):
+        decomposition = linial_saks_decomposition(nx.Graph())
+        assert decomposition.num_colors == 0
+
+    def test_logarithmic_quality_on_grid(self):
+        graph = grid_graph(6, 6)
+        decomposition = linial_saks_decomposition(graph, seed=3)
+        n = graph.number_of_nodes()
+        bound = 6 * math.log2(n) + 6
+        assert decomposition.num_colors <= bound
+        assert decomposition.max_cluster_diameter(graph) <= 4 * math.log2(n) + 4
+
+    def test_reproducible_for_fixed_seed(self):
+        graph = erdos_renyi_graph(25, 0.2, seed=5)
+        first = linial_saks_decomposition(graph, seed=11)
+        second = linial_saks_decomposition(graph, seed=11)
+        assert first.cluster_of == second.cluster_of
+        assert first.color_of_cluster == second.color_of_cluster
+
+    def test_fallback_nodes_are_tracked(self):
+        # With a phase budget of zero every node falls back to a singleton
+        # cluster; the decomposition stays valid (each singleton gets its own
+        # color) and all nodes are flagged.
+        graph = cycle_graph(8)
+        decomposition = linial_saks_decomposition(graph, seed=0, max_phases=0)
+        decomposition.validate(graph)
+        assert decomposition.fallback_nodes == set(graph.nodes())
+
+    def test_invalid_survival_probability(self):
+        with pytest.raises(ValueError):
+            linial_saks_decomposition(path_graph(4), survival_probability=1.5)
+
+
+class TestDecompositionProperties:
+    @given(n=st.integers(min_value=4, max_value=40), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_same_color_clusters_never_adjacent(self, n, seed):
+        graph = erdos_renyi_graph(n, 3.0 / n, seed=seed)
+        decomposition = linial_saks_decomposition(graph, seed=seed)
+        for u, v in graph.edges():
+            cluster_u = decomposition.cluster_of[u]
+            cluster_v = decomposition.cluster_of[v]
+            if cluster_u != cluster_v:
+                assert (
+                    decomposition.color_of_cluster[cluster_u]
+                    != decomposition.color_of_cluster[cluster_v]
+                )
+
+    @given(n=st.integers(min_value=3, max_value=30), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_every_node_clustered_once(self, n, seed):
+        graph = cycle_graph(max(n, 3))
+        decomposition = linial_saks_decomposition(graph, seed=seed)
+        members = [node for cluster in decomposition.clusters.values() for node in cluster]
+        assert sorted(members, key=repr) == sorted(graph.nodes(), key=repr)

@@ -1,0 +1,81 @@
+"""Unit tests for the Network / LocalView simulation substrate."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import cycle_graph, grid_graph, path_graph
+from repro.localmodel import Network
+
+
+class TestNetwork:
+    def test_requires_nonempty_graph(self):
+        with pytest.raises(ValueError):
+            Network(nx.Graph())
+
+    def test_ids_are_consecutive(self):
+        network = Network(grid_graph(2, 3))
+        assert sorted(network.ids.values()) == list(range(6))
+
+    def test_node_randomness_is_reproducible_and_independent(self):
+        network_a = Network(cycle_graph(5), seed=7)
+        network_b = Network(cycle_graph(5), seed=7)
+        assert network_a.rng(0).random() == network_b.rng(0).random()
+        assert network_a.rng(0).random() != pytest.approx(Network(cycle_graph(5), seed=8).rng(0).random())
+        # Different nodes get different streams.
+        assert network_a.rng(1).random() != pytest.approx(network_a.rng(2).random())
+
+    def test_salt_gives_independent_streams(self):
+        network = Network(cycle_graph(5), seed=1)
+        assert network.rng(0, salt=0).random() != pytest.approx(network.rng(0, salt=1).random())
+
+    def test_inputs(self):
+        network = Network(path_graph(3))
+        network.set_input(1, {"color": "red"})
+        assert network.inputs[1] == {"color": "red"}
+        with pytest.raises(KeyError):
+            network.set_input(9, 1)
+
+
+class TestLocalView:
+    def test_view_contains_exactly_the_ball(self):
+        network = Network(cycle_graph(8))
+        view = network.view(0, 2)
+        assert view.nodes == {6, 7, 0, 1, 2}
+        assert view.distances[2] == 2
+        # The view graph is the induced subgraph of the ball.
+        assert view.subgraph.number_of_edges() == 4
+
+    def test_view_radius_zero(self):
+        network = Network(path_graph(4))
+        view = network.view(2, 0)
+        assert view.nodes == {2}
+
+    def test_view_validation(self):
+        network = Network(path_graph(4))
+        with pytest.raises(KeyError):
+            network.view(9, 1)
+        with pytest.raises(ValueError):
+            network.view(0, -1)
+
+    def test_view_carries_inputs_and_seeds_of_ball_only(self):
+        network = Network(path_graph(6), inputs={0: "a", 3: "b", 5: "c"})
+        view = network.view(1, 2)
+        assert view.inputs == {0: "a", 3: "b"}
+        assert set(view.seeds) == view.nodes
+
+    def test_view_rng_outside_ball_rejected(self):
+        network = Network(path_graph(6))
+        view = network.view(0, 1)
+        with pytest.raises(KeyError):
+            view.rng(5)
+
+    def test_view_is_isolated_copy(self):
+        network = Network(cycle_graph(6))
+        view = network.view(0, 1)
+        view.subgraph.add_edge(0, 3)
+        assert not network.graph.has_edge(0, 3)
+
+    def test_views_cover_all_nodes(self):
+        network = Network(grid_graph(2, 2))
+        views = network.views(1)
+        assert set(views) == set(network.nodes)

@@ -1,0 +1,98 @@
+"""Unit tests for the SLOCAL -> LOCAL transformation (Lemma 3.1)."""
+
+import math
+
+import pytest
+
+from repro.graphs import cycle_graph, grid_graph, path_graph
+from repro.localmodel import (
+    Network,
+    SLocalAlgorithm,
+    linial_saks_decomposition,
+    run_slocal_algorithm,
+    simulate_slocal_as_local,
+)
+from repro.localmodel.scheduler import effective_locality
+
+
+class GreedyColoring(SLocalAlgorithm):
+    passes = 1
+
+    def locality(self, network):
+        return 1
+
+    def process(self, pass_index, node, access, rng, network):
+        taken = set()
+        for other in access.visible_nodes:
+            if other == node:
+                continue
+            state = access.read(other)
+            if "output" in state and network.graph.has_edge(node, other):
+                taken.add(state["output"])
+        color = 0
+        while color in taken:
+            color += 1
+        access.write(node, "output", color)
+
+
+class ThreePassIdentity(SLocalAlgorithm):
+    """A three-pass algorithm used to exercise the multi-pass locality bound."""
+
+    passes = 3
+
+    def locality(self, network):
+        return 2
+
+    def process(self, pass_index, node, access, rng, network):
+        access.write(node, "output", pass_index)
+
+
+class TestScheduler:
+    def test_simulated_coloring_is_proper(self):
+        network = Network(cycle_graph(12), seed=1)
+        result = simulate_slocal_as_local(GreedyColoring(), network, seed=1)
+        for u, v in network.graph.edges():
+            assert result.outputs[u] != result.outputs[v]
+
+    def test_rounds_are_polylog_times_locality(self):
+        network = Network(grid_graph(5, 5), seed=0)
+        result = simulate_slocal_as_local(GreedyColoring(), network, seed=0)
+        n = network.size
+        # O(r log^2 n) with r = 1; allow a generous constant.
+        assert result.rounds <= 200 * (math.log2(n) ** 2 + 1)
+        assert result.rounds >= 1
+
+    def test_ordering_respects_colors(self):
+        network = Network(cycle_graph(10), seed=2)
+        result = simulate_slocal_as_local(GreedyColoring(), network, seed=2)
+        colors = [result.decomposition.color_of(node) for node in result.ordering]
+        assert colors == sorted(colors)
+
+    def test_scheduling_failures_come_from_fallback_clusters(self):
+        network = Network(cycle_graph(8), seed=0)
+        degenerate = linial_saks_decomposition(network.graph, seed=0, max_phases=0)
+        # A decomposition of G (not G^2) is fine here because r = 1 clusters
+        # are singletons, which are valid in any power graph.
+        result = simulate_slocal_as_local(
+            GreedyColoring(), network, seed=0, decomposition=degenerate
+        )
+        assert all(result.scheduling_failures.values())
+        assert not result.success
+        # The outputs themselves are still a proper coloring: scheduling
+        # failures are independent of the algorithm's output.
+        for u, v in network.graph.edges():
+            assert result.outputs[u] != result.outputs[v]
+
+    def test_effective_locality_multi_pass(self):
+        network = Network(path_graph(6))
+        assert effective_locality(GreedyColoring(), network) == 1
+        assert effective_locality(ThreePassIdentity(), network) == 2 + 2 * 2 * 2
+
+    def test_output_distribution_matches_some_sequential_order(self):
+        # Lemma 3.1: conditioned on success the LOCAL simulation equals the
+        # SLOCAL algorithm on *some* ordering.  For the deterministic greedy
+        # coloring we can check exact equality of outputs.
+        network = Network(cycle_graph(9), seed=4)
+        scheduled = simulate_slocal_as_local(GreedyColoring(), network, seed=4)
+        sequential = run_slocal_algorithm(GreedyColoring(), network, scheduled.ordering)
+        assert scheduled.outputs == sequential.outputs

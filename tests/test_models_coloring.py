@@ -1,0 +1,80 @@
+"""Unit tests for proper colorings and list-colorings."""
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.models import ALPHA_STAR, coloring_model, list_coloring_model
+
+
+class TestColoringModel:
+    def test_counts_proper_colorings_of_path(self):
+        # Proper q-colorings of a path P_n: q * (q-1)^(n-1).
+        distribution = coloring_model(path_graph(4), num_colors=3)
+        assert distribution.partition_function() == pytest.approx(3 * 2 ** 3)
+
+    def test_counts_proper_colorings_of_cycle(self):
+        distribution = coloring_model(cycle_graph(4), num_colors=3)
+        assert distribution.partition_function() == pytest.approx(2 ** 4 + 2)
+
+    def test_all_support_configurations_are_proper(self):
+        distribution = coloring_model(cycle_graph(4), num_colors=3)
+        for configuration in distribution.support():
+            for u, v in distribution.graph.edges():
+                assert configuration[u] != configuration[v]
+
+    def test_needs_at_least_one_color(self):
+        with pytest.raises(ValueError):
+            coloring_model(path_graph(2), num_colors=0)
+
+    def test_local_admissibility_flag(self):
+        assert coloring_model(cycle_graph(5), num_colors=3).metadata["locally_admissible"]
+        assert not coloring_model(star_graph(4), num_colors=3).metadata["locally_admissible"]
+
+    def test_ssm_regime_flag_triangle_free(self):
+        # A cycle of length >= 4 is triangle-free with Delta = 2: q = 4 colors
+        # exceeds alpha* * 2 ~ 3.52, so the flag should be set.
+        in_regime = coloring_model(cycle_graph(6), num_colors=4)
+        out_of_regime = coloring_model(cycle_graph(6), num_colors=3)
+        assert in_regime.metadata["ssm_regime"] is True
+        assert out_of_regime.metadata["ssm_regime"] is False
+        assert 1.7 < ALPHA_STAR < 1.8
+
+    def test_marginal_uniform_by_symmetry(self):
+        distribution = coloring_model(cycle_graph(5), num_colors=3)
+        marginal = distribution.marginal(0)
+        for probability in marginal.values():
+            assert probability == pytest.approx(1.0 / 3.0)
+
+
+class TestListColoringModel:
+    def test_self_reduction_from_coloring(self):
+        # Pinning node 0 of a 3-coloring of a path is the same distribution
+        # as the list-coloring where the neighbours lose that color.
+        base = coloring_model(path_graph(3), num_colors=3)
+        pinned_marginal = base.marginal(1, {0: 2})
+        lists = {0: [2], 1: [0, 1, 2], 2: [0, 1, 2]}
+        reduced = list_coloring_model(path_graph(3), lists)
+        reduced_marginal = reduced.marginal(1, {0: 2})
+        for value in (0, 1, 2):
+            assert reduced_marginal[value] == pytest.approx(pinned_marginal[value])
+
+    def test_missing_list_rejected(self):
+        with pytest.raises(ValueError):
+            list_coloring_model(path_graph(3), {0: [0], 1: [1]})
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            list_coloring_model(path_graph(2), {0: [], 1: [0]})
+
+    def test_support_respects_lists(self):
+        lists = {0: [0, 1], 1: [1, 2], 2: [0, 2]}
+        distribution = list_coloring_model(path_graph(3), lists)
+        for configuration in distribution.support():
+            for node, colors in lists.items():
+                assert configuration[node] in colors
+
+    def test_admissibility_requires_degree_plus_one(self):
+        ample = list_coloring_model(path_graph(3), {0: [0, 1], 1: [0, 1, 2], 2: [1, 2]})
+        tight = list_coloring_model(path_graph(3), {0: [0], 1: [0, 1], 2: [1]})
+        assert ample.metadata["locally_admissible"] is True
+        assert tight.metadata["locally_admissible"] is False

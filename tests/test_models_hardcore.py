@@ -1,0 +1,65 @@
+"""Unit tests for the hardcore model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.models import hardcore_model, hardcore_uniqueness_threshold
+
+
+class TestHardcoreModel:
+    def test_support_is_independent_sets(self):
+        distribution = hardcore_model(path_graph(3), fugacity=1.0)
+        supports = [frozenset(n for n, v in c.items() if v == 1) for c in distribution.support()]
+        assert frozenset({0, 2}) in supports
+        assert frozenset({0, 1}) not in supports
+        assert len(supports) == 5
+
+    def test_weight_is_fugacity_power(self):
+        distribution = hardcore_model(path_graph(4), fugacity=2.0)
+        config = {0: 1, 1: 0, 2: 1, 3: 0}
+        assert distribution.weight(config) == pytest.approx(4.0)
+
+    def test_invalid_fugacity(self):
+        with pytest.raises(ValueError):
+            hardcore_model(path_graph(3), fugacity=0.0)
+        with pytest.raises(ValueError):
+            hardcore_model(path_graph(3), fugacity=-1.0)
+
+    def test_metadata_uniqueness_classification(self):
+        graph = star_graph(5)  # max degree 5
+        below = hardcore_model(graph, fugacity=0.5 * hardcore_uniqueness_threshold(5))
+        above = hardcore_model(graph, fugacity=2.0 * hardcore_uniqueness_threshold(5))
+        assert below.metadata["uniqueness"] is True
+        assert above.metadata["uniqueness"] is False
+
+    def test_metadata_flags(self):
+        distribution = hardcore_model(cycle_graph(5), fugacity=1.0)
+        assert distribution.metadata["local"] is True
+        assert distribution.metadata["locally_admissible"] is True
+        assert distribution.metadata["max_degree"] == 2
+
+    def test_partition_function_star(self):
+        # Star with k leaves: Z = (1 + lambda)^k + lambda.
+        k, lam = 4, 1.5
+        distribution = hardcore_model(star_graph(k), fugacity=lam)
+        assert distribution.partition_function() == pytest.approx((1 + lam) ** k + lam)
+
+    @given(lam=st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=20, deadline=None)
+    def test_occupancy_increases_with_fugacity(self, lam):
+        base = hardcore_model(cycle_graph(5), fugacity=lam)
+        higher = hardcore_model(cycle_graph(5), fugacity=lam * 1.5)
+        assert higher.marginal(0)[1] > base.marginal(0)[1]
+
+    def test_single_node_marginal_formula(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node(0)
+        lam = 0.7
+        distribution = hardcore_model(graph, fugacity=lam)
+        assert distribution.marginal(0)[1] == pytest.approx(lam / (1 + lam))

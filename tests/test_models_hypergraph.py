@@ -1,0 +1,75 @@
+"""Unit tests for weighted hypergraph matchings."""
+
+import pytest
+
+from repro.graphs import Hypergraph, path_graph
+from repro.models import hypergraph_matching_model, matching_model
+from repro.models.hypergraph_matching import (
+    configuration_to_hypergraph_matching,
+    is_valid_hypergraph_matching,
+)
+
+
+def small_hypergraph():
+    return Hypergraph(
+        vertices=list(range(6)),
+        hyperedges=[
+            frozenset({0, 1, 2}),
+            frozenset({2, 3, 4}),
+            frozenset({4, 5, 0}),
+            frozenset({1, 3, 5}),
+        ],
+    )
+
+
+class TestHypergraphMatchingModel:
+    def test_partition_function_by_hand(self):
+        # The four hyperedges above pairwise intersect, so the only matchings
+        # are the empty one and the four singletons.
+        lam = 1.5
+        distribution = hypergraph_matching_model(small_hypergraph(), activity=lam)
+        assert distribution.partition_function() == pytest.approx(1 + 4 * lam)
+
+    def test_disjoint_hyperedges_allow_pairs(self):
+        hypergraph = Hypergraph(
+            vertices=list(range(6)),
+            hyperedges=[frozenset({0, 1, 2}), frozenset({3, 4, 5})],
+        )
+        distribution = hypergraph_matching_model(hypergraph, activity=1.0)
+        assert distribution.partition_function() == pytest.approx(4.0)
+
+    def test_support_configurations_are_matchings(self):
+        hypergraph = small_hypergraph()
+        distribution = hypergraph_matching_model(hypergraph, activity=2.0)
+        for configuration in distribution.support():
+            chosen = configuration_to_hypergraph_matching(distribution, configuration)
+            assert is_valid_hypergraph_matching(hypergraph, chosen)
+
+    def test_rank_two_hypergraph_matches_graph_matching(self):
+        graph = path_graph(4)
+        as_hypergraph = Hypergraph.from_graph(graph)
+        dual_model = hypergraph_matching_model(as_hypergraph, activity=1.3)
+        edge_model = matching_model(graph, edge_weight=1.3)
+        assert dual_model.partition_function() == pytest.approx(
+            edge_model.partition_function()
+        )
+
+    def test_metadata_threshold(self):
+        distribution = hypergraph_matching_model(small_hypergraph(), activity=0.1)
+        assert distribution.metadata["rank"] == 3
+        assert distribution.metadata["uniqueness_threshold"] > 0
+        assert distribution.metadata["model"] == "hypergraph-matching"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hypergraph_matching_model(small_hypergraph(), activity=0.0)
+        with pytest.raises(ValueError):
+            hypergraph_matching_model(Hypergraph(vertices=[0, 1], hyperedges=[]))
+
+    def test_is_valid_hypergraph_matching_rejects_overlap(self):
+        hypergraph = small_hypergraph()
+        assert is_valid_hypergraph_matching(hypergraph, [frozenset({0, 1, 2})])
+        assert not is_valid_hypergraph_matching(
+            hypergraph, [frozenset({0, 1, 2}), frozenset({2, 3, 4})]
+        )
+        assert not is_valid_hypergraph_matching(hypergraph, [frozenset({0, 1})])

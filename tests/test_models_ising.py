@@ -1,0 +1,76 @@
+"""Unit tests for the two-spin / Ising models."""
+
+import math
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph
+from repro.models import hardcore_model, ising_model, two_spin_model
+
+
+class TestTwoSpinModel:
+    def test_weight_matrix(self):
+        distribution = two_spin_model(path_graph(2), beta=2.0, gamma=3.0, field=1.5)
+        assert distribution.weight({0: 1, 1: 1}) == pytest.approx(2.0 * 1.5 * 1.5)
+        assert distribution.weight({0: 0, 1: 0}) == pytest.approx(3.0)
+        assert distribution.weight({0: 1, 1: 0}) == pytest.approx(1.5)
+
+    def test_hardcore_as_special_case(self):
+        lam = 0.9
+        hardcore = hardcore_model(cycle_graph(5), fugacity=lam)
+        as_two_spin = two_spin_model(cycle_graph(5), beta=0.0, gamma=1.0, field=lam)
+        assert as_two_spin.partition_function() == pytest.approx(hardcore.partition_function())
+        for value, probability in hardcore.marginal(2).items():
+            assert as_two_spin.marginal(2)[value] == pytest.approx(probability)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            two_spin_model(path_graph(2), beta=-0.1, gamma=1.0)
+        with pytest.raises(ValueError):
+            two_spin_model(path_graph(2), beta=1.0, gamma=1.0, field=0.0)
+
+    def test_antiferromagnetic_flag(self):
+        assert two_spin_model(path_graph(3), beta=0.5, gamma=1.0).metadata["antiferromagnetic"]
+        assert not two_spin_model(path_graph(3), beta=2.0, gamma=1.0).metadata["antiferromagnetic"]
+
+    def test_uniqueness_metadata_depends_on_degree(self):
+        # Strongly anti-ferromagnetic hardcore-like model on a high-degree
+        # star should be flagged as non-unique, the same parameters on a path
+        # as unique.
+        from repro.graphs import star_graph
+        from repro.models import hardcore_uniqueness_threshold
+
+        lam = 3.0 * hardcore_uniqueness_threshold(5)
+        star = two_spin_model(star_graph(5), beta=0.0, gamma=1.0, field=lam)
+        path = two_spin_model(path_graph(4), beta=0.0, gamma=1.0, field=lam)
+        assert star.metadata["uniqueness"] is False
+        assert path.metadata["uniqueness"] is True
+
+
+class TestIsingModel:
+    def test_ising_weights_match_exponential_form(self):
+        interaction, field = 0.3, 0.1
+        distribution = ising_model(path_graph(2), interaction, field)
+        # Ratio of aligned (+,+) to anti-aligned (+,-) weights is
+        # exp(2 J) * exp(2 h) / exp(0) after the parametrisation used.
+        aligned = distribution.weight({0: 1, 1: 1})
+        anti = distribution.weight({0: 1, 1: 0})
+        expected_ratio = math.exp(2 * interaction) * math.exp(2 * field)
+        assert aligned / anti == pytest.approx(expected_ratio)
+
+    def test_zero_field_symmetry(self):
+        distribution = ising_model(cycle_graph(4), interaction=0.4, external_field=0.0)
+        marginal = distribution.marginal(0)
+        assert marginal[0] == pytest.approx(marginal[1])
+
+    def test_metadata_records_parameters(self):
+        distribution = ising_model(path_graph(3), interaction=-0.2, external_field=0.3)
+        assert distribution.metadata["model"] == "ising"
+        assert distribution.metadata["interaction"] == -0.2
+        assert distribution.metadata["external_field"] == 0.3
+
+    def test_antiferromagnetic_ising_prefers_alternation(self):
+        distribution = ising_model(path_graph(2), interaction=-0.8)
+        joint = distribution.joint_marginal((0, 1))
+        assert joint[(0, 1)] > joint[(0, 0)]
+        assert joint[(1, 0)] > joint[(1, 1)]

@@ -1,0 +1,70 @@
+"""Unit tests for the monomer--dimer (matching) model."""
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.models import matching_model
+from repro.models.matching import (
+    configuration_to_matching,
+    is_valid_matching,
+    matching_to_configuration,
+)
+
+
+class TestMatchingModel:
+    def test_partition_function_counts_matchings_of_path(self):
+        # Matchings of P5 (4 edges in a path): Fibonacci F(6) = 8.
+        distribution = matching_model(path_graph(5), edge_weight=1.0)
+        assert distribution.partition_function() == pytest.approx(8.0)
+
+    def test_partition_function_counts_matchings_of_cycle(self):
+        # Matchings of C5: Lucas number L5 = 11.
+        distribution = matching_model(cycle_graph(5), edge_weight=1.0)
+        assert distribution.partition_function() == pytest.approx(11.0)
+
+    def test_weighted_partition_function_star(self):
+        # A star with k leaves has matchings: empty + k single edges.
+        k, lam = 4, 2.0
+        distribution = matching_model(star_graph(k), edge_weight=lam)
+        assert distribution.partition_function() == pytest.approx(1 + k * lam)
+
+    def test_support_configurations_are_matchings(self):
+        graph = cycle_graph(5)
+        distribution = matching_model(graph, edge_weight=1.5)
+        for configuration in distribution.support():
+            edges = configuration_to_matching(distribution, configuration)
+            assert is_valid_matching(graph, edges)
+
+    def test_round_trip_configuration_matching(self):
+        graph = path_graph(5)
+        distribution = matching_model(graph)
+        configuration = matching_to_configuration(distribution, [(0, 1), (2, 3)])
+        assert sorted(configuration_to_matching(distribution, configuration)) == [(0, 1), (2, 3)]
+
+    def test_matching_to_configuration_rejects_non_edge(self):
+        distribution = matching_model(path_graph(4))
+        with pytest.raises(ValueError):
+            matching_to_configuration(distribution, [(0, 2)])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            matching_model(path_graph(3), edge_weight=0.0)
+        import networkx as nx
+
+        empty = nx.Graph()
+        empty.add_nodes_from([0, 1])
+        with pytest.raises(ValueError):
+            matching_model(empty)
+
+    def test_metadata(self):
+        distribution = matching_model(star_graph(5), edge_weight=1.0)
+        assert distribution.metadata["model"] == "matching"
+        assert distribution.metadata["original_max_degree"] == 5
+        assert distribution.metadata["locally_admissible"] is True
+        assert 0.0 < distribution.metadata["ssm_decay_rate"] < 1.0
+
+    def test_is_valid_matching_helper(self):
+        graph = cycle_graph(4)
+        assert is_valid_matching(graph, [(0, 1), (2, 3)])
+        assert not is_valid_matching(graph, [(0, 1), (1, 2)])
+        assert not is_valid_matching(graph, [(0, 2)])

@@ -1,0 +1,111 @@
+"""Unit tests for uniqueness thresholds and decay-rate constants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    ALPHA_STAR,
+    hardcore_uniqueness_threshold,
+    hypergraph_matching_uniqueness_threshold,
+    is_two_spin_uniqueness,
+    matching_ssm_decay_rate,
+)
+from repro.models.thresholds import hardcore_uniqueness_margin, two_spin_tree_fixed_point
+
+
+class TestHardcoreThreshold:
+    def test_known_values(self):
+        # lambda_c(3) = 4, lambda_c(4) = 27/16, lambda_c(5) = 256/243.
+        assert hardcore_uniqueness_threshold(3) == pytest.approx(4.0)
+        assert hardcore_uniqueness_threshold(4) == pytest.approx(27.0 / 16.0)
+        assert hardcore_uniqueness_threshold(5) == pytest.approx(256.0 / 243.0)
+
+    def test_low_degree_is_always_unique(self):
+        assert math.isinf(hardcore_uniqueness_threshold(2))
+        assert math.isinf(hardcore_uniqueness_threshold(0))
+
+    def test_threshold_decreases_with_degree(self):
+        values = [hardcore_uniqueness_threshold(d) for d in range(3, 10)]
+        assert all(earlier > later for earlier, later in zip(values, values[1:]))
+
+    def test_margin_classification(self):
+        in_regime, ratio = hardcore_uniqueness_margin(1.0, 3)
+        assert in_regime and ratio == pytest.approx(0.25)
+        out_regime, ratio = hardcore_uniqueness_margin(5.0, 3)
+        assert not out_regime and ratio > 1
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            hardcore_uniqueness_margin(0.0, 3)
+
+
+class TestHypergraphThreshold:
+    def test_rank_two_recovers_hardcore(self):
+        assert hypergraph_matching_uniqueness_threshold(2, 5) == pytest.approx(
+            hardcore_uniqueness_threshold(5)
+        )
+
+    def test_threshold_decreases_with_rank(self):
+        assert hypergraph_matching_uniqueness_threshold(3, 5) < hypergraph_matching_uniqueness_threshold(2, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hypergraph_matching_uniqueness_threshold(1, 5)
+
+
+class TestAlphaStar:
+    def test_alpha_star_solves_equation(self):
+        assert ALPHA_STAR == pytest.approx(math.exp(1.0 / ALPHA_STAR), abs=1e-9)
+        assert 1.763 < ALPHA_STAR < 1.764
+
+
+class TestMatchingDecayRate:
+    def test_rate_in_unit_interval(self):
+        for degree in (1, 2, 5, 20):
+            rate = matching_ssm_decay_rate(degree)
+            assert 0.0 <= rate < 1.0
+
+    def test_rate_grows_with_degree(self):
+        assert matching_ssm_decay_rate(16) > matching_ssm_decay_rate(4)
+
+    def test_sqrt_delta_scaling(self):
+        # 1 / (1 - rate) should scale like sqrt(Delta): quadrupling the degree
+        # roughly doubles the mixing time scale.
+        scale_4 = 1.0 / (1.0 - matching_ssm_decay_rate(4))
+        scale_16 = 1.0 / (1.0 - matching_ssm_decay_rate(16))
+        assert scale_16 / scale_4 == pytest.approx(2.0, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matching_ssm_decay_rate(3, edge_weight=0.0)
+        assert matching_ssm_decay_rate(0) == 0.0
+
+
+class TestTwoSpinUniqueness:
+    def test_hardcore_parameters_match_threshold(self):
+        # beta=0, gamma=1 is the hardcore model: uniqueness iff lambda < lambda_c.
+        delta = 5
+        threshold = hardcore_uniqueness_threshold(delta)
+        assert is_two_spin_uniqueness(0.0, 1.0, 0.9 * threshold, delta)
+        assert not is_two_spin_uniqueness(0.0, 1.0, 1.5 * threshold, delta)
+
+    def test_ferromagnetic_like_models_are_unique_at_low_degree(self):
+        assert is_two_spin_uniqueness(0.8, 0.8, 1.0, 2)
+
+    def test_fixed_point_is_a_fixed_point(self):
+        beta, gamma, lam, degree = 0.3, 1.0, 1.0, 3
+        x = two_spin_tree_fixed_point(beta, gamma, lam, degree)
+        recomputed = lam * ((beta * x + 1.0) / (x + gamma)) ** degree
+        assert x == pytest.approx(recomputed, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            is_two_spin_uniqueness(-1.0, 1.0, 1.0, 3)
+
+    @given(lam=st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_small_fugacity_always_unique(self, lam):
+        assert is_two_spin_uniqueness(0.0, 1.0, lam, 6)

@@ -1,0 +1,116 @@
+"""Cross-cutting property-based tests of the paper's structural invariants.
+
+These hypothesis tests target the invariants the reductions lean on, across
+randomly generated small instances:
+
+* conditional independence across separators (Proposition 2.1);
+* self-reducibility: conditioning commutes with the chain rule;
+* SSM-bound consistency: the ball-local inference error is bounded by the
+  worst-case boundary influence at the ball's radius (the inequality behind
+  Theorem 5.1);
+* the JVV acceptance identity: the product of acceptance probabilities
+  telescopes to the ratio the proof of Lemma 4.8 uses.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import total_variation
+from repro.gibbs import Pinning, SamplingInstance
+from repro.graphs import cycle_graph, random_tree
+from repro.inference import ExactInference
+from repro.inference.ssm_inference import padded_ball_marginal
+from repro.models import hardcore_model, two_spin_model
+from repro.spatialmixing import boundary_influence
+from repro.graphs.structure import sphere
+
+
+class TestConditionalIndependence:
+    @given(
+        fugacity=st.floats(0.3, 2.0),
+        seed=st.integers(0, 40),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_separator_blocks_influence_on_trees(self, fugacity, seed):
+        """Pinning a tree node makes the two sides conditionally independent."""
+        tree = random_tree(9, seed=seed)
+        distribution = hardcore_model(tree, fugacity=fugacity)
+        # Pick an internal node as the separator.
+        separator = max(tree.nodes(), key=tree.degree)
+        neighbours = list(tree.neighbors(separator))
+        if len(neighbours) < 2:
+            return
+        left, right = neighbours[0], neighbours[1]
+        pinning = {separator: 0}
+        joint = distribution.joint_marginal((left, right), pinning)
+        left_marginal = distribution.marginal(left, pinning)
+        right_marginal = distribution.marginal(right, pinning)
+        for (value_left, value_right), probability in joint.items():
+            assert probability == pytest.approx(
+                left_marginal[value_left] * right_marginal[value_right], abs=1e-9
+            )
+
+
+class TestSelfReducibility:
+    @given(fugacity=st.floats(0.3, 2.0), n=st.integers(4, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_conditioning_matches_direct_conditional(self, fugacity, n):
+        """mu^{tau}(. | extra) equals mu^{tau ∪ extra} (Remark 2.2)."""
+        distribution = hardcore_model(cycle_graph(n), fugacity=fugacity)
+        base = SamplingInstance(distribution, {0: 1})
+        extra = {2: 0}
+        reduced = base.conditioned(extra)
+        probe = 3 if n > 3 else 1
+        direct = distribution.marginal(probe, {0: 1, 2: 0})
+        via_instance = reduced.target_marginal(probe)
+        assert total_variation(direct, via_instance) < 1e-12
+
+
+class TestSSMBoundsBallInference:
+    @given(fugacity=st.floats(0.3, 3.0), radius=st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_ball_error_at_most_boundary_influence(self, fugacity, radius):
+        """The Theorem 5.1 estimate errs by at most the influence at its radius.
+
+        The padded-ball estimate equals the exact marginal under *some*
+        feasible boundary configuration at distance > radius, so its error is
+        bounded by the worst-case influence of that sphere (plus numerical
+        slack).
+        """
+        distribution = hardcore_model(cycle_graph(10), fugacity=fugacity)
+        instance = SamplingInstance(distribution)
+        node = 5
+        estimate = padded_ball_marginal(instance, node, radius)
+        exact = instance.target_marginal(node)
+        error = total_variation(estimate, exact)
+        shell = sphere(distribution.graph, node, radius + 1)
+        if not shell:
+            return
+        influence, _ = boundary_influence(distribution, node, shell, max_configs=None)
+        assert error <= influence + 1e-9
+
+
+class TestJVVTelescoping:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_acceptance_product_matches_lemma_48(self, seed):
+        """With an exact oracle, every per-node acceptance equals exp(-3/n^2).
+
+        This is the telescoped form of the Lemma 4.8 identity
+        Pr[accept | Y] = mu_hat(sigma_0) w(Y) / (mu_hat(Y) w(sigma_0)) e^{-3/n}
+        specialised to mu_hat = mu (exact inference).
+        """
+        from repro.localmodel import Network, run_slocal_algorithm
+        from repro.sampling.jvv import LocalJVVSampler
+
+        distribution = two_spin_model(cycle_graph(5), beta=0.5, gamma=1.2, field=0.8)
+        instance = SamplingInstance(distribution)
+        algorithm = LocalJVVSampler(instance, ExactInference())
+        network = Network(instance.graph, seed=seed)
+        result = run_slocal_algorithm(algorithm, network)
+        expected = math.exp(-3.0 / instance.size ** 2)
+        for node in network.nodes:
+            assert result.states[node]["acceptance"] == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,72 @@
+"""Tests for the exact enumeration sampler (the ground-truth baseline)."""
+
+import math
+
+import pytest
+
+from repro.analysis import empirical_distribution, total_variation
+from repro.analysis.distances import configuration_key
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.models import hardcore_model, matching_model
+from repro.sampling import ExactSampler, enumerate_target_distribution
+
+
+class TestEnumerateTargetDistribution:
+    def test_probabilities_sum_to_one(self, pinned_hardcore_instance):
+        distribution = enumerate_target_distribution(pinned_hardcore_instance)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_matches_target_probability(self, hardcore_instance):
+        distribution = enumerate_target_distribution(hardcore_instance)
+        for key, probability in list(distribution.items())[:5]:
+            assert probability == pytest.approx(
+                hardcore_instance.target_probability(dict(key))
+            )
+
+    def test_pinning_respected(self, pinned_hardcore_instance):
+        distribution = enumerate_target_distribution(pinned_hardcore_instance)
+        for key in distribution:
+            assert dict(key)[0] == 1
+            assert dict(key)[3] == 0
+
+    def test_infeasible_pinning_raises(self, hardcore_cycle):
+        instance = SamplingInstance(hardcore_cycle, {0: 1, 1: 1})
+        with pytest.raises(ValueError):
+            enumerate_target_distribution(instance)
+
+
+class TestExactSampler:
+    def test_support_size(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(5), fugacity=1.0))
+        sampler = ExactSampler(instance)
+        assert sampler.support_size == 11
+
+    def test_samples_are_feasible(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), fugacity=1.5), {0: 1})
+        sampler = ExactSampler(instance, seed=3)
+        for sample in sampler.samples(50):
+            assert instance.distribution.weight(sample) > 0
+            assert sample[0] == 1
+
+    def test_empirical_distribution_converges(self):
+        instance = SamplingInstance(hardcore_model(path_graph(4), fugacity=1.0))
+        sampler = ExactSampler(instance, seed=0)
+        truth = enumerate_target_distribution(instance)
+        samples = [configuration_key(sample) for sample in sampler.samples(3000)]
+        empirical = empirical_distribution(samples)
+        # 8 outcomes, 3000 samples: expected TV well below 0.08.
+        assert total_variation(empirical, truth) < 0.08
+
+    def test_probability_of(self):
+        instance = SamplingInstance(hardcore_model(path_graph(3), fugacity=1.0))
+        sampler = ExactSampler(instance)
+        empty = {0: 0, 1: 0, 2: 0}
+        assert sampler.probability_of(empty) == pytest.approx(1.0 / 5.0)
+        assert sampler.probability_of({0: 1, 1: 1, 2: 0}) == 0.0
+
+    def test_reproducibility(self):
+        instance = SamplingInstance(matching_model(path_graph(5)))
+        first = ExactSampler(instance, seed=9).samples(10)
+        second = ExactSampler(instance, seed=9).samples(10)
+        assert first == second

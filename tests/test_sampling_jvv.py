@@ -1,0 +1,116 @@
+"""Tests for the distributed JVV sampler (Theorem 4.2)."""
+
+import math
+
+import pytest
+
+from repro.analysis import empirical_distribution, total_variation
+from repro.analysis.distances import configuration_key
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.inference import ExactInference, correlation_decay_for
+from repro.models import coloring_model, hardcore_model
+from repro.sampling import enumerate_target_distribution, sample_exact_local, sample_exact_slocal
+
+
+class TestJVVMechanics:
+    def test_outputs_are_feasible_and_respect_pinning(self):
+        distribution = hardcore_model(cycle_graph(7), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        engine = ExactInference()
+        for seed in range(8):
+            result = sample_exact_slocal(instance, engine, seed=seed)
+            assert distribution.weight(result.configuration) > 0
+            assert result.configuration[0] == 1
+
+    def test_acceptance_probability_with_exact_oracle(self):
+        # With a zero-error oracle every node's acceptance probability is
+        # exactly exp(-3/n^2) (the slack factor of equation (9)).
+        from repro.localmodel import Network, run_slocal_algorithm
+        from repro.sampling.jvv import LocalJVVSampler
+
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.2)
+        instance = SamplingInstance(distribution)
+        algorithm = LocalJVVSampler(instance, ExactInference())
+        network = Network(instance.graph, seed=1)
+        result = run_slocal_algorithm(algorithm, network)
+        expected = math.exp(-3.0 / 6 ** 2)
+        for node in network.nodes:
+            assert result.states[node]["acceptance"] == pytest.approx(expected, rel=1e-6)
+
+    def test_failure_probability_decreases_with_size(self):
+        # Total success probability is about exp(-3/n), so failures per run
+        # shrink as n grows; compare empirical failure frequencies.
+        engine = ExactInference()
+
+        def failure_rate(n, runs=60):
+            distribution = hardcore_model(cycle_graph(n), fugacity=1.0)
+            instance = SamplingInstance(distribution)
+            failures = 0
+            for seed in range(runs):
+                if not sample_exact_slocal(instance, engine, seed=seed).success:
+                    failures += 1
+            return failures / runs
+
+        small, large = failure_rate(4), failure_rate(10)
+        assert large <= small + 0.15
+
+    def test_rounds_scale_with_inference_locality(self):
+        distribution = hardcore_model(cycle_graph(10), fugacity=0.8)
+        instance = SamplingInstance(distribution)
+        engine = correlation_decay_for(distribution, decay_rate=0.5, max_depth=3)
+        result = sample_exact_slocal(instance, engine, seed=0)
+        assert result.rounds == 3 * engine.locality(instance, 1.0 / 10 ** 3) + 1
+
+    def test_local_simulation_adds_overhead_and_keeps_feasibility(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        engine = correlation_decay_for(distribution, max_depth=2)
+        slocal = sample_exact_slocal(instance, engine, seed=2)
+        local = sample_exact_local(instance, engine, seed=2)
+        assert local.rounds > slocal.rounds
+        assert distribution.weight(local.configuration) > 0
+
+
+class TestJVVExactness:
+    @pytest.mark.parametrize(
+        "factory,pinning",
+        [
+            (lambda: hardcore_model(cycle_graph(5), fugacity=1.0), {}),
+            (lambda: hardcore_model(path_graph(5), fugacity=1.6), {0: 1}),
+            (lambda: coloring_model(path_graph(4), num_colors=3), {0: 2}),
+        ],
+    )
+    def test_conditional_output_distribution_matches_target(self, factory, pinning):
+        """Conditioned on success the output follows mu^tau exactly.
+
+        Statistical check: with several hundred accepted runs the empirical
+        distribution must be within sampling noise of the enumerated target.
+        """
+        distribution = factory()
+        instance = SamplingInstance(distribution, pinning)
+        engine = ExactInference()
+        truth = enumerate_target_distribution(instance)
+        accepted = []
+        seed = 0
+        while len(accepted) < 260 and seed < 1200:
+            result = sample_exact_slocal(instance, engine, seed=seed)
+            if result.success:
+                accepted.append(configuration_key(result.configuration))
+            seed += 1
+        assert len(accepted) >= 260
+        empirical = empirical_distribution(accepted)
+        noise = 3.0 * math.sqrt(len(truth) / (4.0 * len(accepted)))
+        assert total_variation(empirical, truth) < noise
+
+    def test_approximate_engine_still_produces_feasible_samples(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=0.9)
+        instance = SamplingInstance(distribution)
+        engine = correlation_decay_for(distribution, max_depth=4)
+        successes = 0
+        for seed in range(20):
+            result = sample_exact_slocal(instance, engine, seed=seed)
+            if result.success:
+                successes += 1
+            assert distribution.weight(result.configuration) > 0
+        assert successes > 0

@@ -1,0 +1,71 @@
+"""Tests for the sampling => inference reduction (Theorem 3.4)."""
+
+import pytest
+
+from repro.analysis import total_variation
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.inference import ExactInference
+from repro.models import hardcore_model
+from repro.sampling import InferenceFromSampling, sample_approximate_slocal
+from repro.sampling.exact import ExactSampler
+
+
+def exact_sampler_callable(instance, error, seed):
+    """An approximate sampler backed by exhaustive enumeration (zero error)."""
+    sampler = ExactSampler(instance, seed=seed)
+    return sampler.sample(), 1
+
+
+def sequential_sampler_callable(instance, error, seed):
+    """The Theorem 3.2 sampler, exposed in the callable form Theorem 3.4 needs."""
+    result = sample_approximate_slocal(instance, ExactInference(), error, seed=seed)
+    return result.configuration, result.rounds
+
+
+class TestInferenceFromSampling:
+    def test_marginals_from_exact_sampler(self):
+        distribution = hardcore_model(cycle_graph(6), fugacity=1.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        engine = InferenceFromSampling(exact_sampler_callable, num_samples=600, seed=0)
+        for node in (2, 3):
+            estimate = engine.marginal(instance, node, 0.1)
+            truth = instance.target_marginal(node)
+            assert total_variation(estimate, truth) < 0.08
+
+    def test_marginals_from_sequential_sampler(self):
+        distribution = hardcore_model(path_graph(5), fugacity=1.2)
+        instance = SamplingInstance(distribution)
+        engine = InferenceFromSampling(sequential_sampler_callable, num_samples=400, seed=3)
+        estimate = engine.marginal(instance, 2, 0.1)
+        truth = instance.target_marginal(2)
+        assert total_variation(estimate, truth) < 0.1
+
+    def test_pinned_node_short_circuits(self):
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        instance = SamplingInstance(distribution, {1: 0})
+        calls = []
+
+        def counting_sampler(inner_instance, error, seed):
+            calls.append(seed)
+            return ExactSampler(inner_instance, seed=seed).sample(), 1
+
+        engine = InferenceFromSampling(counting_sampler, num_samples=10)
+        assert engine.marginal(instance, 1, 0.1)[0] == pytest.approx(1.0)
+        assert not calls
+
+    def test_locality_reports_sampler_rounds(self):
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+
+        def rounds_seven(inner_instance, error, seed):
+            return ExactSampler(inner_instance, seed=seed).sample(), 7
+
+        engine = InferenceFromSampling(rounds_seven, num_samples=5)
+        assert engine.locality(instance, 0.1) == 7
+
+    def test_sample_count_derived_from_error(self):
+        distribution = hardcore_model(path_graph(3), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        engine = InferenceFromSampling(exact_sampler_callable)
+        assert engine._samples_for(instance, 0.05) > engine._samples_for(instance, 0.5)
