@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite (as pinned in ROADMAP.md) plus an
+# explicit run of the engine-equivalence suite, which is the contract between
+# the compiled evaluation engine and the reference dict engine.
+#
+# Usage: scripts/ci_tier1.sh  (from the repository root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full suite =="
+python -m pytest -x -q
+
+echo "== tier-1: engine equivalence =="
+python -m pytest -x -q tests/test_engine_equivalence.py
+
+echo "tier-1 OK"

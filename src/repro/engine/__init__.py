@@ -1,0 +1,76 @@
+"""Array-backed compiled evaluation engine for Gibbs distributions.
+
+This package is the fast execution backend of the repository.  It compiles a
+:class:`~repro.gibbs.distribution.GibbsDistribution` (or any ball-restricted
+sub-instance) into integer-indexed form -- nodes to contiguous ints, alphabet
+symbols to codes, factors to dense NumPy weight arrays -- and replaces the
+pure-Python dict joins of :mod:`repro.gibbs.elimination` with axis-labelled
+tensor contractions.
+
+Architecture
+------------
+
+``contraction``
+    The numeric core: potentials as ``(axes, array)`` pairs, broadcast
+    multiplication, axis sums, and the min-degree elimination order.
+``compiled``
+    :class:`CompiledGibbs` -- the integer-indexed instance with cached
+    elimination orders and memoised marginals.
+``cache``
+    :class:`BallCache` -- memoised compilation of ball-restricted
+    sub-instances keyed by ``(center, radius)``, with per-pinning-signature
+    marginal memoisation inside each compiled ball.
+``conditionals``
+    :class:`CompiledConditionals` -- per-node gathered factor tables that
+    turn a Glauber conditional into one gather plus a product over the
+    alphabet axis.
+
+Backend selection
+-----------------
+
+Every public evaluation API (``eliminate_partition_function``,
+``eliminate_marginal``, ``GibbsDistribution.partition_function`` /
+``marginal``, ``local_conditional``, the ball-local inference engines)
+accepts an ``engine`` keyword: ``"compiled"`` (the default) routes through
+this package, ``"dict"`` selects the reference dict-of-tuples implementation.
+Passing ``engine=None`` means "use the default".  The two backends agree to
+numerical precision (see ``tests/test_engine_equivalence.py``); the dict
+engine is retained as the independently-implemented ground truth.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cache import BallCache
+from repro.engine.compiled import CompiledGibbs
+from repro.engine.conditionals import CompiledConditionals
+
+#: The reference pure-Python backend (dict-of-tuples joins).
+DICT_ENGINE = "dict"
+#: The array-backed compiled backend.
+COMPILED_ENGINE = "compiled"
+#: Backend used when callers pass ``engine=None``.
+DEFAULT_ENGINE = COMPILED_ENGINE
+
+_ENGINES = (DICT_ENGINE, COMPILED_ENGINE)
+
+
+def resolve_engine(engine) -> str:
+    """Normalise an ``engine=`` argument, rejecting unknown backends."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown evaluation engine {engine!r}; expected one of {_ENGINES}"
+        )
+    return engine
+
+
+__all__ = [
+    "BallCache",
+    "CompiledGibbs",
+    "CompiledConditionals",
+    "DICT_ENGINE",
+    "COMPILED_ENGINE",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
+]

@@ -1,0 +1,137 @@
+"""Memoised compilation of ball-restricted sub-instances.
+
+Every ball-local algorithm in the repository (the Theorem 5.1 SSM inference
+engines, the boosting lemma, the JVV sampler's inference calls) repeats the
+same expensive preamble: extract ``B_r(v)``, collect the factors inside it,
+and run variable elimination on the restriction.  :class:`BallCache` keys the
+compiled restriction by ``(center, radius)`` -- the ball node set and factor
+arrays never change for a fixed distribution -- and the per-query marginal
+memo inside each :class:`~repro.engine.compiled.CompiledGibbs` adds the
+pinning signature, so a repeated ``(center, radius, pinning)`` query is a
+dict hit instead of a recompilation.
+
+The cache lives on the :class:`~repro.gibbs.distribution.GibbsDistribution`
+(see :meth:`GibbsDistribution.ball_marginal`), which makes it shared across
+all :class:`~repro.gibbs.instance.SamplingInstance` objects conditioned from
+the same distribution -- exactly the access pattern of the JVV passes, which
+create a fresh conditioned instance per query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+from repro.engine.compiled import CompiledGibbs
+from repro.graphs.structure import distances_from
+
+Node = Hashable
+Value = Hashable
+
+#: Cap on retained compiled balls; the whole cache resets when exceeded
+#: (same reset-when-full policy as the memos inside ``CompiledGibbs``),
+#: keeping radius sweeps over large instances memory-bounded.
+_BALL_CACHE_LIMIT = 4096
+#: Cap on the scratch memo space (``extras``).
+_EXTRAS_LIMIT = 65536
+
+
+class BallCache:
+    """Compiled ball-restricted sub-instances of one distribution."""
+
+    __slots__ = ("_distribution", "_ball_nodes", "_distances", "_compiled", "extras")
+
+    def __init__(self, distribution) -> None:
+        self._distribution = distribution
+        self._ball_nodes: Dict[Tuple[Node, int], frozenset] = {}
+        self._distances: Dict[Node, Tuple[int, Dict[Node, int]]] = {}
+        self._compiled: Dict[Tuple[Node, int], CompiledGibbs] = {}
+        #: Scratch memo space for ball-local algorithms (e.g. the SSM
+        #: engines' greedy boundary extensions); cleared with the cache.
+        self.extras: Dict = {}
+
+    # ------------------------------------------------------------------
+    def ball_nodes(self, center: Node, radius: int) -> frozenset:
+        """The node set of ``B_radius(center)`` (memoised).
+
+        One BFS per ``(center, largest radius seen)``: smaller balls around
+        the same center are sliced out of the cached distance map, so the
+        inner/padded/context triple of the SSM engines costs a single
+        traversal.
+        """
+        key = (center, radius)
+        nodes = self._ball_nodes.get(key)
+        if nodes is None:
+            known_radius, distances = self._distances.get(center, (-1, None))
+            if distances is None or known_radius < radius:
+                distances = distances_from(self._distribution.graph, center, radius)
+                if len(self._distances) >= _BALL_CACHE_LIMIT:
+                    self._distances.clear()
+                self._distances[center] = (radius, distances)
+            nodes = frozenset(
+                node for node, distance in distances.items() if distance <= radius
+            )
+            if len(self._ball_nodes) >= 4 * _BALL_CACHE_LIMIT:
+                self._ball_nodes.clear()
+            self._ball_nodes[key] = nodes
+        return nodes
+
+    def compiled_ball(self, center: Node, radius: int) -> CompiledGibbs:
+        """The compiled restriction to ``B_radius(center)`` (memoised).
+
+        Nodes are ordered by ``repr`` to match the dict engine's convention;
+        only factors fully contained in the ball are compiled, so the result
+        computes exactly the ball-restricted quantities of the paper.
+        """
+        key = (center, radius)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            distribution = self._distribution
+            nodes = sorted(self.ball_nodes(center, radius), key=repr)
+            factors = distribution.factors_within(nodes)
+            compiled = CompiledGibbs.from_factors(nodes, distribution.alphabet, factors)
+            if len(self._compiled) >= _BALL_CACHE_LIMIT:
+                self.clear()
+            self._compiled[key] = compiled
+        return compiled
+
+    def cached_extra(self, key, factory):
+        """Memoise an arbitrary ball-local computation under this cache.
+
+        Callers namespace their keys with a leading tag string (e.g.
+        ``("boundary-extension", center, radius, pinning_signature)``); the
+        reset-when-full policy lives here so every user of the scratch space
+        shares one eviction discipline.
+        """
+        value = self.extras.get(key)
+        if value is None:
+            value = factory()
+            if len(self.extras) >= _EXTRAS_LIMIT:
+                self.extras.clear()
+            self.extras[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    def ball_marginal(
+        self,
+        center: Node,
+        radius: int,
+        pinning: Mapping[Node, Value],
+        node: Node,
+    ) -> Dict[Value, float]:
+        """Exact marginal of ``node`` in the ball-restricted sub-instance.
+
+        The pinning is restricted to the ball automatically; pinned query
+        nodes return a point mass.  Results are memoised per
+        ``(center, radius, pinning signature)``.
+        """
+        compiled = self.compiled_ball(center, radius)
+        in_ball = compiled.node_index
+        restricted = {n: v for n, v in pinning.items() if n in in_ball}
+        return compiled.marginal(node, restricted)
+
+    def clear(self) -> None:
+        """Drop all compiled balls (used by tests and memory-pressure hooks)."""
+        self._ball_nodes.clear()
+        self._distances.clear()
+        self._compiled.clear()
+        self.extras.clear()

@@ -1,0 +1,390 @@
+"""Integer-indexed compilation of a Gibbs distribution.
+
+:class:`CompiledGibbs` maps nodes to contiguous integers, alphabet symbols to
+integer codes, and materialises every factor as a dense NumPy weight array
+with one length-``q`` axis per scope node.  Partition functions and marginals
+are then computed by the tensor-contraction eliminator of
+:mod:`repro.engine.contraction` instead of the reference dict-of-tuples
+engine in :mod:`repro.gibbs.elimination`.
+
+The class is deliberately standalone (it never imports
+:class:`~repro.gibbs.distribution.GibbsDistribution`): it is built either
+from :class:`~repro.gibbs.factors.Factor`-like objects
+(:meth:`CompiledGibbs.from_factors`) or from raw ``(scope, table)`` pairs
+(:meth:`CompiledGibbs.from_tables`), so it can compile full instances as well
+as ball-restricted sub-instances.
+
+Two memoisations make repeated queries cheap:
+
+* elimination orders are cached per pinned *domain* (the min-degree order
+  does not depend on the pinned values);
+* marginals are cached per ``(node, pinning signature)`` -- the signature is
+  the encoded ``(variable, code)`` item set, so e.g. the JVV sampler's
+  repeated acceptance-ratio queries hit the cache instead of re-eliminating.
+
+Both caches are size-capped and simply reset when full, which keeps
+long-running chains memory-bounded without LRU bookkeeping overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.contraction import (
+    build_schedule,
+    execute_schedule,
+    min_degree_order,
+    restrict_potential,
+)
+
+Node = Hashable
+Value = Hashable
+
+#: Cap on cached elimination orders (distinct pinned domains).
+_ORDER_CACHE_LIMIT = 4096
+#: Cap on cached marginals (distinct ``(node, pinning)`` queries).
+_MARGINAL_CACHE_LIMIT = 65536
+
+
+class CompiledGibbs:
+    """A Gibbs (sub-)instance compiled to integer-indexed dense arrays."""
+
+    __slots__ = (
+        "nodes",
+        "node_index",
+        "alphabet",
+        "symbol_index",
+        "q",
+        "scopes",
+        "arrays",
+        "factors_at",
+        "fused_scopes",
+        "fused_arrays",
+        "_order_cache",
+        "_schedule_cache",
+        "_marginal_memo",
+        "_conditionals",
+    )
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        alphabet: Sequence[Value],
+        scopes: Sequence[Tuple[int, ...]],
+        arrays: Sequence[np.ndarray],
+    ) -> None:
+        self.nodes: Tuple[Node, ...] = tuple(nodes)
+        self.node_index: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
+        self.alphabet: Tuple[Value, ...] = tuple(alphabet)
+        self.symbol_index: Dict[Value, int] = {value: i for i, value in enumerate(self.alphabet)}
+        self.q = len(self.alphabet)
+        self.scopes: Tuple[Tuple[int, ...], ...] = tuple(tuple(scope) for scope in scopes)
+        self.arrays: Tuple[np.ndarray, ...] = tuple(arrays)
+        factors_at: List[List[int]] = [[] for _ in self.nodes]
+        for factor_id, scope in enumerate(self.scopes):
+            for variable in scope:
+                factors_at[variable].append(factor_id)
+        self.factors_at: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(ids) for ids in factors_at
+        )
+        self.fused_scopes, self.fused_arrays = _fuse_factors(self.scopes, self.arrays)
+        self._order_cache: Dict[frozenset, Tuple[int, ...]] = {}
+        self._schedule_cache: Dict[tuple, tuple] = {}
+        self._marginal_memo: Dict[tuple, Dict[Value, float]] = {}
+        self._conditionals = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_factors(
+        cls, nodes: Sequence[Node], alphabet: Sequence[Value], factors: Sequence
+    ) -> "CompiledGibbs":
+        """Compile :class:`~repro.gibbs.factors.Factor`-like objects.
+
+        Each factor must expose ``scope`` and ``dense_table(alphabet)``; the
+        dense table is cached on the factor, so compiling many overlapping
+        balls of the same distribution materialises each factor only once.
+        """
+        node_index = {node: i for i, node in enumerate(nodes)}
+        scopes = [tuple(node_index[node] for node in factor.scope) for factor in factors]
+        arrays = [factor.dense_table(alphabet) for factor in factors]
+        return cls(nodes, alphabet, scopes, arrays)
+
+    @classmethod
+    def from_tables(
+        cls,
+        nodes: Sequence[Node],
+        alphabet: Sequence[Value],
+        tables: Sequence[Tuple[Sequence[Node], Mapping[Tuple[Value, ...], float]]],
+    ) -> "CompiledGibbs":
+        """Compile raw ``(scope, table)`` pairs (the dict engine's input format)."""
+        node_index = {node: i for i, node in enumerate(nodes)}
+        symbol_index = {value: i for i, value in enumerate(alphabet)}
+        q = len(alphabet)
+        scopes: List[Tuple[int, ...]] = []
+        arrays: List[np.ndarray] = []
+        for scope, entries in tables:
+            scopes.append(tuple(node_index[node] for node in scope))
+            array = np.zeros((q,) * len(scope))
+            for key, weight in entries.items():
+                codes = tuple(symbol_index.get(value) for value in key)
+                if any(code is None for code in codes):
+                    continue
+                array[codes] = weight
+            arrays.append(array)
+        return cls(nodes, alphabet, scopes, arrays)
+
+    # ------------------------------------------------------------------
+    # pinning encoding
+    # ------------------------------------------------------------------
+    def _encode_pinning(
+        self, pinning: Mapping[Node, Value]
+    ) -> Optional[Tuple[Dict[int, int], frozenset]]:
+        """Encode a pinning as variable codes.
+
+        Returns ``(pin_codes, pinned_domain)``; pinned nodes outside this
+        sub-instance are ignored.  ``None`` signals a trivially infeasible
+        pinning (a factored node pinned to a symbol outside the alphabet).
+        """
+        pin_codes: Dict[int, int] = {}
+        pinned: set = set()
+        for node, value in pinning.items():
+            variable = self.node_index.get(node)
+            if variable is None:
+                continue
+            pinned.add(variable)
+            code = self.symbol_index.get(value)
+            if code is None:
+                if self.factors_at[variable]:
+                    return None
+                continue
+            pin_codes[variable] = code
+        return pin_codes, frozenset(pinned)
+
+    def _order_for(self, pinned: frozenset) -> Tuple[int, ...]:
+        order = self._order_cache.get(pinned)
+        if order is None:
+            if pinned:
+                # Pinning a variable only removes it from scopes, so the
+                # elimination graph under the base (unpinned) order is a
+                # subgraph of the unpinned one: filtering the base order
+                # never increases the induced width, and skips re-running
+                # the min-degree heuristic per pinned domain.
+                order = tuple(v for v in self._order_for(frozenset()) if v not in pinned)
+            else:
+                free = list(range(len(self.nodes)))
+                covered = set()
+                for scope in self.fused_scopes:
+                    covered.update(scope)
+                scopes = list(self.fused_scopes) + [(v,) for v in free if v not in covered]
+                order = min_degree_order(scopes, free)
+            if len(self._order_cache) >= _ORDER_CACHE_LIMIT:
+                self._order_cache.clear()
+            self._order_cache[pinned] = order
+        return order
+
+    def _restricted_arrays(self, pin_codes: Mapping[int, int]):
+        if not pin_codes:
+            return self.fused_arrays
+        return [
+            restrict_potential(scope, array, pin_codes)[1]
+            for scope, array in zip(self.fused_scopes, self.fused_arrays)
+        ]
+
+    def _schedule_for(self, pinned: frozenset, keep: Tuple[int, ...]) -> tuple:
+        """The cached contraction schedule for a pinned domain and kept axes.
+
+        The schedule (see :func:`repro.engine.contraction.build_schedule`)
+        depends only on which variables are pinned, so sweeps that re-query
+        the same domain with different pinned values (SSM measurement, the
+        phase-transition experiment, JVV acceptance ratios) replay pure
+        array operations with no elimination bookkeeping.
+        """
+        key = (pinned, keep)
+        schedule = self._schedule_cache.get(key)
+        if schedule is None:
+            restricted_axes = [
+                tuple(v for v in scope if v not in pinned) for scope in self.fused_scopes
+            ]
+            free = [v for v in range(len(self.nodes)) if v not in pinned]
+            schedule = build_schedule(
+                restricted_axes, free, self.q, keep=keep, order=self._order_for(pinned)
+            )
+            if len(self._schedule_cache) >= _ORDER_CACHE_LIMIT:
+                self._schedule_cache.clear()
+            self._schedule_cache[key] = schedule
+        return schedule
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def partition_function(self, pinning: Mapping[Node, Value]) -> float:
+        """Exact conditional partition function ``Z(tau)``."""
+        encoded = self._encode_pinning(pinning)
+        if encoded is None:
+            return 0.0
+        pin_codes, pinned = encoded
+        ops, _ = self._schedule_for(pinned, ())
+        array = execute_schedule(ops, self._restricted_arrays(pin_codes), self.q)
+        return float(array.sum())
+
+    def marginal_weights(self, node: Node, pinning: Mapping[Node, Value]) -> np.ndarray:
+        """Unnormalised marginal weights of ``node``, in alphabet-code order.
+
+        Raises ``ValueError`` when the node is not part of the sub-instance;
+        a trivially infeasible pinning yields all-zero weights.
+        """
+        variable = self.node_index.get(node)
+        if variable is None:
+            raise ValueError(f"node {node!r} is not part of the instance")
+        encoded = self._encode_pinning(pinning)
+        if encoded is None:
+            return np.zeros(self.q)
+        pin_codes, pinned = encoded
+        ops, axes = self._schedule_for(pinned, (variable,))
+        array = execute_schedule(ops, self._restricted_arrays(pin_codes), self.q)
+        if axes == ():
+            # The kept node was pinned away or is outside the free set.
+            raise ValueError(f"node {node!r} is not free in this query")
+        # Sum out any stray kept axes (cannot happen with keep=(variable,),
+        # but keeps the contract with multi-node callers honest).
+        while len(axes) > 1:
+            drop = next(a for a in axes if a != variable)
+            index = axes.index(drop)
+            axes = axes[:index] + axes[index + 1 :]
+            array = array.sum(axis=index)
+        return np.asarray(array, dtype=float)
+
+    def marginal(self, node: Node, pinning: Mapping[Node, Value]) -> Dict[Value, float]:
+        """Exact conditional marginal ``mu^tau_v`` as a dict over the alphabet.
+
+        Pinned nodes return a point mass.  Results are memoised per
+        ``(node, pinning signature)``.
+        """
+        if node in pinning:
+            pinned_value = pinning[node]
+            return {value: (1.0 if value == pinned_value else 0.0) for value in self.alphabet}
+        encoded = self._encode_pinning(pinning)
+        if encoded is None:
+            raise ValueError("infeasible pinning: conditional partition function is zero")
+        pin_codes, pinned = encoded
+        key = (
+            self.node_index.get(node),
+            tuple(sorted(pinned)),
+            tuple(sorted(pin_codes.items())),
+        )
+        cached = self._marginal_memo.get(key)
+        if cached is None:
+            weights = self.marginal_weights(node, pinning)
+            total = float(weights.sum())
+            if total <= 0.0:
+                raise ValueError(
+                    "infeasible pinning: conditional partition function is zero"
+                )
+            cached = {
+                value: float(weights[code] / total)
+                for code, value in enumerate(self.alphabet)
+            }
+            if len(self._marginal_memo) >= _MARGINAL_CACHE_LIMIT:
+                self._marginal_memo.clear()
+            self._marginal_memo[key] = cached
+        return dict(cached)
+
+    def configuration_weight(self, configuration: Mapping[Node, Value]) -> float:
+        """Product of all factor weights on a full configuration.
+
+        Raises ``KeyError`` when a node is missing from the configuration or
+        a value is outside the alphabet (callers fall back to the generic
+        evaluation path in that case).
+        """
+        codes = [self.symbol_index[configuration[node]] for node in self.nodes]
+        weight = 1.0
+        for scope, array in zip(self.scopes, self.arrays):
+            weight *= float(array[tuple(codes[v] for v in scope)])
+            if weight == 0.0:
+                return 0.0
+        return weight
+
+    # ------------------------------------------------------------------
+    @property
+    def conditionals(self):
+        """Per-node gathered factor tables for vectorised local conditionals."""
+        if self._conditionals is None:
+            from repro.engine.conditionals import CompiledConditionals
+
+            self._conditionals = CompiledConditionals(self)
+        return self._conditionals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledGibbs(n={len(self.nodes)}, q={self.q}, "
+            f"factors={len(self.scopes)})"
+        )
+
+
+def _fuse_factors(
+    scopes: Sequence[Tuple[int, ...]], arrays: Sequence[np.ndarray]
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[np.ndarray, ...]]:
+    """Statically fold factors into fewer tables for the elimination path.
+
+    Factors with identical scope sets are multiplied together, and unary
+    factors are absorbed into some multi-node factor containing their node
+    (broadcast along that node's axis).  The product of all tables is
+    unchanged -- this just roughly halves the join count per elimination for
+    the vertex-plus-edge factorisations every model here uses.  The original
+    per-factor arrays stay available for conditionals and weight products.
+    """
+    by_scope_set: Dict[frozenset, int] = {}
+    fused_scopes: List[Tuple[int, ...]] = []
+    fused_arrays: List[np.ndarray] = []
+    unaries: List[Tuple[int, np.ndarray]] = []
+    for scope, array in zip(scopes, arrays):
+        if len(scope) == 1:
+            unaries.append((scope[0], array))
+            continue
+        key = frozenset(scope)
+        slot = by_scope_set.get(key)
+        if slot is None:
+            by_scope_set[key] = len(fused_scopes)
+            fused_scopes.append(scope)
+            fused_arrays.append(array.copy())
+        else:
+            host_scope = fused_scopes[slot]
+            aligned = np.transpose(array, [scope.index(v) for v in host_scope])
+            fused_arrays[slot] = fused_arrays[slot] * aligned
+    host_of: Dict[int, int] = {}
+    for slot, scope in enumerate(fused_scopes):
+        for variable in scope:
+            host_of.setdefault(variable, slot)
+    for variable, array in unaries:
+        slot = host_of.get(variable)
+        if slot is None:
+            key = frozenset((variable,))
+            slot = by_scope_set.get(key)
+            if slot is None:
+                by_scope_set[key] = len(fused_scopes)
+                fused_scopes.append((variable,))
+                fused_arrays.append(array.copy())
+                host_of[variable] = by_scope_set[key]
+            else:
+                fused_arrays[slot] = fused_arrays[slot] * array
+            continue
+        host_scope = fused_scopes[slot]
+        shape = [1] * len(host_scope)
+        shape[host_scope.index(variable)] = len(array)
+        fused_arrays[slot] = fused_arrays[slot] * array.reshape(shape)
+    return tuple(fused_scopes), tuple(fused_arrays)
+
+
+def dense_table_from_callable(factor, alphabet: Sequence[Value]) -> np.ndarray:
+    """Materialise a factor's weight function as a dense ``(q, ..., q)`` array."""
+    q = len(alphabet)
+    arity = len(factor.scope)
+    array = np.empty((q,) * arity)
+    for codes in itertools.product(range(q), repeat=arity):
+        array[codes] = factor.evaluate_values(tuple(alphabet[c] for c in codes))
+    return array

@@ -15,6 +15,18 @@ The class exposes exactly the operations the paper's algorithms rely on:
 * the locality of the factor collection (Definition 2.4);
 * ball-restricted weights ``w_B(sigma)`` used by the boosting lemma, the
   JVV sampler and the SSM-based inference algorithm.
+
+Evaluation backends
+-------------------
+
+All exact queries accept an ``engine`` keyword (default ``"compiled"``):
+``"compiled"`` routes through the array-backed engine of
+:mod:`repro.engine` (integer-indexed nodes, dense factor arrays, tensor
+contractions, memoised repeat queries), ``"dict"`` selects the reference
+dict-of-tuples eliminator of :mod:`repro.gibbs.elimination`.  Each
+distribution lazily caches one compiled form of the full instance plus a
+:class:`~repro.engine.cache.BallCache` of compiled ball restrictions shared
+by every ball-local algorithm (see :meth:`ball_marginal`).
 """
 
 from __future__ import annotations
@@ -25,6 +37,9 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, 
 
 import networkx as nx
 
+from repro.engine import resolve_engine
+from repro.engine.cache import BallCache
+from repro.engine.compiled import CompiledGibbs
 from repro.gibbs.elimination import (
     eliminate_marginal,
     eliminate_partition_function,
@@ -82,6 +97,10 @@ class GibbsDistribution:
         #: (e.g. ``fugacity``, ``locally_admissible``, ``uniqueness``).
         self.metadata: Dict[str, object] = dict(metadata or {})
         self._factor_tables = None
+        self._nodes: Optional[Tuple[Node, ...]] = None
+        self._compiled: Optional[CompiledGibbs] = None
+        self._ball_cache: Optional[BallCache] = None
+        self._locality: Optional[int] = None
         self._factors_by_node: Dict[Node, List[Factor]] = {node: [] for node in graph.nodes()}
         for factor in self.factors:
             for node in factor.scope:
@@ -92,11 +111,18 @@ class GibbsDistribution:
     # ------------------------------------------------------------------
     @property
     def nodes(self) -> List[Node]:
-        """The nodes of the underlying graph, in deterministic order."""
-        try:
-            return sorted(self.graph.nodes())
-        except TypeError:
-            return sorted(self.graph.nodes(), key=repr)
+        """The nodes of the underlying graph, in deterministic order.
+
+        The ordering is computed once and cached (the sort used to sit inside
+        every sampler loop); a fresh list is returned so callers may mutate
+        it freely.
+        """
+        if self._nodes is None:
+            try:
+                self._nodes = tuple(sorted(self.graph.nodes()))
+            except TypeError:
+                self._nodes = tuple(sorted(self.graph.nodes(), key=repr))
+        return list(self._nodes)
 
     @property
     def size(self) -> int:
@@ -114,18 +140,25 @@ class GibbsDistribution:
 
     def factors_within(self, nodes: Iterable[Node]) -> List[Factor]:
         """All factors whose scope is entirely inside the node set."""
-        node_set = set(nodes)
-        return [factor for factor in self.factors if set(factor.scope) <= node_set]
+        node_set = nodes if isinstance(nodes, (set, frozenset)) else set(nodes)
+        return [factor for factor in self.factors if factor.scope_set <= node_set]
 
     def locality(self) -> int:
         """Maximum scope diameter over all factors (Definition 2.4).
 
         Local Gibbs distributions have ``locality() = O(1)``; every model in
-        this repository has locality 0 or 1.
+        this repository has locality 0 or 1.  The value is computed once and
+        cached -- it involves one BFS per multi-node scope, and ball-local
+        algorithms query it on every marginal call.
         """
-        if not self.factors:
-            return 0
-        return max(factor.scope_diameter(self.graph) for factor in self.factors)
+        if self._locality is None:
+            if not self.factors:
+                self._locality = 0
+            else:
+                self._locality = max(
+                    factor.scope_diameter(self.graph) for factor in self.factors
+                )
+        return self._locality
 
     def max_degree(self) -> int:
         """Maximum degree of the underlying graph."""
@@ -135,9 +168,20 @@ class GibbsDistribution:
     # ------------------------------------------------------------------
     # weights and partition functions
     # ------------------------------------------------------------------
-    def weight(self, configuration: Configuration) -> float:
+    def weight(
+        self, configuration: Configuration, engine: Optional[str] = None
+    ) -> float:
         """Unnormalised weight ``w(sigma)`` of a full configuration."""
         self._require_full(configuration)
+        if resolve_engine(engine) == "compiled":
+            compiled = self.compiled_engine()
+            try:
+                # Fast path: every value is an alphabet symbol, so the
+                # compiled factor arrays apply (one gather per factor, no
+                # dict building).  Only out-of-alphabet values fall back.
+                return compiled.configuration_weight(configuration)
+            except KeyError:
+                pass
         weight = 1.0
         for factor in self.factors:
             weight *= factor.evaluate(configuration)
@@ -145,9 +189,11 @@ class GibbsDistribution:
                 return 0.0
         return weight
 
-    def log_weight(self, configuration: Configuration) -> float:
+    def log_weight(
+        self, configuration: Configuration, engine: Optional[str] = None
+    ) -> float:
         """Natural logarithm of ``w(sigma)`` (``-inf`` for weight zero)."""
-        weight = self.weight(configuration)
+        weight = self.weight(configuration, engine=engine)
         return math.log(weight) if weight > 0.0 else float("-inf")
 
     def weight_within(self, nodes: Iterable[Node], configuration: Configuration) -> float:
@@ -165,39 +211,58 @@ class GibbsDistribution:
                 return 0.0
         return weight
 
-    def partition_function(self, pinning: Optional[Mapping[Node, Value]] = None) -> float:
+    def partition_function(
+        self,
+        pinning: Optional[Mapping[Node, Value]] = None,
+        engine: Optional[str] = None,
+    ) -> float:
         """Exact conditional partition function ``Z(tau)``."""
         pinning = self._check_pinning(pinning)
+        if resolve_engine(engine) == "compiled":
+            return self.compiled_engine().partition_function(pinning)
         return eliminate_partition_function(
-            self._tables(), self.nodes, self.alphabet, pinning
+            self._tables(), self.nodes, self.alphabet, pinning, engine="dict"
         )
 
     # ------------------------------------------------------------------
     # probabilities and marginals (exact, used as ground truth)
     # ------------------------------------------------------------------
     def probability(
-        self, configuration: Configuration, pinning: Optional[Mapping[Node, Value]] = None
+        self,
+        configuration: Configuration,
+        pinning: Optional[Mapping[Node, Value]] = None,
+        engine: Optional[str] = None,
     ) -> float:
         """Conditional probability ``mu^tau(sigma)`` of a full configuration."""
         pinning = self._check_pinning(pinning)
         self._require_full(configuration)
-        z_value = self.partition_function(pinning)
+        z_value = self.partition_function(pinning, engine=engine)
         if z_value <= 0.0:
             raise ValueError("infeasible pinning: conditional partition function is zero")
         for node, value in pinning.items():
             if configuration[node] != value:
                 return 0.0
-        return self.weight(configuration) / z_value
+        return self.weight(configuration, engine=engine) / z_value
 
     def marginal(
-        self, node: Node, pinning: Optional[Mapping[Node, Value]] = None
+        self,
+        node: Node,
+        pinning: Optional[Mapping[Node, Value]] = None,
+        engine: Optional[str] = None,
     ) -> Dict[Value, float]:
         """Exact conditional marginal ``mu^tau_v`` at a single node."""
         pinning = self._check_pinning(pinning)
-        return eliminate_marginal(self._tables(), self.nodes, self.alphabet, pinning, node)
+        if resolve_engine(engine) == "compiled":
+            return self.compiled_engine().marginal(node, pinning)
+        return eliminate_marginal(
+            self._tables(), self.nodes, self.alphabet, pinning, node, engine="dict"
+        )
 
     def joint_marginal(
-        self, nodes: Sequence[Node], pinning: Optional[Mapping[Node, Value]] = None
+        self,
+        nodes: Sequence[Node],
+        pinning: Optional[Mapping[Node, Value]] = None,
+        engine: Optional[str] = None,
     ) -> Dict[Tuple[Value, ...], float]:
         """Exact conditional joint marginal over a small tuple of nodes.
 
@@ -206,7 +271,7 @@ class GibbsDistribution:
         measurements, conditional-independence tests).
         """
         pinning_obj = Pinning(self._check_pinning(pinning))
-        base = self.partition_function(pinning_obj)
+        base = self.partition_function(pinning_obj, engine=engine)
         if base <= 0.0:
             raise ValueError("infeasible pinning: conditional partition function is zero")
         result: Dict[Tuple[Value, ...], float] = {}
@@ -215,9 +280,7 @@ class GibbsDistribution:
         for values in itertools.product(self.alphabet, repeat=len(free_nodes)):
             assignment = dict(zip(free_nodes, values))
             extended = pinning_obj.union(assignment)
-            weight = eliminate_partition_function(
-                self._tables(), self.nodes, self.alphabet, extended
-            )
+            weight = self.partition_function(extended, engine=engine)
             key_values = []
             free_iter = iter(values)
             for i, node in enumerate(nodes):
@@ -246,10 +309,12 @@ class GibbsDistribution:
     # ------------------------------------------------------------------
     # feasibility (Definition 2.5)
     # ------------------------------------------------------------------
-    def is_feasible(self, pinning: Mapping[Node, Value]) -> bool:
+    def is_feasible(
+        self, pinning: Mapping[Node, Value], engine: Optional[str] = None
+    ) -> bool:
         """Whether the partial configuration has a feasible extension."""
         pinning = self._check_pinning(pinning)
-        return self.partition_function(pinning) > 0.0
+        return self.partition_function(pinning, engine=engine) > 0.0
 
     def is_locally_feasible(self, pinning: Mapping[Node, Value]) -> bool:
         """Whether the partial configuration violates no constraint it covers.
@@ -293,6 +358,52 @@ class GibbsDistribution:
         without ever touching information outside it.
         """
         return factor_tables_from(self.factors_within(nodes), self.alphabet)
+
+    def compiled_engine(self) -> CompiledGibbs:
+        """The array-backed compiled form of the full instance (lazy, cached)."""
+        if self._compiled is None:
+            self._compiled = CompiledGibbs.from_factors(
+                self.nodes, self.alphabet, self.factors
+            )
+        return self._compiled
+
+    def ball_cache(self) -> BallCache:
+        """The memoised ball-compilation cache shared by ball-local algorithms."""
+        if self._ball_cache is None:
+            self._ball_cache = BallCache(self)
+        return self._ball_cache
+
+    def ball_marginal(
+        self,
+        center: Node,
+        radius: int,
+        pinning: Mapping[Node, Value],
+        node: Node,
+        engine: Optional[str] = None,
+    ) -> Dict[Value, float]:
+        """Exact marginal of ``node`` in the sub-instance restricted to
+        ``B_radius(center)`` (only factors fully inside the ball, pinning
+        restricted to the ball).
+
+        This is the primitive behind Theorem 5.1's inference algorithm and
+        the boosting lemma.  The compiled backend memoises the ball
+        compilation by ``(center, radius)`` and the result by the pinning
+        signature, so repeated queries across nodes and rounds are cache
+        hits; the dict backend recomputes from scratch (reference behaviour).
+        """
+        if resolve_engine(engine) == "compiled":
+            return self.ball_cache().ball_marginal(center, radius, pinning, node)
+        from repro.graphs.structure import ball as _ball
+
+        nodes = _ball(self.graph, center, radius)
+        restricted = {n: v for n, v in pinning.items() if n in nodes}
+        tables = self.restricted_tables(nodes)
+        ordered = sorted(nodes, key=repr)
+        # eliminate_marginal returns the point mass itself when ``node`` is
+        # pinned, so no special case is needed here.
+        return eliminate_marginal(
+            tables, ordered, self.alphabet, restricted, node, engine="dict"
+        )
 
     def _tables(self):
         if self._factor_tables is None:

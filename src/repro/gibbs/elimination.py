@@ -11,12 +11,31 @@ The engine works on the factor representation of
 takes a list of (scope, table) pairs so it can also be used on sub-instances
 restricted to a ball (as the SSM-based inference algorithm of Theorem 5.1
 does).
+
+Two interchangeable backends implement the elimination (see
+:mod:`repro.engine` for the selection convention):
+
+* ``"compiled"`` (default) -- the array-backed engine of
+  :mod:`repro.engine`: integer-indexed variables, dense NumPy factor
+  arrays, tensor-contraction joins;
+* ``"dict"`` -- the reference dict-of-tuples implementation in this module,
+  kept as independently-written ground truth for the equivalence suite.
+
+Hot paths should not call the module-level functions repeatedly on the same
+sub-instance: :class:`~repro.gibbs.distribution.GibbsDistribution` caches its
+compiled form (and a ball-compilation cache) and should be queried through
+:meth:`~repro.gibbs.distribution.GibbsDistribution.marginal`,
+:meth:`~repro.gibbs.distribution.GibbsDistribution.partition_function` or
+:meth:`~repro.gibbs.distribution.GibbsDistribution.ball_marginal` instead.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine import resolve_engine
+from repro.engine.compiled import CompiledGibbs
 
 Node = Hashable
 Value = Hashable
@@ -195,14 +214,19 @@ def eliminate_partition_function(
     all_nodes: Sequence[Node],
     alphabet: Sequence[Value],
     pinning: Mapping[Node, Value],
+    engine: Optional[str] = None,
 ) -> float:
     """Exact conditional partition function ``Z(tau)`` by variable elimination.
 
     ``factors`` is a sequence of ``(scope, table)`` pairs where ``table`` maps
     value tuples (in scope order) to non-negative weights.  ``Z(tau)`` sums
     the product of factor weights over all configurations consistent with the
-    pinning ``tau``.
+    pinning ``tau``.  ``engine`` selects the backend (``"compiled"`` /
+    ``"dict"``, default compiled -- see :mod:`repro.engine`).
     """
+    if resolve_engine(engine) == "compiled":
+        compiled = CompiledGibbs.from_tables(all_nodes, alphabet, factors)
+        return compiled.partition_function(pinning)
     final = _run_elimination(factors, all_nodes, alphabet, pinning, keep=())
     return sum(final.entries.values())
 
@@ -213,6 +237,7 @@ def eliminate_marginal(
     alphabet: Sequence[Value],
     pinning: Mapping[Node, Value],
     node: Node,
+    engine: Optional[str] = None,
 ) -> Dict[Value, float]:
     """Exact conditional marginal ``mu^tau_v`` by variable elimination.
 
@@ -220,9 +245,13 @@ def eliminate_marginal(
     the pinning is infeasible (conditional partition function is zero) or if
     ``node`` is pinned (the marginal would be a point mass -- callers should
     handle that case directly, but we return the point mass for convenience).
+    ``engine`` selects the backend (``"compiled"`` / ``"dict"``).
     """
     if node in pinning:
         return {value: (1.0 if value == pinning[node] else 0.0) for value in alphabet}
+    if resolve_engine(engine) == "compiled":
+        compiled = CompiledGibbs.from_tables(all_nodes, alphabet, factors)
+        return compiled.marginal(node, pinning)
     final = _run_elimination(factors, all_nodes, alphabet, pinning, keep=(node,))
     weights: Dict[Value, float] = {value: 0.0 for value in alphabet}
     if final.variables == ():

@@ -34,7 +34,7 @@ class Factor:
         Optional human-readable label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("scope", "function", "name", "_table_cache")
+    __slots__ = ("scope", "scope_set", "function", "name", "_table_cache", "_dense_cache")
 
     def __init__(
         self,
@@ -47,9 +47,13 @@ class Factor:
         if len(set(scope)) != len(scope):
             raise ValueError("factor scope contains duplicate nodes")
         self.scope: Tuple[Node, ...] = tuple(scope)
+        #: Frozen scope set, precomputed because containment tests against it
+        #: sit inside every sampler and feasibility loop.
+        self.scope_set = frozenset(self.scope)
         self.function = function
         self.name = name
         self._table_cache: Dict[Tuple[Value, ...], float] = {}
+        self._dense_cache: Dict[Tuple[Value, ...], object] = {}
 
     @classmethod
     def from_table(
@@ -89,6 +93,23 @@ class Factor:
     def evaluate_values(self, values: Sequence[Value]) -> float:
         """Weight of an explicit value tuple given in scope order."""
         return self.evaluate(dict(zip(self.scope, values)))
+
+    def dense_table(self, alphabet: Sequence[Value]):
+        """The factor as a dense NumPy array with one axis per scope node.
+
+        Entry ``[i, j, ...]`` is the weight of assigning the scope nodes the
+        alphabet symbols with codes ``i, j, ...``.  Cached per alphabet, so
+        the compiled evaluation engine materialises each factor at most once
+        no matter how many (ball-restricted) compilations reference it.
+        """
+        key = tuple(alphabet)
+        cached = self._dense_cache.get(key)
+        if cached is None:
+            from repro.engine.compiled import dense_table_from_callable
+
+            cached = dense_table_from_callable(self, key)
+            self._dense_cache[key] = cached
+        return cached
 
     def is_satisfied(self, assignment: Assignment) -> bool:
         """Whether the assignment has strictly positive weight under this factor."""

@@ -29,6 +29,7 @@ class SamplingInstance:
     ) -> None:
         self.distribution = distribution
         self.pinning = pinning if isinstance(pinning, Pinning) else Pinning(pinning or {})
+        self._free_nodes = None
         if check_feasible and len(self.pinning) > 0:
             if not distribution.is_feasible(self.pinning):
                 raise ValueError("the pinning tau is infeasible for the distribution")
@@ -46,8 +47,17 @@ class SamplingInstance:
 
     @property
     def free_nodes(self):
-        """Nodes not fixed by the pinning, in deterministic order."""
-        return [node for node in self.distribution.nodes if node not in self.pinning]
+        """Nodes not fixed by the pinning, in deterministic order.
+
+        Computed once per instance (both the pinning and the distribution's
+        node set are immutable); a fresh list is returned on every access so
+        callers may mutate it.
+        """
+        if self._free_nodes is None:
+            self._free_nodes = tuple(
+                node for node in self.distribution.nodes if node not in self.pinning
+            )
+        return list(self._free_nodes)
 
     @property
     def size(self) -> int:

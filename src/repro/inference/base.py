@@ -15,9 +15,8 @@ enforced by construction.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Hashable, Iterable, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Tuple
 
-from repro.gibbs.elimination import eliminate_marginal
 from repro.gibbs.instance import SamplingInstance
 from repro.graphs.structure import ball
 
@@ -71,6 +70,7 @@ def marginal_in_ball(
     center: Node,
     radius: int,
     extra_pinning: Dict[Node, Value] | None = None,
+    engine: Optional[str] = None,
 ) -> Dict[Value, float]:
     """Exact marginal of ``center`` of the instance *restricted to a ball*.
 
@@ -78,14 +78,13 @@ def marginal_in_ball(
     pinning restricted to the ball (optionally extended by
     ``extra_pinning``); nodes of the ball that remain unpinned are summed
     over freely.  This is the primitive both Theorem 5.1's algorithm and the
-    boosting lemma build on.
+    boosting lemma build on.  It routes through the distribution's ball
+    cache, so the ball extraction and compilation are shared across calls;
+    ``engine`` selects the evaluation backend (see :mod:`repro.engine`).
     """
-    nodes, tables, pinning = ball_instance(instance, center, radius)
+    pinning = dict(instance.pinning)
     if extra_pinning:
-        for node, value in extra_pinning.items():
-            if node in nodes:
-                pinning[node] = value
-    ordered_nodes = sorted(nodes, key=repr)
-    return eliminate_marginal(
-        tables, ordered_nodes, instance.alphabet, pinning, center
+        pinning.update(extra_pinning)
+    return instance.distribution.ball_marginal(
+        center, radius, pinning, center, engine=engine
     )

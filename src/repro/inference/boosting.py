@@ -25,11 +25,9 @@ to the true marginal by ``epsilon``.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional
 
-from repro.gibbs.elimination import eliminate_marginal
 from repro.gibbs.instance import SamplingInstance
-from repro.graphs.structure import ball
 from repro.inference.base import InferenceAlgorithm
 
 Node = Hashable
@@ -41,11 +39,14 @@ class BoostedInference(InferenceAlgorithm):
 
     The ``error`` parameter of :meth:`marginal` is interpreted as the target
     *multiplicative* error ``epsilon``; the underlying engine is invoked at
-    total-variation error ``epsilon / (5 q n)`` as in the paper.
+    total-variation error ``epsilon / (5 q n)`` as in the paper.  The final
+    exact ball marginal runs on the evaluation backend selected by
+    ``engine`` (default: the compiled engine with ball caching).
     """
 
-    def __init__(self, base: InferenceAlgorithm) -> None:
+    def __init__(self, base: InferenceAlgorithm, engine: Optional[str] = None) -> None:
         self.base = base
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def _base_error(self, instance: SamplingInstance, epsilon: float) -> float:
@@ -73,10 +74,10 @@ class BoostedInference(InferenceAlgorithm):
         base_error = self._base_error(instance, epsilon)
         radius = self.base.locality(instance, base_error)
         locality = distribution.locality()
-        graph = instance.graph
+        cache = distribution.ball_cache()
 
-        inner = ball(graph, node, radius)
-        padded = ball(graph, node, radius + locality)
+        inner = cache.ball_nodes(node, radius)
+        padded = cache.ball_nodes(node, radius + locality)
         shell = sorted(
             (
                 u
@@ -97,6 +98,6 @@ class BoostedInference(InferenceAlgorithm):
         combined_pinning = {
             u: value for u, value in current.pinning.items() if u in padded
         }
-        tables = distribution.restricted_tables(padded)
-        ordered = sorted(padded, key=repr)
-        return eliminate_marginal(tables, ordered, alphabet, combined_pinning, node)
+        return distribution.ball_marginal(
+            node, radius + locality, combined_pinning, node, engine=self.engine
+        )

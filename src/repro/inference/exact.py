@@ -11,7 +11,7 @@ correctness tests do.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional
 
 from repro.gibbs.instance import SamplingInstance
 from repro.inference.base import InferenceAlgorithm
@@ -21,7 +21,16 @@ Value = Hashable
 
 
 class ExactInference(InferenceAlgorithm):
-    """Zero-error inference oracle via variable elimination on the full instance."""
+    """Zero-error inference oracle via variable elimination on the full instance.
+
+    ``engine`` selects the evaluation backend (``"compiled"`` by default --
+    whose per-distribution marginal memo turns the JVV sampler's repeated
+    acceptance-ratio queries into cache hits -- or ``"dict"`` for the
+    reference eliminator).
+    """
+
+    def __init__(self, engine: Optional[str] = None) -> None:
+        self.engine = engine
 
     def locality(self, instance: SamplingInstance, error: float) -> int:
         """Exact inference may need to see the whole graph."""
@@ -31,4 +40,4 @@ class ExactInference(InferenceAlgorithm):
         self, instance: SamplingInstance, node: Node, error: float
     ) -> Dict[Value, float]:
         """The exact conditional marginal ``mu^tau_v`` (the error bound is ignored)."""
-        return instance.target_marginal(node)
+        return instance.distribution.marginal(node, instance.pinning, engine=self.engine)

@@ -19,15 +19,19 @@ radius from a decay-rate schedule, and :class:`TruncatedBallInference`, which
 runs the same computation at an explicitly given radius (used to *measure*
 how much locality a target accuracy requires -- the phase-transition
 experiment).
+
+Both accept an ``engine=`` keyword selecting the evaluation backend (see
+:mod:`repro.engine`); the default compiled backend memoises ball
+compilations, greedy boundary extensions and per-pinning marginals on the
+distribution's :class:`~repro.engine.cache.BallCache`, so repeated queries
+across nodes and rounds cost dictionary lookups instead of eliminations.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Optional
 
-from repro.gibbs.elimination import eliminate_marginal
 from repro.gibbs.instance import SamplingInstance
-from repro.graphs.structure import ball
 from repro.inference.base import InferenceAlgorithm
 from repro.inference.locality import locality_for_error
 
@@ -49,33 +53,39 @@ def _greedy_boundary_extension(
     configuration has a feasible full extension, whose restriction witnesses
     local feasibility); if none is found a ``RuntimeError`` flags the model
     as not locally admissible.
+
+    The assigned-node set is maintained incrementally (and factor scope sets
+    are precomputed on the factors), so one candidate check costs
+    ``O(|factors_at(node)|)`` set lookups rather than rebuilding both sets
+    per factor per value.
     """
     distribution = instance.distribution
     context = set(context_nodes)
     assignment: Dict[Node, Value] = {
         node: value for node, value in instance.pinning.items() if node in context
     }
+    assigned = set(assignment)
     for node in sorted(shell_nodes, key=repr):
-        if node in assignment:
+        if node in assigned:
             continue
+        assigned.add(node)
+        # Only factors fully inside both the context and the assigned set
+        # constrain this choice; the relevant list is identical for every
+        # candidate value, so hoist it out of the value loop.
+        relevant = [
+            factor
+            for factor in distribution.factors_at(node)
+            if factor.scope_set <= context and factor.scope_set <= assigned
+        ]
         chosen = None
         for value in distribution.alphabet:
             assignment[node] = value
-            feasible = True
-            for factor in distribution.factors_at(node):
-                scope = set(factor.scope)
-                if not scope <= context:
-                    continue
-                if not scope <= set(assignment):
-                    continue
-                if factor.evaluate(assignment) == 0.0:
-                    feasible = False
-                    break
-            if feasible:
+            if all(factor.evaluate(assignment) != 0.0 for factor in relevant):
                 chosen = value
                 break
             del assignment[node]
         if chosen is None:
+            assigned.discard(node)
             raise RuntimeError(
                 "could not extend the pinning onto the boundary shell; "
                 "the distribution does not appear to be locally admissible"
@@ -84,26 +94,47 @@ def _greedy_boundary_extension(
 
 
 def padded_ball_marginal(
-    instance: SamplingInstance, center: Node, radius: int
+    instance: SamplingInstance,
+    center: Node,
+    radius: int,
+    engine: Optional[str] = None,
 ) -> Dict[Value, float]:
     """The marginal computed by the Theorem 5.1 algorithm at a given radius.
 
     Gathers ``B_{radius + 2 l}(center)``, pads the pinning on the shell
     between radius and ``radius + l``, and returns the exact conditional
     marginal of the ball.
+
+    The ball node sets and the compiled ball restriction come from the
+    distribution's :class:`~repro.engine.cache.BallCache`, so repeated calls
+    (across nodes, rounds and conditioned instances of the same
+    distribution) do not re-extract or re-compile identical balls.
     """
     distribution = instance.distribution
     locality = distribution.locality()
-    graph = instance.graph
-    inner = ball(graph, center, radius)
-    padded = ball(graph, center, radius + locality)
-    context = ball(graph, center, radius + 2 * locality)
-    shell = {
-        node
-        for node in padded
-        if node not in inner and node not in instance.pinning
-    }
-    boundary_pinning = _greedy_boundary_extension(instance, shell, context)
+    cache = distribution.ball_cache()
+    # Largest radius first: the cache slices the smaller balls out of the
+    # same BFS distance map.
+    context = cache.ball_nodes(center, radius + 2 * locality)
+    padded = cache.ball_nodes(center, radius + locality)
+    inner = cache.ball_nodes(center, radius)
+    # The greedy extension is deterministic given the pinning restricted to
+    # the context ball, so memoise it alongside the compiled balls: repeated
+    # rounds at the same node skip the whole feasibility search.
+    context_pinning = frozenset(
+        (node, value) for node, value in instance.pinning.items() if node in context
+    )
+    def _extend() -> Dict[Node, Value]:
+        shell = {
+            node
+            for node in padded
+            if node not in inner and node not in instance.pinning
+        }
+        return _greedy_boundary_extension(instance, shell, context)
+
+    boundary_pinning = cache.cached_extra(
+        ("boundary-extension", center, radius, context_pinning), _extend
+    )
 
     pinning = {node: value for node, value in instance.pinning.items() if node in padded}
     pinning.update(boundary_pinning)
@@ -112,9 +143,9 @@ def padded_ball_marginal(
             value: (1.0 if value == pinning[center] else 0.0)
             for value in distribution.alphabet
         }
-    tables = distribution.restricted_tables(padded)
-    ordered = sorted(padded, key=repr)
-    return eliminate_marginal(tables, ordered, distribution.alphabet, pinning, center)
+    return distribution.ball_marginal(
+        center, radius + locality, pinning, center, engine=engine
+    )
 
 
 class TruncatedBallInference(InferenceAlgorithm):
@@ -125,10 +156,11 @@ class TruncatedBallInference(InferenceAlgorithm):
     the uniqueness threshold).
     """
 
-    def __init__(self, radius: int) -> None:
+    def __init__(self, radius: int, engine: Optional[str] = None) -> None:
         if radius < 0:
             raise ValueError("radius must be non-negative")
         self.radius = radius
+        self.engine = engine
 
     def locality(self, instance: SamplingInstance, error: float) -> int:
         """Fixed radius plus the constant padding of the factor diameter."""
@@ -138,7 +170,7 @@ class TruncatedBallInference(InferenceAlgorithm):
         self, instance: SamplingInstance, node: Node, error: float
     ) -> Dict[Value, float]:
         """Padded-ball marginal at the configured radius (``error`` is ignored)."""
-        return padded_ball_marginal(instance, node, self.radius)
+        return padded_ball_marginal(instance, node, self.radius, engine=self.engine)
 
 
 class BoundaryPaddedInference(InferenceAlgorithm):
@@ -156,12 +188,14 @@ class BoundaryPaddedInference(InferenceAlgorithm):
         decay_rate: Optional[float] = None,
         constant: float = 1.0,
         max_radius: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if decay_rate is not None and not 0.0 <= decay_rate < 1.0:
             raise ValueError("decay_rate must lie in [0, 1)")
         self.decay_rate = decay_rate
         self.constant = constant
         self.max_radius = max_radius
+        self.engine = engine
 
     def _rate(self, instance: SamplingInstance) -> float:
         if self.decay_rate is not None:
@@ -187,4 +221,6 @@ class BoundaryPaddedInference(InferenceAlgorithm):
         self, instance: SamplingInstance, node: Node, error: float
     ) -> Dict[Value, float]:
         """Padded-ball marginal at the scheduled radius."""
-        return padded_ball_marginal(instance, node, self._radius(instance, error))
+        return padded_ball_marginal(
+            instance, node, self._radius(instance, error), engine=self.engine
+        )

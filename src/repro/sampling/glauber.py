@@ -15,6 +15,13 @@ here for the comparison experiment (E12):
 Both chains have the target distribution ``mu^tau`` as their stationary
 distribution whenever the single-site dynamics is ergodic (which local
 admissibility guarantees for the models used in the experiments).
+
+The inner loop runs on the compiled evaluation engine by default (see
+:mod:`repro.engine`): the state lives in an integer code array, and one
+conditional is a single gather into each precomputed per-node factor table
+followed by a product over the alphabet axis -- instead of ``q x
+|factors_at(v)|`` dict-based ``Factor.evaluate`` calls.  Pass
+``engine="dict"`` to run the reference implementation.
 """
 
 from __future__ import annotations
@@ -24,13 +31,16 @@ from typing import Dict, Hashable, Optional
 import numpy as np
 
 from repro.analysis.distances import normalize, sample_from
+from repro.engine import resolve_engine
 from repro.gibbs.instance import SamplingInstance
 
 Node = Hashable
 Value = Hashable
 
 
-def greedy_feasible_configuration(instance: SamplingInstance) -> Dict[Node, Value]:
+def greedy_feasible_configuration(
+    instance: SamplingInstance, engine: Optional[str] = None
+) -> Dict[Node, Value]:
     """A feasible full configuration extending the pinning, built greedily.
 
     Processes the free nodes in deterministic order and assigns each the
@@ -39,17 +49,46 @@ def greedy_feasible_configuration(instance: SamplingInstance) -> Dict[Node, Valu
     is feasible (it is the sequential-local-oblivious construction of
     Remark 2.3); a ``RuntimeError`` is raised otherwise.
     """
+    if resolve_engine(engine) == "dict":
+        return _greedy_feasible_configuration_dict(instance)
+    distribution = instance.distribution
+    compiled = distribution.compiled_engine()
+    conditionals = compiled.conditionals
+    codes = [-1] * len(compiled.nodes)
+    for node, value in instance.pinning.items():
+        codes[compiled.node_index[node]] = compiled.symbol_index[value]
+    for variable, node in enumerate(compiled.nodes):
+        if codes[variable] >= 0:
+            continue
+        weights = conditionals.weights_partial(variable, codes)
+        chosen = next((code for code, weight in enumerate(weights) if weight > 0.0), None)
+        if chosen is None:
+            raise RuntimeError(
+                f"greedy construction got stuck at node {node!r}; "
+                "the distribution is not locally admissible"
+            )
+        codes[variable] = chosen
+    return {
+        node: compiled.alphabet[codes[variable]]
+        for variable, node in enumerate(compiled.nodes)
+    }
+
+
+def _greedy_feasible_configuration_dict(instance: SamplingInstance) -> Dict[Node, Value]:
+    """Reference implementation of :func:`greedy_feasible_configuration`."""
     distribution = instance.distribution
     assignment: Dict[Node, Value] = instance.pinning.as_dict()
     for node in distribution.nodes:
         if node in assignment:
             continue
         chosen = None
+        assigned = set(assignment)
+        assigned.add(node)
         for value in distribution.alphabet:
             assignment[node] = value
             feasible = True
             for factor in distribution.factors_at(node):
-                if not set(factor.scope) <= set(assignment):
+                if not factor.scope_set <= assigned:
                     continue
                 if factor.evaluate(assignment) == 0.0:
                     feasible = False
@@ -67,7 +106,10 @@ def greedy_feasible_configuration(instance: SamplingInstance) -> Dict[Node, Valu
 
 
 def local_conditional(
-    instance: SamplingInstance, configuration: Dict[Node, Value], node: Node
+    instance: SamplingInstance,
+    configuration: Dict[Node, Value],
+    node: Node,
+    engine: Optional[str] = None,
 ) -> Dict[Value, float]:
     """Conditional distribution of ``node`` given the rest of the configuration.
 
@@ -75,6 +117,19 @@ def local_conditional(
     computation (one LOCAL round).
     """
     distribution = instance.distribution
+    if resolve_engine(engine) == "compiled":
+        conditionals = distribution.compiled_engine().conditionals
+        weights_list = conditionals.weights_by_mapping(node, configuration)
+        total = sum(weights_list)
+        if total <= 0.0:
+            raise ValueError(
+                f"node {node!r} has no feasible value given its neighbourhood; "
+                "the single-site dynamics is not ergodic here"
+            )
+        return {
+            value: weights_list[code] / total
+            for code, value in enumerate(distribution.alphabet)
+        }
     weights: Dict[Value, float] = {}
     working = dict(configuration)
     for value in distribution.alphabet:
@@ -94,25 +149,99 @@ def local_conditional(
     return normalize(weights)
 
 
+def _compiled_state(instance: SamplingInstance, configuration: Dict[Node, Value]):
+    """The (compiled, conditionals, code-list) triple for a chain run."""
+    compiled = instance.distribution.compiled_engine()
+    symbol_index = compiled.symbol_index
+    codes = [symbol_index[configuration[node]] for node in compiled.nodes]
+    return compiled, compiled.conditionals, codes
+
+
+def _decode_state(compiled, codes) -> Dict[Node, Value]:
+    alphabet = compiled.alphabet
+    return {
+        node: alphabet[codes[variable]]
+        for variable, node in enumerate(compiled.nodes)
+    }
+
+
+def _sample_code(weights, point: float) -> int:
+    """The alphabet code whose cumulative weight first covers ``point``."""
+    cumulative = 0.0
+    for code, weight in enumerate(weights):
+        cumulative += weight
+        if point <= cumulative:
+            return code
+    return len(weights) - 1
+
+
+#: Chunk size for pre-drawn random numbers in the chain loops (bounds memory
+#: for very long chains while amortising the per-call RNG overhead).
+_RNG_CHUNK = 8192
+
+
 def glauber_sample(
     instance: SamplingInstance,
     steps: int,
     seed: int = 0,
     initial: Optional[Dict[Node, Value]] = None,
+    engine: Optional[str] = None,
 ) -> Dict[Node, Value]:
     """Run single-site Glauber dynamics for ``steps`` updates and return the state."""
     if steps < 0:
         raise ValueError("steps must be non-negative")
     rng = np.random.default_rng(seed)
-    configuration = dict(initial) if initial is not None else greedy_feasible_configuration(instance)
+    configuration = (
+        dict(initial)
+        if initial is not None
+        else greedy_feasible_configuration(instance, engine=engine)
+    )
     free_nodes = instance.free_nodes
     if not free_nodes:
         return configuration
-    for _ in range(steps):
-        node = free_nodes[int(rng.integers(0, len(free_nodes)))]
-        conditional = local_conditional(instance, configuration, node)
-        configuration[node] = sample_from(conditional, rng)
-    return configuration
+    if resolve_engine(engine) == "dict":
+        for _ in range(steps):
+            node = free_nodes[int(rng.integers(0, len(free_nodes)))]
+            conditional = local_conditional(instance, configuration, node, engine="dict")
+            configuration[node] = sample_from(conditional, rng)
+        return configuration
+    compiled, conditionals, codes = _compiled_state(instance, configuration)
+    free_index = [compiled.node_index[node] for node in free_nodes]
+    free_count = len(free_index)
+    tables = conditionals.tables
+    remaining = steps
+    while remaining > 0:
+        chunk = min(remaining, _RNG_CHUNK)
+        remaining -= chunk
+        choices = rng.integers(0, free_count, size=chunk)
+        points = rng.random(chunk)
+        for step in range(chunk):
+            variable = free_index[choices[step]]
+            # Inlined CompiledConditionals.weights_by_codes: this loop is the
+            # single-site hot path, and the call overhead is measurable.
+            weights = None
+            for flat, stride0, others, strides in tables[variable]:
+                offset = 0
+                for other, stride in zip(others, strides):
+                    offset += codes[other] * stride
+                gathered = flat[offset::stride0]
+                if weights is None:
+                    weights = gathered
+                else:
+                    weights = [w * g for w, g in zip(weights, gathered)]
+            if weights is None:
+                # A factorless free node resamples uniformly.
+                codes[variable] = min(int(points[step] * compiled.q), compiled.q - 1)
+                continue
+            total = sum(weights)
+            if total <= 0.0:
+                node = compiled.nodes[variable]
+                raise ValueError(
+                    f"node {node!r} has no feasible value given its neighbourhood; "
+                    "the single-site dynamics is not ergodic here"
+                )
+            codes[variable] = _sample_code(weights, points[step] * total)
+    return _decode_state(compiled, codes)
 
 
 def luby_glauber_sample(
@@ -120,6 +249,7 @@ def luby_glauber_sample(
     rounds: int,
     seed: int = 0,
     initial: Optional[Dict[Node, Value]] = None,
+    engine: Optional[str] = None,
 ) -> Dict[Node, Value]:
     """Run the LubyGlauber parallel chain for ``rounds`` rounds and return the state.
 
@@ -131,29 +261,76 @@ def luby_glauber_sample(
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
     rng = np.random.default_rng(seed)
-    configuration = dict(initial) if initial is not None else greedy_feasible_configuration(instance)
+    configuration = (
+        dict(initial)
+        if initial is not None
+        else greedy_feasible_configuration(instance, engine=engine)
+    )
     graph = instance.graph
     free_nodes = instance.free_nodes
     free_set = set(free_nodes)
     if not free_nodes:
         return configuration
+    if resolve_engine(engine) == "dict":
+        for _ in range(rounds):
+            priorities = {node: rng.random() for node in free_nodes}
+            selected = [
+                node
+                for node in free_nodes
+                if all(
+                    priorities[node] > priorities[neighbour]
+                    for neighbour in graph.neighbors(node)
+                    if neighbour in free_set
+                )
+            ]
+            # All selected nodes read the *current* configuration and update
+            # simultaneously; since they form an independent set the
+            # conditional distributions do not interact within the round.
+            updates = {
+                node: sample_from(
+                    local_conditional(instance, configuration, node, engine="dict"), rng
+                )
+                for node in selected
+            }
+            configuration.update(updates)
+        return configuration
+    compiled, conditionals, codes = _compiled_state(instance, configuration)
+    free_index = [compiled.node_index[node] for node in free_nodes]
+    free_position = {variable: i for i, variable in enumerate(free_index)}
+    # Free neighbours of each free node, as positions into the priority array.
+    neighbour_positions = [
+        [
+            free_position[compiled.node_index[neighbour]]
+            for neighbour in graph.neighbors(node)
+            if neighbour in free_set
+        ]
+        for node in free_nodes
+    ]
     for _ in range(rounds):
-        priorities = {node: rng.random() for node in free_nodes}
+        priorities = rng.random(len(free_index))
         selected = [
-            node
-            for node in free_nodes
+            variable
+            for position, variable in enumerate(free_index)
             if all(
-                priorities[node] > priorities[neighbour]
-                for neighbour in graph.neighbors(node)
-                if neighbour in free_set
+                priorities[position] > priorities[other]
+                for other in neighbour_positions[position]
             )
         ]
-        # All selected nodes read the *current* configuration and update
-        # simultaneously; since they form an independent set the conditional
-        # distributions do not interact within the round.
-        updates = {
-            node: sample_from(local_conditional(instance, configuration, node), rng)
-            for node in selected
-        }
-        configuration.update(updates)
-    return configuration
+        points = rng.random(len(selected))
+        # The selected nodes form an independent set, so evaluating their
+        # conditionals against the same pre-round snapshot and applying the
+        # updates afterwards matches the simultaneous-update semantics.
+        updates = []
+        for index, variable in enumerate(selected):
+            weights = conditionals.weights_by_codes(variable, codes)
+            total = sum(weights)
+            if total <= 0.0:
+                node = compiled.nodes[variable]
+                raise ValueError(
+                    f"node {node!r} has no feasible value given its neighbourhood; "
+                    "the single-site dynamics is not ergodic here"
+                )
+            updates.append((variable, _sample_code(weights, points[index] * total)))
+        for variable, code in updates:
+            codes[variable] = code
+    return _decode_state(compiled, codes)

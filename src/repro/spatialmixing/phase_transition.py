@@ -35,6 +35,7 @@ def locality_required(
     node: Node,
     error: float,
     max_radius: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> int:
     """Smallest radius at which ball-local inference reaches the target accuracy.
 
@@ -46,10 +47,10 @@ def locality_required(
     """
     if error <= 0:
         raise ValueError("error must be positive")
-    truth = instance.target_marginal(node)
+    truth = instance.distribution.marginal(node, instance.pinning, engine=engine)
     limit = instance.size if max_radius is None else max_radius
     for radius in range(0, limit + 1):
-        estimate = padded_ball_marginal(instance, node, radius)
+        estimate = padded_ball_marginal(instance, node, radius, engine=engine)
         if total_variation(estimate, truth) <= error:
             return radius
     return limit + 1
@@ -61,6 +62,7 @@ def long_range_correlation(
     distance: int,
     max_configs: Optional[int] = 32,
     seed: int = 0,
+    engine: Optional[str] = None,
 ) -> float:
     """Influence (in total variation) of the sphere at the given distance on ``node``.
 
@@ -79,6 +81,7 @@ def long_range_correlation(
         base_pinning=instance.pinning.as_dict(),
         max_configs=max_configs,
         seed=seed,
+        engine=engine,
     )
     return tv
 

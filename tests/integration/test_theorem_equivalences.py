@@ -10,6 +10,8 @@ import math
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.analysis import (
     empirical_distribution,
     multiplicative_error,

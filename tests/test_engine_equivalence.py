@@ -1,0 +1,199 @@
+"""Randomized equivalence suite: compiled engine vs reference dict engine.
+
+The array-backed compiled engine (:mod:`repro.engine`) and the reference
+dict-of-tuples eliminator (:mod:`repro.gibbs.elimination`) are independent
+implementations of the same mathematics.  This suite drives both through the
+public APIs -- partition functions, marginals, ball-restricted marginals and
+Glauber conditionals -- across hardcore, Ising/two-spin, matching and
+coloring instances on randomized graphs with randomized pinnings, and
+requires agreement to 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, grid_graph, path_graph, random_tree, star_graph
+from repro.models import (
+    coloring_model,
+    hardcore_model,
+    ising_model,
+    matching_model,
+    two_spin_model,
+)
+from repro.sampling.glauber import (
+    glauber_sample,
+    greedy_feasible_configuration,
+    local_conditional,
+    luby_glauber_sample,
+)
+
+TOLERANCE = 1e-9
+
+
+def _model_instances():
+    """(label, distribution) pairs covering all four model families."""
+    rng = np.random.default_rng(20260726)
+    instances = []
+    for trial in range(3):
+        graph = random_tree(9, seed=trial)
+        fugacity = float(rng.uniform(0.3, 3.0))
+        instances.append((f"hardcore-tree{trial}", hardcore_model(graph, fugacity)))
+    instances.append(("hardcore-grid", hardcore_model(grid_graph(3, 4), 1.2)))
+    instances.append(
+        ("ising-cycle", ising_model(cycle_graph(7), interaction=0.4, external_field=0.2))
+    )
+    instances.append(
+        ("two-spin-path", two_spin_model(path_graph(7), beta=0.5, gamma=1.6, field=1.1))
+    )
+    instances.append(("matching-cycle", matching_model(cycle_graph(6), edge_weight=1.4)))
+    instances.append(("matching-star", matching_model(star_graph(4), edge_weight=0.7)))
+    instances.append(("coloring-cycle", coloring_model(cycle_graph(6), num_colors=3)))
+    instances.append(("coloring-tree", coloring_model(random_tree(8, seed=5), num_colors=4)))
+    return instances
+
+
+MODEL_INSTANCES = _model_instances()
+MODEL_IDS = [label for label, _ in MODEL_INSTANCES]
+
+
+def _random_feasible_pinning(distribution, rng, max_pins=3):
+    """A random pinning kept only if feasible (checked with the dict engine)."""
+    nodes = distribution.nodes
+    count = int(rng.integers(0, max_pins + 1))
+    if count == 0:
+        return {}
+    chosen = rng.choice(len(nodes), size=min(count, len(nodes)), replace=False)
+    pinning = {
+        nodes[int(i)]: distribution.alphabet[int(rng.integers(0, distribution.alphabet_size))]
+        for i in chosen
+    }
+    if distribution.partition_function(pinning, engine="dict") > 0.0:
+        return pinning
+    return {}
+
+
+@pytest.mark.parametrize(("label", "distribution"), MODEL_INSTANCES, ids=MODEL_IDS)
+class TestEngineEquivalence:
+    def test_partition_functions_agree(self, label, distribution):
+        rng = np.random.default_rng(hash(label) % (2**32))
+        for _ in range(4):
+            pinning = _random_feasible_pinning(distribution, rng)
+            z_compiled = distribution.partition_function(pinning, engine="compiled")
+            z_dict = distribution.partition_function(pinning, engine="dict")
+            assert z_compiled == pytest.approx(z_dict, rel=TOLERANCE, abs=1e-12)
+
+    def test_marginals_agree(self, label, distribution):
+        rng = np.random.default_rng((hash(label) + 1) % (2**32))
+        nodes = distribution.nodes
+        for _ in range(3):
+            pinning = _random_feasible_pinning(distribution, rng)
+            for node in nodes[:4]:
+                if node in pinning:
+                    continue
+                compiled = distribution.marginal(node, pinning, engine="compiled")
+                reference = distribution.marginal(node, pinning, engine="dict")
+                for value in distribution.alphabet:
+                    assert compiled[value] == pytest.approx(
+                        reference[value], rel=TOLERANCE, abs=TOLERANCE
+                    )
+
+    def test_ball_restricted_marginals_agree(self, label, distribution):
+        rng = np.random.default_rng((hash(label) + 2) % (2**32))
+        nodes = distribution.nodes
+        for radius in (0, 1, 2):
+            pinning = _random_feasible_pinning(distribution, rng)
+            for center in nodes[:3]:
+                if center in pinning:
+                    continue
+                compiled = distribution.ball_marginal(
+                    center, radius, pinning, center, engine="compiled"
+                )
+                reference = distribution.ball_marginal(
+                    center, radius, pinning, center, engine="dict"
+                )
+                for value in distribution.alphabet:
+                    assert compiled[value] == pytest.approx(
+                        reference[value], rel=TOLERANCE, abs=TOLERANCE
+                    )
+
+    def test_local_conditionals_agree(self, label, distribution):
+        instance = SamplingInstance(distribution)
+        configuration = greedy_feasible_configuration(instance, engine="dict")
+        compiled_start = greedy_feasible_configuration(instance, engine="compiled")
+        assert compiled_start == configuration
+        for node in distribution.nodes[:5]:
+            compiled = local_conditional(instance, configuration, node, engine="compiled")
+            reference = local_conditional(instance, configuration, node, engine="dict")
+            for value in distribution.alphabet:
+                assert compiled[value] == pytest.approx(
+                    reference[value], rel=TOLERANCE, abs=TOLERANCE
+                )
+
+
+class TestPinnedSubInstances:
+    """Conditioned (self-reduced) instances exercise the pinning signatures."""
+
+    def test_conditioned_marginals_agree(self):
+        distribution = hardcore_model(cycle_graph(8), fugacity=1.5)
+        rng = np.random.default_rng(7)
+        instance = SamplingInstance(distribution, {0: 1})
+        for _ in range(5):
+            extra_node = int(rng.integers(1, 8))
+            extra = {extra_node: 0}
+            conditioned = instance.conditioned(extra)
+            for node in conditioned.free_nodes:
+                compiled = distribution.marginal(node, conditioned.pinning, engine="compiled")
+                reference = distribution.marginal(node, conditioned.pinning, engine="dict")
+                for value in distribution.alphabet:
+                    assert compiled[value] == pytest.approx(
+                        reference[value], rel=TOLERANCE, abs=TOLERANCE
+                    )
+
+    def test_infeasible_pinning_behaviour_matches(self):
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        infeasible = {0: 1, 1: 1}
+        assert distribution.partition_function(infeasible, engine="compiled") == 0.0
+        assert distribution.partition_function(infeasible, engine="dict") == 0.0
+        with pytest.raises(ValueError):
+            distribution.marginal(3, infeasible, engine="compiled")
+        with pytest.raises(ValueError):
+            distribution.marginal(3, infeasible, engine="dict")
+
+    def test_unknown_engine_rejected(self):
+        distribution = hardcore_model(path_graph(3), fugacity=1.0)
+        with pytest.raises(ValueError):
+            distribution.partition_function({}, engine="quantum")
+
+
+class TestChainEquivalence:
+    """The compiled chains target the same distribution as the reference ones."""
+
+    @pytest.mark.parametrize("engine", ["compiled", "dict"])
+    def test_glauber_stays_feasible_and_respects_pinning(self, engine):
+        distribution = coloring_model(cycle_graph(6), num_colors=3)
+        instance = SamplingInstance(distribution, {0: 1})
+        state = glauber_sample(instance, steps=120, seed=3, engine=engine)
+        assert distribution.weight(state) > 0.0
+        assert state[0] == 1
+        parallel = luby_glauber_sample(instance, rounds=40, seed=3, engine=engine)
+        assert distribution.weight(parallel) > 0.0
+        assert parallel[0] == 1
+
+    def test_compiled_glauber_matches_target_distribution(self):
+        from repro.analysis import empirical_distribution, total_variation
+        from repro.analysis.distances import configuration_key
+        from repro.sampling import enumerate_target_distribution
+
+        distribution = hardcore_model(path_graph(4), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        truth = enumerate_target_distribution(instance)
+        samples = [
+            configuration_key(glauber_sample(instance, steps=60, seed=seed, engine="compiled"))
+            for seed in range(400)
+        ]
+        empirical = empirical_distribution(samples)
+        noise = 3.0 * (len(truth) / (4.0 * 400)) ** 0.5 + 0.03
+        assert total_variation(empirical, truth) < noise

@@ -9,6 +9,11 @@ import math
 
 import pytest
 
+# The experiment smoke tests run every E1--E12 module end to end; they are
+# the heavyweight tail of the suite, so they carry the ``slow`` marker
+# (deselect with ``-m "not slow"`` for a fast inner loop).
+pytestmark = pytest.mark.slow
+
 from repro.experiments import (
     e01_reduction_sampling,
     e02_reduction_inference,

@@ -72,6 +72,7 @@ class TestJVVMechanics:
         assert distribution.weight(local.configuration) > 0
 
 
+@pytest.mark.slow
 class TestJVVExactness:
     @pytest.mark.parametrize(
         "factory,pinning",
