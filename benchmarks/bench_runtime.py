@@ -1,0 +1,190 @@
+"""Benchmarks: serial vs batched vs process execution backends.
+
+Times the :mod:`repro.runtime` backends on chain workloads shaped like the
+baseline-comparison experiment (E12: many independent LubyGlauber/Glauber
+chains of a hardcore instance, one sample per chain):
+
+* ``luby_chains`` -- 64 LubyGlauber chains, the E12 access pattern: the
+  serial baseline loops ``luby_glauber_sample`` once per seed, the batched
+  backend advances all chains as one ``(chains, n)`` code matrix.  Both
+  produce bit-identical samples per seed, so the speedup is pure execution
+  strategy.
+* ``glauber_chains`` -- 256 single-site Glauber chains, same comparison.
+* ``process_ball_shards`` -- the E5/E8 per-node ball computations
+  (Theorem 5.1 marginals at every node) serial vs sharded over a 2-worker
+  process pool.  Recorded for observability; on a single-core container the
+  fork/pickle overhead typically makes this *slower*, which is exactly what
+  the JSON should document.  Only the batched chain workloads feed
+  ``min_batched_speedup``.
+
+Run directly to (re)record the JSON baseline::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py  # writes BENCH_runtime.json
+
+or under pytest (with the other benchmarks) for a quick regression check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, random_tree
+from repro.models import hardcore_model
+from repro.runtime import (
+    batched_glauber_sample,
+    batched_luby_glauber_sample,
+    chain_seed_sequences,
+    shard_padded_ball_marginals,
+)
+from repro.sampling.glauber import glauber_sample, luby_glauber_sample
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _best_of(function, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _luby_chain_workload(chains: int = 64, rounds: int = 60, size: int = 48):
+    instance = SamplingInstance(hardcore_model(cycle_graph(size), fugacity=1.2))
+    seeds = chain_seed_sequences(9, chains)
+    glauber_sample(instance, 1, seed=0)  # pay the one-time compilation
+
+    def serial() -> None:
+        for seed in seeds:
+            luby_glauber_sample(instance, rounds, seed=seed)
+
+    def batched() -> None:
+        batched_luby_glauber_sample(instance, rounds, seeds=seeds)
+
+    return {"chains": chains, "rounds": rounds, "n": size}, serial, batched
+
+
+def _glauber_chain_workload(chains: int = 256, steps: int = 1200, size: int = 64):
+    instance = SamplingInstance(hardcore_model(cycle_graph(size), fugacity=1.2))
+    seeds = chain_seed_sequences(5, chains)
+    glauber_sample(instance, 1, seed=0)
+
+    def serial() -> None:
+        for seed in seeds:
+            glauber_sample(instance, steps, seed=seed)
+
+    def batched() -> None:
+        batched_glauber_sample(instance, steps, seeds=seeds)
+
+    return {"chains": chains, "steps": steps, "n": size}, serial, batched
+
+
+def _process_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2):
+    from repro.inference.ssm_inference import padded_ball_marginal
+
+    distribution = hardcore_model(random_tree(size, seed=2), fugacity=1.0)
+    instance = SamplingInstance(distribution, {0: 0})
+    nodes = instance.free_nodes
+
+    def serial() -> None:
+        distribution.ball_cache().clear()
+        for node in nodes:
+            padded_ball_marginal(instance, node, radius)
+
+    def sharded() -> None:
+        distribution.ball_cache().clear()
+        shard_padded_ball_marginals(instance, nodes, radius, n_workers=n_workers)
+
+    return {"nodes": len(nodes), "radius": radius, "workers": n_workers}, serial, sharded
+
+
+def run(repeats: int = 3) -> List[Dict[str, object]]:
+    """Time the backends; report the best of ``repeats`` per side."""
+    rows: List[Dict[str, object]] = []
+    for name, factory in (
+        ("luby_chains", _luby_chain_workload),
+        ("glauber_chains", _glauber_chain_workload),
+    ):
+        shape, serial, batched = factory()
+        serial_seconds = _best_of(serial, repeats)
+        batched_seconds = _best_of(batched, repeats)
+        rows.append(
+            {
+                "workload": name,
+                "backend_pair": "serial-vs-batched",
+                "shape": shape,
+                "serial_seconds": serial_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": serial_seconds / batched_seconds,
+            }
+        )
+    shape, serial, sharded = _process_shard_workload()
+    serial_seconds = _best_of(serial, repeats)
+    process_seconds = _best_of(sharded, repeats)
+    rows.append(
+        {
+            "workload": "process_ball_shards",
+            "backend_pair": "serial-vs-process",
+            "shape": shape,
+            "serial_seconds": serial_seconds,
+            "process_seconds": process_seconds,
+            "speedup": serial_seconds / process_seconds,
+        }
+    )
+    return rows
+
+
+def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, object]:
+    """Run the benchmark and write the JSON baseline next to the repo root."""
+    rows = run(repeats=repeats)
+    batched = [row for row in rows if row["backend_pair"] == "serial-vs-batched"]
+    payload = {
+        "benchmark": "bench_runtime",
+        "description": (
+            "execution backends of repro.runtime: looped serial chains vs the "
+            "batched (chains, n) code-matrix runner, plus the 2-worker process "
+            "shard of the per-node ball computations (informational)"
+        ),
+        "workloads": rows,
+        "min_batched_speedup": min(row["speedup"] for row in batched),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def _print_rows(rows: List[Dict[str, object]]) -> None:
+    for row in rows:
+        other = row.get("batched_seconds", row.get("process_seconds"))
+        print(
+            f"{row['workload']:>20}: serial {row['serial_seconds'] * 1e3:8.1f} ms   "
+            f"other {other * 1e3:8.1f} ms   speedup {row['speedup']:6.2f}x   "
+            f"{row['shape']}"
+        )
+
+
+def test_batched_runner_amortises_the_python_loop(once=None) -> None:
+    """The batched backend beats looping the serial chain on both workloads.
+
+    BENCH_runtime.json documents the recorded ratios (>= 5x); this guard
+    asserts a conservative floor so CI noise cannot flake.
+    """
+    rows = run(repeats=2) if once is None else once(run, repeats=2)
+    print()
+    _print_rows(rows)
+    for row in rows:
+        if row["backend_pair"] == "serial-vs-batched":
+            assert row["speedup"] > 2.5, f"workload {row['workload']} regressed: {row}"
+
+
+if __name__ == "__main__":
+    result = record_baseline()
+    _print_rows(result["workloads"])
+    print(f"min batched speedup: {result['min_batched_speedup']:.2f}x")
+    print(f"baseline written to {BASELINE_PATH}")

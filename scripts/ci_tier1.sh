@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full test suite (as pinned in ROADMAP.md) plus an
-# explicit run of the engine-equivalence suite, which is the contract between
-# the compiled evaluation engine and the reference dict engine.
+# explicit run of the engine-equivalence suite (the contract between the
+# compiled evaluation engine and the reference dict engine) and a fast
+# runtime smoke (batched-chain determinism and pickling, skipping the
+# slow-marked process-pool tests).
 #
 # Usage: scripts/ci_tier1.sh  (from the repository root)
 set -euo pipefail
@@ -15,5 +17,8 @@ python -m pytest -x -q
 
 echo "== tier-1: engine equivalence =="
 python -m pytest -x -q tests/test_engine_equivalence.py
+
+echo "== tier-1: runtime smoke =="
+python -m pytest -x -q -m "not slow" tests/test_runtime.py tests/test_analysis_convergence.py
 
 echo "tier-1 OK"

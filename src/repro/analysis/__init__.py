@@ -2,11 +2,17 @@
 
 Implements the two error measures the paper uses -- total variation distance
 and the multiplicative error ``err(mu, nu) = max_x |ln mu(x) - ln nu(x)|``
-(equation (2)) -- plus empirical-distribution estimation from samples and the
+(equation (2)) -- plus empirical-distribution estimation from samples, the
 curve-fitting helpers the experiments use to check decay rates and round
-complexity scaling.
+complexity scaling, and multi-chain convergence diagnostics (split R-hat,
+effective sample size) over batched chain traces.
 """
 
+from repro.analysis.convergence import (
+    chains_mixed,
+    effective_sample_size,
+    split_r_hat,
+)
 from repro.analysis.distances import (
     empirical_distribution,
     multiplicative_error,
@@ -20,6 +26,9 @@ from repro.analysis.fitting import (
 )
 
 __all__ = [
+    "chains_mixed",
+    "effective_sample_size",
+    "split_r_hat",
     "empirical_distribution",
     "multiplicative_error",
     "normalize",

@@ -1,0 +1,111 @@
+"""Multi-chain convergence diagnostics over batched chain traces.
+
+The batched chain runner (:class:`repro.runtime.chains.ChainBatch`) records
+a scalar statistic of every chain after every round, yielding a
+``(chains, draws)`` trace matrix.  The two standard diagnostics here decide
+from such a matrix whether the chains have mixed:
+
+* :func:`split_r_hat` -- the split-chain potential scale reduction factor
+  ``R-hat`` (Gelman--Rubin, with each chain split in half so within-chain
+  trends are detected too).  Values near 1 indicate that between-chain and
+  within-chain variability agree, i.e. the chains have forgotten their
+  common initial state.
+* :func:`effective_sample_size` -- the multi-chain effective sample size:
+  the nominal ``chains * draws`` draws discounted by the autocorrelation of
+  the traces (Geyer initial positive sequence, the estimator popularised by
+  Stan).
+
+Both return ``nan`` when the trace is too short to say anything (fewer than
+four draws), which callers should treat as "not mixed yet".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: R-hat below this threshold is the conventional "chains have mixed" call.
+MIXED_R_HAT_THRESHOLD = 1.1
+
+
+def _as_trace_matrix(traces) -> np.ndarray:
+    matrix = np.asarray(traces, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("traces must be a (chains, draws) matrix")
+    return matrix
+
+
+def split_r_hat(traces) -> float:
+    """Split-chain potential scale reduction factor over a trace matrix.
+
+    Each chain's trace is split into halves (so a single trending chain
+    inflates the statistic) and the classic ``sqrt(pooled / within)``
+    variance ratio is computed over the split chains.  Returns ``nan`` for
+    traces shorter than four draws, 1.0 for perfectly constant traces and
+    ``inf`` when chains are constant but disagree.
+    """
+    matrix = _as_trace_matrix(traces)
+    chains, draws = matrix.shape
+    half = draws // 2
+    if half < 2:
+        return float("nan")
+    split = matrix[:, : 2 * half].reshape(2 * chains, half)
+    if split.shape[0] < 2:
+        return float("nan")
+    count = split.shape[1]
+    means = split.mean(axis=1)
+    within = float(split.var(axis=1, ddof=1).mean())
+    between = float(count * means.var(ddof=1))
+    if within <= 0.0:
+        return 1.0 if between <= 0.0 else float("inf")
+    pooled = (count - 1) / count * within + between / count
+    return float(np.sqrt(pooled / within))
+
+
+def effective_sample_size(traces) -> float:
+    """Multi-chain effective sample size of a trace matrix.
+
+    Discounts the nominal ``chains * draws`` sample count by the chain
+    autocorrelation, estimated per lag across chains and truncated by
+    Geyer's initial positive sequence (stop at the first non-positive sum
+    of an even/odd autocorrelation pair).  Returns ``nan`` for traces
+    shorter than four draws or with no variability at all.
+    """
+    matrix = _as_trace_matrix(traces)
+    chains, draws = matrix.shape
+    if draws < 4:
+        return float("nan")
+    total = chains * draws
+    within = float(matrix.var(axis=1, ddof=1).mean())
+    between_over_n = float(matrix.mean(axis=1).var(ddof=1)) if chains > 1 else 0.0
+    pooled = (draws - 1) / draws * within + between_over_n
+    if pooled <= 0.0:
+        return float("nan")
+    centered = matrix - matrix.mean(axis=1, keepdims=True)
+
+    def autocovariance(lag: int) -> float:
+        # Biased (divide by draws) per-chain estimate, averaged over chains,
+        # as in the Stan reference implementation.
+        return float(
+            (centered[:, : draws - lag] * centered[:, lag:]).sum(axis=1).mean() / draws
+        )
+
+    tau = 1.0
+    lag = 1
+    while lag + 1 < draws:
+        even = 1.0 - (within - autocovariance(lag)) / pooled
+        odd = 1.0 - (within - autocovariance(lag + 1)) / pooled
+        pair = even + odd
+        if pair <= 0.0:
+            break
+        tau += 2.0 * pair
+        lag += 2
+    return float(min(total, total / tau))
+
+
+def chains_mixed(traces, threshold: float = MIXED_R_HAT_THRESHOLD) -> bool:
+    """Whether the split R-hat of the traces is below the mixing threshold.
+
+    ``nan`` (trace too short) counts as *not* mixed.
+    """
+    value = split_r_hat(traces)
+    return bool(np.isfinite(value) and value < threshold)

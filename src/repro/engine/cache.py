@@ -19,7 +19,7 @@ create a fresh conditioned instance per query.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.engine.compiled import CompiledGibbs
 from repro.graphs.structure import distances_from
@@ -109,6 +109,36 @@ class BallCache:
                 self.extras.clear()
             self.extras[key] = value
         return value
+
+    def adopt(
+        self,
+        balls: Optional[Mapping[Tuple[Node, int], CompiledGibbs]] = None,
+        extras: Optional[Mapping] = None,
+    ) -> int:
+        """Merge worker-produced results into this cache.
+
+        This is the parent side of the process-sharding protocol
+        (:mod:`repro.runtime.shards`): workers compile balls (and memoise
+        ball-local scratch results such as greedy boundary extensions) for
+        their shard of the key space, and adopting them here turns later
+        serial queries into cache hits.  Existing entries win -- worker
+        results are equal by construction, so there is nothing to reconcile.
+        Returns the number of entries added.
+        """
+        added = 0
+        for key, compiled in (balls or {}).items():
+            if key not in self._compiled:
+                if len(self._compiled) >= _BALL_CACHE_LIMIT:
+                    self.clear()
+                self._compiled[key] = compiled
+                added += 1
+        for key, value in (extras or {}).items():
+            if key not in self.extras:
+                if len(self.extras) >= _EXTRAS_LIMIT:
+                    self.extras.clear()
+                self.extras[key] = value
+                added += 1
+        return added
 
     # ------------------------------------------------------------------
     def ball_marginal(

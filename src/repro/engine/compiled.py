@@ -220,6 +220,23 @@ class CompiledGibbs:
         return schedule
 
     # ------------------------------------------------------------------
+    # pickling (the process runtime ships compiled instances and balls
+    # between workers; see :mod:`repro.runtime.shards`)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Ship only the immutable compiled form.
+
+        The memo caches, fused tables and gathered conditionals are all
+        derived state: dropping them keeps worker payloads small and the
+        receiving side rebuilds them lazily on first use.
+        """
+        return (self.nodes, self.alphabet, self.scopes, self.arrays)
+
+    def __setstate__(self, state) -> None:
+        nodes, alphabet, scopes, arrays = state
+        self.__init__(nodes, alphabet, scopes, arrays)
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def partition_function(self, pinning: Mapping[Node, Value]) -> float:
@@ -258,6 +275,49 @@ class CompiledGibbs:
             axes = axes[:index] + axes[index + 1 :]
             array = array.sum(axis=index)
         return np.asarray(array, dtype=float)
+
+    def joint_marginal_weights(
+        self, nodes: Sequence[Node], pinning: Mapping[Node, Value]
+    ) -> Tuple[Tuple[Node, ...], np.ndarray]:
+        """Unnormalised joint weights over a node tuple, as one dense array.
+
+        Returns ``(free_query_nodes, array)``: the query nodes that are not
+        pinned (first-occurrence order) and an array with one alphabet axis
+        per such node.  The whole joint is produced by a *single* contraction
+        schedule with multiple kept axes -- not by looping value tuples over
+        ``partition_function`` -- so the elimination work is paid once per
+        pinned domain regardless of the alphabet size.
+        """
+        variables: List[int] = []
+        for node in nodes:
+            variable = self.node_index.get(node)
+            if variable is None:
+                raise ValueError(f"node {node!r} is not part of the instance")
+            variables.append(variable)
+        encoded = self._encode_pinning(pinning)
+        if encoded is None:
+            free = tuple(
+                dict.fromkeys(
+                    self.nodes[v]
+                    for v, node in zip(variables, nodes)
+                    if node not in pinning
+                )
+            )
+            return free, np.zeros((self.q,) * len(free))
+        pin_codes, pinned = encoded
+        keep = tuple(dict.fromkeys(v for v in variables if v not in pinned))
+        ops, axes = self._schedule_for(pinned, keep)
+        array = execute_schedule(ops, self._restricted_arrays(pin_codes), self.q)
+        if keep:
+            # ``axes`` is a permutation of ``keep`` (every other free
+            # variable was summed out); realign to the query order.
+            perm = tuple(axes.index(v) for v in keep)
+            if perm != tuple(range(len(axes))):
+                array = np.transpose(array, perm)
+        return (
+            tuple(self.nodes[v] for v in keep),
+            np.asarray(array, dtype=float),
+        )
 
     def marginal(self, node: Node, pinning: Mapping[Node, Value]) -> Dict[Value, float]:
         """Exact conditional marginal ``mu^tau_v`` as a dict over the alphabet.

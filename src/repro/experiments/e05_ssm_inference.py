@@ -21,8 +21,18 @@ def run(
     cycle_size: int = 16,
     error: float = 0.02,
     radii=(1, 2, 3, 4, 5),
+    runtime=None,
 ) -> List[Dict]:
-    """Run E5 and return one row per fugacity."""
+    """Run E5 and return one row per fugacity.
+
+    ``runtime`` selects the execution backend (see :mod:`repro.runtime`):
+    a process runtime shards the ball compilations of the locality sweep
+    across workers and merges them into the distribution cache before the
+    serial measurement replays over the warmed cache.
+    """
+    from repro.runtime import resolve_runtime
+
+    runtime_obj = resolve_runtime(runtime)
     rows: List[Dict] = []
     probe = cycle_size // 2
     for fugacity in fugacities:
@@ -30,6 +40,12 @@ def run(
         profile = ssm_profile(distribution, probe, radii=list(radii))
         rate = estimate_decay_rate(profile)
         instance = SamplingInstance(distribution, {0: 1})
+        if runtime_obj.is_process:
+            locality = distribution.locality()
+            runtime_obj.warm_ball_cache(
+                instance,
+                [(probe, radius + locality) for radius in range(cycle_size // 2 + 1)],
+            )
         radius_needed = locality_required(
             instance, probe, error=error, max_radius=cycle_size // 2
         )

@@ -266,11 +266,17 @@ class GibbsDistribution:
     ) -> Dict[Tuple[Value, ...], float]:
         """Exact conditional joint marginal over a small tuple of nodes.
 
-        Computed via the chain rule ``Z(tau ∪ sigma_R) / Z(tau)``; exponential
-        in ``len(nodes)`` so intended for small node tuples (pair correlation
+        The compiled backend (default) builds *one* contraction schedule with
+        multiple kept axes and reads every joint weight out of a single
+        execution; the dict backend retains the chain-rule loop
+        ``Z(tau ∪ sigma_R) / Z(tau)`` over value tuples as the independent
+        reference.  Either way the result is exponential in ``len(nodes)``,
+        so this is intended for small node tuples (pair correlation
         measurements, conditional-independence tests).
         """
         pinning_obj = Pinning(self._check_pinning(pinning))
+        if resolve_engine(engine) == "compiled":
+            return self._joint_marginal_compiled(nodes, pinning_obj)
         base = self.partition_function(pinning_obj, engine=engine)
         if base <= 0.0:
             raise ValueError("infeasible pinning: conditional partition function is zero")
@@ -289,6 +295,27 @@ class GibbsDistribution:
                 else:
                     key_values.append(next(free_iter))
             result[tuple(key_values)] = weight / base
+        return result
+
+    def _joint_marginal_compiled(
+        self, nodes: Sequence[Node], pinning_obj: Pinning
+    ) -> Dict[Tuple[Value, ...], float]:
+        """Joint marginal via one multi-kept-axis contraction schedule."""
+        compiled = self.compiled_engine()
+        base = compiled.partition_function(pinning_obj)
+        if base <= 0.0:
+            raise ValueError("infeasible pinning: conditional partition function is zero")
+        free_query, array = compiled.joint_marginal_weights(nodes, pinning_obj)
+        result: Dict[Tuple[Value, ...], float] = {}
+        for values in itertools.product(self.alphabet, repeat=len(free_query)):
+            assignment = dict(zip(free_query, values))
+            codes = tuple(compiled.symbol_index[value] for value in values)
+            weight = float(array[codes]) if free_query else float(array)
+            key = tuple(
+                pinning_obj[node] if node in pinning_obj else assignment[node]
+                for node in nodes
+            )
+            result[key] = weight / base
         return result
 
     def support(

@@ -29,7 +29,7 @@ across nodes and rounds cost dictionary lookups instead of eliminations.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Iterable, Optional
 
 from repro.gibbs.instance import SamplingInstance
 from repro.inference.base import InferenceAlgorithm
@@ -37,6 +37,41 @@ from repro.inference.locality import locality_for_error
 
 Node = Hashable
 Value = Hashable
+
+
+def _runtime_marginals(
+    engine_obj: InferenceAlgorithm,
+    runtime,
+    radius: int,
+    instance: SamplingInstance,
+    error: float,
+    nodes: Optional[Iterable[Node]],
+) -> Dict[Node, Dict[Value, float]]:
+    """Shared ``marginals`` body of the two ball-local engines.
+
+    The per-node ball computations are independent, so with a process
+    runtime they shard across workers (ball compilations and boundary
+    extensions are merged back into the distribution's cache); otherwise
+    the serial per-node loop of the base class runs.  The shard transport
+    is compiled-only, so an explicit ``engine="dict"`` request keeps the
+    serial loop (the reference backend must stay the reference).
+    """
+    from repro.engine import resolve_engine
+    from repro.runtime import resolve_runtime
+
+    resolved = resolve_runtime(runtime)
+    targets = instance.free_nodes if nodes is None else list(nodes)
+    if (
+        resolved.is_process
+        and len(targets) > 1
+        and resolve_engine(engine_obj.engine) == "compiled"
+    ):
+        from repro.runtime.shards import shard_padded_ball_marginals
+
+        return shard_padded_ball_marginals(
+            instance, targets, radius, n_workers=resolved.n_workers
+        )
+    return {node: engine_obj.marginal(instance, node, error) for node in targets}
 
 
 def _greedy_boundary_extension(
@@ -156,11 +191,14 @@ class TruncatedBallInference(InferenceAlgorithm):
     the uniqueness threshold).
     """
 
-    def __init__(self, radius: int, engine: Optional[str] = None) -> None:
+    def __init__(
+        self, radius: int, engine: Optional[str] = None, runtime=None
+    ) -> None:
         if radius < 0:
             raise ValueError("radius must be non-negative")
         self.radius = radius
         self.engine = engine
+        self.runtime = runtime
 
     def locality(self, instance: SamplingInstance, error: float) -> int:
         """Fixed radius plus the constant padding of the factor diameter."""
@@ -171,6 +209,12 @@ class TruncatedBallInference(InferenceAlgorithm):
     ) -> Dict[Value, float]:
         """Padded-ball marginal at the configured radius (``error`` is ignored)."""
         return padded_ball_marginal(instance, node, self.radius, engine=self.engine)
+
+    def marginals(
+        self, instance: SamplingInstance, error: float, nodes=None
+    ) -> Dict[Node, Dict[Value, float]]:
+        """Per-node marginals, sharded across workers on a process runtime."""
+        return _runtime_marginals(self, self.runtime, self.radius, instance, error, nodes)
 
 
 class BoundaryPaddedInference(InferenceAlgorithm):
@@ -189,6 +233,7 @@ class BoundaryPaddedInference(InferenceAlgorithm):
         constant: float = 1.0,
         max_radius: Optional[int] = None,
         engine: Optional[str] = None,
+        runtime=None,
     ) -> None:
         if decay_rate is not None and not 0.0 <= decay_rate < 1.0:
             raise ValueError("decay_rate must lie in [0, 1)")
@@ -196,6 +241,7 @@ class BoundaryPaddedInference(InferenceAlgorithm):
         self.constant = constant
         self.max_radius = max_radius
         self.engine = engine
+        self.runtime = runtime
 
     def _rate(self, instance: SamplingInstance) -> float:
         if self.decay_rate is not None:
@@ -223,4 +269,12 @@ class BoundaryPaddedInference(InferenceAlgorithm):
         """Padded-ball marginal at the scheduled radius."""
         return padded_ball_marginal(
             instance, node, self._radius(instance, error), engine=self.engine
+        )
+
+    def marginals(
+        self, instance: SamplingInstance, error: float, nodes=None
+    ) -> Dict[Node, Dict[Value, float]]:
+        """Per-node marginals, sharded across workers on a process runtime."""
+        return _runtime_marginals(
+            self, self.runtime, self._radius(instance, error), instance, error, nodes
         )

@@ -1,0 +1,59 @@
+"""Parallel execution runtime: batched chains and sharded ball compilation.
+
+This package owns *how* work executes, separate from *what* is computed
+(which stays in :mod:`repro.engine` and the algorithm modules):
+
+``chains``
+    :class:`ChainBatch` -- many independent Glauber/LubyGlauber chains as a
+    ``(chains, n)`` integer code matrix, resampled per step with vectorised
+    gathers into the precompiled factor tables.  Bit-identical per chain to
+    the serial samplers under per-chain ``SeedSequence`` streams.
+``shards``
+    :class:`InstanceSpec` and the process-pool sharding of the per-node
+    LOCAL computations (ball compilation, greedy boundary extension, ball
+    marginals), with worker results merged back into the parent
+    :class:`~repro.engine.cache.BallCache`.
+``executor``
+    The :class:`Runtime` facade (``serial`` / ``batched`` / ``process``
+    backends) threaded through the samplers, the SSM inference engines, the
+    LOCAL driver and the experiment entry points as a ``runtime=``
+    parameter defaulting to today's serial behaviour.
+"""
+
+from repro.runtime.chains import (
+    ChainBatch,
+    batched_glauber_sample,
+    batched_luby_glauber_sample,
+    chain_seed_sequences,
+)
+from repro.runtime.executor import (
+    BATCHED_BACKEND,
+    PROCESS_BACKEND,
+    SERIAL_BACKEND,
+    SERIAL_RUNTIME,
+    Runtime,
+    resolve_runtime,
+)
+from repro.runtime.shards import (
+    InstanceSpec,
+    process_map,
+    shard_compiled_balls,
+    shard_padded_ball_marginals,
+)
+
+__all__ = [
+    "ChainBatch",
+    "batched_glauber_sample",
+    "batched_luby_glauber_sample",
+    "chain_seed_sequences",
+    "Runtime",
+    "resolve_runtime",
+    "SERIAL_BACKEND",
+    "BATCHED_BACKEND",
+    "PROCESS_BACKEND",
+    "SERIAL_RUNTIME",
+    "InstanceSpec",
+    "process_map",
+    "shard_compiled_balls",
+    "shard_padded_ball_marginals",
+]

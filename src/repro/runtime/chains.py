@@ -1,0 +1,455 @@
+"""Batched chain execution: many independent chains as one code matrix.
+
+A :class:`ChainBatch` holds ``n_chains`` independent Glauber / LubyGlauber
+chains of the same instance as a ``(chains, n)`` integer code matrix and
+advances *all* of them per step with a handful of vectorised NumPy gathers
+into the precompiled per-node factor tables -- one batched conditional
+computation instead of a Python loop per chain.  This amortises the
+interpreter overhead of the serial chain across the batch, which is where
+E6/E7/E12-style experiments spend their time.
+
+Determinism contract
+--------------------
+
+Every chain owns its own :class:`numpy.random.Generator`.  The per-chain
+draw pattern reproduces the serial samplers of
+:mod:`repro.sampling.glauber` exactly:
+
+* Glauber draws ``integers(0, free_count, size=chunk)`` then
+  ``random(chunk)`` per RNG chunk, with the serial chunk sizes;
+* LubyGlauber draws ``random(n_free)`` priorities then
+  ``random(n_selected)`` update points per round.  These are served from a
+  per-chain buffer, which is safe because NumPy generators are
+  *prefix-consistent*: one large ``random(k)`` call yields the same stream
+  as any sequence of smaller calls.
+
+All floating-point reductions (factor products, cumulative weights, totals)
+run in the same order as the serial inner loop, so chain ``c`` of a batch is
+**bit-identical** to the serial chain run with ``seed=seeds[c]`` for the same
+number of steps/rounds (matched against a single ``glauber_steps`` /
+``luby_rounds`` call; splitting one serial run across several
+``glauber_steps`` calls changes the chunk boundaries and hence the stream).
+The default seeding convention spawns per-chain ``SeedSequence`` streams from
+one root seed (:func:`chain_seed_sequences`), the standard way to get
+statistically independent chains from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine import resolve_engine
+from repro.gibbs.instance import SamplingInstance
+from repro.sampling.glauber import _RNG_CHUNK, greedy_feasible_configuration
+
+Node = Hashable
+Value = Hashable
+
+Seed = Union[int, np.random.SeedSequence]
+
+
+def chain_seed_sequences(seed: Seed, n_chains: int) -> List[np.random.SeedSequence]:
+    """Per-chain seed sequences spawned from one root seed.
+
+    Chain ``c`` of a batch seeded this way is bit-identical to the serial
+    chain run with ``seed=chain_seed_sequences(seed, n)[c]`` (the serial
+    samplers accept ``SeedSequence`` seeds directly).
+    """
+    if n_chains < 1:
+        raise ValueError("n_chains must be at least 1")
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return list(root.spawn(n_chains))
+
+
+class _Stream:
+    """Buffered uniform draws from one chain's generator.
+
+    ``take(k)`` returns the next ``k`` doubles of the stream.  Buffering
+    changes the call pattern but not the values (prefix-consistency of
+    ``Generator.random``), so the buffered chain matches the serial chain's
+    unbuffered draws bit for bit.
+    """
+
+    __slots__ = ("rng", "_buffer", "_cursor")
+
+    _BLOCK = 4096
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._buffer = np.empty(0)
+        self._cursor = 0
+
+    def take(self, count: int) -> np.ndarray:
+        end = self._cursor + count
+        if end > len(self._buffer):
+            tail = self._buffer[self._cursor :]
+            fresh = self.rng.random(max(self._BLOCK, count - len(tail)))
+            self._buffer = np.concatenate([tail, fresh])
+            self._cursor = 0
+            end = count
+        out = self._buffer[self._cursor : end]
+        self._cursor = end
+        return out
+
+
+class _BatchedTables:
+    """Padded per-node gather tables for whole-batch conditional updates.
+
+    Flattens the per-node factor entries of
+    :class:`~repro.engine.conditionals.CompiledConditionals` into rectangular
+    arrays: entry ``j`` of node ``v`` contributes the weight table at
+    ``pool[base[v, j] + a * stride0[v, j]]`` for alphabet code ``a``, with the
+    offset determined by the neighbour codes at ``other[v, j, :]`` (strides
+    ``ostride[v, j, :]``).  Missing entries point at an all-ones table (pool
+    offset 0, stride 1, zero neighbour strides), so a single
+    ``multiply.reduce`` over the entry axis reproduces the serial per-factor
+    product exactly -- the padding multiplies by 1.0 *after* the real
+    entries, which leaves the float result bit-identical.
+    """
+
+    __slots__ = ("q", "pool", "base", "stride0", "other", "ostride", "factorless", "aq")
+
+    def __init__(self, compiled) -> None:
+        tables = compiled.conditionals.tables
+        q = compiled.q
+        self.q = q
+        n = len(compiled.nodes)
+        max_entries = max((len(entries) for entries in tables), default=0) or 1
+        max_others = (
+            max(
+                (len(entry[2]) for entries in tables for entry in entries),
+                default=0,
+            )
+            or 1
+        )
+        pool: List[float] = [1.0] * q  # the all-ones padding table at offset 0
+        base = np.zeros((n, max_entries), dtype=np.int64)
+        stride0 = np.ones((n, max_entries), dtype=np.int64)
+        other = np.zeros((n, max_entries, max_others), dtype=np.int64)
+        ostride = np.zeros((n, max_entries, max_others), dtype=np.int64)
+        for variable, entries in enumerate(tables):
+            for j, (flat, entry_stride0, others, strides) in enumerate(entries):
+                base[variable, j] = len(pool)
+                pool.extend(flat)
+                stride0[variable, j] = entry_stride0
+                for k, (other_node, stride) in enumerate(zip(others, strides)):
+                    other[variable, j, k] = other_node
+                    ostride[variable, j, k] = stride
+        self.pool = np.asarray(pool, dtype=np.float64)
+        self.base = base
+        self.stride0 = stride0
+        self.other = other
+        self.ostride = ostride
+        self.factorless = np.array([len(entries) == 0 for entries in tables], dtype=bool)
+        self.aq = np.arange(q)
+
+    def weights(
+        self, codes: np.ndarray, rows: np.ndarray, variables: np.ndarray
+    ) -> np.ndarray:
+        """Unnormalised conditional weights, one length-``q`` row per pair.
+
+        ``rows[i]`` selects the chain (a row of ``codes``) and
+        ``variables[i]`` the node being resampled; the result row ``i`` equals
+        the serial ``weights_by_codes(variables[i], codes[rows[i]])``.
+        """
+        base = self.base[variables]  # (M, F)
+        stride0 = self.stride0[variables]  # (M, F)
+        other = self.other[variables]  # (M, F, K)
+        ostride = self.ostride[variables]  # (M, F, K)
+        neighbour_codes = codes[rows[:, None, None], other]
+        offsets = base + (neighbour_codes * ostride).sum(axis=2)
+        indices = offsets[:, :, None] + self.aq * stride0[:, :, None]
+        return np.multiply.reduce(self.pool[indices], axis=1)
+
+
+class ChainBatch:
+    """A batch of independent chains over one instance, as a code matrix.
+
+    Parameters
+    ----------
+    instance:
+        The sampling instance all chains target.
+    n_chains:
+        Number of chains (ignored when ``seeds`` is given explicitly).
+    seed, seeds:
+        Either a root ``seed`` from which per-chain streams are spawned
+        (:func:`chain_seed_sequences`), or an explicit ``seeds`` sequence --
+        one entry per chain, each anything ``numpy.random.default_rng``
+        accepts.  Explicit seeds make chain ``c`` bit-identical to the serial
+        sampler called with ``seed=seeds[c]``.
+    initial:
+        Optional shared initial configuration (default: the deterministic
+        greedy feasible configuration, exactly like the serial samplers).
+    engine:
+        Must resolve to the compiled engine; the batched runner *is* a
+        compiled-engine execution strategy.
+    """
+
+    def __init__(
+        self,
+        instance: SamplingInstance,
+        n_chains: Optional[int] = None,
+        seed: Seed = 0,
+        seeds: Optional[Sequence] = None,
+        initial: Optional[Dict[Node, Value]] = None,
+        engine: Optional[str] = None,
+    ) -> None:
+        if resolve_engine(engine) != "compiled":
+            raise ValueError(
+                "the batched chain runner requires the compiled engine; "
+                'pass engine=None or engine="compiled"'
+            )
+        if seeds is None:
+            if n_chains is None:
+                raise ValueError("pass n_chains (with a root seed) or explicit seeds")
+            seeds = chain_seed_sequences(seed, n_chains)
+        else:
+            seeds = list(seeds)
+            if n_chains is not None and n_chains != len(seeds):
+                raise ValueError("n_chains disagrees with the number of explicit seeds")
+        if not seeds:
+            raise ValueError("a chain batch needs at least one chain")
+        self.instance = instance
+        self.seeds = seeds
+        self.n_chains = len(seeds)
+        compiled = instance.distribution.compiled_engine()
+        self.compiled = compiled
+        self.tables = _BatchedTables(compiled)
+        configuration = (
+            dict(initial)
+            if initial is not None
+            else greedy_feasible_configuration(instance, engine=engine)
+        )
+        start = np.array(
+            [compiled.symbol_index[configuration[node]] for node in compiled.nodes],
+            dtype=np.int64,
+        )
+        #: The ``(chains, n)`` state matrix of alphabet codes.
+        self.codes = np.tile(start, (self.n_chains, 1))
+        self.rngs = [np.random.default_rng(chain_seed) for chain_seed in seeds]
+        self._streams: Optional[List[_Stream]] = None
+        self._kind: Optional[str] = None
+        free_nodes = instance.free_nodes
+        self._free_index = np.array(
+            [compiled.node_index[node] for node in free_nodes], dtype=np.int64
+        )
+        self._chain_ids = np.arange(self.n_chains)
+        self._any_factorless = bool(
+            len(self._free_index) and np.any(self.tables.factorless[self._free_index])
+        )
+        # LubyGlauber selection structure: for each free node, the positions
+        # (into the priority array) of its free neighbours, padded with a
+        # sentinel column that reads a -inf priority (so isolated nodes are
+        # always selected, matching the serial all-of-empty convention).
+        free_set = set(free_nodes)
+        free_position = {
+            variable: position for position, variable in enumerate(self._free_index.tolist())
+        }
+        graph = instance.graph
+        neighbour_positions = [
+            [
+                free_position[compiled.node_index[neighbour]]
+                for neighbour in graph.neighbors(node)
+                if neighbour in free_set
+            ]
+            for node in free_nodes
+        ]
+        width = max((len(positions) for positions in neighbour_positions), default=0) or 1
+        sentinel = len(free_nodes)
+        self._neighbour_index = np.full((len(free_nodes), width), sentinel, dtype=np.int64)
+        for position, neighbours in enumerate(neighbour_positions):
+            self._neighbour_index[position, : len(neighbours)] = neighbours
+
+    # ------------------------------------------------------------------
+    def _claim_kind(self, kind: str) -> None:
+        """One batch runs one chain kind.
+
+        Glauber and LubyGlauber consume the per-chain streams with different
+        draw patterns; interleaving them on the same generators would yield
+        chains that correspond to no serial execution, silently voiding the
+        bit-identity contract.  Fail loudly instead.
+        """
+        if self._kind is None:
+            self._kind = kind
+        elif self._kind != kind:
+            raise RuntimeError(
+                f"this ChainBatch already ran {self._kind} updates; create a "
+                f"fresh batch for {kind} updates (the per-chain RNG streams "
+                "are not interchangeable between chain kinds)"
+            )
+
+    def glauber_steps(self, steps: int) -> "ChainBatch":
+        """Advance every chain by ``steps`` single-site Glauber updates."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        self._claim_kind("glauber")
+        free_count = len(self._free_index)
+        if free_count == 0 or steps == 0:
+            return self
+        chains = self.n_chains
+        tables = self.tables
+        q = tables.q
+        chain_ids = self._chain_ids
+        codes = self.codes
+        factorless = tables.factorless
+        remaining = steps
+        while remaining > 0:
+            chunk = min(remaining, _RNG_CHUNK)
+            remaining -= chunk
+            choices = np.empty((chains, chunk), dtype=np.int64)
+            points = np.empty((chains, chunk))
+            for chain, rng in enumerate(self.rngs):
+                choices[chain] = rng.integers(0, free_count, size=chunk)
+                points[chain] = rng.random(chunk)
+            variables = self._free_index[choices]
+            for step in range(chunk):
+                chosen = variables[:, step]
+                point = points[:, step]
+                weights = tables.weights(codes, chain_ids, chosen)
+                cumulative = np.cumsum(weights, axis=1)
+                totals = cumulative[:, -1]
+                if not np.all(totals > 0.0):
+                    # Padded (factorless) rows total exactly q, so a
+                    # non-positive total is a genuinely stuck node.
+                    self._raise_stuck(chosen, totals)
+                new_codes = np.minimum(
+                    np.sum(cumulative < (point * totals)[:, None], axis=1), q - 1
+                )
+                if self._any_factorless:
+                    # Replicate the serial fast path for factorless nodes
+                    # (uniform resample via truncation, not cumulative search).
+                    uniform = np.minimum((point * q).astype(np.int64), q - 1)
+                    new_codes = np.where(factorless[chosen], uniform, new_codes)
+                codes[chain_ids, chosen] = new_codes
+        return self
+
+    def luby_rounds(
+        self,
+        rounds: int,
+        statistic: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ):
+        """Advance every chain by ``rounds`` LubyGlauber rounds.
+
+        When ``statistic`` is given it is applied to the ``(chains, n)`` code
+        matrix after every round and the per-chain traces are returned as a
+        ``(chains, rounds)`` array (the input of the convergence diagnostics
+        in :mod:`repro.analysis.convergence`); otherwise the batch itself is
+        returned for chaining.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self._claim_kind("luby-glauber")
+        trace: Optional[List[np.ndarray]] = [] if statistic is not None else None
+        streams = self._luby_streams()
+        for _ in range(rounds):
+            if len(self._free_index):
+                self._luby_round(streams)
+            if trace is not None:
+                trace.append(np.asarray(statistic(self.codes), dtype=float))
+        if trace is not None:
+            if not trace:
+                return np.empty((self.n_chains, 0))
+            return np.stack(trace, axis=1)
+        return self
+
+    # ------------------------------------------------------------------
+    def _luby_streams(self) -> List[_Stream]:
+        if self._streams is None:
+            self._streams = [_Stream(rng) for rng in self.rngs]
+        return self._streams
+
+    def _luby_round(self, streams: List[_Stream]) -> None:
+        chains = self.n_chains
+        free_count = len(self._free_index)
+        priorities = np.empty((chains, free_count))
+        for chain, stream in enumerate(streams):
+            priorities[chain] = stream.take(free_count)
+        extended = np.concatenate(
+            [priorities, np.full((chains, 1), -np.inf)], axis=1
+        )
+        selected = priorities > extended[:, self._neighbour_index].max(axis=2)
+        counts = selected.sum(axis=1)
+        # Every chain consumes exactly its selection count from its stream,
+        # matching the serial rng.random(len(selected)) draw.
+        points = np.concatenate(
+            [streams[chain].take(int(counts[chain])) for chain in range(chains)]
+        )
+        rows, positions = np.nonzero(selected)
+        if len(rows) == 0:
+            return
+        variables = self._free_index[positions]
+        # All conditionals read the pre-round snapshot; the selected nodes
+        # form an independent set per chain, so the simultaneous updates
+        # below cannot interact.
+        weights = self.tables.weights(self.codes, rows, variables)
+        cumulative = np.cumsum(weights, axis=1)
+        totals = cumulative[:, -1]
+        if not np.all(totals > 0.0):
+            self._raise_stuck(variables, totals)
+        new_codes = np.minimum(
+            np.sum(cumulative < (points * totals)[:, None], axis=1),
+            self.tables.q - 1,
+        )
+        self.codes[rows, variables] = new_codes
+
+    def _raise_stuck(self, variables: np.ndarray, totals: np.ndarray) -> None:
+        stuck = int(np.flatnonzero(totals <= 0.0)[0])
+        node = self.compiled.nodes[int(variables[stuck])]
+        raise ValueError(
+            f"node {node!r} has no feasible value given its neighbourhood; "
+            "the single-site dynamics is not ergodic here"
+        )
+
+    # ------------------------------------------------------------------
+    def configurations(self) -> List[Dict[Node, Value]]:
+        """The current state of every chain, decoded to configurations."""
+        alphabet = self.compiled.alphabet
+        nodes = self.compiled.nodes
+        return [
+            {node: alphabet[code] for node, code in zip(nodes, row)}
+            for row in self.codes.tolist()
+        ]
+
+
+def batched_glauber_sample(
+    instance: SamplingInstance,
+    steps: int,
+    n_chains: Optional[int] = None,
+    seed: Seed = 0,
+    seeds: Optional[Sequence] = None,
+    initial: Optional[Dict[Node, Value]] = None,
+    engine: Optional[str] = None,
+) -> List[Dict[Node, Value]]:
+    """Run a batch of Glauber chains and return the per-chain final states.
+
+    Entry ``c`` is bit-identical to
+    ``glauber_sample(instance, steps, seed=seeds[c], initial=initial)``.
+    """
+    batch = ChainBatch(
+        instance, n_chains=n_chains, seed=seed, seeds=seeds, initial=initial, engine=engine
+    )
+    batch.glauber_steps(steps)
+    return batch.configurations()
+
+
+def batched_luby_glauber_sample(
+    instance: SamplingInstance,
+    rounds: int,
+    n_chains: Optional[int] = None,
+    seed: Seed = 0,
+    seeds: Optional[Sequence] = None,
+    initial: Optional[Dict[Node, Value]] = None,
+    engine: Optional[str] = None,
+) -> List[Dict[Node, Value]]:
+    """Run a batch of LubyGlauber chains and return the per-chain final states.
+
+    Entry ``c`` is bit-identical to
+    ``luby_glauber_sample(instance, rounds, seed=seeds[c], initial=initial)``.
+    """
+    batch = ChainBatch(
+        instance, n_chains=n_chains, seed=seed, seeds=seeds, initial=initial, engine=engine
+    )
+    batch.luby_rounds(rounds)
+    return batch.configurations()

@@ -1,0 +1,240 @@
+"""The ``Runtime`` facade: *how* work executes, separate from *what* it is.
+
+Three backends:
+
+``serial``
+    Today's behaviour -- every loop runs in-process, one item at a time.
+    This is the default everywhere, so ``runtime=None`` changes nothing.
+``batched``
+    Chain workloads run on the batched code-matrix runner of
+    :mod:`repro.runtime.chains`: ``n_chains`` independent chains advance
+    per step with one set of vectorised gathers.  Bit-identical per chain
+    to the serial samplers under the spawned-seed convention.
+``process``
+    Per-node LOCAL computations (ball compilation, boundary extension, ball
+    marginals) shard across OS processes via :mod:`repro.runtime.shards`,
+    and coarse-grained experiment loops fan out through :meth:`Runtime.map`.
+
+The facade is threaded through ``sampling/glauber.py``,
+``inference/ssm_inference.py``, the LOCAL driver in ``localmodel/local.py``
+and the E5/E6/E7/E8/E12 experiment entry points as a ``runtime=`` parameter
+that defaults to serial, mirroring how ``engine=`` selects the evaluation
+backend (see :mod:`repro.engine`).  The two knobs compose: ``engine``
+decides how a single quantity is evaluated, ``runtime`` decides how many of
+them execute at once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.gibbs.instance import SamplingInstance
+from repro.runtime.chains import (
+    batched_glauber_sample,
+    batched_luby_glauber_sample,
+    chain_seed_sequences,
+)
+from repro.runtime.shards import (
+    process_map,
+    shard_compiled_balls,
+    shard_padded_ball_marginals,
+)
+
+Node = Hashable
+Value = Hashable
+
+#: In-process, one item at a time (the default everywhere).
+SERIAL_BACKEND = "serial"
+#: Many chains as one code matrix (see :mod:`repro.runtime.chains`).
+BATCHED_BACKEND = "batched"
+#: Per-node work sharded across OS processes (see :mod:`repro.runtime.shards`).
+PROCESS_BACKEND = "process"
+
+_BACKENDS = (SERIAL_BACKEND, BATCHED_BACKEND, PROCESS_BACKEND)
+
+
+class Runtime:
+    """An execution policy: backend, chain batch width, worker count."""
+
+    __slots__ = ("backend", "n_chains", "n_workers")
+
+    def __init__(
+        self,
+        backend: str = SERIAL_BACKEND,
+        n_chains: int = 1,
+        n_workers: Optional[int] = None,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown runtime backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        if n_chains < 1:
+            raise ValueError("n_chains must be at least 1")
+        self.backend = backend
+        self.n_chains = int(n_chains)
+        if n_workers is None:
+            n_workers = (os.cpu_count() or 1) if backend == PROCESS_BACKEND else 1
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.n_workers = int(n_workers)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_serial(self) -> bool:
+        return self.backend == SERIAL_BACKEND
+
+    @property
+    def is_batched(self) -> bool:
+        return self.backend == BATCHED_BACKEND
+
+    @property
+    def is_process(self) -> bool:
+        return self.backend == PROCESS_BACKEND
+
+    # ------------------------------------------------------------------
+    def map(self, function: Callable, items: Iterable) -> List:
+        """Map a function over independent items under this runtime.
+
+        The process backend fans out over forked workers (the function and
+        its closure are inherited, so unpicklable model objects are fine;
+        items and results must pickle); the other backends run the plain
+        serial loop.
+        """
+        if self.is_process:
+            return process_map(function, items, n_workers=self.n_workers)
+        return [function(item) for item in items]
+
+    # ------------------------------------------------------------------
+    def glauber_sample(
+        self,
+        instance: SamplingInstance,
+        steps: int,
+        seed=0,
+        seeds: Optional[Sequence] = None,
+        initial: Optional[Dict[Node, Value]] = None,
+        engine: Optional[str] = None,
+    ) -> List[Dict[Node, Value]]:
+        """Final states of ``n_chains`` independent Glauber chains.
+
+        All backends use the same per-chain seed convention
+        (:func:`~repro.runtime.chains.chain_seed_sequences`), so the result
+        is identical across backends; only the execution strategy differs.
+        """
+        if seeds is None:
+            seeds = chain_seed_sequences(seed, self.n_chains)
+        if self.is_batched:
+            return batched_glauber_sample(
+                instance, steps, seeds=seeds, initial=initial, engine=engine
+            )
+        from repro.sampling.glauber import glauber_sample
+
+        # Chains are independent, so the process backend fans the per-seed
+        # serial chains out over workers via self.map (serial backend: plain
+        # loop); the per-chain results are identical either way.
+        return self.map(
+            lambda chain_seed: glauber_sample(
+                instance, steps, seed=chain_seed, initial=initial, engine=engine
+            ),
+            seeds,
+        )
+
+    def luby_glauber_sample(
+        self,
+        instance: SamplingInstance,
+        rounds: int,
+        seed=0,
+        seeds: Optional[Sequence] = None,
+        initial: Optional[Dict[Node, Value]] = None,
+        engine: Optional[str] = None,
+    ) -> List[Dict[Node, Value]]:
+        """Final states of ``n_chains`` independent LubyGlauber chains."""
+        if seeds is None:
+            seeds = chain_seed_sequences(seed, self.n_chains)
+        if self.is_batched:
+            return batched_luby_glauber_sample(
+                instance, rounds, seeds=seeds, initial=initial, engine=engine
+            )
+        from repro.sampling.glauber import luby_glauber_sample
+
+        return self.map(
+            lambda chain_seed: luby_glauber_sample(
+                instance, rounds, seed=chain_seed, initial=initial, engine=engine
+            ),
+            seeds,
+        )
+
+    # ------------------------------------------------------------------
+    def ball_marginals(
+        self,
+        instance: SamplingInstance,
+        nodes: Sequence[Node],
+        radius: int,
+        engine: Optional[str] = None,
+    ) -> Dict[Node, Dict[Value, float]]:
+        """Theorem 5.1 padded-ball marginals at many centers.
+
+        The process backend shards the per-node ball computations across
+        workers and warms the parent's ball cache with their compilations;
+        other backends run the serial loop.  The shard transport is
+        compiled-only, so an explicit ``engine="dict"`` request keeps the
+        serial loop and its reference backend.
+        """
+        from repro.engine import resolve_engine
+
+        if (
+            self.is_process
+            and len(nodes) > 1
+            and resolve_engine(engine) == "compiled"
+        ):
+            return shard_padded_ball_marginals(
+                instance, nodes, radius, n_workers=self.n_workers
+            )
+        from repro.inference.ssm_inference import padded_ball_marginal
+
+        return {
+            node: padded_ball_marginal(instance, node, radius, engine=engine)
+            for node in nodes
+        }
+
+    def warm_ball_cache(
+        self, instance: SamplingInstance, tasks: Sequence[Tuple[Node, int]]
+    ) -> int:
+        """Precompile ``(center, radius)`` balls into the distribution cache.
+
+        Returns the number of balls compiled; with the process backend the
+        compilation itself is sharded across workers.
+        """
+        if self.is_process and len(tasks) > 1:
+            return len(shard_compiled_balls(instance, tasks, n_workers=self.n_workers))
+        cache = instance.distribution.ball_cache()
+        for center, radius in tasks:
+            cache.compiled_ball(center, radius)
+        return len(tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Runtime(backend={self.backend!r}, n_chains={self.n_chains}, "
+            f"n_workers={self.n_workers})"
+        )
+
+
+#: The default runtime: today's serial behaviour.
+SERIAL_RUNTIME = Runtime()
+
+
+def resolve_runtime(runtime: Union[None, str, Runtime] = None) -> Runtime:
+    """Normalise a ``runtime=`` argument, rejecting unknown backends.
+
+    ``None`` means "serial" (the default everywhere), a string selects a
+    backend with default parameters, and a :class:`Runtime` passes through.
+    """
+    if runtime is None:
+        return SERIAL_RUNTIME
+    if isinstance(runtime, Runtime):
+        return runtime
+    if isinstance(runtime, str):
+        return Runtime(backend=runtime)
+    raise ValueError(
+        f"expected None, a backend name or a Runtime, got {runtime!r}"
+    )

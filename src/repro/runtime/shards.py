@@ -1,0 +1,385 @@
+"""Process-sharded execution of per-node LOCAL computations.
+
+The paper's Theorem 5.1 inference algorithm is embarrassingly parallel
+across nodes: each node compiles a ball around itself, greedily extends the
+pinning onto the boundary shell, and eliminates the ball restriction.  This
+module fans that per-node work out across OS processes:
+
+* :class:`InstanceSpec` -- a picklable snapshot of a sampling instance
+  (integer adjacency, dense factor arrays, pinning, locality).  The model
+  factories build :class:`~repro.gibbs.factors.Factor` objects around
+  closures, which do not pickle; the spec instead carries the
+  already-materialised dense tables of the compiled engine, which is exactly
+  the data the ball computations run on.
+* :func:`shard_compiled_balls` / :func:`shard_padded_ball_marginals` --
+  shard ``(center, radius)`` tasks over a process pool.  Workers return
+  compiled balls (:class:`~repro.engine.compiled.CompiledGibbs` pickles) and
+  marginals; the parent merges the compiled balls and memoised boundary
+  extensions back into the distribution's
+  :class:`~repro.engine.cache.BallCache`, so subsequent serial queries hit
+  the warmed cache.
+* :func:`process_map` -- a generic fork-based map used by the
+  :class:`~repro.runtime.executor.Runtime` facade for coarse-grained task
+  parallelism.  The fork start method lets workers inherit the mapped
+  function (and anything it closes over) without pickling; only items and
+  results cross the pipe.
+
+Worker computations replay the exact serial code paths on equal compiled
+inputs, so sharded results are bit-identical to the serial ones and merging
+them into the parent cache is transparent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.compiled import CompiledGibbs
+from repro.gibbs.instance import SamplingInstance
+
+Node = Hashable
+Value = Hashable
+BallKey = Tuple[Node, int]
+
+
+class InstanceSpec:
+    """A picklable snapshot of a sampling instance for process workers.
+
+    Carries the compiled full instance (node order, alphabet, integer factor
+    scopes, dense weight arrays), the integer adjacency structure, the
+    pinning and the factor locality -- everything the per-node ball
+    computations of E5/E8 read, and nothing that closes over Python
+    callables.  Ball compilations are memoised so a worker's results can be
+    shipped back wholesale and adopted by the parent cache.
+    """
+
+    __slots__ = (
+        "nodes",
+        "alphabet",
+        "scopes",
+        "arrays",
+        "adjacency",
+        "pinning",
+        "locality",
+        "_node_index",
+        "_ball_memo",
+        "_extras",
+    )
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        alphabet: Sequence[Value],
+        scopes: Sequence[Tuple[int, ...]],
+        arrays: Sequence[np.ndarray],
+        adjacency: Sequence[Tuple[int, ...]],
+        pinning: Dict[Node, Value],
+        locality: int,
+    ) -> None:
+        self.nodes = tuple(nodes)
+        self.alphabet = tuple(alphabet)
+        self.scopes = tuple(tuple(scope) for scope in scopes)
+        self.arrays = tuple(arrays)
+        self.adjacency = tuple(tuple(neighbours) for neighbours in adjacency)
+        self.pinning = dict(pinning)
+        self.locality = int(locality)
+        self._node_index: Optional[Dict[Node, int]] = None
+        self._ball_memo: Dict[BallKey, CompiledGibbs] = {}
+        self._extras: Dict = {}
+
+    @classmethod
+    def from_instance(cls, instance: SamplingInstance) -> "InstanceSpec":
+        """Snapshot an instance (dense tables come from the compiled engine)."""
+        distribution = instance.distribution
+        compiled = distribution.compiled_engine()
+        node_index = compiled.node_index
+        adjacency = tuple(
+            tuple(sorted(node_index[neighbour] for neighbour in distribution.graph.neighbors(node)))
+            for node in compiled.nodes
+        )
+        return cls(
+            nodes=compiled.nodes,
+            alphabet=compiled.alphabet,
+            scopes=compiled.scopes,
+            arrays=compiled.arrays,
+            adjacency=adjacency,
+            pinning=instance.pinning.as_dict(),
+            locality=distribution.locality(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def node_index(self) -> Dict[Node, int]:
+        if self._node_index is None:
+            self._node_index = {node: i for i, node in enumerate(self.nodes)}
+        return self._node_index
+
+    def ball_variables(self, center_variable: int, radius: int) -> frozenset:
+        """Variable ids of ``B_radius(center)`` by BFS on the adjacency."""
+        seen = {center_variable}
+        frontier = [center_variable]
+        for _ in range(radius):
+            if not frontier:
+                break
+            next_frontier: List[int] = []
+            for variable in frontier:
+                for neighbour in self.adjacency[variable]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return frozenset(seen)
+
+    def compile_ball(self, center: Node, radius: int) -> CompiledGibbs:
+        """The compiled restriction to ``B_radius(center)`` (memoised).
+
+        Node order (``repr``-sorted) and factor order (instance factor
+        order) match :meth:`repro.engine.cache.BallCache.compiled_ball`
+        exactly, so worker results merge transparently into the parent
+        cache.
+        """
+        key = (center, radius)
+        compiled = self._ball_memo.get(key)
+        if compiled is None:
+            variables = self.ball_variables(self.node_index[center], radius)
+            labels = sorted((self.nodes[v] for v in variables), key=repr)
+            label_index = {node: i for i, node in enumerate(labels)}
+            scopes: List[Tuple[int, ...]] = []
+            arrays: List[np.ndarray] = []
+            for scope, array in zip(self.scopes, self.arrays):
+                if all(variable in variables for variable in scope):
+                    scopes.append(tuple(label_index[self.nodes[v]] for v in scope))
+                    arrays.append(array)
+            compiled = CompiledGibbs(labels, self.alphabet, scopes, arrays)
+            self._ball_memo[key] = compiled
+        return compiled
+
+    # ------------------------------------------------------------------
+    def padded_ball_marginal(self, center: Node, radius: int) -> Dict[Value, float]:
+        """The Theorem 5.1 marginal at ``center`` for the given radius.
+
+        Worker-side mirror of
+        :func:`repro.inference.ssm_inference.padded_ball_marginal`: gather
+        ``B_{radius + 2l}``, greedily extend the pinning over the shell
+        between ``radius`` and ``radius + l`` (first feasible alphabet value
+        per ``repr``-sorted shell node, exactly the reference rule), and
+        return the exact conditional marginal of the padded ball.
+        """
+        locality = self.locality
+        center_variable = self.node_index[center]
+        context_ball = self.compile_ball(center, radius + 2 * locality)
+        padded_variables = self.ball_variables(center_variable, radius + locality)
+        inner_variables = self.ball_variables(center_variable, radius)
+        padded_nodes = {self.nodes[v] for v in padded_variables}
+        inner_nodes = {self.nodes[v] for v in inner_variables}
+        shell = [
+            node
+            for node in padded_nodes
+            if node not in inner_nodes and node not in self.pinning
+        ]
+        context_pinning = frozenset(
+            (node, value)
+            for node, value in self.pinning.items()
+            if node in context_ball.node_index
+        )
+        extras_key = ("boundary-extension", center, radius, context_pinning)
+        boundary = self._extras.get(extras_key)
+        if boundary is None:
+            boundary = self._greedy_boundary_extension(context_ball, shell)
+            self._extras[extras_key] = boundary
+        pinning = {
+            node: value for node, value in self.pinning.items() if node in padded_nodes
+        }
+        pinning.update(boundary)
+        if center in pinning:
+            return {
+                value: (1.0 if value == pinning[center] else 0.0)
+                for value in self.alphabet
+            }
+        padded_ball = self.compile_ball(center, radius + locality)
+        restricted = {
+            node: value
+            for node, value in pinning.items()
+            if node in padded_ball.node_index
+        }
+        return padded_ball.marginal(center, restricted)
+
+    def _greedy_boundary_extension(
+        self, context_ball: CompiledGibbs, shell: Iterable[Node]
+    ) -> Dict[Node, Value]:
+        """Greedy locally-feasible extension on the compiled context ball.
+
+        ``weights_partial`` only consults factors whose scope is fully
+        assigned, which is precisely the reference rule (factors inside both
+        the context and the assigned set).
+        """
+        codes = [-1] * len(context_ball.nodes)
+        symbol_index = context_ball.symbol_index
+        for node, value in self.pinning.items():
+            variable = context_ball.node_index.get(node)
+            if variable is not None:
+                code = symbol_index.get(value)
+                if code is not None:
+                    codes[variable] = code
+        conditionals = context_ball.conditionals
+        boundary: Dict[Node, Value] = {}
+        for node in sorted(shell, key=repr):
+            variable = context_ball.node_index[node]
+            if codes[variable] >= 0:
+                continue
+            weights = conditionals.weights_partial(variable, codes)
+            chosen = next(
+                (code for code, weight in enumerate(weights) if weight > 0.0), None
+            )
+            if chosen is None:
+                raise RuntimeError(
+                    "could not extend the pinning onto the boundary shell; "
+                    "the distribution does not appear to be locally admissible"
+                )
+            codes[variable] = chosen
+            boundary[node] = self.alphabet[chosen]
+        return boundary
+
+
+# ----------------------------------------------------------------------
+# worker entry points (must be importable at module top level)
+# ----------------------------------------------------------------------
+def _compile_ball_shard(
+    spec: InstanceSpec, tasks: Sequence[BallKey]
+) -> Dict[BallKey, CompiledGibbs]:
+    return {key: spec.compile_ball(*key) for key in tasks}
+
+
+def _ball_marginal_shard(spec: InstanceSpec, tasks: Sequence[BallKey]):
+    marginals = {key: spec.padded_ball_marginal(*key) for key in tasks}
+    # Only ship the padded balls back: the serial replay queries
+    # compiled_ball(center, radius + locality), while the context balls the
+    # greedy extension used stay worker-local (the parent never compiles
+    # them, so adopting them would just bloat the pipe and the cache).
+    wanted = {(center, radius + spec.locality) for center, radius in tasks}
+    balls = {key: ball for key, ball in spec._ball_memo.items() if key in wanted}
+    return marginals, balls, dict(spec._extras)
+
+
+def _split_shards(tasks: Sequence, n_workers: int) -> List[List]:
+    shards: List[List] = [[] for _ in range(max(1, n_workers))]
+    for index, task in enumerate(tasks):
+        shards[index % len(shards)].append(task)
+    return [shard for shard in shards if shard]
+
+
+# ----------------------------------------------------------------------
+# parent-side sharding API
+# ----------------------------------------------------------------------
+def shard_compiled_balls(
+    instance: SamplingInstance,
+    tasks: Sequence[BallKey],
+    n_workers: int = 2,
+) -> Dict[BallKey, CompiledGibbs]:
+    """Compile ``(center, radius)`` balls across a process pool.
+
+    The compiled balls are merged into the distribution's
+    :class:`~repro.engine.cache.BallCache` (so subsequent serial queries are
+    cache hits) and returned.
+    """
+    tasks = list(dict.fromkeys(tasks))
+    if not tasks:
+        return {}
+    spec = InstanceSpec.from_instance(instance)
+    merged: Dict[BallKey, CompiledGibbs] = {}
+    shards = _split_shards(tasks, n_workers)
+    if len(shards) == 1:
+        merged.update(_compile_ball_shard(spec, shards[0]))
+    else:
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            for result in pool.map(_compile_ball_shard, [spec] * len(shards), shards):
+                merged.update(result)
+    instance.distribution.ball_cache().adopt(balls=merged)
+    return merged
+
+
+def shard_padded_ball_marginals(
+    instance: SamplingInstance,
+    centers: Sequence[Node],
+    radius: int,
+    n_workers: int = 2,
+) -> Dict[Node, Dict[Value, float]]:
+    """Theorem 5.1 marginals at many centers, sharded across processes.
+
+    Every worker compiles the balls of its shard of centers and computes the
+    padded-ball marginals; the parent merges the workers' compiled balls and
+    boundary extensions back into the distribution's cache and returns the
+    per-center marginals.  Results are bit-identical to the serial
+    :func:`repro.inference.ssm_inference.padded_ball_marginal` loop.
+    """
+    centers = list(centers)
+    if not centers:
+        return {}
+    spec = InstanceSpec.from_instance(instance)
+    tasks = [(center, radius) for center in centers]
+    marginals: Dict[Node, Dict[Value, float]] = {}
+    balls: Dict[BallKey, CompiledGibbs] = {}
+    extras: Dict = {}
+    shards = _split_shards(tasks, n_workers)
+    if len(shards) == 1:
+        shard_results = [_ball_marginal_shard(spec, shards[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            shard_results = list(
+                pool.map(_ball_marginal_shard, [spec] * len(shards), shards)
+            )
+    for shard_marginals, shard_balls, shard_extras in shard_results:
+        for (center, _), marginal in shard_marginals.items():
+            marginals[center] = marginal
+        balls.update(shard_balls)
+        extras.update(shard_extras)
+    instance.distribution.ball_cache().adopt(balls=balls, extras=extras)
+    return marginals
+
+
+# ----------------------------------------------------------------------
+# generic fork-based map
+# ----------------------------------------------------------------------
+_FORK_TASK: Optional[Callable] = None
+
+
+def _invoke_fork_task(item):
+    return _FORK_TASK(item)
+
+
+def process_map(
+    function: Callable,
+    items: Iterable,
+    n_workers: int = 2,
+    fallback_serial: bool = True,
+) -> List:
+    """Map ``function`` over ``items`` in a pool of forked processes.
+
+    The fork start method lets workers inherit ``function`` -- including
+    closures over unpicklable model objects -- from the parent's address
+    space; only the items and results round-trip through pickle.  On
+    platforms without fork (or with a single item) the map degrades to a
+    serial loop when ``fallback_serial`` is set.
+    """
+    items = list(items)
+    if not items:
+        return []
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = None
+    if context is None or len(items) == 1:
+        if context is None and not fallback_serial:
+            raise RuntimeError("process_map requires the fork start method")
+        return [function(item) for item in items]
+    global _FORK_TASK
+    previous = _FORK_TASK
+    _FORK_TASK = function
+    try:
+        with context.Pool(processes=max(1, n_workers)) as pool:
+            return pool.map(_invoke_fork_task, items)
+    finally:
+        _FORK_TASK = previous

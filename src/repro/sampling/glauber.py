@@ -22,6 +22,10 @@ conditional is a single gather into each precomputed per-node factor table
 followed by a product over the alphabet axis -- instead of ``q x
 |factors_at(v)|`` dict-based ``Factor.evaluate`` calls.  Pass
 ``engine="dict"`` to run the reference implementation.
+
+Both samplers also accept a ``runtime=`` knob (see :mod:`repro.runtime`):
+a batched runtime advances many independent chains as one ``(chains, n)``
+code matrix, bit-identical per chain to the serial functions here.
 """
 
 from __future__ import annotations
@@ -186,10 +190,28 @@ def glauber_sample(
     seed: int = 0,
     initial: Optional[Dict[Node, Value]] = None,
     engine: Optional[str] = None,
-) -> Dict[Node, Value]:
-    """Run single-site Glauber dynamics for ``steps`` updates and return the state."""
+    runtime=None,
+):
+    """Run single-site Glauber dynamics for ``steps`` updates and return the state.
+
+    ``runtime`` selects the execution backend (see :mod:`repro.runtime`).
+    The default (``None`` / serial) runs one chain and returns its final
+    configuration, exactly as before.  A non-serial runtime runs
+    ``runtime.n_chains`` independent chains -- batched as one code matrix on
+    the batched backend -- and returns the *list* of per-chain final
+    configurations; chain ``c`` is bit-identical to the serial chain seeded
+    with the ``c``-th stream spawned from ``seed``.
+    """
     if steps < 0:
         raise ValueError("steps must be non-negative")
+    if runtime is not None:
+        from repro.runtime import resolve_runtime
+
+        resolved = resolve_runtime(runtime)
+        if not resolved.is_serial:
+            return resolved.glauber_sample(
+                instance, steps, seed=seed, initial=initial, engine=engine
+            )
     rng = np.random.default_rng(seed)
     configuration = (
         dict(initial)
@@ -250,16 +272,29 @@ def luby_glauber_sample(
     seed: int = 0,
     initial: Optional[Dict[Node, Value]] = None,
     engine: Optional[str] = None,
-) -> Dict[Node, Value]:
+    runtime=None,
+):
     """Run the LubyGlauber parallel chain for ``rounds`` rounds and return the state.
 
     In each round every free node draws a uniform priority; a node updates
     iff its priority beats all of its free neighbours' (the selected nodes
     form an independent set, so the simultaneous updates commute with the
     sequential chain and stationarity is preserved).
+
+    ``runtime`` selects the execution backend (see :mod:`repro.runtime`);
+    as with :func:`glauber_sample`, a non-serial runtime runs
+    ``runtime.n_chains`` chains and returns the list of per-chain states.
     """
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
+    if runtime is not None:
+        from repro.runtime import resolve_runtime
+
+        resolved = resolve_runtime(runtime)
+        if not resolved.is_serial:
+            return resolved.luby_glauber_sample(
+                instance, rounds, seed=seed, initial=initial, engine=engine
+            )
     rng = np.random.default_rng(seed)
     configuration = (
         dict(initial)

@@ -100,6 +100,38 @@ class TestEngineEquivalence:
                         reference[value], rel=TOLERANCE, abs=TOLERANCE
                     )
 
+    def test_joint_marginals_agree(self, label, distribution):
+        # The compiled engine computes the whole joint from one contraction
+        # schedule with multiple kept axes; the dict engine loops value
+        # tuples over the partition function.  They must agree entrywise.
+        rng = np.random.default_rng((hash(label) + 3) % (2**32))
+        nodes = distribution.nodes
+        for size in (1, 2, 3):
+            if len(nodes) < size:
+                continue
+            pinning = _random_feasible_pinning(distribution, rng)
+            chosen = [nodes[int(i)] for i in rng.choice(len(nodes), size=size, replace=False)]
+            compiled = distribution.joint_marginal(chosen, pinning, engine="compiled")
+            reference = distribution.joint_marginal(chosen, pinning, engine="dict")
+            assert set(compiled) == set(reference)
+            for key, probability in reference.items():
+                assert compiled[key] == pytest.approx(
+                    probability, rel=TOLERANCE, abs=TOLERANCE
+                )
+            assert sum(compiled.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_joint_marginal_with_pinned_query_nodes(self, label, distribution):
+        nodes = distribution.nodes
+        pinned_value = distribution.alphabet[0]
+        pinning = {nodes[0]: pinned_value}
+        if distribution.partition_function(pinning, engine="dict") <= 0.0:
+            pinning = {nodes[0]: distribution.alphabet[-1]}
+        compiled = distribution.joint_marginal((nodes[0], nodes[2]), pinning, engine="compiled")
+        reference = distribution.joint_marginal((nodes[0], nodes[2]), pinning, engine="dict")
+        assert set(compiled) == set(reference)
+        for key, probability in reference.items():
+            assert compiled[key] == pytest.approx(probability, rel=TOLERANCE, abs=TOLERANCE)
+
     def test_ball_restricted_marginals_agree(self, label, distribution):
         rng = np.random.default_rng((hash(label) + 2) % (2**32))
         nodes = distribution.nodes

@@ -1,0 +1,336 @@
+"""Runtime subsystem tests: determinism, pickling, process-pool smoke.
+
+The contract of :mod:`repro.runtime` is threefold:
+
+* the batched chain runner is *bit-identical* per chain to the serial
+  samplers under the per-chain seed convention;
+* compiled instances and balls round-trip through ``pickle`` (the transport
+  of the process backend);
+* the process backend produces exactly the serial results while warming the
+  parent's ball cache with worker compilations.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.compiled import CompiledGibbs
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, grid_graph, path_graph, random_tree
+from repro.inference.ssm_inference import TruncatedBallInference, padded_ball_marginal
+from repro.models import coloring_model, hardcore_model, matching_model, two_spin_model
+from repro.runtime import (
+    ChainBatch,
+    InstanceSpec,
+    Runtime,
+    batched_glauber_sample,
+    batched_luby_glauber_sample,
+    chain_seed_sequences,
+    resolve_runtime,
+    shard_compiled_balls,
+    shard_padded_ball_marginals,
+)
+from repro.sampling.glauber import _RNG_CHUNK, glauber_sample, luby_glauber_sample
+
+
+def _instances():
+    return [
+        ("hardcore-cycle", SamplingInstance(hardcore_model(cycle_graph(8), 1.3), {0: 1})),
+        ("coloring-cycle", SamplingInstance(coloring_model(cycle_graph(6), 3), {0: 2})),
+        (
+            "two-spin-path",
+            SamplingInstance(two_spin_model(path_graph(7), beta=0.5, gamma=1.6, field=1.1)),
+        ),
+        ("matching-grid", SamplingInstance(matching_model(grid_graph(3, 3), 1.4))),
+    ]
+
+
+INSTANCES = _instances()
+INSTANCE_IDS = [label for label, _ in INSTANCES]
+
+
+@pytest.mark.parametrize(("label", "instance"), INSTANCES, ids=INSTANCE_IDS)
+class TestBatchedChainDeterminism:
+    """Chain c of a batch equals the serial chain run with seed seeds[c]."""
+
+    def test_glauber_bit_identical(self, label, instance):
+        seeds = chain_seed_sequences(7, 5)
+        serial = [glauber_sample(instance, 137, seed=seed) for seed in seeds]
+        batched = batched_glauber_sample(instance, 137, seeds=seeds)
+        assert batched == serial
+
+    def test_luby_glauber_bit_identical(self, label, instance):
+        seeds = chain_seed_sequences(11, 5)
+        serial = [luby_glauber_sample(instance, 23, seed=seed) for seed in seeds]
+        batched = batched_luby_glauber_sample(instance, 23, seeds=seeds)
+        assert batched == serial
+
+    def test_integer_seeds_match_serial(self, label, instance):
+        # E12 seeds its serial chains with plain integers; explicit seeds
+        # reproduce that exactly.
+        serial = [luby_glauber_sample(instance, 12, seed=seed) for seed in range(4)]
+        batched = batched_luby_glauber_sample(instance, 12, seeds=range(4))
+        assert batched == serial
+
+
+class TestBatchedChainEdges:
+    def test_rng_chunk_boundary_is_respected(self):
+        instance = SamplingInstance(hardcore_model(path_graph(5), 1.0))
+        seeds = chain_seed_sequences(0, 3)
+        steps = _RNG_CHUNK + 37
+        serial = [glauber_sample(instance, steps, seed=seed) for seed in seeds]
+        assert batched_glauber_sample(instance, steps, seeds=seeds) == serial
+
+    def test_spawned_seed_convention(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        from_root = batched_glauber_sample(instance, 50, n_chains=4, seed=9)
+        explicit = batched_glauber_sample(
+            instance, 50, seeds=chain_seed_sequences(9, 4)
+        )
+        assert from_root == explicit
+
+    def test_zero_steps_returns_initial(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        initial = glauber_sample(instance, 0, seed=0)
+        batch = batched_glauber_sample(instance, 0, n_chains=3, seed=1, initial=initial)
+        assert batch == [initial] * 3
+
+    def test_dict_engine_rejected(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        with pytest.raises(ValueError):
+            ChainBatch(instance, n_chains=2, engine="dict")
+
+    def test_chain_count_validation(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        with pytest.raises(ValueError):
+            ChainBatch(instance, seeds=[])
+        with pytest.raises(ValueError):
+            ChainBatch(instance, n_chains=2, seeds=[1, 2, 3])
+        with pytest.raises(ValueError):
+            ChainBatch(instance)
+
+    def test_fully_pinned_instance_is_constant(self):
+        distribution = hardcore_model(path_graph(3), 1.0)
+        instance = SamplingInstance(distribution, {0: 0, 1: 1, 2: 0})
+        batch = ChainBatch(instance, n_chains=2, seed=0)
+        batch.glauber_steps(10)
+        assert batch.configurations() == [{0: 0, 1: 1, 2: 0}] * 2
+
+    def test_chain_kinds_cannot_be_mixed_on_one_batch(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        batch = ChainBatch(instance, n_chains=2, seed=0)
+        batch.luby_rounds(3)
+        with pytest.raises(RuntimeError):
+            batch.glauber_steps(3)
+        other = ChainBatch(instance, n_chains=2, seed=0)
+        other.glauber_steps(3)
+        with pytest.raises(RuntimeError):
+            other.luby_rounds(3)
+
+    def test_luby_trace_shape(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0))
+        batch = ChainBatch(instance, n_chains=6, seed=2)
+        traces = batch.luby_rounds(15, statistic=lambda codes: codes.mean(axis=1))
+        assert traces.shape == (6, 15)
+        assert np.all(traces >= 0.0) and np.all(traces <= 1.0)
+
+
+class TestPickling:
+    """CompiledGibbs (and the spec built on it) round-trip through pickle."""
+
+    def test_compiled_gibbs_roundtrip(self):
+        distribution = coloring_model(cycle_graph(6), 3)
+        compiled = distribution.compiled_engine()
+        _ = compiled.conditionals  # populate derived state before pickling
+        compiled.marginal(1, {0: 2})  # populate the memo caches too
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.nodes == compiled.nodes
+        assert clone.alphabet == compiled.alphabet
+        assert clone.scopes == compiled.scopes
+        assert clone.partition_function({}) == compiled.partition_function({})
+        assert clone.marginal(1, {0: 2}) == compiled.marginal(1, {0: 2})
+        # Derived caches are rebuilt, not shipped.
+        assert clone._marginal_memo is not compiled._marginal_memo
+        for variable in range(len(clone.nodes)):
+            assert (
+                clone.conditionals.tables[variable]
+                == compiled.conditionals.tables[variable]
+            )
+
+    def test_compiled_ball_roundtrip(self):
+        distribution = hardcore_model(random_tree(14, seed=4), 1.2)
+        ball = distribution.ball_cache().compiled_ball(0, 2)
+        clone = pickle.loads(pickle.dumps(ball))
+        assert clone.nodes == ball.nodes
+        assert clone.marginal(0, {}) == ball.marginal(0, {})
+
+    def test_instance_spec_roundtrip(self):
+        instance = SamplingInstance(hardcore_model(random_tree(14, seed=4), 1.2), {0: 0})
+        spec = pickle.loads(pickle.dumps(InstanceSpec.from_instance(instance)))
+        node = instance.free_nodes[3]
+        assert spec.padded_ball_marginal(node, 2) == padded_ball_marginal(
+            instance, node, 2
+        )
+
+
+class TestSpecEquivalence:
+    """The worker-side spec replays the serial per-node computation exactly."""
+
+    def test_padded_ball_marginals_match_serial(self):
+        for distribution, pinning in [
+            (hardcore_model(random_tree(18, seed=2), 1.1), {0: 0}),
+            (coloring_model(cycle_graph(9), 3), {0: 1}),
+        ]:
+            instance = SamplingInstance(distribution, pinning)
+            spec = InstanceSpec.from_instance(instance)
+            for radius in (0, 1, 2):
+                for node in instance.free_nodes:
+                    assert spec.padded_ball_marginal(node, radius) == (
+                        padded_ball_marginal(instance, node, radius)
+                    )
+
+    def test_compile_ball_matches_cache(self):
+        distribution = hardcore_model(random_tree(12, seed=6), 1.5)
+        instance = SamplingInstance(distribution)
+        spec = InstanceSpec.from_instance(instance)
+        cached = distribution.ball_cache().compiled_ball(3, 2)
+        built = spec.compile_ball(3, 2)
+        assert built.nodes == cached.nodes
+        assert built.scopes == cached.scopes
+        assert all(
+            np.array_equal(a, b) for a, b in zip(built.arrays, cached.arrays)
+        )
+
+
+class TestRuntimeFacade:
+    def test_resolve_defaults_to_serial(self):
+        assert resolve_runtime(None).is_serial
+        assert resolve_runtime("batched").is_batched
+        runtime = Runtime("process", n_workers=2)
+        assert resolve_runtime(runtime) is runtime
+
+    def test_invalid_backends_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_runtime("quantum")
+        with pytest.raises(ValueError):
+            Runtime(n_chains=0)
+        with pytest.raises(ValueError):
+            resolve_runtime(3.14)
+
+    def test_serial_and_batched_runtimes_agree(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0))
+        serial = Runtime("serial", n_chains=3).glauber_sample(instance, 60, seed=5)
+        batched = Runtime("batched", n_chains=3).glauber_sample(instance, 60, seed=5)
+        assert serial == batched
+
+    def test_sampler_runtime_parameter(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0))
+        single = glauber_sample(instance, 40, seed=3)
+        batch = glauber_sample(
+            instance, 40, seed=3, runtime=Runtime("batched", n_chains=2)
+        )
+        assert isinstance(batch, list) and len(batch) == 2
+        assert batch[0] == glauber_sample(
+            instance, 40, seed=chain_seed_sequences(3, 2)[0]
+        )
+        # runtime=None keeps the historical single-configuration contract.
+        assert isinstance(single, dict)
+        parallel = luby_glauber_sample(instance, 10, seed=3, runtime="batched")
+        assert isinstance(parallel, list) and len(parallel) == 1
+
+    def test_map_serial(self):
+        assert Runtime().map(lambda x: x * x, [1, 2, 3]) == [1, 4, 9]
+
+
+class TestE12Diagnostics:
+    def test_batched_e12_matches_serial_and_reports_mixing(self):
+        from repro.experiments import e12_baselines
+
+        serial = e12_baselines.run(cycle_size=5, samples=30, glauber_rounds=(6,))
+        batched = e12_baselines.run(
+            cycle_size=5, samples=30, glauber_rounds=(6,), runtime="batched"
+        )
+        assert batched[0]["tv_to_target"] == serial[0]["tv_to_target"]
+        assert "split_r_hat" in batched[0] and "ess" in batched[0]
+        assert isinstance(batched[0]["mixed"], bool)
+
+
+@pytest.mark.slow
+class TestProcessPool:
+    """Two-worker process-pool smoke tests (the sharding transport)."""
+
+    def test_shard_padded_ball_marginals_matches_serial(self):
+        distribution = coloring_model(cycle_graph(10), 3)
+        instance = SamplingInstance(distribution, {0: 1})
+        sharded = shard_padded_ball_marginals(
+            instance, instance.free_nodes, 2, n_workers=2
+        )
+        serial = {
+            node: padded_ball_marginal(instance, node, 2)
+            for node in instance.free_nodes
+        }
+        assert sharded == serial
+        # Worker compilations were merged back into the parent cache.
+        assert len(distribution.ball_cache()._compiled) > 0
+
+    def test_shard_compiled_balls_warms_cache(self):
+        distribution = hardcore_model(random_tree(16, seed=1), 1.0)
+        instance = SamplingInstance(distribution)
+        tasks = [(node, 2) for node in list(distribution.nodes)[:6]]
+        balls = shard_compiled_balls(instance, tasks, n_workers=2)
+        assert set(balls) == set(tasks)
+        cache = distribution.ball_cache()
+        for center, radius in tasks:
+            assert cache.compiled_ball(center, radius) is balls[(center, radius)]
+
+    def test_truncated_ball_inference_process_runtime(self):
+        distribution = hardcore_model(random_tree(15, seed=8), 1.3)
+        instance = SamplingInstance(distribution, {0: 0})
+        serial_engine = TruncatedBallInference(radius=2)
+        process_engine = TruncatedBallInference(
+            radius=2, runtime=Runtime("process", n_workers=2)
+        )
+        assert process_engine.marginals(instance, 0.05) == serial_engine.marginals(
+            instance, 0.05
+        )
+
+    def test_dict_engine_request_is_honoured_under_process_runtime(self):
+        # The shard transport is compiled-only; an explicit engine="dict"
+        # must keep the serial reference loop rather than being silently
+        # rerouted to the compiled engine.
+        distribution = hardcore_model(cycle_graph(7), 1.1)
+        instance = SamplingInstance(distribution, {0: 0})
+        reference = TruncatedBallInference(radius=1, engine="dict")
+        process_reference = TruncatedBallInference(
+            radius=1, engine="dict", runtime=Runtime("process", n_workers=2)
+        )
+        assert process_reference.marginals(instance, 0.05) == reference.marginals(
+            instance, 0.05
+        )
+
+    def test_process_runtime_chain_sampling_matches_serial(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0))
+        serial = Runtime("serial", n_chains=3).luby_glauber_sample(instance, 10, seed=4)
+        process = Runtime("process", n_chains=3, n_workers=2).luby_glauber_sample(
+            instance, 10, seed=4
+        )
+        assert process == serial
+
+    def test_sharding_only_adopts_parent_queried_balls(self):
+        # Workers compile context balls (radius + 2*locality) for the greedy
+        # extension, but the parent only ever queries radius + locality;
+        # only the latter should come back and be adopted.
+        distribution = hardcore_model(cycle_graph(10), 1.0)
+        instance = SamplingInstance(distribution)
+        shard_padded_ball_marginals(instance, instance.free_nodes, 2, n_workers=2)
+        locality = distribution.locality()
+        adopted = set(distribution.ball_cache()._compiled)
+        assert adopted == {(node, 2 + locality) for node in instance.free_nodes}
+
+    def test_process_map_matches_serial(self):
+        runtime = Runtime("process", n_workers=2)
+        offset = 10  # closure state must be inherited by forked workers
+        assert runtime.map(lambda x: x + offset, range(5)) == [10, 11, 12, 13, 14]
