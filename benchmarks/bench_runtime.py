@@ -16,6 +16,14 @@ chains of a hardcore instance, one sample per chain):
   fork/pickle overhead typically makes this *slower*, which is exactly what
   the JSON should document.  Only the batched chain workloads feed
   ``min_batched_speedup``.
+* ``streaming_ball_shards`` -- the same E5-style workload on the barrier
+  API (``shard_padded_ball_marginals``, which returns nothing until every
+  shard lands) vs the streaming API (``stream_padded_ball_marginals``,
+  which yields each shard as its future completes).  The headline number is
+  *time to first shard result*: the streaming consumer starts measuring
+  while the remaining balls are still compiling, so its first result must
+  land strictly before the barrier call returns at all.  Streamed marginals
+  are asserted bit-identical to the serial loop before timing.
 
 Run directly to (re)record the JSON baseline::
 
@@ -41,6 +49,7 @@ from repro.runtime import (
     batched_luby_glauber_sample,
     chain_seed_sequences,
     shard_padded_ball_marginals,
+    stream_padded_ball_marginals,
 )
 from repro.sampling.glauber import glauber_sample, luby_glauber_sample
 
@@ -105,6 +114,43 @@ def _process_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2)
     return {"nodes": len(nodes), "radius": radius, "workers": n_workers}, serial, sharded
 
 
+def _streaming_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2):
+    from repro.inference.ssm_inference import padded_ball_marginal
+
+    distribution = hardcore_model(random_tree(size, seed=2), fugacity=1.0)
+    instance = SamplingInstance(distribution, {0: 0})
+    nodes = instance.free_nodes
+
+    # Correctness gate before any timing: streamed per-ball results must be
+    # bit-identical to the serial backend (the acceptance contract).
+    serial_reference = {
+        node: padded_ball_marginal(instance, node, radius) for node in nodes
+    }
+    distribution.ball_cache().clear()
+    streamed = dict(
+        stream_padded_ball_marginals(instance, nodes, radius, n_workers=n_workers)
+    )
+    assert streamed == serial_reference, "streamed results diverge from serial"
+
+    def barrier() -> None:
+        distribution.ball_cache().clear()
+        shard_padded_ball_marginals(instance, nodes, radius, n_workers=n_workers)
+
+    def streaming() -> tuple:
+        distribution.ball_cache().clear()
+        start = time.perf_counter()
+        first = None
+        for _ in stream_padded_ball_marginals(
+            instance, nodes, radius, n_workers=n_workers
+        ):
+            if first is None:
+                first = time.perf_counter() - start
+        return first, time.perf_counter() - start
+
+    shape = {"nodes": len(nodes), "radius": radius, "workers": n_workers}
+    return shape, barrier, streaming
+
+
 def run(repeats: int = 3) -> List[Dict[str, object]]:
     """Time the backends; report the best of ``repeats`` per side."""
     rows: List[Dict[str, object]] = []
@@ -138,6 +184,26 @@ def run(repeats: int = 3) -> List[Dict[str, object]]:
             "speedup": serial_seconds / process_seconds,
         }
     )
+    shape, barrier, streaming = _streaming_shard_workload()
+    barrier_seconds = _best_of(barrier, repeats)
+    first_result_seconds = np.inf
+    streaming_seconds = np.inf
+    for _ in range(repeats):
+        first, wall = streaming()
+        first_result_seconds = min(first_result_seconds, first)
+        streaming_seconds = min(streaming_seconds, wall)
+    rows.append(
+        {
+            "workload": "streaming_ball_shards",
+            "backend_pair": "barrier-vs-streaming",
+            "shape": shape,
+            "barrier_wall_seconds": barrier_seconds,
+            "time_to_first_result_seconds": first_result_seconds,
+            "streaming_wall_seconds": streaming_seconds,
+            "first_result_speedup": barrier_seconds / first_result_seconds,
+            "bit_identical_to_serial": True,
+        }
+    )
     return rows
 
 
@@ -145,15 +211,22 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
     """Run the benchmark and write the JSON baseline next to the repo root."""
     rows = run(repeats=repeats)
     batched = [row for row in rows if row["backend_pair"] == "serial-vs-batched"]
+    streaming = [row for row in rows if row["backend_pair"] == "barrier-vs-streaming"]
     payload = {
         "benchmark": "bench_runtime",
         "description": (
             "execution backends of repro.runtime: looped serial chains vs the "
-            "batched (chains, n) code-matrix runner, plus the 2-worker process "
-            "shard of the per-node ball computations (informational)"
+            "batched (chains, n) code-matrix runner, the 2-worker process "
+            "shard of the per-node ball computations (informational), and the "
+            "barrier vs streaming (futures + as_completed) shard executor on "
+            "the E5-style workload (time-to-first-shard-result)"
         ),
         "workloads": rows,
         "min_batched_speedup": min(row["speedup"] for row in batched),
+        "streaming_first_result_beats_barrier": all(
+            row["time_to_first_result_seconds"] < row["barrier_wall_seconds"]
+            for row in streaming
+        ),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
@@ -161,9 +234,17 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
 
 def _print_rows(rows: List[Dict[str, object]]) -> None:
     for row in rows:
+        if row["backend_pair"] == "barrier-vs-streaming":
+            print(
+                f"{row['workload']:>22}: barrier {row['barrier_wall_seconds'] * 1e3:8.1f} ms   "
+                f"first result {row['time_to_first_result_seconds'] * 1e3:8.1f} ms   "
+                f"stream wall {row['streaming_wall_seconds'] * 1e3:8.1f} ms   "
+                f"ttfr speedup {row['first_result_speedup']:6.2f}x   {row['shape']}"
+            )
+            continue
         other = row.get("batched_seconds", row.get("process_seconds"))
         print(
-            f"{row['workload']:>20}: serial {row['serial_seconds'] * 1e3:8.1f} ms   "
+            f"{row['workload']:>22}: serial {row['serial_seconds'] * 1e3:8.1f} ms   "
             f"other {other * 1e3:8.1f} ms   speedup {row['speedup']:6.2f}x   "
             f"{row['shape']}"
         )
@@ -181,6 +262,12 @@ def test_batched_runner_amortises_the_python_loop(once=None) -> None:
     for row in rows:
         if row["backend_pair"] == "serial-vs-batched":
             assert row["speedup"] > 2.5, f"workload {row['workload']} regressed: {row}"
+        if row["backend_pair"] == "barrier-vs-streaming":
+            # The acceptance contract of the streaming executor: the first
+            # shard result lands strictly before the barrier call returns.
+            assert (
+                row["time_to_first_result_seconds"] < row["barrier_wall_seconds"]
+            ), f"streaming lost its overlap win: {row}"
 
 
 if __name__ == "__main__":

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full test suite (as pinned in ROADMAP.md) plus an
 # explicit run of the engine-equivalence suite (the contract between the
-# compiled evaluation engine and the reference dict engine) and a fast
+# compiled evaluation engine and the reference dict engine), a fast
 # runtime smoke (batched-chain determinism and pickling, skipping the
-# slow-marked process-pool tests).
+# slow-marked process-pool tests) and a docs check (the architecture map
+# exists and the README quickstart executes as a doctest).
 #
 # Usage: scripts/ci_tier1.sh  (from the repository root)
 set -euo pipefail
@@ -20,5 +21,9 @@ python -m pytest -x -q tests/test_engine_equivalence.py
 
 echo "== tier-1: runtime smoke =="
 python -m pytest -x -q -m "not slow" tests/test_runtime.py tests/test_analysis_convergence.py
+
+echo "== tier-1: docs =="
+test -f docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md is missing" >&2; exit 1; }
+python -m doctest README.md
 
 echo "tier-1 OK"

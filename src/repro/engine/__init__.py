@@ -55,7 +55,24 @@ _ENGINES = (DICT_ENGINE, COMPILED_ENGINE)
 
 
 def resolve_engine(engine) -> str:
-    """Normalise an ``engine=`` argument, rejecting unknown backends."""
+    """Normalise an ``engine=`` argument, rejecting unknown backends.
+
+    Parameters
+    ----------
+    engine : None or str
+        ``None`` (use the default), :data:`DICT_ENGINE` or
+        :data:`COMPILED_ENGINE`.
+
+    Returns
+    -------
+    str
+        The resolved backend name.
+
+    Raises
+    ------
+    ValueError
+        For any other value.
+    """
     if engine is None:
         return DEFAULT_ENGINE
     if engine not in _ENGINES:

@@ -81,6 +81,18 @@ class BallCache:
         Nodes are ordered by ``repr`` to match the dict engine's convention;
         only factors fully contained in the ball are compiled, so the result
         computes exactly the ball-restricted quantities of the paper.
+
+        Parameters
+        ----------
+        center : node
+            Ball center.
+        radius : int
+            Ball radius in graph distance.
+
+        Returns
+        -------
+        CompiledGibbs
+            The compiled sub-instance, shared across repeated queries.
         """
         key = (center, radius)
         compiled = self._compiled.get(key)
@@ -114,16 +126,38 @@ class BallCache:
         self,
         balls: Optional[Mapping[Tuple[Node, int], CompiledGibbs]] = None,
         extras: Optional[Mapping] = None,
+        memos: Optional[Mapping[Tuple[Node, int], Mapping]] = None,
     ) -> int:
         """Merge worker-produced results into this cache.
 
         This is the parent side of the process-sharding protocol
         (:mod:`repro.runtime.shards`): workers compile balls (and memoise
-        ball-local scratch results such as greedy boundary extensions) for
-        their shard of the key space, and adopting them here turns later
-        serial queries into cache hits.  Existing entries win -- worker
-        results are equal by construction, so there is nothing to reconcile.
-        Returns the number of entries added.
+        ball-local scratch results such as greedy boundary extensions and
+        per-pinning marginals) for their shard of the key space, and
+        adopting them here turns later serial queries into cache hits.  The
+        streaming executor calls this incrementally, once per arriving
+        shard, so the cache warms while other shards are still in flight.
+        Existing entries win -- worker results are equal by construction, so
+        there is nothing to reconcile.
+
+        Parameters
+        ----------
+        balls : mapping, optional
+            ``{(center, radius): CompiledGibbs}`` worker compilations.
+        extras : mapping, optional
+            Scratch memo entries (e.g. greedy boundary extensions), merged
+            into :attr:`extras` under the shared eviction discipline.
+        memos : mapping, optional
+            ``{(center, radius): exported marginal memo}`` deltas (see
+            :meth:`CompiledGibbs.export_marginal_memo`), installed into the
+            matching compiled ball -- the one adopted from ``balls`` or an
+            already-cached equal one.  Deltas for balls this cache does not
+            hold are dropped.
+
+        Returns
+        -------
+        int
+            Number of entries added (balls + extras + memo entries).
         """
         added = 0
         for key, compiled in (balls or {}).items():
@@ -138,6 +172,10 @@ class BallCache:
                     self.extras.clear()
                 self.extras[key] = value
                 added += 1
+        for key, entries in (memos or {}).items():
+            target = self._compiled.get(key)
+            if target is not None and entries:
+                added += target.absorb_marginal_memo(entries)
         return added
 
     # ------------------------------------------------------------------
@@ -153,6 +191,20 @@ class BallCache:
         The pinning is restricted to the ball automatically; pinned query
         nodes return a point mass.  Results are memoised per
         ``(center, radius, pinning signature)``.
+
+        Parameters
+        ----------
+        center, radius
+            Identify the ball ``B_radius(center)``.
+        pinning : mapping of node to value
+            Boundary condition; entries outside the ball are dropped.
+        node : node
+            The query node (must lie inside the ball).
+
+        Returns
+        -------
+        dict
+            ``{value: probability}`` over the alphabet.
         """
         compiled = self.compiled_ball(center, radius)
         in_ball = compiled.node_index

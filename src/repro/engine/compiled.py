@@ -50,7 +50,29 @@ _MARGINAL_CACHE_LIMIT = 65536
 
 
 class CompiledGibbs:
-    """A Gibbs (sub-)instance compiled to integer-indexed dense arrays."""
+    """A Gibbs (sub-)instance compiled to integer-indexed dense arrays.
+
+    Parameters
+    ----------
+    nodes : sequence of node
+        Node labels; positions become the integer variable ids.
+    alphabet : sequence of value
+        Symbol labels; positions become the integer codes.
+    scopes : sequence of tuple of int
+        Per-factor variable-id scopes.
+    arrays : sequence of numpy.ndarray
+        Per-factor dense weight tables, one length-``q`` axis per scope
+        entry.
+
+    Attributes
+    ----------
+    node_index, symbol_index : dict
+        Inverse maps of ``nodes`` / ``alphabet``.
+    q : int
+        Alphabet size.
+    factors_at : tuple of tuple of int
+        Factor ids touching each variable.
+    """
 
     __slots__ = (
         "nodes",
@@ -240,7 +262,20 @@ class CompiledGibbs:
     # queries
     # ------------------------------------------------------------------
     def partition_function(self, pinning: Mapping[Node, Value]) -> float:
-        """Exact conditional partition function ``Z(tau)``."""
+        """Exact conditional partition function ``Z(tau)``.
+
+        Parameters
+        ----------
+        pinning : mapping of node to value
+            The boundary condition ``tau``; nodes outside this sub-instance
+            are ignored.
+
+        Returns
+        -------
+        float
+            ``sum_sigma prod_f f(sigma)`` over configurations extending the
+            pinning; ``0.0`` for a trivially infeasible pinning.
+        """
         encoded = self._encode_pinning(pinning)
         if encoded is None:
             return 0.0
@@ -252,8 +287,24 @@ class CompiledGibbs:
     def marginal_weights(self, node: Node, pinning: Mapping[Node, Value]) -> np.ndarray:
         """Unnormalised marginal weights of ``node``, in alphabet-code order.
 
-        Raises ``ValueError`` when the node is not part of the sub-instance;
-        a trivially infeasible pinning yields all-zero weights.
+        Parameters
+        ----------
+        node : node
+            The query node; must belong to this sub-instance and be free
+            under the pinning.
+        pinning : mapping of node to value
+            The boundary condition.
+
+        Returns
+        -------
+        numpy.ndarray
+            Length-``q`` weights in alphabet-code order; all zeros for a
+            trivially infeasible pinning.
+
+        Raises
+        ------
+        ValueError
+            When the node is not part of the sub-instance or not free.
         """
         variable = self.node_index.get(node)
         if variable is None:
@@ -324,6 +375,24 @@ class CompiledGibbs:
 
         Pinned nodes return a point mass.  Results are memoised per
         ``(node, pinning signature)``.
+
+        Parameters
+        ----------
+        node : node
+            The query node ``v``.
+        pinning : mapping of node to value
+            The boundary condition ``tau``.
+
+        Returns
+        -------
+        dict
+            ``{value: probability}`` over the full alphabet (a fresh copy).
+
+        Raises
+        ------
+        ValueError
+            When the conditional partition function is zero (infeasible
+            pinning).
         """
         if node in pinning:
             pinned_value = pinning[node]
@@ -354,12 +423,96 @@ class CompiledGibbs:
             self._marginal_memo[key] = cached
         return dict(cached)
 
+    # ------------------------------------------------------------------
+    # marginal-memo deltas (the streaming process runtime ships the memos
+    # workers populated back to the parent; see :mod:`repro.runtime.shards`)
+    # ------------------------------------------------------------------
+    def export_marginal_memo(
+        self, cap: Optional[int] = None
+    ) -> Dict[tuple, Dict[Value, float]]:
+        """Snapshot the per-pinning marginal memo for shipping to a peer.
+
+        Pickling a :class:`CompiledGibbs` deliberately drops its memo caches
+        (see :meth:`__getstate__`), so a process worker that computed
+        marginals would otherwise hand back compiled balls whose memos the
+        parent recomputes from scratch.  This method extracts the memo as
+        plain data -- entry keys are integer-encoded pinning signatures,
+        which are identical on both sides because the node ordering of a
+        compiled ball is deterministic.
+
+        Parameters
+        ----------
+        cap : int, optional
+            Maximum number of entries to export (insertion order).  ``None``
+            exports the whole memo.
+
+        Returns
+        -------
+        dict
+            ``{memo key: marginal dict}``, at most ``cap`` entries, each
+            marginal a fresh copy safe to mutate or pickle.
+        """
+        items = self._marginal_memo.items()
+        if cap is not None:
+            if cap <= 0:
+                return {}
+            items = itertools.islice(items, cap)
+        return {key: dict(value) for key, value in items}
+
+    def absorb_marginal_memo(
+        self, entries: Mapping[tuple, Mapping[Value, float]]
+    ) -> int:
+        """Install exported memo entries produced by an equal compiled peer.
+
+        The parent side of the memo-delta protocol: entries computed by a
+        worker on a bit-identical compiled ball are installed directly, so
+        the parent's first query of the same ``(node, pinning)`` is a memo
+        hit instead of a fresh elimination.
+
+        Existing entries always win, and absorption never evicts -- when the
+        memo is at :data:`_MARGINAL_CACHE_LIMIT` capacity the remaining
+        entries are dropped rather than clearing locally computed state.
+
+        Parameters
+        ----------
+        entries : mapping
+            The output of :meth:`export_marginal_memo` on an equal instance.
+
+        Returns
+        -------
+        int
+            Number of entries actually installed.
+        """
+        memo = self._marginal_memo
+        added = 0
+        for key, value in entries.items():
+            if key in memo:
+                continue
+            if len(memo) >= _MARGINAL_CACHE_LIMIT:
+                break
+            memo[key] = dict(value)
+            added += 1
+        return added
+
     def configuration_weight(self, configuration: Mapping[Node, Value]) -> float:
         """Product of all factor weights on a full configuration.
 
-        Raises ``KeyError`` when a node is missing from the configuration or
-        a value is outside the alphabet (callers fall back to the generic
-        evaluation path in that case).
+        Parameters
+        ----------
+        configuration : mapping of node to value
+            A full assignment covering every node of the sub-instance.
+
+        Returns
+        -------
+        float
+            ``prod_f f(configuration)``, short-circuiting at the first zero.
+
+        Raises
+        ------
+        KeyError
+            When a node is missing from the configuration or a value is
+            outside the alphabet (callers fall back to the generic
+            evaluation path in that case).
         """
         codes = [self.symbol_index[configuration[node]] for node in self.nodes]
         weight = 1.0
@@ -441,7 +594,20 @@ def _fuse_factors(
 
 
 def dense_table_from_callable(factor, alphabet: Sequence[Value]) -> np.ndarray:
-    """Materialise a factor's weight function as a dense ``(q, ..., q)`` array."""
+    """Materialise a factor's weight function as a dense ``(q, ..., q)`` array.
+
+    Parameters
+    ----------
+    factor
+        An object exposing ``scope`` and ``evaluate_values(values)``.
+    alphabet : sequence of value
+        Symbol labels; positions become array indices.
+
+    Returns
+    -------
+    numpy.ndarray
+        Weight array with one length-``q`` axis per scope node.
+    """
     q = len(alphabet)
     arity = len(factor.scope)
     array = np.empty((q,) * arity)

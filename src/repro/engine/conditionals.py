@@ -26,7 +26,14 @@ _Entry = Tuple[List[float], int, Tuple[int, ...], Tuple[int, ...]]
 
 
 class CompiledConditionals:
-    """Per-node gathered factor tables supporting one-slice local conditionals."""
+    """Per-node gathered factor tables supporting one-slice local conditionals.
+
+    Parameters
+    ----------
+    compiled : CompiledGibbs
+        The compiled instance whose factors are gathered; reached lazily
+        through :attr:`CompiledGibbs.conditionals` in normal use.
+    """
 
     __slots__ = ("compiled", "q", "tables", "_uniform")
 
@@ -53,8 +60,18 @@ class CompiledConditionals:
     def weights_by_codes(self, variable: int, codes) -> List[float]:
         """Unnormalised conditional weights of ``variable`` as a length-``q`` list.
 
-        ``codes`` is indexable by node id and must hold the current symbol
-        code of every node appearing in a factor with ``variable``.
+        Parameters
+        ----------
+        variable : int
+            Integer id of the node being resampled.
+        codes
+            Indexable by node id; must hold the current symbol code of every
+            node appearing in a factor with ``variable``.
+
+        Returns
+        -------
+        list of float
+            One weight per alphabet code (uniform for factorless nodes).
         """
         weights = None
         for flat, stride0, others, strides in self.tables[variable]:
@@ -76,6 +93,19 @@ class CompiledConditionals:
 
         This is the greedy-construction primitive: only fully assigned
         factors constrain the choice, matching the reference implementation.
+
+        Parameters
+        ----------
+        variable : int
+            Integer id of the node being assigned.
+        codes
+            Indexable by node id; ``-1`` entries mark unassigned nodes.
+
+        Returns
+        -------
+        list of float
+            One weight per alphabet code, constrained only by the factors
+            whose scope is fully assigned.
         """
         weights = None
         for flat, stride0, others, strides in self.tables[variable]:

@@ -28,7 +28,23 @@ Potential = Tuple[Tuple[int, ...], np.ndarray]
 def restrict_potential(
     axes: Tuple[int, ...], array: np.ndarray, pin_codes: Mapping[int, int]
 ) -> Potential:
-    """Apply a pinning (variable id -> symbol code) by slicing the array."""
+    """Apply a pinning (variable id -> symbol code) by slicing the array.
+
+    Parameters
+    ----------
+    axes : tuple of int
+        Variable ids labelling the array's axes.
+    array : numpy.ndarray
+        The dense potential, one length-``q`` axis per entry of ``axes``.
+    pin_codes : mapping of int to int
+        Pinned variable ids mapped to their symbol codes.
+
+    Returns
+    -------
+    (tuple of int, numpy.ndarray)
+        The surviving axes and the sliced array; the inputs are returned
+        unchanged when no axis is pinned.
+    """
     if not any(axis in pin_codes for axis in axes):
         return axes, array
     index = tuple(
@@ -84,6 +100,18 @@ def min_degree_order(
 
     Mirrors the dict engine's heuristic; integer variable ids make the
     tie-break deterministic without ``repr`` calls.
+
+    Parameters
+    ----------
+    scopes : iterable of tuple of int
+        Variable-id scopes of the potentials (the interaction graph).
+    free : sequence of int
+        Variables to order; everything else is treated as already gone.
+
+    Returns
+    -------
+    tuple of int
+        A permutation of ``free`` in elimination order.
     """
     neighbors: Dict[int, set] = {variable: set() for variable in free}
     for scope in scopes:
@@ -123,6 +151,25 @@ def build_schedule(
     Optional[int])`` (broadcast-multiply the slots, then sum out the axis at
     ``sum_position``; ``None`` for the final combine).  Every op appends its
     result slot; the last slot is the final potential.
+
+    Parameters
+    ----------
+    potential_axes : sequence of tuple of int
+        Axis labels of the (already restricted) input potentials.
+    free : sequence of int
+        Free variables of the query; loose ones get uniform tables.
+    q : int
+        Alphabet size (every axis has length ``q``).
+    keep : sequence of int, optional
+        Variables to keep (not sum out) -- the marginal's axes.
+    order : sequence of int, optional
+        Elimination order; defaults to :func:`min_degree_order`.
+
+    Returns
+    -------
+    (tuple, tuple of int)
+        The op sequence for :func:`execute_schedule` and the axis labels of
+        the final potential (a permutation of ``keep``).
     """
     axes_list: List[Tuple[int, ...]] = list(potential_axes)
     ops: List[tuple] = []
@@ -167,7 +214,24 @@ def build_schedule(
 
 
 def execute_schedule(ops: Sequence[tuple], arrays: Sequence[np.ndarray], q: int) -> np.ndarray:
-    """Run a :func:`build_schedule` plan on concrete (restricted) arrays."""
+    """Run a :func:`build_schedule` plan on concrete (restricted) arrays.
+
+    Parameters
+    ----------
+    ops : sequence of tuple
+        The op sequence produced by :func:`build_schedule`.
+    arrays : sequence of numpy.ndarray
+        Restricted potential arrays, in the slot order the plan was built
+        for (same pinned domain, any pinned values).
+    q : int
+        Alphabet size.
+
+    Returns
+    -------
+    numpy.ndarray
+        The final potential; its axes are the ``final_axes`` returned by
+        :func:`build_schedule`.
+    """
     slots: List[np.ndarray] = list(arrays)
     ones: Optional[np.ndarray] = None
     for op in ops:

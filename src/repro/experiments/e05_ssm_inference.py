@@ -26,9 +26,13 @@ def run(
     """Run E5 and return one row per fugacity.
 
     ``runtime`` selects the execution backend (see :mod:`repro.runtime`):
-    a process runtime shards the ball compilations of the locality sweep
-    across workers and merges them into the distribution cache before the
-    serial measurement replays over the warmed cache.
+    a process runtime runs the locality sweep *overlapped* -- the
+    per-radius ball computations are submitted to worker processes up
+    front and the radius-``r`` accuracy measurement starts the moment its
+    shard streams back, while the radius-``r + 1`` balls are still
+    compiling.  Worker results (compiled balls, boundary extensions,
+    marginal memos) merge into the distribution cache as they arrive, and
+    the reported radius is identical to the serial sweep.
     """
     from repro.runtime import resolve_runtime
 
@@ -40,14 +44,12 @@ def run(
         profile = ssm_profile(distribution, probe, radii=list(radii))
         rate = estimate_decay_rate(profile)
         instance = SamplingInstance(distribution, {0: 1})
-        if runtime_obj.is_process:
-            locality = distribution.locality()
-            runtime_obj.warm_ball_cache(
-                instance,
-                [(probe, radius + locality) for radius in range(cycle_size // 2 + 1)],
-            )
         radius_needed = locality_required(
-            instance, probe, error=error, max_radius=cycle_size // 2
+            instance,
+            probe,
+            error=error,
+            max_radius=cycle_size // 2,
+            runtime=runtime_obj,
         )
         rows.append(
             {

@@ -29,7 +29,7 @@ across nodes and rounds cost dictionary lookups instead of eliminations.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
 
 from repro.gibbs.instance import SamplingInstance
 from repro.inference.base import InferenceAlgorithm
@@ -39,22 +39,24 @@ Node = Hashable
 Value = Hashable
 
 
-def _runtime_marginals(
+def _stream_runtime_marginals(
     engine_obj: InferenceAlgorithm,
     runtime,
     radius: int,
     instance: SamplingInstance,
     error: float,
     nodes: Optional[Iterable[Node]],
-) -> Dict[Node, Dict[Value, float]]:
-    """Shared ``marginals`` body of the two ball-local engines.
+) -> Iterator[Tuple[Node, Dict[Value, float]]]:
+    """Shared streaming ``marginals`` body of the two ball-local engines.
 
     The per-node ball computations are independent, so with a process
-    runtime they shard across workers (ball compilations and boundary
-    extensions are merged back into the distribution's cache); otherwise
-    the serial per-node loop of the base class runs.  The shard transport
-    is compiled-only, so an explicit ``engine="dict"`` request keeps the
-    serial loop (the reference backend must stay the reference).
+    runtime they shard across workers and stream back in completion order
+    (ball compilations, boundary extensions and capped marginal-memo deltas
+    are merged into the distribution's cache as each shard lands);
+    otherwise the serial per-node loop yields lazily in node order.  The
+    shard transport is compiled-only, so an explicit ``engine="dict"``
+    request keeps the serial loop (the reference backend must stay the
+    reference).
     """
     from repro.engine import resolve_engine
     from repro.runtime import resolve_runtime
@@ -66,12 +68,28 @@ def _runtime_marginals(
         and len(targets) > 1
         and resolve_engine(engine_obj.engine) == "compiled"
     ):
-        from repro.runtime.shards import shard_padded_ball_marginals
+        from repro.runtime.shards import stream_padded_ball_marginals
 
-        return shard_padded_ball_marginals(
+        yield from stream_padded_ball_marginals(
             instance, targets, radius, n_workers=resolved.n_workers
         )
-    return {node: engine_obj.marginal(instance, node, error) for node in targets}
+        return
+    for node in targets:
+        yield node, engine_obj.marginal(instance, node, error)
+
+
+def _runtime_marginals(
+    engine_obj: InferenceAlgorithm,
+    runtime,
+    radius: int,
+    instance: SamplingInstance,
+    error: float,
+    nodes: Optional[Iterable[Node]],
+) -> Dict[Node, Dict[Value, float]]:
+    """Barrier wrapper: drain :func:`_stream_runtime_marginals` into a dict."""
+    return dict(
+        _stream_runtime_marginals(engine_obj, runtime, radius, instance, error, nodes)
+    )
 
 
 def _greedy_boundary_extension(
@@ -216,6 +234,20 @@ class TruncatedBallInference(InferenceAlgorithm):
         """Per-node marginals, sharded across workers on a process runtime."""
         return _runtime_marginals(self, self.runtime, self.radius, instance, error, nodes)
 
+    def marginals_stream(
+        self, instance: SamplingInstance, error: float, nodes=None
+    ) -> Iterator[Tuple[Node, Dict[Value, float]]]:
+        """Stream per-node marginals as they complete (see module notes).
+
+        With a process runtime, ``(node, marginal)`` pairs arrive in shard
+        completion order while later shards are still in flight; otherwise
+        the serial loop yields lazily in node order.  Values are identical
+        to :meth:`marginals` on every backend.
+        """
+        return _stream_runtime_marginals(
+            self, self.runtime, self.radius, instance, error, nodes
+        )
+
 
 class BoundaryPaddedInference(InferenceAlgorithm):
     """SSM-scheduled LOCAL inference (the full Theorem 5.1 converse algorithm).
@@ -276,5 +308,19 @@ class BoundaryPaddedInference(InferenceAlgorithm):
     ) -> Dict[Node, Dict[Value, float]]:
         """Per-node marginals, sharded across workers on a process runtime."""
         return _runtime_marginals(
+            self, self.runtime, self._radius(instance, error), instance, error, nodes
+        )
+
+    def marginals_stream(
+        self, instance: SamplingInstance, error: float, nodes=None
+    ) -> Iterator[Tuple[Node, Dict[Value, float]]]:
+        """Stream per-node marginals at the scheduled radius as they complete.
+
+        With a process runtime, ``(node, marginal)`` pairs arrive in shard
+        completion order while later shards are still in flight; otherwise
+        the serial loop yields lazily in node order.  Values are identical
+        to :meth:`marginals` on every backend.
+        """
+        return _stream_runtime_marginals(
             self, self.runtime, self._radius(instance, error), instance, error, nodes
         )

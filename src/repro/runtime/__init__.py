@@ -9,15 +9,20 @@ This package owns *how* work executes, separate from *what* is computed
     gathers into the precompiled factor tables.  Bit-identical per chain to
     the serial samplers under per-chain ``SeedSequence`` streams.
 ``shards``
-    :class:`InstanceSpec` and the process-pool sharding of the per-node
-    LOCAL computations (ball compilation, greedy boundary extension, ball
-    marginals), with worker results merged back into the parent
-    :class:`~repro.engine.cache.BallCache`.
+    :class:`InstanceSpec` and the *streaming* process-pool sharding of the
+    per-node LOCAL computations (ball compilation, greedy boundary
+    extension, ball marginals): futures instead of ``pool.map`` barriers,
+    the spec shipped once per worker, and every shard's results -- compiled
+    balls, boundary extensions, capped marginal-memo deltas -- merged back
+    into the parent :class:`~repro.engine.cache.BallCache` the moment the
+    shard completes.
 ``executor``
     The :class:`Runtime` facade (``serial`` / ``batched`` / ``process``
     backends) threaded through the samplers, the SSM inference engines, the
     LOCAL driver and the experiment entry points as a ``runtime=``
-    parameter defaulting to today's serial behaviour.
+    parameter defaulting to today's serial behaviour, plus the streaming
+    primitives :meth:`Runtime.submit`, :meth:`Runtime.map_unordered` and
+    :meth:`Runtime.stream_ball_marginals`.
 """
 
 from repro.runtime.chains import (
@@ -35,10 +40,15 @@ from repro.runtime.executor import (
     resolve_runtime,
 )
 from repro.runtime.shards import (
+    MEMO_DELTA_CAP,
     InstanceSpec,
     process_map,
+    process_map_unordered,
     shard_compiled_balls,
     shard_padded_ball_marginals,
+    stream_ball_marginal_tasks,
+    stream_compiled_balls,
+    stream_padded_ball_marginals,
 )
 
 __all__ = [
@@ -53,7 +63,12 @@ __all__ = [
     "PROCESS_BACKEND",
     "SERIAL_RUNTIME",
     "InstanceSpec",
+    "MEMO_DELTA_CAP",
     "process_map",
+    "process_map_unordered",
     "shard_compiled_balls",
     "shard_padded_ball_marginals",
+    "stream_ball_marginal_tasks",
+    "stream_compiled_balls",
+    "stream_padded_ball_marginals",
 ]

@@ -56,6 +56,18 @@ def chain_seed_sequences(seed: Seed, n_chains: int) -> List[np.random.SeedSequen
     Chain ``c`` of a batch seeded this way is bit-identical to the serial
     chain run with ``seed=chain_seed_sequences(seed, n)[c]`` (the serial
     samplers accept ``SeedSequence`` seeds directly).
+
+    Parameters
+    ----------
+    seed : int or numpy.random.SeedSequence
+        Root seed for the batch.
+    n_chains : int
+        Number of chains to seed.
+
+    Returns
+    -------
+    list of numpy.random.SeedSequence
+        ``n_chains`` statistically independent spawned streams.
     """
     if n_chains < 1:
         raise ValueError("n_chains must be at least 1")
@@ -281,7 +293,18 @@ class ChainBatch:
             )
 
     def glauber_steps(self, steps: int) -> "ChainBatch":
-        """Advance every chain by ``steps`` single-site Glauber updates."""
+        """Advance every chain by ``steps`` single-site Glauber updates.
+
+        Parameters
+        ----------
+        steps : int
+            Number of single-site updates per chain.
+
+        Returns
+        -------
+        ChainBatch
+            ``self``, for chaining.
+        """
         if steps < 0:
             raise ValueError("steps must be non-negative")
         self._claim_kind("glauber")
@@ -332,11 +355,20 @@ class ChainBatch:
     ):
         """Advance every chain by ``rounds`` LubyGlauber rounds.
 
-        When ``statistic`` is given it is applied to the ``(chains, n)`` code
-        matrix after every round and the per-chain traces are returned as a
-        ``(chains, rounds)`` array (the input of the convergence diagnostics
-        in :mod:`repro.analysis.convergence`); otherwise the batch itself is
-        returned for chaining.
+        Parameters
+        ----------
+        rounds : int
+            Number of LubyGlauber rounds per chain.
+        statistic : callable, optional
+            Applied to the ``(chains, n)`` code matrix after every round.
+
+        Returns
+        -------
+        ChainBatch or numpy.ndarray
+            Without ``statistic``, the batch itself (for chaining); with it,
+            the per-chain traces as a ``(chains, rounds)`` array (the input
+            of the convergence diagnostics in
+            :mod:`repro.analysis.convergence`).
         """
         if rounds < 0:
             raise ValueError("rounds must be non-negative")
@@ -404,7 +436,13 @@ class ChainBatch:
 
     # ------------------------------------------------------------------
     def configurations(self) -> List[Dict[Node, Value]]:
-        """The current state of every chain, decoded to configurations."""
+        """The current state of every chain, decoded to configurations.
+
+        Returns
+        -------
+        list of dict
+            One ``{node: value}`` configuration per chain, in chain order.
+        """
         alphabet = self.compiled.alphabet
         nodes = self.compiled.nodes
         return [
@@ -426,6 +464,16 @@ def batched_glauber_sample(
 
     Entry ``c`` is bit-identical to
     ``glauber_sample(instance, steps, seed=seeds[c], initial=initial)``.
+
+    Parameters
+    ----------
+    instance, steps, n_chains, seed, seeds, initial, engine
+        As for :class:`ChainBatch`; ``steps`` is the per-chain update count.
+
+    Returns
+    -------
+    list of dict
+        Final configurations, one per chain.
     """
     batch = ChainBatch(
         instance, n_chains=n_chains, seed=seed, seeds=seeds, initial=initial, engine=engine
@@ -447,6 +495,16 @@ def batched_luby_glauber_sample(
 
     Entry ``c`` is bit-identical to
     ``luby_glauber_sample(instance, rounds, seed=seeds[c], initial=initial)``.
+
+    Parameters
+    ----------
+    instance, rounds, n_chains, seed, seeds, initial, engine
+        As for :class:`ChainBatch`; ``rounds`` is the per-chain round count.
+
+    Returns
+    -------
+    list of dict
+        Final configurations, one per chain.
     """
     batch = ChainBatch(
         instance, n_chains=n_chains, seed=seed, seeds=seeds, initial=initial, engine=engine

@@ -14,6 +14,10 @@ Three backends:
     Per-node LOCAL computations (ball compilation, boundary extension, ball
     marginals) shard across OS processes via :mod:`repro.runtime.shards`,
     and coarse-grained experiment loops fan out through :meth:`Runtime.map`.
+    The sharding is *streaming*: :meth:`Runtime.stream_ball_marginals`,
+    :meth:`Runtime.map_unordered` and :meth:`Runtime.submit` hand results
+    back as futures complete, so parent-side work overlaps with in-flight
+    shards instead of idling at a ``pool.map`` barrier.
 
 The facade is threaded through ``sampling/glauber.py``,
 ``inference/ssm_inference.py``, the LOCAL driver in ``localmodel/local.py``
@@ -26,8 +30,21 @@ them execute at once.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.gibbs.instance import SamplingInstance
 from repro.runtime.chains import (
@@ -37,8 +54,9 @@ from repro.runtime.chains import (
 )
 from repro.runtime.shards import (
     process_map,
-    shard_compiled_balls,
-    shard_padded_ball_marginals,
+    process_map_unordered,
+    stream_compiled_balls,
+    stream_padded_ball_marginals,
 )
 
 Node = Hashable
@@ -55,9 +73,27 @@ _BACKENDS = (SERIAL_BACKEND, BATCHED_BACKEND, PROCESS_BACKEND)
 
 
 class Runtime:
-    """An execution policy: backend, chain batch width, worker count."""
+    """An execution policy: backend, chain batch width, worker count.
 
-    __slots__ = ("backend", "n_chains", "n_workers")
+    Parameters
+    ----------
+    backend : str
+        One of :data:`SERIAL_BACKEND`, :data:`BATCHED_BACKEND`,
+        :data:`PROCESS_BACKEND`.
+    n_chains : int
+        Chain batch width used by the sampling entry points.
+    n_workers : int, optional
+        Worker-pool width for the process backend (default: the CPU count);
+        other backends default to 1.
+
+    Notes
+    -----
+    A ``Runtime`` is cheap to construct and holds no OS resources until the
+    first :meth:`submit` on a process backend lazily creates its futures
+    pool; :meth:`shutdown` (or use as a context manager) releases it.
+    """
+
+    __slots__ = ("backend", "n_chains", "n_workers", "_pool")
 
     def __init__(
         self,
@@ -78,18 +114,22 @@ class Runtime:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         self.n_workers = int(n_workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
     @property
     def is_serial(self) -> bool:
+        """Whether this runtime runs the plain in-process loops."""
         return self.backend == SERIAL_BACKEND
 
     @property
     def is_batched(self) -> bool:
+        """Whether chain workloads run on the batched code-matrix runner."""
         return self.backend == BATCHED_BACKEND
 
     @property
     def is_process(self) -> bool:
+        """Whether independent work fans out across OS processes."""
         return self.backend == PROCESS_BACKEND
 
     # ------------------------------------------------------------------
@@ -100,10 +140,113 @@ class Runtime:
         its closure are inherited, so unpicklable model objects are fine;
         items and results must pickle); the other backends run the plain
         serial loop.
+
+        Parameters
+        ----------
+        function : callable
+            Applied to every item.
+        items : iterable
+            Independent work items.
+
+        Returns
+        -------
+        list
+            ``[function(item) for item in items]``, in item order.
         """
         if self.is_process:
             return process_map(function, items, n_workers=self.n_workers)
         return [function(item) for item in items]
+
+    def map_unordered(
+        self, function: Callable, items: Iterable
+    ) -> Iterator[Tuple[int, object]]:
+        """Map a function over items, yielding results in completion order.
+
+        The streaming counterpart of :meth:`map`: the process backend runs
+        the items on a forked pool and yields each ``(index, result)`` pair
+        the moment its worker finishes, letting the caller overlap its own
+        work with the still-running tail.  The serial and batched backends
+        conform trivially with a lazy in-order loop (completion order *is*
+        item order in-process).
+
+        Parameters
+        ----------
+        function : callable
+            Applied to every item (closures are fine on every backend; the
+            process backend inherits them via fork).
+        items : iterable
+            Independent work items.
+
+        Yields
+        ------
+        (int, object)
+            ``(index, function(items[index]))`` pairs in completion order;
+            ``index`` reassociates out-of-order results.
+        """
+        if self.is_process:
+            yield from process_map_unordered(function, items, n_workers=self.n_workers)
+            return
+        for index, item in enumerate(items):
+            yield index, function(item)
+
+    def submit(self, function: Callable, *args, **kwargs) -> Future:
+        """Submit one call, returning a ``concurrent.futures.Future``.
+
+        The process backend schedules the call on a lazily created,
+        runtime-owned ``ProcessPoolExecutor`` (release it with
+        :meth:`shutdown` or by using the runtime as a context manager);
+        ``function`` and its arguments must pickle, so pass module-level
+        functions.  The serial and batched backends conform trivially: the
+        call runs immediately and the returned future is already resolved
+        (its exception captured rather than raised), so consumers can treat
+        every backend uniformly.
+
+        Parameters
+        ----------
+        function : callable
+            The callable to execute.
+        *args, **kwargs
+            Forwarded to ``function``.
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to ``function(*args, **kwargs)``.
+        """
+        if self.is_process:
+            return self._futures_pool().submit(function, *args, **kwargs)
+        future: Future = Future()
+        try:
+            future.set_result(function(*args, **kwargs))
+        except Exception as error:  # conform: the future carries the failure
+            future.set_exception(error)
+        # BaseException (KeyboardInterrupt, SystemExit) propagates: a parent
+        # pressing Ctrl-C must be able to abort regardless of backend.
+        return future
+
+    def _futures_pool(self) -> ProcessPoolExecutor:
+        """The runtime-owned futures pool, created on first use."""
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                context = None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=context
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the futures pool created by :meth:`submit`, if any."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     # ------------------------------------------------------------------
     def glauber_sample(
@@ -120,6 +263,25 @@ class Runtime:
         All backends use the same per-chain seed convention
         (:func:`~repro.runtime.chains.chain_seed_sequences`), so the result
         is identical across backends; only the execution strategy differs.
+
+        Parameters
+        ----------
+        instance : SamplingInstance
+            The instance every chain targets.
+        steps : int
+            Single-site updates per chain.
+        seed, seeds
+            Root seed to spawn per-chain streams from, or explicit per-chain
+            seeds (overrides ``seed``).
+        initial : dict, optional
+            Shared initial configuration.
+        engine : str, optional
+            Evaluation backend (see :mod:`repro.engine`).
+
+        Returns
+        -------
+        list of dict
+            Final configurations, one per chain.
         """
         if seeds is None:
             seeds = chain_seed_sequences(seed, self.n_chains)
@@ -148,7 +310,19 @@ class Runtime:
         initial: Optional[Dict[Node, Value]] = None,
         engine: Optional[str] = None,
     ) -> List[Dict[Node, Value]]:
-        """Final states of ``n_chains`` independent LubyGlauber chains."""
+        """Final states of ``n_chains`` independent LubyGlauber chains.
+
+        Parameters
+        ----------
+        instance, rounds, seed, seeds, initial, engine
+            As for :meth:`glauber_sample`, with ``rounds`` LubyGlauber
+            rounds per chain.
+
+        Returns
+        -------
+        list of dict
+            Final configurations, one per chain.
+        """
         if seeds is None:
             seeds = chain_seed_sequences(seed, self.n_chains)
         if self.is_batched:
@@ -165,6 +339,60 @@ class Runtime:
         )
 
     # ------------------------------------------------------------------
+    def stream_ball_marginals(
+        self,
+        instance: SamplingInstance,
+        nodes: Sequence[Node],
+        radius: int,
+        engine: Optional[str] = None,
+    ) -> Iterator[Tuple[Node, Dict[Value, float]]]:
+        """Stream Theorem 5.1 padded-ball marginals as they complete.
+
+        The process backend shards the per-node ball computations across
+        workers and yields each ``(node, marginal)`` pair the moment its
+        shard lands -- worker compilations, boundary extensions and capped
+        marginal-memo deltas are merged into the parent's ball cache
+        incrementally, so the consumer overlaps its own work with the
+        in-flight shards.  Other backends yield the serial per-node loop
+        lazily, in node order.  The shard transport is compiled-only, so an
+        explicit ``engine="dict"`` request keeps the serial loop and its
+        reference backend.
+
+        Parameters
+        ----------
+        instance : SamplingInstance
+            The conditioned instance to query.
+        nodes : sequence of node
+            Ball centers.
+        radius : int
+            Inner ball radius of the Theorem 5.1 computation.
+        engine : str, optional
+            Evaluation backend (see :mod:`repro.engine`).
+
+        Yields
+        ------
+        (node, dict)
+            ``(center, marginal)`` pairs, in completion order under the
+            process backend and node order otherwise; values are
+            bit-identical across backends.
+        """
+        from repro.engine import resolve_engine
+
+        nodes = list(nodes)
+        if (
+            self.is_process
+            and len(nodes) > 1
+            and resolve_engine(engine) == "compiled"
+        ):
+            yield from stream_padded_ball_marginals(
+                instance, nodes, radius, n_workers=self.n_workers
+            )
+            return
+        from repro.inference.ssm_inference import padded_ball_marginal
+
+        for node in nodes:
+            yield node, padded_ball_marginal(instance, node, radius, engine=engine)
+
     def ball_marginals(
         self,
         instance: SamplingInstance,
@@ -172,45 +400,39 @@ class Runtime:
         radius: int,
         engine: Optional[str] = None,
     ) -> Dict[Node, Dict[Value, float]]:
-        """Theorem 5.1 padded-ball marginals at many centers.
+        """Theorem 5.1 padded-ball marginals at many centers (barrier).
 
-        The process backend shards the per-node ball computations across
-        workers and warms the parent's ball cache with their compilations;
-        other backends run the serial loop.  The shard transport is
-        compiled-only, so an explicit ``engine="dict"`` request keeps the
-        serial loop and its reference backend.
+        Drains :meth:`stream_ball_marginals` into a per-node dict; see the
+        streaming method for the backend semantics.  Callers that can make
+        use of partial results should iterate the stream instead.
         """
-        from repro.engine import resolve_engine
-
-        if (
-            self.is_process
-            and len(nodes) > 1
-            and resolve_engine(engine) == "compiled"
-        ):
-            return shard_padded_ball_marginals(
-                instance, nodes, radius, n_workers=self.n_workers
-            )
-        from repro.inference.ssm_inference import padded_ball_marginal
-
-        return {
-            node: padded_ball_marginal(instance, node, radius, engine=engine)
-            for node in nodes
-        }
+        return dict(self.stream_ball_marginals(instance, nodes, radius, engine=engine))
 
     def warm_ball_cache(
         self, instance: SamplingInstance, tasks: Sequence[Tuple[Node, int]]
     ) -> int:
         """Precompile ``(center, radius)`` balls into the distribution cache.
 
-        Returns the number of balls compiled; with the process backend the
-        compilation itself is sharded across workers.
+        With the process backend the compilation streams in from worker
+        shards (duplicates are dropped); other backends compile in-process.
+
+        Returns
+        -------
+        int
+            Number of distinct balls compiled.
         """
         if self.is_process and len(tasks) > 1:
-            return len(shard_compiled_balls(instance, tasks, n_workers=self.n_workers))
+            return sum(
+                1
+                for _ in stream_compiled_balls(
+                    instance, tasks, n_workers=self.n_workers
+                )
+            )
+        unique = list(dict.fromkeys(tasks))
         cache = instance.distribution.ball_cache()
-        for center, radius in tasks:
+        for center, radius in unique:
             cache.compiled_ball(center, radius)
-        return len(tasks)
+        return len(unique)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -226,8 +448,22 @@ SERIAL_RUNTIME = Runtime()
 def resolve_runtime(runtime: Union[None, str, Runtime] = None) -> Runtime:
     """Normalise a ``runtime=`` argument, rejecting unknown backends.
 
-    ``None`` means "serial" (the default everywhere), a string selects a
-    backend with default parameters, and a :class:`Runtime` passes through.
+    Parameters
+    ----------
+    runtime : None, str or Runtime
+        ``None`` means "serial" (the default everywhere), a string selects
+        a backend with default parameters, and a :class:`Runtime` passes
+        through unchanged.
+
+    Returns
+    -------
+    Runtime
+        The resolved execution policy.
+
+    Raises
+    ------
+    ValueError
+        For unknown backend names or other types.
     """
     if runtime is None:
         return SERIAL_RUNTIME

@@ -11,29 +11,44 @@ module fans that per-node work out across OS processes:
   closures, which do not pickle; the spec instead carries the
   already-materialised dense tables of the compiled engine, which is exactly
   the data the ball computations run on.
+* :func:`stream_ball_marginal_tasks` / :func:`stream_padded_ball_marginals`
+  / :func:`stream_compiled_balls` -- the *streaming* executor: tasks are
+  chunked onto a ``ProcessPoolExecutor`` (``submit`` + ``as_completed``, no
+  barrier), the :class:`InstanceSpec` crosses the pipe exactly once per
+  worker via the pool initializer, and every chunk's results -- compiled
+  balls, memoised boundary extensions and capped per-pinning marginal-memo
+  deltas -- are merged into the parent's
+  :class:`~repro.engine.cache.BallCache` (:meth:`~repro.engine.cache.BallCache.adopt`)
+  and yielded the moment the chunk lands.  Consumers overlap parent-side
+  work with in-flight shards, mirroring the barrier-free LOCAL model.
 * :func:`shard_compiled_balls` / :func:`shard_padded_ball_marginals` --
-  shard ``(center, radius)`` tasks over a process pool.  Workers return
-  compiled balls (:class:`~repro.engine.compiled.CompiledGibbs` pickles) and
-  marginals; the parent merges the compiled balls and memoised boundary
-  extensions back into the distribution's
-  :class:`~repro.engine.cache.BallCache`, so subsequent serial queries hit
-  the warmed cache.
-* :func:`process_map` -- a generic fork-based map used by the
-  :class:`~repro.runtime.executor.Runtime` facade for coarse-grained task
-  parallelism.  The fork start method lets workers inherit the mapped
-  function (and anything it closes over) without pickling; only items and
-  results cross the pipe.
+  barrier wrappers that drain the streams into dicts (the historical API).
+* :func:`process_map` / :func:`process_map_unordered` -- generic fork-based
+  maps used by the :class:`~repro.runtime.executor.Runtime` facade for
+  coarse-grained task parallelism.  The fork start method lets workers
+  inherit the mapped function (and anything it closes over) without
+  pickling; only items and results cross the pipe.
 
 Worker computations replay the exact serial code paths on equal compiled
 inputs, so sharded results are bit-identical to the serial ones and merging
-them into the parent cache is transparent.
+them into the parent cache is transparent regardless of arrival order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -92,7 +107,18 @@ class InstanceSpec:
 
     @classmethod
     def from_instance(cls, instance: SamplingInstance) -> "InstanceSpec":
-        """Snapshot an instance (dense tables come from the compiled engine)."""
+        """Snapshot an instance (dense tables come from the compiled engine).
+
+        Parameters
+        ----------
+        instance : SamplingInstance
+            The conditioned instance to snapshot.
+
+        Returns
+        -------
+        InstanceSpec
+            A picklable spec replaying the instance's ball computations.
+        """
         distribution = instance.distribution
         compiled = distribution.compiled_engine()
         node_index = compiled.node_index
@@ -118,7 +144,20 @@ class InstanceSpec:
         return self._node_index
 
     def ball_variables(self, center_variable: int, radius: int) -> frozenset:
-        """Variable ids of ``B_radius(center)`` by BFS on the adjacency."""
+        """Variable ids of ``B_radius(center)`` by BFS on the adjacency.
+
+        Parameters
+        ----------
+        center_variable : int
+            Integer id of the ball center.
+        radius : int
+            Ball radius in graph distance.
+
+        Returns
+        -------
+        frozenset of int
+            Ids of every variable within ``radius`` of the center.
+        """
         seen = {center_variable}
         frontier = [center_variable]
         for _ in range(radius):
@@ -247,58 +286,272 @@ class InstanceSpec:
 # ----------------------------------------------------------------------
 # worker entry points (must be importable at module top level)
 # ----------------------------------------------------------------------
-def _compile_ball_shard(
-    spec: InstanceSpec, tasks: Sequence[BallKey]
+#: The spec installed once per worker process by the pool initializer, so a
+#: worker that serves many chunks deserialises the instance exactly once and
+#: keeps its ball memo warm across chunks.
+_WORKER_SPEC: Optional[InstanceSpec] = None
+
+#: Default cap on the per-ball marginal-memo delta a worker ships back.
+MEMO_DELTA_CAP = 64
+
+
+def _install_worker_spec(spec: InstanceSpec) -> None:
+    """Pool initializer: pin the shared :class:`InstanceSpec` in this worker."""
+    global _WORKER_SPEC
+    _WORKER_SPEC = spec
+
+
+def _compile_ball_chunk(
+    tasks: Sequence[BallKey], spec: Optional[InstanceSpec] = None
 ) -> Dict[BallKey, CompiledGibbs]:
+    """Worker body: compile one chunk of ``(center, radius)`` balls.
+
+    ``spec`` defaults to the worker-global installed by the pool
+    initializer; the in-process fallback path passes it explicitly.
+    """
+    spec = _WORKER_SPEC if spec is None else spec
     return {key: spec.compile_ball(*key) for key in tasks}
 
 
-def _ball_marginal_shard(spec: InstanceSpec, tasks: Sequence[BallKey]):
+def _ball_marginal_chunk(
+    tasks: Sequence[BallKey],
+    memo_cap: Optional[int],
+    spec: Optional[InstanceSpec] = None,
+):
+    """Worker body: padded-ball marginals for one chunk of tasks.
+
+    Returns ``(marginals, balls, extras, memos)``.  Only the artefacts of
+    *this* chunk are shipped: the padded balls the parent's serial replay
+    queries (``compiled_ball(center, radius + locality)``; the context balls
+    the greedy extension used stay worker-local), the chunk's boundary
+    extensions, and a ``memo_cap``-capped export of each shipped ball's
+    per-pinning marginal memo.  The spec defaults to the worker-global of
+    :func:`_install_worker_spec` and persists across chunks of the same
+    worker, so nothing already shipped by an earlier chunk is resent; the
+    in-process fallback path passes its spec explicitly.
+    """
+    spec = _WORKER_SPEC if spec is None else spec
     marginals = {key: spec.padded_ball_marginal(*key) for key in tasks}
-    # Only ship the padded balls back: the serial replay queries
-    # compiled_ball(center, radius + locality), while the context balls the
-    # greedy extension used stay worker-local (the parent never compiles
-    # them, so adopting them would just bloat the pipe and the cache).
     wanted = {(center, radius + spec.locality) for center, radius in tasks}
     balls = {key: ball for key, ball in spec._ball_memo.items() if key in wanted}
-    return marginals, balls, dict(spec._extras)
+    memos = {
+        key: memo
+        for key, ball in balls.items()
+        if (memo := ball.export_marginal_memo(cap=memo_cap))
+    }
+    chunk_keys = {(center, radius) for center, radius in tasks}
+    extras = {
+        key: value
+        for key, value in spec._extras.items()
+        if (key[1], key[2]) in chunk_keys
+    }
+    return marginals, balls, extras, memos
 
 
-def _split_shards(tasks: Sequence, n_workers: int) -> List[List]:
-    shards: List[List] = [[] for _ in range(max(1, n_workers))]
-    for index, task in enumerate(tasks):
-        shards[index % len(shards)].append(task)
-    return [shard for shard in shards if shard]
+def _chunk_tasks(
+    tasks: Sequence, n_workers: int, chunk_size: Optional[int] = None
+) -> List[List]:
+    """Split tasks into contiguous chunks sized for streaming.
+
+    The default aims at roughly four chunks per worker -- small enough that
+    the first result lands early and stragglers stay balanced, large enough
+    to amortise the per-chunk submit/pickle round trip.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(tasks) // (4 * max(1, n_workers))))
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    return [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+
+
+def _stream_chunks(spec, chunks, submit, inprocess, n_workers):
+    """Drive chunks through a futures pool, yielding payloads as they land.
+
+    ``submit(pool, chunk)`` submits one chunk, ``inprocess(chunk)`` is the
+    pool-free equivalent used when a pool is pointless (single chunk or a
+    single worker).  The spec crosses the pipe exactly once per worker via
+    the pool initializer.  A failed chunk -- worker exception, broken pool,
+    or the in-process fallback raising -- surfaces as a ``RuntimeError``
+    naming the chunk instead of a hang; pending chunks are cancelled both
+    on failure and when the consumer abandons the generator early.
+    """
+    if len(chunks) <= 1 or n_workers <= 1:
+        for chunk in chunks:
+            try:
+                payload = inprocess(chunk)
+            except Exception as error:
+                raise RuntimeError(
+                    f"ball shard failed on chunk {chunk!r}: {error}"
+                ) from error
+            yield payload
+        return
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(chunks)),
+        initializer=_install_worker_spec,
+        initargs=(spec,),
+    ) as pool:
+        futures = {submit(pool, chunk): chunk for chunk in chunks}
+        try:
+            for future in as_completed(futures):
+                try:
+                    yield future.result()
+                except Exception as error:
+                    chunk = futures[future]
+                    raise RuntimeError(
+                        f"ball shard failed on chunk {chunk!r}: {error}"
+                    ) from error
+        finally:
+            for future in futures:
+                future.cancel()
 
 
 # ----------------------------------------------------------------------
-# parent-side sharding API
+# parent-side streaming API
+# ----------------------------------------------------------------------
+def stream_ball_marginal_tasks(
+    instance: SamplingInstance,
+    tasks: Sequence[BallKey],
+    n_workers: int = 2,
+    chunk_size: Optional[int] = None,
+    memo_cap: Optional[int] = MEMO_DELTA_CAP,
+) -> Iterator[Tuple[BallKey, Dict[Value, float]]]:
+    """Stream Theorem 5.1 marginals for heterogeneous ``(center, radius)`` tasks.
+
+    The barrier-free core of the process backend: tasks are chunked, the
+    chunks run on a ``ProcessPoolExecutor`` (the picklable
+    :class:`InstanceSpec` is shipped once per worker via the pool
+    initializer), and each chunk's results are yielded -- and merged into the
+    parent's :class:`~repro.engine.cache.BallCache` via
+    :meth:`~repro.engine.cache.BallCache.adopt` -- the moment the chunk
+    completes, in *completion* order.  The parent can therefore consume
+    radius-``r`` results while radius-``r + 1`` balls are still compiling in
+    the workers, which is exactly the overlap of the paper's barrier-free
+    LOCAL model.
+
+    Parameters
+    ----------
+    instance : SamplingInstance
+        The instance whose distribution owns the target ball cache.
+    tasks : sequence of (node, int)
+        ``(center, radius)`` pairs; radii may differ between tasks.
+    n_workers : int
+        Process-pool width; with one worker (or one chunk) the stream runs
+        in-process with no pool, bit-identically.
+    chunk_size : int, optional
+        Tasks per submitted chunk (default: about four chunks per worker).
+    memo_cap : int, optional
+        Per-ball cap on the marginal-memo delta shipped back (``None``
+        ships every entry, ``0`` disables memo deltas).
+
+    Yields
+    ------
+    ((node, int), dict)
+        ``((center, radius), marginal)`` pairs in completion order.
+
+    Raises
+    ------
+    RuntimeError
+        When a worker chunk fails, naming the chunk and chaining the worker
+        exception; remaining chunks are cancelled.  Abandoning the generator
+        early (``close()``) likewise cancels everything still pending.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return
+    spec = InstanceSpec.from_instance(instance)
+    cache = instance.distribution.ball_cache()
+    chunks = _chunk_tasks(tasks, n_workers, chunk_size)
+    payloads = _stream_chunks(
+        spec,
+        chunks,
+        submit=lambda pool, chunk: pool.submit(_ball_marginal_chunk, chunk, memo_cap),
+        inprocess=lambda chunk: _ball_marginal_chunk(chunk, memo_cap, spec=spec),
+        n_workers=n_workers,
+    )
+    for marginals, balls, extras, memos in payloads:
+        cache.adopt(balls=balls, extras=extras, memos=memos)
+        for key, marginal in marginals.items():
+            yield key, marginal
+
+
+def stream_padded_ball_marginals(
+    instance: SamplingInstance,
+    centers: Sequence[Node],
+    radius: int,
+    n_workers: int = 2,
+    chunk_size: Optional[int] = None,
+    memo_cap: Optional[int] = MEMO_DELTA_CAP,
+) -> Iterator[Tuple[Node, Dict[Value, float]]]:
+    """Stream Theorem 5.1 marginals at many centers of one radius.
+
+    A single-radius convenience wrapper over
+    :func:`stream_ball_marginal_tasks` yielding ``(center, marginal)`` pairs
+    in completion order; each shard's compiled balls, boundary extensions
+    and capped marginal-memo deltas are adopted into the parent cache as the
+    shard arrives.  Per-ball results are bit-identical to the serial
+    :func:`repro.inference.ssm_inference.padded_ball_marginal` loop.
+    """
+    for (center, _), marginal in stream_ball_marginal_tasks(
+        instance,
+        [(center, radius) for center in centers],
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        memo_cap=memo_cap,
+    ):
+        yield center, marginal
+
+
+def stream_compiled_balls(
+    instance: SamplingInstance,
+    tasks: Sequence[BallKey],
+    n_workers: int = 2,
+    chunk_size: Optional[int] = None,
+) -> Iterator[Tuple[BallKey, CompiledGibbs]]:
+    """Stream ``(center, radius)`` ball compilations from a process pool.
+
+    Duplicate tasks are dropped; each chunk of compiled balls is adopted
+    into the distribution's :class:`~repro.engine.cache.BallCache` and
+    yielded the moment it completes, so the parent can start querying early
+    balls while later ones are still compiling.
+    """
+    tasks = list(dict.fromkeys(tasks))
+    if not tasks:
+        return
+    spec = InstanceSpec.from_instance(instance)
+    cache = instance.distribution.ball_cache()
+    chunks = _chunk_tasks(tasks, n_workers, chunk_size)
+    payloads = _stream_chunks(
+        spec,
+        chunks,
+        submit=lambda pool, chunk: pool.submit(_compile_ball_chunk, chunk),
+        inprocess=lambda chunk: _compile_ball_chunk(chunk, spec=spec),
+        n_workers=n_workers,
+    )
+    for compiled in payloads:
+        cache.adopt(balls=compiled)
+        yield from compiled.items()
+
+
+# ----------------------------------------------------------------------
+# barrier wrappers (drain the stream; kept as the dict-returning API)
 # ----------------------------------------------------------------------
 def shard_compiled_balls(
     instance: SamplingInstance,
     tasks: Sequence[BallKey],
     n_workers: int = 2,
 ) -> Dict[BallKey, CompiledGibbs]:
-    """Compile ``(center, radius)`` balls across a process pool.
+    """Compile ``(center, radius)`` balls across a process pool (barrier).
 
-    The compiled balls are merged into the distribution's
-    :class:`~repro.engine.cache.BallCache` (so subsequent serial queries are
-    cache hits) and returned.
+    Drains :func:`stream_compiled_balls` into a dict: the compiled balls are
+    merged into the distribution's :class:`~repro.engine.cache.BallCache`
+    (so subsequent serial queries are cache hits) and returned together.
+    Callers that can make use of partial results should iterate the stream
+    instead.
     """
-    tasks = list(dict.fromkeys(tasks))
-    if not tasks:
-        return {}
-    spec = InstanceSpec.from_instance(instance)
-    merged: Dict[BallKey, CompiledGibbs] = {}
-    shards = _split_shards(tasks, n_workers)
-    if len(shards) == 1:
-        merged.update(_compile_ball_shard(spec, shards[0]))
-    else:
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            for result in pool.map(_compile_ball_shard, [spec] * len(shards), shards):
-                merged.update(result)
-    instance.distribution.ball_cache().adopt(balls=merged)
-    return merged
+    return dict(stream_compiled_balls(instance, tasks, n_workers=n_workers))
 
 
 def shard_padded_ball_marginals(
@@ -307,37 +560,17 @@ def shard_padded_ball_marginals(
     radius: int,
     n_workers: int = 2,
 ) -> Dict[Node, Dict[Value, float]]:
-    """Theorem 5.1 marginals at many centers, sharded across processes.
+    """Theorem 5.1 marginals at many centers, sharded across processes (barrier).
 
-    Every worker compiles the balls of its shard of centers and computes the
-    padded-ball marginals; the parent merges the workers' compiled balls and
-    boundary extensions back into the distribution's cache and returns the
-    per-center marginals.  Results are bit-identical to the serial
+    Drains :func:`stream_padded_ball_marginals` into a per-center dict; the
+    workers' compiled balls, boundary extensions and capped marginal-memo
+    deltas are merged back into the distribution's cache shard by shard.
+    Results are bit-identical to the serial
     :func:`repro.inference.ssm_inference.padded_ball_marginal` loop.
     """
-    centers = list(centers)
-    if not centers:
-        return {}
-    spec = InstanceSpec.from_instance(instance)
-    tasks = [(center, radius) for center in centers]
-    marginals: Dict[Node, Dict[Value, float]] = {}
-    balls: Dict[BallKey, CompiledGibbs] = {}
-    extras: Dict = {}
-    shards = _split_shards(tasks, n_workers)
-    if len(shards) == 1:
-        shard_results = [_ball_marginal_shard(spec, shards[0])]
-    else:
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            shard_results = list(
-                pool.map(_ball_marginal_shard, [spec] * len(shards), shards)
-            )
-    for shard_marginals, shard_balls, shard_extras in shard_results:
-        for (center, _), marginal in shard_marginals.items():
-            marginals[center] = marginal
-        balls.update(shard_balls)
-        extras.update(shard_extras)
-    instance.distribution.ball_cache().adopt(balls=balls, extras=extras)
-    return marginals
+    return dict(
+        stream_padded_ball_marginals(instance, centers, radius, n_workers=n_workers)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -348,6 +581,11 @@ _FORK_TASK: Optional[Callable] = None
 
 def _invoke_fork_task(item):
     return _FORK_TASK(item)
+
+
+def _invoke_fork_task_indexed(pair):
+    index, item = pair
+    return index, _FORK_TASK(item)
 
 
 def process_map(
@@ -363,6 +601,22 @@ def process_map(
     space; only the items and results round-trip through pickle.  On
     platforms without fork (or with a single item) the map degrades to a
     serial loop when ``fallback_serial`` is set.
+
+    Parameters
+    ----------
+    function : callable
+        Applied to every item; inherited by forked workers.
+    items : iterable
+        Work items; each item and its result must pickle.
+    n_workers : int
+        Size of the forked pool.
+    fallback_serial : bool
+        Whether to degrade to a serial loop without fork support.
+
+    Returns
+    -------
+    list
+        ``[function(item) for item in items]``, in item order.
     """
     items = list(items)
     if not items:
@@ -383,3 +637,59 @@ def process_map(
             return pool.map(_invoke_fork_task, items)
     finally:
         _FORK_TASK = previous
+
+
+def process_map_unordered(
+    function: Callable,
+    items: Iterable,
+    n_workers: int = 2,
+) -> Iterator[Tuple[int, object]]:
+    """Map ``function`` over ``items``, yielding results as they complete.
+
+    The streaming sibling of :func:`process_map`: results are yielded as
+    ``(index, result)`` pairs in *completion* order -- ``index`` is the
+    item's position in ``items``, so callers can reassociate out-of-order
+    results.  Like :func:`process_map`, the fork start method lets workers
+    inherit ``function`` (closures included) without pickling; on platforms
+    without fork, or with a single item, the map degrades to a lazy serial
+    loop yielding in order.
+
+    Parameters
+    ----------
+    function : callable
+        Applied to every item; inherited by forked workers.
+    items : iterable
+        Work items; each item and its result must pickle.
+    n_workers : int
+        Size of the forked pool.
+
+    Yields
+    ------
+    (int, object)
+        ``(index, function(items[index]))`` in completion order.
+    """
+    items = list(items)
+    if not items:
+        return
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = None
+    if context is None or len(items) == 1:
+        for index, item in enumerate(items):
+            yield index, function(item)
+        return
+    global _FORK_TASK
+    _FORK_TASK = function
+    try:
+        # The pool forks here, snapshotting the function global; clearing it
+        # in the finally block cannot affect the already-forked workers.
+        with context.Pool(processes=max(1, n_workers)) as pool:
+            yield from pool.imap_unordered(_invoke_fork_task_indexed, enumerate(items))
+    finally:
+        # Reset to None rather than a saved "previous" value: interleaved
+        # generators would otherwise reinstall each other's functions on
+        # exit, pinning a stale closure (and its captured model) for the
+        # life of the process.
+        if _FORK_TASK is function:
+            _FORK_TASK = None

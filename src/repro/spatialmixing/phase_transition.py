@@ -36,6 +36,7 @@ def locality_required(
     error: float,
     max_radius: Optional[int] = None,
     engine: Optional[str] = None,
+    runtime=None,
 ) -> int:
     """Smallest radius at which ball-local inference reaches the target accuracy.
 
@@ -44,15 +45,82 @@ def locality_required(
     total-variation error is at most ``error``.  If no radius up to
     ``max_radius`` (default: the number of nodes) suffices, ``max_radius + 1``
     is returned, signalling "essentially the whole graph".
+
+    Parameters
+    ----------
+    instance, node, error, max_radius, engine
+        As described above; ``engine`` selects the evaluation backend.
+    runtime : None, str or Runtime, optional
+        Execution backend (see :mod:`repro.runtime`).  A process runtime
+        runs the sweep *overlapped*: the per-radius ball computations are
+        submitted to worker processes up front and consumed as futures
+        complete, so the radius-``r`` accuracy measurement happens while the
+        radius-``r + 1`` balls are still compiling.  On the first radius
+        within tolerance the still-pending futures are cancelled.  The
+        returned radius is identical to the serial sweep (worker marginals
+        are bit-identical to :func:`padded_ball_marginal`).
     """
     if error <= 0:
         raise ValueError("error must be positive")
     truth = instance.distribution.marginal(node, instance.pinning, engine=engine)
     limit = instance.size if max_radius is None else max_radius
+    from repro.engine import resolve_engine
+    from repro.runtime import resolve_runtime
+
+    resolved = resolve_runtime(runtime)
+    if resolved.is_process and limit > 0 and resolve_engine(engine) == "compiled":
+        return _locality_required_overlapped(
+            instance, node, error, truth, limit, resolved
+        )
     for radius in range(0, limit + 1):
         estimate = padded_ball_marginal(instance, node, radius, engine=engine)
         if total_variation(estimate, truth) <= error:
             return radius
+    return limit + 1
+
+
+def _locality_required_overlapped(
+    instance: SamplingInstance,
+    node: Node,
+    error: float,
+    truth: Dict[Value, float],
+    limit: int,
+    runtime,
+) -> int:
+    """The streaming radius sweep behind ``locality_required(runtime=...)``.
+
+    Radii are submitted speculatively in *waves* of ``2 * n_workers`` (one
+    task per chunk, so every worker immediately owns a radius) and results
+    arrive in completion order; the in-order walk below measures radius
+    ``r`` the moment its marginal lands, while larger radii of the wave
+    keep compiling in the workers.  Waving bounds the speculation: without
+    it, an unbounded sweep (``max_radius=None``) would enqueue one
+    near-whole-graph elimination per radius up to ``instance.size``, and
+    eliminations a few radii past the answer can dwarf the answer's own
+    cost.  Closing the stream on success cancels the wave's pending tasks.
+    """
+    from repro.runtime.shards import stream_ball_marginal_tasks
+
+    wave = 2 * max(1, runtime.n_workers)
+    estimates: Dict[int, Dict[Value, float]] = {}
+    radius = 0
+    for start in range(0, limit + 1, wave):
+        tasks = [
+            (node, wave_radius)
+            for wave_radius in range(start, min(start + wave, limit + 1))
+        ]
+        stream = stream_ball_marginal_tasks(
+            instance, tasks, n_workers=runtime.n_workers, chunk_size=1
+        )
+        try:
+            for (_, completed_radius), marginal in stream:
+                estimates[completed_radius] = marginal
+                while radius in estimates:
+                    if total_variation(estimates.pop(radius), truth) <= error:
+                        return radius
+                    radius += 1
+        finally:
+            stream.close()
     return limit + 1
 
 

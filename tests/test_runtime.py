@@ -32,7 +32,11 @@ from repro.runtime import (
     resolve_runtime,
     shard_compiled_balls,
     shard_padded_ball_marginals,
+    stream_ball_marginal_tasks,
+    stream_compiled_balls,
+    stream_padded_ball_marginals,
 )
+from repro.runtime.shards import _ball_marginal_chunk, _chunk_tasks
 from repro.sampling.glauber import _RNG_CHUNK, glauber_sample, luby_glauber_sample
 
 
@@ -258,6 +262,150 @@ class TestE12Diagnostics:
         assert isinstance(batched[0]["mixed"], bool)
 
 
+class TestStreamingMerge:
+    """Out-of-order shard payloads merge correctly into the parent cache."""
+
+    def _chunk_payloads(self, instance, radius):
+        spec = InstanceSpec.from_instance(instance)
+        tasks = [(center, radius) for center in instance.free_nodes]
+        return [
+            _ball_marginal_chunk(chunk, 64, spec=spec)
+            for chunk in _chunk_tasks(tasks, n_workers=2, chunk_size=2)
+        ]
+
+    def test_out_of_order_adoption_matches_serial(self):
+        distribution = coloring_model(cycle_graph(9), 3)
+        instance = SamplingInstance(distribution, {0: 1})
+        payloads = self._chunk_payloads(instance, 2)
+        cache = distribution.ball_cache()
+        merged = {}
+        # Adopt shards in reversed completion order -- the merge must be
+        # order-independent because worker results are equal by construction.
+        for marginals, balls, extras, memos in reversed(payloads):
+            cache.adopt(balls=balls, extras=extras, memos=memos)
+            for (center, _), marginal in marginals.items():
+                merged[center] = marginal
+        serial = {
+            node: padded_ball_marginal(instance, node, 2)
+            for node in instance.free_nodes
+        }
+        assert merged == serial
+        # The serial replay over the warmed cache agrees too (memo hits).
+        assert {
+            node: padded_ball_marginal(instance, node, 2)
+            for node in instance.free_nodes
+        } == serial
+
+    def test_memo_deltas_land_in_adopted_balls(self):
+        distribution = hardcore_model(cycle_graph(10), 1.2)
+        instance = SamplingInstance(distribution, {0: 0})
+        payloads = self._chunk_payloads(instance, 2)
+        cache = distribution.ball_cache()
+        for marginals, balls, extras, memos in payloads:
+            assert memos, "workers should ship marginal-memo deltas"
+            cache.adopt(balls=balls, extras=extras, memos=memos)
+        locality = distribution.locality()
+        for node in instance.free_nodes:
+            ball = cache._compiled[(node, 2 + locality)]
+            assert len(ball._marginal_memo) >= 1
+
+    def test_memo_delta_cap_is_respected(self):
+        distribution = coloring_model(cycle_graph(8), 3)
+        instance = SamplingInstance(distribution, {0: 1})
+        spec = InstanceSpec.from_instance(instance)
+        tasks = [(node, 1) for node in instance.free_nodes]
+        _, _, _, capped = _ball_marginal_chunk(tasks, 0, spec=spec)
+        assert capped == {}
+        compiled = distribution.compiled_engine()
+        for node in list(distribution.nodes)[:4]:
+            compiled.marginal(node, {})
+        assert len(compiled.export_marginal_memo(cap=2)) == 2
+        assert len(compiled.export_marginal_memo(cap=None)) == 4
+
+    def test_absorb_marginal_memo_prefers_existing_entries(self):
+        distribution = hardcore_model(path_graph(5), 1.0)
+        compiled = distribution.compiled_engine()
+        original = compiled.marginal(2, {})
+        exported = compiled.export_marginal_memo()
+        poisoned = {key: {value: -1.0 for value in entry} for key, entry in exported.items()}
+        assert compiled.absorb_marginal_memo(poisoned) == 0
+        assert compiled.marginal(2, {}) == original
+
+    def test_stream_single_worker_runs_in_process(self):
+        distribution = hardcore_model(random_tree(12, seed=3), 1.1)
+        instance = SamplingInstance(distribution, {0: 0})
+        streamed = dict(
+            stream_padded_ball_marginals(
+                instance, instance.free_nodes, 2, n_workers=1
+            )
+        )
+        serial = {
+            node: padded_ball_marginal(instance, node, 2)
+            for node in instance.free_nodes
+        }
+        assert streamed == serial
+        assert len(distribution.ball_cache()._compiled) > 0
+
+    def test_stream_empty_tasks(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        assert list(stream_ball_marginal_tasks(instance, [], n_workers=2)) == []
+        assert list(stream_compiled_balls(instance, [], n_workers=2)) == []
+
+    def test_failed_task_raises_in_process_path(self):
+        # The in-process fallback honours the same clean-error contract as
+        # the worker-pool path: a RuntimeError naming the chunk.
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        with pytest.raises(RuntimeError, match="ball shard failed"):
+            list(
+                stream_ball_marginal_tasks(
+                    instance, [("no-such-node", 1)], n_workers=1
+                )
+            )
+
+    def test_chunking_defaults(self):
+        tasks = list(range(17))
+        chunks = _chunk_tasks(tasks, n_workers=2)
+        assert [task for chunk in chunks for task in chunk] == tasks
+        assert max(len(chunk) for chunk in chunks) <= 3
+        assert _chunk_tasks([], 2) == []
+        with pytest.raises(ValueError):
+            _chunk_tasks(tasks, 2, chunk_size=0)
+
+
+class TestRuntimeStreamingFacade:
+    """submit / map_unordered conform on the serial and batched backends."""
+
+    def test_serial_map_unordered_is_in_order(self):
+        runtime = Runtime()
+        assert list(runtime.map_unordered(lambda x: x * x, [1, 2, 3])) == [
+            (0, 1),
+            (1, 4),
+            (2, 9),
+        ]
+
+    def test_batched_map_unordered_is_lazy(self):
+        runtime = Runtime("batched", n_chains=2)
+        seen = []
+        iterator = runtime.map_unordered(lambda x: seen.append(x) or x, [1, 2, 3])
+        assert seen == []  # nothing runs until consumed
+        assert next(iterator) == (0, 1)
+        assert seen == [1]
+
+    def test_serial_submit_returns_resolved_future(self):
+        runtime = Runtime()
+        future = runtime.submit(lambda a, b: a + b, 2, b=3)
+        assert future.done() and future.result() == 5
+
+    def test_serial_submit_captures_exceptions(self):
+        future = Runtime().submit(lambda: 1 / 0)
+        assert isinstance(future.exception(), ZeroDivisionError)
+
+    def test_stream_ball_marginals_serial_backend(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0), {0: 0})
+        streamed = dict(Runtime().stream_ball_marginals(instance, instance.free_nodes, 1))
+        assert streamed == Runtime().ball_marginals(instance, instance.free_nodes, 1)
+
+
 @pytest.mark.slow
 class TestProcessPool:
     """Two-worker process-pool smoke tests (the sharding transport)."""
@@ -334,3 +482,109 @@ class TestProcessPool:
         runtime = Runtime("process", n_workers=2)
         offset = 10  # closure state must be inherited by forked workers
         assert runtime.map(lambda x: x + offset, range(5)) == [10, 11, 12, 13, 14]
+
+    def test_stream_yields_incrementally_and_matches_serial(self):
+        distribution = coloring_model(cycle_graph(10), 3)
+        instance = SamplingInstance(distribution, {0: 1})
+        serial = {
+            node: padded_ball_marginal(instance, node, 2)
+            for node in instance.free_nodes
+        }
+        distribution.ball_cache().clear()
+        streamed = {}
+        stream = stream_padded_ball_marginals(
+            instance, instance.free_nodes, 2, n_workers=2, chunk_size=2
+        )
+        first = next(stream)
+        # The first shard arrives before the stream is drained: at this
+        # point only a strict subset of the work has been merged.
+        assert len(distribution.ball_cache()._compiled) < len(serial)
+        streamed[first[0]] = first[1]
+        streamed.update(stream)
+        assert streamed == serial
+
+    def test_streamed_memo_deltas_warm_the_parent(self):
+        distribution = hardcore_model(random_tree(14, seed=5), 1.2)
+        instance = SamplingInstance(distribution, {0: 0})
+        dict(
+            stream_padded_ball_marginals(
+                instance, instance.free_nodes, 2, n_workers=2
+            )
+        )
+        cache = distribution.ball_cache()
+        locality = distribution.locality()
+        warmed = [
+            cache._compiled[(node, 2 + locality)]
+            for node in instance.free_nodes
+            if (node, 2 + locality) in cache._compiled
+        ]
+        assert warmed and any(len(ball._marginal_memo) > 0 for ball in warmed)
+
+    def test_failed_shard_surfaces_clean_error(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0))
+        tasks = [(node, 1) for node in (0, 1)] + [("no-such-node", 1), (2, 1)]
+        with pytest.raises(RuntimeError, match="ball shard failed"):
+            list(
+                stream_ball_marginal_tasks(
+                    instance, tasks, n_workers=2, chunk_size=1
+                )
+            )
+
+    def test_abandoning_the_stream_cancels_cleanly(self):
+        distribution = coloring_model(cycle_graph(12), 3)
+        instance = SamplingInstance(distribution, {0: 1})
+        stream = stream_padded_ball_marginals(
+            instance, instance.free_nodes, 2, n_workers=2, chunk_size=1
+        )
+        next(stream)
+        stream.close()  # must not hang on the pending futures
+
+    def test_map_unordered_process_covers_all_items(self):
+        runtime = Runtime("process", n_workers=2)
+        offset = 3
+        results = sorted(runtime.map_unordered(lambda x: x + offset, range(6)))
+        assert results == [(index, index + offset) for index in range(6)]
+
+    def test_interleaved_map_unordered_does_not_pin_stale_task(self):
+        from repro.runtime import shards
+
+        runtime = Runtime("process", n_workers=2)
+        first = runtime.map_unordered(lambda x: x + 1, range(3))
+        next(first)
+        second = runtime.map_unordered(lambda x: x + 2, range(3))
+        next(second)
+        list(first)
+        list(second)
+        assert shards._FORK_TASK is None
+
+    def test_submit_process_backend(self):
+        import math
+
+        with Runtime("process", n_workers=2) as runtime:
+            assert runtime.submit(math.sqrt, 16.0).result() == 4.0
+            failing = runtime.submit(math.sqrt, -1.0)
+            assert failing.exception() is not None
+
+    def test_locality_required_overlapped_matches_serial(self):
+        from repro.spatialmixing import locality_required
+
+        distribution = hardcore_model(cycle_graph(12), fugacity=6.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        serial = locality_required(instance, 6, error=0.05, max_radius=6)
+        overlapped = locality_required(
+            instance,
+            6,
+            error=0.05,
+            max_radius=6,
+            runtime=Runtime("process", n_workers=2),
+        )
+        assert overlapped == serial
+
+    def test_marginals_stream_process_runtime(self):
+        distribution = hardcore_model(random_tree(15, seed=8), 1.3)
+        instance = SamplingInstance(distribution, {0: 0})
+        engine = TruncatedBallInference(
+            radius=2, runtime=Runtime("process", n_workers=2)
+        )
+        streamed = dict(engine.marginals_stream(instance, 0.05))
+        assert streamed == TruncatedBallInference(radius=2).marginals(instance, 0.05)
