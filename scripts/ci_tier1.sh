@@ -3,8 +3,10 @@
 # explicit run of the engine-equivalence suite (the contract between the
 # compiled evaluation engine and the reference dict engine), a fast
 # runtime smoke (batched-chain determinism and pickling, skipping the
-# slow-marked process-pool tests) and a docs check (the architecture map
-# exists and the README quickstart executes as a doctest).
+# slow-marked process-pool tests), a cluster smoke (a coordinator driving
+# two real localhost worker subprocesses over the TCP transport, asserting
+# bit-identity with the serial loop) and a docs check (the architecture
+# map exists and the README quickstart executes as a doctest).
 #
 # Usage: scripts/ci_tier1.sh  (from the repository root)
 set -euo pipefail
@@ -20,7 +22,27 @@ echo "== tier-1: engine equivalence =="
 python -m pytest -x -q tests/test_engine_equivalence.py
 
 echo "== tier-1: runtime smoke =="
-python -m pytest -x -q -m "not slow" tests/test_runtime.py tests/test_analysis_convergence.py
+python -m pytest -x -q -m "not slow" tests/test_runtime.py tests/test_analysis_convergence.py tests/test_cluster.py
+
+echo "== tier-1: cluster smoke =="
+python - <<'PY'
+from repro.cluster.local import spawn_workers
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph
+from repro.inference.ssm_inference import padded_ball_marginal
+from repro.models import hardcore_model
+from repro.runtime import Runtime
+
+distribution = hardcore_model(cycle_graph(8), fugacity=1.2)
+instance = SamplingInstance(distribution, {0: 0})
+serial = {node: padded_ball_marginal(instance, node, 1) for node in instance.free_nodes}
+distribution.ball_cache().clear()
+with spawn_workers(2) as pool:
+    with Runtime("cluster", addresses=pool.addresses) as runtime:
+        clustered = runtime.ball_marginals(instance, instance.free_nodes, 1)
+assert clustered == serial, "cluster marginals diverge from the serial loop"
+print("cluster smoke OK: 2 workers, bit-identical marginals")
+PY
 
 echo "== tier-1: docs =="
 test -f docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md is missing" >&2; exit 1; }

@@ -7,4 +7,12 @@ build PEP 660 editable wheels (no ``wheel`` package available).
 
 from setuptools import setup
 
-setup()
+setup(
+    entry_points={
+        "console_scripts": [
+            # The cluster worker loop (see repro/cluster/worker.py); the
+            # uninstalled equivalent is `python -m repro.cluster`.
+            "repro-cluster-worker=repro.cluster.worker:main",
+        ]
+    }
+)

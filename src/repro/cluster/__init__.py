@@ -1,0 +1,58 @@
+"""Multi-machine execution: a coordinator/worker backend over TCP.
+
+conf_podc_FengY18 studies sampling and counting in the LOCAL model --
+computation distributed over a network -- and this package is the
+repository's literal counterpart: it extends the execution runtime
+beyond one host.  The picklable :class:`~repro.runtime.shards.InstanceSpec`
+of the process backend is already a complete, self-contained instance
+description; the cluster layer ships it over sockets instead of pipes
+and reuses the *same* shard task bodies, so every result is bit-identical
+to the serial and process backends.
+
+``protocol``
+    The framed length-prefixed pickle wire format (HELLO / SPEC / TASK /
+    RESULT / HEARTBEAT / ERROR) with malformed-frame rejection.
+``worker``
+    The ``repro-cluster-worker`` server loop: caches the spec once per
+    connection, answers heartbeats while tasks run, executes ball
+    compilation / padded-ball marginals / batched chain blocks / generic
+    calls.
+``coordinator``
+    :class:`ClusterCoordinator`: least-loaded + round-robin dispatch,
+    heartbeat liveness, automatic requeue of tasks from dead workers,
+    and the streaming merge into the parent
+    :class:`~repro.engine.cache.BallCache`.
+``local``
+    :func:`spawn_workers` -- N localhost worker subprocesses for tests,
+    benchmarks and the quickstart.
+
+The ergonomic entry point is the :class:`~repro.runtime.executor.Runtime`
+facade: ``Runtime(backend="cluster", addresses=[...])`` (or plain
+``runtime="cluster"``, which spawns localhost workers on first use)
+conforms to the same ``submit`` / ``map_unordered`` /
+``stream_ball_marginals`` / ``shutdown`` contract as the serial, batched
+and process backends.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator, ClusterError, parse_address
+from repro.cluster.local import LocalWorkerPool, spawn_workers
+from repro.cluster.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterError",
+    "ClusterWorker",
+    "ConnectionClosed",
+    "LocalWorkerPool",
+    "ProtocolError",
+    "parse_address",
+    "recv_message",
+    "send_message",
+    "spawn_workers",
+]

@@ -1,0 +1,13 @@
+"""``python -m repro.cluster``: run a cluster worker.
+
+Delegates to :func:`repro.cluster.worker.main` (the same entry point the
+``repro-cluster-worker`` console script installs).  Preferred over
+``python -m repro.cluster.worker`` because the package ``__init__``
+already imports the worker module, which makes ``runpy`` warn about the
+double execution.
+"""
+
+from repro.cluster.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,796 @@
+"""The cluster coordinator: task queue, dispatch, heartbeats, requeue.
+
+The coordinator owns one persistent TCP connection per worker (see
+:mod:`repro.cluster.worker`) and schedules shard work over them:
+
+* **Dispatch** is least-loaded with a round-robin tie-break: each new
+  task goes to the live worker with the fewest in-flight tasks, so a
+  straggling worker naturally receives less work while the others drain
+  the queue.
+* **Spec shipping is lazy and once-per-connection**: a task that needs an
+  :class:`~repro.runtime.shards.InstanceSpec` carries a spec id; the
+  coordinator sends the ``SPEC`` frame to a given worker only the first
+  time that worker is handed a task referencing it (TCP ordering
+  guarantees the spec arrives before the task).
+* **Liveness** combines two signals.  A per-worker reader thread blocks
+  on the socket, so a killed worker surfaces immediately as EOF; a
+  heartbeat thread additionally pings every worker and declares one dead
+  when nothing (echo or result) has been heard for
+  ``heartbeat_timeout`` seconds -- catching hung-but-connected workers.
+  Workers answer heartbeats from their reader loop even while a long
+  task runs, so "busy" is never mistaken for "dead".
+* **Requeue**: tasks in flight on a dead worker are re-dispatched to the
+  remaining live workers (each task retries at most ``max_attempts``
+  times, default one attempt per initially connected worker).  Because
+  the task bodies are deterministic functions of the spec, a requeued
+  task's result is bit-identical to what the dead worker would have
+  produced, so consumers never observe the failure.  A ``RESULT`` frame
+  for a task that has already been completed, cancelled or requeued is
+  dropped -- results are adopted by task id, in whatever order they
+  arrive.
+
+Cancellation reaches the workers: abandoning a stream (or cancelling a
+future) removes the tasks coordinator-side *and* sends each affected
+worker a ``cancel`` directive, so queued speculative work -- e.g. the
+radii past the answer in the E5 sweep -- is skipped rather than ground to
+completion.  A coordinator dropped without :meth:`shutdown` stays
+garbage-collectable (its service threads hold only weak references) and a
+finalizer closes its sockets.
+
+The streaming API mirrors :mod:`repro.runtime.shards`:
+:meth:`ClusterCoordinator.stream_ball_marginal_tasks` chunks the tasks,
+fans the chunks out, and merges each arriving payload into the parent's
+:class:`~repro.engine.cache.BallCache` (``adopt``) before yielding, so
+the cluster backend drops into every consumer the process backend
+already has (SSM engines, the E5 radius sweep, ``warm_ball_cache``).
+Abandoning a stream cancels its pending tasks; shutting the coordinator
+down cancels everything and closes the sockets, idempotently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import struct
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from concurrent.futures import CancelledError, Future, InvalidStateError, as_completed
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster import protocol
+from repro.gibbs.instance import SamplingInstance
+from repro.runtime.shards import (
+    MEMO_DELTA_CAP,
+    InstanceSpec,
+    _chunk_tasks,
+)
+
+Node = Hashable
+Value = Hashable
+BallKey = Tuple[Node, int]
+Address = Tuple[str, int]
+
+
+class ClusterError(RuntimeError):
+    """A cluster-level failure: no live workers, task exhausted retries, ..."""
+
+
+def _close_worker_sockets(workers) -> None:
+    """Finalizer body: close every connection of a collected coordinator."""
+    for worker in workers:
+        worker.alive = False
+        worker.close()
+
+
+def _reader_thread(coordinator_ref, worker) -> None:
+    """Receive frames from one worker until its connection dies.
+
+    Holds only a weak reference to the coordinator between frames, so an
+    abandoned coordinator stays garbage-collectable; its finalizer closes
+    the sockets, which wakes this thread out of ``recv`` to exit.
+    """
+    def touch() -> None:
+        # Per-chunk progress refresh: a large RESULT frame streaming in for
+        # longer than the heartbeat timeout is liveness, not silence.
+        worker.last_seen = time.monotonic()
+
+    while True:
+        try:
+            kind, payload = protocol.recv_message(worker.sock, on_data=touch)
+        except (protocol.ProtocolError, OSError) as error:
+            coordinator = coordinator_ref()
+            if coordinator is not None:
+                coordinator._worker_died(worker, error)
+            else:
+                worker.close()
+            return
+        worker.last_seen = time.monotonic()
+        coordinator = coordinator_ref()
+        if coordinator is None:
+            worker.close()
+            return
+        if not coordinator._handle_frame(worker, kind, payload):
+            return
+        del coordinator  # do not pin the coordinator across the next recv
+
+
+def _heartbeat_thread(coordinator_ref, interval: float) -> None:
+    """Ping workers until the coordinator is closed or collected."""
+    while True:
+        time.sleep(interval)
+        coordinator = coordinator_ref()
+        if coordinator is None or not coordinator._heartbeat_tick():
+            return
+        del coordinator
+
+
+def parse_address(address) -> Address:
+    """Normalise an address given as ``(host, port)`` or ``"host:port"``."""
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"expected 'host:port', got {address!r}")
+        return host, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+class _Worker:
+    """Coordinator-side state of one worker connection."""
+
+    __slots__ = (
+        "address",
+        "sock",
+        "send_lock",
+        "inflight",
+        "specs",
+        "alive",
+        "last_seen",
+        "reader",
+    )
+
+    def __init__(self, address: Address, sock: socket.socket) -> None:
+        self.address = address
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        #: ``{task_id: _Task}`` currently dispatched to this worker.
+        self.inflight: Dict[int, "_Task"] = {}
+        #: Spec ids this connection holds, mirroring the worker's FIFO cache
+        #: (same insertion order, same ``SPEC_CACHE_LIMIT``): only the
+        #: coordinator sends SPEC frames on the connection, so replaying the
+        #: worker's deterministic eviction here tells us exactly when a spec
+        #: must be re-shipped.
+        self.specs: "OrderedDict[int, None]" = OrderedDict()
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.reader: Optional[threading.Thread] = None
+
+    def send(self, kind: int, payload) -> None:
+        with self.send_lock:
+            protocol.send_message(self.sock, kind, payload)
+
+    def try_send(self, kind: int, payload, timeout: float) -> bool:
+        """Send unless the lock is busy (another thread mid-send).
+
+        Used by the heartbeat loop so a long-running send on one worker
+        cannot stall liveness checks for the whole cluster; a busy lock
+        means traffic is flowing, which is itself a liveness signal.
+        """
+        if not self.send_lock.acquire(timeout=timeout):
+            return False
+        try:
+            protocol.send_message(self.sock, kind, payload)
+        finally:
+            self.send_lock.release()
+        return True
+
+    def record_spec(self, spec_id: int) -> None:
+        """Mirror the worker-side spec cache after shipping a SPEC frame."""
+        from repro.cluster.worker import SPEC_CACHE_LIMIT
+
+        self.specs[spec_id] = None
+        while len(self.specs) > SPEC_CACHE_LIMIT:
+            self.specs.popitem(last=False)
+
+    def close(self) -> None:
+        # shutdown() before close(): our own reader thread may be blocked in
+        # recv() on this socket, and on Linux a plain close() then leaves the
+        # in-flight syscall pinning the connection open -- no FIN ever
+        # reaches the worker, which (serving one connection at a time) would
+        # never return to accept().  shutdown() tears the connection down
+        # immediately and wakes the blocked recv with EOF on both ends.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _Task:
+    """One unit of work, movable between workers until it resolves."""
+
+    __slots__ = ("task_id", "kind", "args", "spec", "future", "attempts")
+
+    def __init__(self, task_id: int, kind: str, args, spec) -> None:
+        self.task_id = task_id
+        self.kind = kind
+        self.args = args
+        #: ``(spec_id, InstanceSpec)`` or ``None`` for spec-free tasks.
+        self.spec = spec
+        self.future: Future = Future()
+        self.attempts = 0
+
+
+class ClusterCoordinator:
+    """Schedule shard work over a set of worker connections.
+
+    Parameters
+    ----------
+    addresses : sequence
+        Worker addresses, each ``(host, port)`` or ``"host:port"``.
+    connect_timeout : float
+        Seconds to wait for each TCP connect + handshake.
+    heartbeat_interval : float
+        Seconds between heartbeat pings.
+    heartbeat_timeout : float
+        Declare a worker dead after this many silent seconds.
+    max_attempts : int, optional
+        Dispatch attempts per task before it fails with
+        :class:`ClusterError` (default: one per connected worker, so a
+        task is never bounced around a fully dying cluster forever).
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence,
+        connect_timeout: float = 10.0,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 30.0,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        parsed = [parse_address(address) for address in addresses]
+        if not parsed:
+            raise ValueError("a cluster needs at least one worker address")
+        self._lock = threading.RLock()
+        self._closed = False
+        self._task_ids = itertools.count()
+        self._spec_ids = itertools.count()
+        self._rotation = itertools.count()
+        #: ``{instance: (spec_id, InstanceSpec)}`` -- one snapshot per live
+        #: instance, so repeated streams over the same instance (e.g. the
+        #: per-wave E5 radius sweep) reuse one spec id and the workers'
+        #: per-connection spec caches hit instead of re-receiving the spec.
+        self._spec_registry: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        #: Number of task re-dispatches caused by worker death (observability
+        #: hook; the worker-failure tests assert it moved).
+        self.requeued = 0
+        self.workers: List[_Worker] = []
+        try:
+            for address in parsed:
+                self.workers.append(self._connect(address, connect_timeout))
+        except BaseException:
+            for worker in self.workers:
+                worker.close()
+            raise
+        self.max_attempts = (
+            int(max_attempts) if max_attempts is not None else max(2, len(parsed))
+        )
+        # The service threads hold only a weak reference to the coordinator:
+        # a coordinator dropped without shutdown() must stay collectable, at
+        # which point the finalizer closes the sockets, the blocked reader
+        # threads wake with OSError, find their referent gone, and exit.
+        self_ref = weakref.ref(self)
+        self._finalizer = weakref.finalize(
+            self, _close_worker_sockets, self.workers
+        )
+        for worker in self.workers:
+            worker.reader = threading.Thread(
+                target=_reader_thread, args=(self_ref, worker), daemon=True
+            )
+            worker.reader.start()
+        self._heartbeat = threading.Thread(
+            target=_heartbeat_thread,
+            args=(self_ref, self.heartbeat_interval),
+            daemon=True,
+        )
+        self._heartbeat.start()
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _connect(self, address: Address, timeout: float) -> _Worker:
+        sock = socket.create_connection(address, timeout=timeout)
+        sock.settimeout(timeout)
+        try:
+            protocol.send_message(
+                sock, protocol.HELLO, protocol.hello_payload("coordinator")
+            )
+            kind, payload = protocol.recv_message(sock)
+            if kind == protocol.ERROR:
+                raise protocol.ProtocolError(f"worker rejected handshake: {payload}")
+            if kind != protocol.HELLO:
+                raise protocol.ProtocolError(
+                    f"expected HELLO, got {protocol.MESSAGE_NAMES[kind]}"
+                )
+            protocol.check_hello(payload, expected_role="worker")
+        except BaseException:
+            sock.close()
+            raise
+        sock.settimeout(None)  # reader threads block indefinitely
+        # Sends, however, must not: a hung worker that stops draining its
+        # socket would otherwise block `sendall` forever (holding the
+        # worker's send lock and with it the whole dispatch/heartbeat
+        # machinery).  SO_SNDTIMEO bounds only the send side; a timed-out
+        # send surfaces as OSError and the worker is declared dead.
+        try:
+            seconds = int(self.heartbeat_timeout)
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_SNDTIMEO,
+                struct.pack("ll", seconds, 0),
+            )
+        except (OSError, struct.error):  # pragma: no cover - exotic platforms
+            pass
+        return _Worker(address, sock)
+
+    def _handle_frame(self, worker: _Worker, kind: int, payload) -> bool:
+        """Process one received frame; ``False`` once the worker is dead."""
+        if kind == protocol.RESULT:
+            task_id, result = payload
+            task = self._take_inflight(worker, task_id)
+            if task is not None:
+                self._resolve(task, result=result)
+            return True
+        if kind == protocol.ERROR:
+            task_id, message = payload
+            if task_id is None:
+                self._worker_died(
+                    worker, protocol.ProtocolError(f"worker error: {message}")
+                )
+                return False
+            task = self._take_inflight(worker, task_id)
+            if task is not None:
+                self._resolve(
+                    task, error=ClusterError(f"worker task failed: {message}")
+                )
+            return True
+        if kind == protocol.HEARTBEAT:
+            return True  # last_seen already refreshed
+        self._worker_died(
+            worker,
+            protocol.ProtocolError(f"unexpected {protocol.MESSAGE_NAMES[kind]} frame"),
+        )
+        return False
+
+    def _heartbeat_tick(self) -> bool:
+        """One heartbeat round; ``False`` once the coordinator is closed."""
+        with self._lock:
+            if self._closed:
+                return False
+            workers = [worker for worker in self.workers if worker.alive]
+        now = time.monotonic()
+        for worker in workers:
+            if now - worker.last_seen > self.heartbeat_timeout:
+                self._worker_died(
+                    worker,
+                    ClusterError(
+                        f"no traffic for {self.heartbeat_timeout:.0f}s "
+                        "(heartbeat timeout)"
+                    ),
+                )
+                continue
+            try:
+                # A busy send lock is itself a liveness signal; never
+                # stall the shared heartbeat loop behind one worker.
+                worker.try_send(protocol.HEARTBEAT, now, timeout=0.1)
+            except OSError as error:
+                self._worker_died(worker, error)
+        return True
+
+    def _take_inflight(self, worker: _Worker, task_id: int) -> Optional["_Task"]:
+        """Pop a task from a worker's in-flight map; ``None`` if it moved on.
+
+        A ``None`` means the task was cancelled, requeued elsewhere or
+        already resolved -- the frame is a late arrival and is dropped.
+        """
+        with self._lock:
+            return worker.inflight.pop(task_id, None)
+
+    @staticmethod
+    def _resolve(task: "_Task", result=None, error: Optional[Exception] = None) -> None:
+        """Complete a task's future, tolerating cancelled/duplicate arrivals."""
+        try:
+            if not task.future.set_running_or_notify_cancel():
+                return  # the consumer cancelled the task; drop the result
+            if error is not None:
+                task.future.set_exception(error)
+            else:
+                task.future.set_result(result)
+        except InvalidStateError:
+            # A duplicate arrival (e.g. a task that raced dispatch-retry and
+            # death-requeue) already resolved the future; dropping the copy
+            # is correct -- results are equal by construction -- and a reader
+            # thread must never die over it.
+            pass
+
+    def _worker_died(self, worker: _Worker, reason: Exception) -> None:
+        """Mark a worker dead and requeue its in-flight tasks elsewhere."""
+        with self._lock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            orphans = list(worker.inflight.values())
+            worker.inflight.clear()
+        worker.close()
+        if orphans and not self._closed:
+            with self._lock:
+                self.requeued += len(orphans)
+            for task in orphans:
+                try:
+                    self._dispatch(task)
+                except ClusterError as error:
+                    self._resolve(
+                        task,
+                        error=ClusterError(
+                            f"worker {worker.address} died ({reason}) and the "
+                            f"task could not be requeued: {error}"
+                        ),
+                    )
+        elif orphans:
+            for task in orphans:
+                task.future.cancel()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _pick_worker(self) -> _Worker:
+        """Least-loaded live worker, round-robin among ties (lock held)."""
+        live = [worker for worker in self.workers if worker.alive]
+        if not live:
+            raise ClusterError("no live cluster workers")
+        rotation = next(self._rotation)
+        return min(
+            (live[(rotation + offset) % len(live)] for offset in range(len(live))),
+            key=lambda worker: len(worker.inflight),
+        )
+
+    def _dispatch(self, task: "_Task") -> None:
+        """Assign a task to a worker and put its frames on the wire.
+
+        Retries transparently over the remaining live workers when a send
+        fails (the send failure marks that worker dead, which requeues
+        whatever else it was running).
+        """
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ClusterError("the coordinator is shut down")
+                if task.attempts >= self.max_attempts:
+                    raise ClusterError(
+                        f"task {task.task_id} ({task.kind}) exhausted "
+                        f"{self.max_attempts} dispatch attempts"
+                    )
+                worker = self._pick_worker()
+                task.attempts += 1
+                needs_spec = task.spec is not None and task.spec[0] not in worker.specs
+                worker.inflight[task.task_id] = task
+            try:
+                if needs_spec:
+                    worker.send(protocol.SPEC, task.spec)
+                    with self._lock:
+                        worker.record_spec(task.spec[0])
+                worker.send(protocol.TASK, (task.task_id, task.kind, task.args))
+                return
+            except OSError as error:
+                # Reclaim the task before declaring the worker dead.  If the
+                # pop comes back empty, the reader thread's death path beat
+                # us to it and now owns the requeue -- retrying here too
+                # would dispatch the task twice.
+                with self._lock:
+                    owner = worker.inflight.pop(task.task_id, None)
+                self._worker_died(worker, error)
+                if owner is None:
+                    return
+            except BaseException:
+                # E.g. an unpicklable or oversized payload (ProtocolError):
+                # send_message pickles and validates *before* the first
+                # byte touches the socket, so the worker is fine -- reclaim
+                # the task and surface the error to the caller instead of
+                # cascading a payload problem into worker deaths.
+                with self._lock:
+                    worker.inflight.pop(task.task_id, None)
+                raise
+
+    def submit_task(self, kind: str, args, spec=None) -> Future:
+        """Schedule one task; the returned future resolves to its result.
+
+        ``spec`` is a ``(spec_id, InstanceSpec)`` pair for spec-bound task
+        kinds; it is shipped to each worker at most once.
+        """
+        task = _Task(next(self._task_ids), kind, args, spec)
+        self._dispatch(task)
+        return task.future
+
+    def new_spec_id(self) -> int:
+        """A fresh spec id (spec payloads are identified, not hashed)."""
+        return next(self._spec_ids)
+
+    def _spec_for(self, instance: SamplingInstance) -> Tuple[int, InstanceSpec]:
+        """The ``(spec_id, spec)`` pair for an instance (snapshot memoised).
+
+        Instances are immutable (distribution + pinning), so one snapshot
+        per instance is safe; the weak registry keeps the id stable across
+        stream calls without pinning dead instances in memory.
+        """
+        with self._lock:
+            entry = self._spec_registry.get(instance)
+            if entry is None:
+                entry = (self.new_spec_id(), InstanceSpec.from_instance(instance))
+                self._spec_registry[instance] = entry
+            return entry
+
+    def _discard(self, futures: Iterable[Future]) -> None:
+        """Cancel pending futures, worker-side included.
+
+        The tail of every streaming generator: pending tasks are cancelled
+        coordinator-side (results already on the wire are dropped on
+        arrival -- their task id leaves the in-flight maps here) and each
+        worker is sent a best-effort ``cancel`` directive so tasks still
+        sitting in its queue are skipped instead of ground to completion.
+        """
+        pending = {id(future) for future in futures if future.cancel()}
+        if not pending:
+            return
+        reclaimed: Dict[_Worker, List[int]] = {}
+        with self._lock:
+            for worker in self.workers:
+                for task_id, task in list(worker.inflight.items()):
+                    if id(task.future) in pending:
+                        worker.inflight.pop(task_id, None)
+                        reclaimed.setdefault(worker, []).append(task_id)
+        for worker, task_ids in reclaimed.items():
+            if not worker.alive:
+                continue
+            try:
+                worker.send(protocol.TASK, (None, "cancel", task_ids))
+            except (OSError, protocol.ProtocolError):
+                pass  # the reader will notice the dead connection itself
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def live_worker_count(self) -> int:
+        with self._lock:
+            return sum(1 for worker in self.workers if worker.alive)
+
+    def shutdown(self) -> None:
+        """Close every connection and cancel outstanding work (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self.workers)
+        for worker in workers:
+            with self._lock:
+                worker.alive = False
+                orphans = list(worker.inflight.values())
+                worker.inflight.clear()
+            for task in orphans:
+                if not task.future.cancel():
+                    # Already running per future protocol; leave resolved ones be.
+                    if not task.future.done():  # pragma: no cover - defensive
+                        task.future.set_exception(CancelledError())
+            worker.close()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # high-level API (mirrors the process backend)
+    # ------------------------------------------------------------------
+    def submit(self, function, *args, **kwargs) -> Future:
+        """Run ``function(*args, **kwargs)`` on some worker.
+
+        The callable and its arguments cross the wire by pickle, so pass
+        module-level functions (pickle serialises them by reference);
+        closures and lambdas are rejected by pickle itself.
+        """
+        return self.submit_task("call", (function, tuple(args), dict(kwargs)))
+
+    def map_unordered(self, function, items: Iterable) -> Iterator[Tuple[int, object]]:
+        """Map ``function`` over items, yielding ``(index, result)`` pairs
+        in completion order; abandoning the iterator cancels pending calls.
+        """
+        items = list(items)
+        futures = {}
+        try:
+            for index, item in enumerate(items):
+                futures[self.submit(function, item)] = index
+        except BaseException:
+            self._discard(futures)  # a failed submission abandons its batch
+            raise
+        try:
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+        finally:
+            self._discard(futures)
+
+    # -- spec-bound streaming (the Theorem 5.1 workloads) ---------------
+    def _stream_chunked_shards(
+        self,
+        instance: SamplingInstance,
+        tasks: Sequence,
+        chunk_size: Optional[int],
+        kind: str,
+        make_payload,
+        adopt,
+    ) -> Iterator:
+        """The shared streaming skeleton of the spec-bound task kinds.
+
+        Chunks the tasks, fans the chunks out (spec shipped once per
+        connection), and -- as each payload completes -- merges it into the
+        instance's ball cache via ``adopt(cache, payload)`` (which returns
+        the items to yield).  A failed chunk raises a chained
+        ``RuntimeError`` naming it; abandoning the generator cancels the
+        pending chunks coordinator- and worker-side.
+        """
+        spec = self._spec_for(instance)
+        cache = instance.distribution.ball_cache()
+        chunks = _chunk_tasks(tasks, max(1, self.live_worker_count), chunk_size)
+        futures = {}
+        try:
+            for chunk in chunks:
+                payload = make_payload(spec[0], list(chunk))
+                futures[self.submit_task(kind, payload, spec=spec)] = chunk
+        except BaseException:
+            self._discard(futures)  # a failed submission abandons its batch
+            raise
+        try:
+            for future in as_completed(futures):
+                try:
+                    result = future.result()
+                except (ClusterError, CancelledError) as error:
+                    raise RuntimeError(
+                        f"cluster ball shard failed on chunk {futures[future]!r}: "
+                        f"{error}"
+                    ) from error
+                yield from adopt(cache, result)
+        finally:
+            self._discard(futures)
+
+    def stream_ball_marginal_tasks(
+        self,
+        instance: SamplingInstance,
+        tasks: Sequence[BallKey],
+        chunk_size: Optional[int] = None,
+        memo_cap: Optional[int] = MEMO_DELTA_CAP,
+    ) -> Iterator[Tuple[BallKey, Dict[Value, float]]]:
+        """Stream Theorem 5.1 marginals for ``(center, radius)`` tasks.
+
+        The cluster counterpart of
+        :func:`repro.runtime.shards.stream_ball_marginal_tasks`: tasks are
+        chunked, the chunks fan out over the workers (spec shipped once
+        per connection), and each arriving payload's compiled balls,
+        boundary extensions and capped marginal-memo deltas are merged
+        into the parent's ball cache before its marginals are yielded in
+        completion order.  Worker death mid-stream requeues transparently;
+        per-ball values are bit-identical to the serial loop.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+
+        def adopt(cache, payload):
+            marginals, balls, extras, memos = payload
+            cache.adopt(balls=balls, extras=extras, memos=memos)
+            return marginals.items()
+
+        yield from self._stream_chunked_shards(
+            instance,
+            tasks,
+            chunk_size,
+            "ball_marginals",
+            lambda spec_id, chunk: {
+                "spec_id": spec_id,
+                "tasks": chunk,
+                "memo_cap": memo_cap,
+            },
+            adopt,
+        )
+
+    def stream_padded_ball_marginals(
+        self,
+        instance: SamplingInstance,
+        centers: Sequence[Node],
+        radius: int,
+        chunk_size: Optional[int] = None,
+        memo_cap: Optional[int] = MEMO_DELTA_CAP,
+    ) -> Iterator[Tuple[Node, Dict[Value, float]]]:
+        """Single-radius wrapper over :meth:`stream_ball_marginal_tasks`."""
+        for (center, _), marginal in self.stream_ball_marginal_tasks(
+            instance,
+            [(center, radius) for center in centers],
+            chunk_size=chunk_size,
+            memo_cap=memo_cap,
+        ):
+            yield center, marginal
+
+    def stream_compiled_balls(
+        self,
+        instance: SamplingInstance,
+        tasks: Sequence[BallKey],
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[Tuple[BallKey, object]]:
+        """Stream ball compilations from the workers into the parent cache."""
+        tasks = list(dict.fromkeys(tasks))
+        if not tasks:
+            return
+
+        def adopt(cache, compiled):
+            cache.adopt(balls=compiled)
+            return compiled.items()
+
+        yield from self._stream_chunked_shards(
+            instance,
+            tasks,
+            chunk_size,
+            "compile_balls",
+            lambda spec_id, chunk: {"spec_id": spec_id, "tasks": chunk},
+            adopt,
+        )
+
+    # -- batched chain blocks -------------------------------------------
+    def chain_samples(
+        self,
+        instance: SamplingInstance,
+        kind: str,
+        count: int,
+        seeds: Sequence,
+        initial=None,
+    ) -> List[Dict[Node, Value]]:
+        """Final states of independent chains, run as blocks on the workers.
+
+        The seed list is split into one contiguous block per live worker;
+        each worker advances its block as a batched code matrix on the
+        instance reconstructed from the spec, so chain ``c`` of the result
+        is bit-identical to the serial sampler run with ``seed=seeds[c]``.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            return []
+        spec = self._spec_for(instance)
+        blocks = _chunk_tasks(
+            seeds, 1, chunk_size=-(-len(seeds) // max(1, self.live_worker_count))
+        )
+        futures = []
+        try:
+            for block in blocks:
+                payload = {
+                    "spec_id": spec[0],
+                    "kind": kind,
+                    "count": count,
+                    "seeds": block,
+                    "initial": dict(initial) if initial is not None else None,
+                }
+                futures.append(self.submit_task("chain_block", payload, spec=spec))
+        except BaseException:
+            self._discard(futures)
+            raise
+        try:
+            results: List[Dict[Node, Value]] = []
+            for future in futures:  # block order == seed order
+                results.extend(future.result())
+            return results
+        finally:
+            self._discard(futures)

@@ -1,0 +1,219 @@
+"""Spawn localhost cluster workers in subprocesses.
+
+The zero-configuration on-ramp of the cluster backend: tests, benchmarks
+and the quickstart example call :func:`spawn_workers` to get ``n`` real
+:mod:`repro.cluster.worker` processes on loopback ephemeral ports, then
+hand ``pool.addresses`` to ``Runtime(backend="cluster", addresses=...)``
+(or to a :class:`~repro.cluster.coordinator.ClusterCoordinator`
+directly).  Everything a multi-machine deployment exercises -- the wire
+protocol, spec shipping, heartbeats, requeue on death -- runs the same
+way against these subprocesses, just without leaving the host.
+
+Workers are discovered through their stdout contract: a worker prints
+``repro-cluster-worker listening on host:port`` as its first line (see
+:func:`repro.cluster.worker.main`), which is how ephemeral ports are
+resolved without a race.  The pool terminates its workers on
+:meth:`LocalWorkerPool.terminate`, on context-manager exit, and -- as a
+safety net for abandoned pools -- at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+Address = Tuple[str, int]
+
+
+def _stderr_tail(stderr_file, limit: int = 2000) -> str:
+    """The tail of a worker's captured stderr, formatted for an error."""
+    if stderr_file is None:
+        return ""
+    try:
+        stderr_file.seek(0)
+        text = stderr_file.read().strip()
+    except (OSError, ValueError):
+        return ""
+    if not text:
+        return ""
+    return f"; worker stderr:\n{text[-limit:]}"
+
+
+class LocalWorkerPool:
+    """A handful of localhost worker subprocesses and their addresses."""
+
+    def __init__(
+        self,
+        processes: List[subprocess.Popen],
+        addresses: List[Address],
+        stderr_files: Optional[List] = None,
+    ) -> None:
+        self.processes = processes
+        #: ``(host, port)`` pairs, one per worker, in spawn order.
+        self.addresses = list(addresses)
+        self._stderr_files = list(stderr_files or [])
+        self._terminated = False
+        atexit.register(self.terminate)
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+    def kill(self, index: int) -> None:
+        """Hard-kill one worker (the failure-injection hook of the tests)."""
+        self.processes[index].kill()
+        self.processes[index].wait()
+
+    def alive(self, index: int) -> bool:
+        """Whether a worker subprocess is still running."""
+        return self.processes[index].poll() is None
+
+    def terminate(self) -> None:
+        """Stop every worker (idempotent; registered at interpreter exit)."""
+        if self._terminated:
+            return
+        self._terminated = True
+        for process in self.processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self.processes:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                process.kill()
+                process.wait()
+            if process.stdout is not None:
+                process.stdout.close()
+        for stderr_file in self._stderr_files:
+            try:
+                stderr_file.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def __enter__(self) -> "LocalWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
+
+
+def spawn_workers(
+    count: int = 2,
+    host: str = "127.0.0.1",
+    python: Optional[str] = None,
+    startup_timeout: float = 60.0,
+) -> LocalWorkerPool:
+    """Start ``count`` cluster workers as subprocesses on loopback.
+
+    Parameters
+    ----------
+    count : int
+        Number of workers to spawn.
+    host : str
+        Interface the workers bind (loopback by default).
+    python : str, optional
+        Interpreter to run the workers with (default: this interpreter).
+    startup_timeout : float
+        Seconds to wait for each worker's listening line before giving up
+        (enforced per worker via a read deadline on its stdout pipe).
+
+    Returns
+    -------
+    LocalWorkerPool
+        Live workers; pass ``pool.addresses`` to
+        ``Runtime(backend="cluster", addresses=pool.addresses)``.
+
+    Raises
+    ------
+    RuntimeError
+        When a worker exits (or prints something unexpected) before
+        announcing its listening address.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    import repro
+
+    source_root = str(Path(repro.__file__).resolve().parents[1])
+    environment = os.environ.copy()
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (
+        source_root if not existing else source_root + os.pathsep + existing
+    )
+    interpreter = python or sys.executable
+    processes: List[subprocess.Popen] = []
+    stderr_files = []
+    addresses: List[Address] = []
+    try:
+        for _ in range(count):
+            # Worker stderr goes to an unlinked temp file rather than
+            # DEVNULL (a startup crash would otherwise be undiagnosable)
+            # or a pipe (which nobody drains and could fill up).
+            stderr_file = tempfile.TemporaryFile(mode="w+")
+            stderr_files.append(stderr_file)
+            processes.append(
+                subprocess.Popen(
+                    [
+                        interpreter,
+                        "-m",
+                        "repro.cluster",
+                        "--host",
+                        host,
+                        "--port",
+                        "0",
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=stderr_file,
+                    env=environment,
+                    text=True,
+                )
+            )
+        for process, stderr_file in zip(processes, stderr_files):
+            addresses.append(_read_address(process, startup_timeout, stderr_file))
+    except BaseException:
+        for process in processes:
+            if process.poll() is None:
+                process.kill()
+            process.wait()
+            if process.stdout is not None:
+                process.stdout.close()
+        for stderr_file in stderr_files:
+            stderr_file.close()
+        raise
+    return LocalWorkerPool(processes, addresses, stderr_files)
+
+
+def _read_address(
+    process: subprocess.Popen, timeout: float, stderr_file=None
+) -> Address:
+    """Parse the worker's ``listening on host:port`` announcement."""
+    import select
+
+    deadline_args = ([process.stdout], [], [], timeout)
+    ready, _, _ = select.select(*deadline_args)
+    if not ready:
+        raise RuntimeError(
+            f"cluster worker (pid {process.pid}) did not announce its address "
+            f"within {timeout:.0f}s"
+        )
+    line = process.stdout.readline()
+    if not line:
+        try:  # EOF means the worker is exiting; reap it for a real code
+            returncode = process.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+            returncode = None
+        raise RuntimeError(
+            "cluster worker exited before announcing its address "
+            f"(exit code {returncode}){_stderr_tail(stderr_file)}"
+        )
+    marker = "listening on "
+    position = line.rfind(marker)
+    if position < 0:
+        raise RuntimeError(f"unexpected worker announcement: {line!r}")
+    host, _, port = line[position + len(marker) :].strip().rpartition(":")
+    if not host or not port.isdigit():
+        raise RuntimeError(f"unexpected worker announcement: {line!r}")
+    return host, int(port)

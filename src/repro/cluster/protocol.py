@@ -1,0 +1,217 @@
+"""Framed length-prefixed pickle messages: the cluster wire protocol.
+
+Every message on a coordinator <-> worker connection is one *frame*::
+
+    +-------+------+----------------+---------------------+
+    | magic | type | payload length | pickled payload ... |
+    | 4 B   | 1 B  | 8 B big-endian | `payload length` B  |
+    +-------+------+----------------+---------------------+
+
+The fixed header makes the stream self-describing and cheap to validate:
+a frame whose magic bytes, message type or length field is wrong raises
+:class:`ProtocolError` *before* any payload bytes are unpickled, so a
+stray client speaking the wrong protocol (or a corrupted stream) is
+rejected instead of interpreted.  A clean EOF raises the
+:class:`ConnectionClosed` subclass, which the coordinator treats as
+worker death and the worker treats as the coordinator hanging up.
+
+Message types
+-------------
+
+``HELLO``
+    Handshake, both directions.  The coordinator speaks first; payloads
+    carry ``{"role", "version", "pid"}`` and a version mismatch is a
+    :class:`ProtocolError`.
+``SPEC``
+    Coordinator -> worker: ``(spec_id, InstanceSpec)``.  Sent at most
+    once per spec per connection (the worker caches it, mirroring the
+    process pool's one-initializer-per-worker shipping); later ``TASK``
+    frames reference the id only.
+``TASK``
+    Coordinator -> worker: ``(task_id, kind, args)``.  Task kinds are the
+    shard bodies of :mod:`repro.runtime.shards` plus generic calls; see
+    :mod:`repro.cluster.worker`.
+``RESULT``
+    Worker -> coordinator: ``(task_id, result)``.
+``HEARTBEAT``
+    Coordinator -> worker, echoed back verbatim.  The coordinator uses
+    the echo (or any other traffic) as liveness; a silent worker past the
+    heartbeat timeout is declared dead and its tasks are requeued.
+``ERROR``
+    Worker -> coordinator: ``(task_id, message)`` for a failed task, or
+    ``(None, message)`` for a connection-level protocol failure.
+
+The payloads are pickled (protocol :data:`pickle.HIGHEST_PROTOCOL`); the
+transport therefore carries exactly what the process backend's pipes
+carry -- picklable specs, compiled balls, marginal dicts -- and trusts
+its peers exactly as much.  Like ``multiprocessing``, this is a
+cooperating-cluster transport, not a security boundary: only bind
+workers on networks you trust.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Tuple
+
+#: Frame magic: rejects peers that are not speaking this protocol.
+MAGIC = b"RCW1"
+#: Bumped on incompatible wire changes; checked during the HELLO handshake.
+PROTOCOL_VERSION = 1
+#: Refuse frames above this payload size (a corrupt length field would
+#: otherwise make the receiver try to allocate petabytes).
+MAX_FRAME_BYTES = 1 << 30
+
+_HEADER = struct.Struct(">4sBQ")
+
+# message types ---------------------------------------------------------
+HELLO = 1
+SPEC = 2
+TASK = 3
+RESULT = 4
+HEARTBEAT = 5
+ERROR = 6
+
+MESSAGE_NAMES = {
+    HELLO: "HELLO",
+    SPEC: "SPEC",
+    TASK: "TASK",
+    RESULT: "RESULT",
+    HEARTBEAT: "HEARTBEAT",
+    ERROR: "ERROR",
+}
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame, unknown message type, or handshake mismatch."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (EOF mid-frame or between frames)."""
+
+
+def send_message(sock: socket.socket, kind: int, payload=None) -> None:
+    """Send one framed message.
+
+    Parameters
+    ----------
+    sock : socket.socket
+        A connected stream socket.  Callers serialise concurrent senders
+        themselves (one lock per connection).
+    kind : int
+        One of the message-type constants of this module.
+    payload : object
+        Any picklable payload (``None`` is fine).
+
+    Raises
+    ------
+    ProtocolError
+        For unknown message kinds or payloads above
+        :data:`MAX_FRAME_BYTES`.
+    OSError
+        When the socket write fails (the peer is gone).
+    """
+    if kind not in MESSAGE_NAMES:
+        raise ProtocolError(f"unknown message type {kind!r}")
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send a {len(data)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    # Two sends instead of one concatenation: prepending 13 header bytes
+    # must not transiently double the memory of a large payload.  Callers
+    # hold a per-connection lock, so the frame stays contiguous on the wire.
+    sock.sendall(_HEADER.pack(MAGIC, kind, len(data)))
+    sock.sendall(data)
+
+
+def _recv_exact(sock: socket.socket, count: int, on_data=None) -> bytes:
+    """Read exactly ``count`` bytes, raising :class:`ConnectionClosed` on EOF.
+
+    ``on_data`` (if given) is invoked after every received chunk -- the
+    coordinator uses it to refresh a worker's liveness timestamp *while* a
+    large frame is still streaming, so a slow transfer is never mistaken
+    for a dead peer.
+    """
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed with {remaining} of {count} bytes unread"
+            )
+        if on_data is not None:
+            on_data()
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket, on_data=None) -> Tuple[int, object]:
+    """Receive one framed message, validating the header before unpickling.
+
+    Parameters
+    ----------
+    sock : socket.socket
+        A connected stream socket.
+    on_data : callable, optional
+        Progress callback invoked per received chunk (see
+        :func:`_recv_exact`).
+
+    Returns
+    -------
+    (int, object)
+        The message type and the unpickled payload.
+
+    Raises
+    ------
+    ProtocolError
+        Bad magic bytes, unknown message type, oversized length field, or
+        an unpicklable payload -- the frame is rejected without being
+        interpreted.
+    ConnectionClosed
+        EOF from the peer (between frames or mid-frame).
+    """
+    header = _recv_exact(sock, _HEADER.size, on_data)
+    magic, kind, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if kind not in MESSAGE_NAMES:
+        raise ProtocolError(f"unknown message type {kind}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    data = _recv_exact(sock, length, on_data)
+    try:
+        payload = pickle.loads(data)
+    except Exception as error:
+        raise ProtocolError(f"undecodable {MESSAGE_NAMES[kind]} payload: {error}")
+    return kind, payload
+
+
+def hello_payload(role: str) -> dict:
+    """The handshake payload each side announces itself with."""
+    import os
+
+    return {"role": role, "version": PROTOCOL_VERSION, "pid": os.getpid()}
+
+
+def check_hello(payload, expected_role: str) -> dict:
+    """Validate a received HELLO payload, raising :class:`ProtocolError`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"malformed HELLO payload {payload!r}")
+    if payload.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {payload.get('version')!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    if payload.get("role") != expected_role:
+        raise ProtocolError(
+            f"expected a {expected_role!r} peer, got {payload.get('role')!r}"
+        )
+    return payload

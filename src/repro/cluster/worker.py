@@ -1,0 +1,378 @@
+"""``repro-cluster-worker``: serve shard work to a cluster coordinator.
+
+A worker is a TCP server speaking the framed-pickle protocol of
+:mod:`repro.cluster.protocol`.  It serves one coordinator connection at a
+time (the coordinator holds one persistent connection per worker) and
+splits each connection across two threads:
+
+* the *reader* loop receives frames and stays responsive no matter how
+  long a task runs -- it caches ``SPEC`` payloads, enqueues ``TASK``
+  frames, and echoes ``HEARTBEAT`` frames immediately (which is what lets
+  the coordinator distinguish "busy on a long task" from "dead");
+* the *runner* thread executes queued tasks one at a time, in arrival
+  order, and sends back ``RESULT`` (or ``ERROR`` with the formatted
+  traceback) frames.
+
+The task bodies are deliberately *reused* from the process backend
+(:mod:`repro.runtime.shards`): a ``ball_marginals`` task runs
+:func:`~repro.runtime.shards._ball_marginal_chunk` against the cached
+:class:`~repro.runtime.shards.InstanceSpec`, exactly as a process-pool
+worker would, so cluster results are bit-identical to both the process
+backend and the serial loop.  The spec crosses the wire at most once per
+connection and its ball memo stays warm across tasks, mirroring the pool
+initializer of PR 3.
+
+Task kinds
+----------
+
+``ball_marginals``
+    ``{"spec_id", "tasks", "memo_cap"}`` -> the shard payload
+    ``(marginals, balls, extras, memos)`` of the process backend.
+``compile_balls``
+    ``{"spec_id", "tasks"}`` -> ``{(center, radius): CompiledGibbs}``.
+``chain_block``
+    ``{"spec_id", "kind", "count", "seeds", "initial"}`` -> final
+    configurations of a batched Glauber (``kind="glauber"``, ``count`` =
+    steps) or LubyGlauber (``kind="luby"``, ``count`` = rounds) block run
+    on the instance reconstructed from the spec
+    (:meth:`~repro.runtime.shards.InstanceSpec.to_instance`).
+``call``
+    ``(function, args, kwargs)`` -> ``function(*args, **kwargs)`` for any
+    picklable (module-level) callable; backs ``Runtime.submit`` and
+    ``Runtime.map_unordered`` on the cluster backend.
+``ping``
+    Echoes its payload; used for smoke tests and latency probes.
+``cancel``
+    ``[task_id, ...]`` -- handled by the *reader* loop (never queued):
+    marks queued tasks as cancelled so the runner skips them without a
+    reply.  This is how an abandoned coordinator stream stops speculative
+    work (e.g. the radii past the answer in the E5 sweep) instead of
+    letting it grind to completion.
+
+Run a worker from the command line (also installed as the
+``repro-cluster-worker`` console script)::
+
+    python -m repro.cluster --host 127.0.0.1 --port 9000
+
+``--port 0`` binds an ephemeral port; the chosen address is printed as
+the first line of stdout, which is how
+:func:`repro.cluster.local.spawn_workers` discovers its subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import queue
+import socket
+import threading
+import traceback
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.cluster import protocol
+from repro.runtime.shards import (
+    InstanceSpec,
+    _ball_marginal_chunk,
+    _compile_ball_chunk,
+)
+
+#: Retain at most this many specs per connection (FIFO eviction); a
+#: coordinator normally streams one spec at a time, so this only matters
+#: for long-lived connections multiplexing many instances.  (Queued tasks
+#: are immune to eviction: the reader pins each task's spec at enqueue.)
+SPEC_CACHE_LIMIT = 4
+
+#: Reset the cancelled-task-id set past this size.  Ids of tasks that had
+#: already executed when their cancel directive arrived accumulate here;
+#: clearing is harmless (an un-cancelled task just runs and its RESULT is
+#: dropped by the coordinator, which no longer tracks the id).
+CANCEL_BACKLOG_LIMIT = 65536
+
+#: Sentinel pushed on the task queue to stop the runner thread.
+_STOP = object()
+
+
+def _enable_keepalive(
+    connection: socket.socket, idle: int = 60, interval: int = 10, probes: int = 5
+) -> None:
+    """Arm TCP keepalive so a silently vanished coordinator frees the worker.
+
+    Heartbeats flow coordinator -> worker only, so a coordinator host that
+    dies without FIN/RST (power loss, network partition) would otherwise
+    leave the single-connection worker blocked in ``recv`` forever and
+    unable to serve a replacement coordinator.  With these settings the
+    kernel tears the dead connection down after roughly
+    ``idle + interval * probes`` seconds of silence.
+    """
+    try:
+        connection.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPIDLE, idle)
+        connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPINTVL, interval)
+        connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPCNT, probes)
+    except (OSError, AttributeError):  # pragma: no cover - exotic platforms
+        pass
+
+
+def run_task(kind: str, args, specs: Dict[int, InstanceSpec], spec=None):
+    """Execute one task body against the connection's spec cache.
+
+    Split out of the server loop so tests (and the coordinator's
+    in-process fallback) can run task payloads without a socket.  ``spec``
+    is the snapshot the reader loop pinned to the task *at enqueue time*;
+    it takes precedence over a cache lookup, so a task that waited in the
+    queue while later ``SPEC`` frames evicted its entry still runs.
+    """
+    if kind == "ping":
+        return args
+    if kind == "call":
+        function, call_args, call_kwargs = args
+        return function(*call_args, **call_kwargs)
+    if kind not in ("ball_marginals", "compile_balls", "chain_block"):
+        raise protocol.ProtocolError(f"unknown task kind {kind!r}")
+    spec_id = args["spec_id"]
+    if spec is None:
+        spec = specs.get(spec_id)
+    if spec is None:
+        raise protocol.ProtocolError(
+            f"task references unknown spec {spec_id!r}; "
+            "the coordinator must send SPEC before TASK"
+        )
+    if kind == "ball_marginals":
+        return _ball_marginal_chunk(args["tasks"], args["memo_cap"], spec=spec)
+    if kind == "compile_balls":
+        return _compile_ball_chunk(args["tasks"], spec=spec)
+    if kind == "chain_block":
+        from repro.runtime.chains import (
+            batched_glauber_sample,
+            batched_luby_glauber_sample,
+        )
+
+        instance = spec.to_instance()
+        if args["kind"] == "glauber":
+            return batched_glauber_sample(
+                instance, args["count"], seeds=args["seeds"], initial=args["initial"]
+            )
+        if args["kind"] == "luby":
+            return batched_luby_glauber_sample(
+                instance, args["count"], seeds=args["seeds"], initial=args["initial"]
+            )
+        raise protocol.ProtocolError(f"unknown chain kind {args['kind']!r}")
+    return None  # pragma: no cover - unreachable (kinds validated above)
+
+
+class ClusterWorker:
+    """A single-connection worker server bound to ``(host, port)``.
+
+    Parameters
+    ----------
+    host : str
+        Interface to bind; default loopback (bind non-loopback interfaces
+        only on trusted networks -- the transport pickles).
+    port : int
+        TCP port; ``0`` picks an ephemeral port (read :attr:`address`).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(4)
+        #: The bound ``(host, port)`` pair (the real port when 0 was asked).
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Accept coordinator connections until :meth:`close` is called.
+
+        Connections are served one at a time; a coordinator that
+        disconnects (cleanly or not) returns the worker to ``accept``,
+        with all connection state (spec cache included) discarded.
+        """
+        while not self._closed:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                self._serve_connection(connection)
+            except Exception:  # a bad connection must never kill the server
+                pass
+            finally:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        """Stop accepting connections (idempotent)."""
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ClusterWorker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, connection: socket.socket) -> None:
+        """Handshake, then pump frames until the coordinator hangs up."""
+        _enable_keepalive(connection)
+        send_lock = threading.Lock()
+
+        def send(kind: int, payload) -> None:
+            with send_lock:
+                protocol.send_message(connection, kind, payload)
+
+        try:
+            kind, payload = protocol.recv_message(connection)
+            if kind != protocol.HELLO:
+                raise protocol.ProtocolError(
+                    f"expected HELLO, got {protocol.MESSAGE_NAMES[kind]}"
+                )
+            protocol.check_hello(payload, expected_role="coordinator")
+            send(protocol.HELLO, protocol.hello_payload("worker"))
+        except (protocol.ConnectionClosed, OSError):
+            # EOF or a reset (e.g. the coordinator closed with unread data
+            # in flight): the peer is gone, go back to accept.
+            return
+        except protocol.ProtocolError as error:
+            self._reject(connection, send_lock, error)
+            return
+
+        specs: "OrderedDict[int, InstanceSpec]" = OrderedDict()
+        #: Task ids cancelled by the coordinator; shared with the runner,
+        #: which skips a queued task whose id landed here first.
+        cancelled: set = set()
+        tasks: "queue.Queue" = queue.Queue()
+        runner = threading.Thread(
+            target=self._run_tasks, args=(tasks, specs, cancelled, send), daemon=True
+        )
+        runner.start()
+        try:
+            while True:
+                try:
+                    kind, payload = protocol.recv_message(connection)
+                except (protocol.ConnectionClosed, OSError):
+                    return  # coordinator hung up (cleanly or by reset)
+                except protocol.ProtocolError as error:
+                    self._reject(connection, send_lock, error)
+                    return
+                if kind == protocol.SPEC:
+                    spec_id, spec = payload
+                    specs[spec_id] = spec
+                    while len(specs) > SPEC_CACHE_LIMIT:
+                        specs.popitem(last=False)
+                elif kind == protocol.TASK:
+                    task_id, task_kind, args = payload
+                    if task_kind == "cancel":
+                        # Handled by the reader, never queued: the whole
+                        # point is to leapfrog tasks already in the queue.
+                        if len(cancelled) > CANCEL_BACKLOG_LIMIT:
+                            cancelled.clear()
+                        cancelled.update(args)
+                        continue
+                    # Pin the spec now: a later SPEC frame may evict it from
+                    # the cache before the runner reaches this task.
+                    spec = (
+                        specs.get(args.get("spec_id"))
+                        if isinstance(args, dict)
+                        else None
+                    )
+                    tasks.put((task_id, task_kind, args, spec))
+                elif kind == protocol.HEARTBEAT:
+                    try:
+                        send(protocol.HEARTBEAT, payload)
+                    except OSError:
+                        return
+                else:
+                    self._reject(
+                        connection,
+                        send_lock,
+                        protocol.ProtocolError(
+                            f"unexpected {protocol.MESSAGE_NAMES[kind]} frame"
+                        ),
+                    )
+                    return
+        finally:
+            tasks.put(_STOP)
+
+    @staticmethod
+    def _reject(connection, send_lock, error) -> None:
+        """Best-effort ERROR reply for a connection-level failure, then close."""
+        try:
+            with send_lock:
+                protocol.send_message(connection, protocol.ERROR, (None, str(error)))
+        except OSError:
+            pass
+        try:
+            connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _run_tasks(tasks, specs, cancelled, send) -> None:
+        """Runner thread: execute queued tasks in order, one at a time.
+
+        Tasks whose id was cancelled by the coordinator are skipped without
+        a reply -- the coordinator dropped their bookkeeping when it sent
+        the cancel, so nothing is waiting for a RESULT.
+        """
+        while True:
+            item = tasks.get()
+            if item is _STOP:
+                return
+            task_id, kind, args, spec = item
+            if task_id in cancelled:
+                cancelled.discard(task_id)
+                continue
+            try:
+                result = run_task(kind, args, specs, spec=spec)
+            except Exception as error:
+                message = f"{error}\n{traceback.format_exc()}"
+                try:
+                    send(protocol.ERROR, (task_id, message))
+                except OSError:
+                    return
+                continue
+            try:
+                send(protocol.RESULT, (task_id, result))
+            except OSError:
+                return
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Command-line entry point (the ``repro-cluster-worker`` script)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-worker",
+        description=(
+            "Serve repro cluster shard work (ball compilation, padded-ball "
+            "marginals, batched chain blocks) to a coordinator over the "
+            "framed-pickle TCP protocol."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks an ephemeral port)"
+    )
+    options = parser.parse_args(argv)
+    worker = ClusterWorker(host=options.host, port=options.port)
+    host, port = worker.address
+    # The first stdout line is the discovery contract of
+    # repro.cluster.local.spawn_workers -- keep its shape stable.
+    print(f"repro-cluster-worker listening on {host}:{port}", flush=True)
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

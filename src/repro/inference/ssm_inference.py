@@ -49,14 +49,14 @@ def _stream_runtime_marginals(
 ) -> Iterator[Tuple[Node, Dict[Value, float]]]:
     """Shared streaming ``marginals`` body of the two ball-local engines.
 
-    The per-node ball computations are independent, so with a process
-    runtime they shard across workers and stream back in completion order
-    (ball compilations, boundary extensions and capped marginal-memo deltas
-    are merged into the distribution's cache as each shard lands);
-    otherwise the serial per-node loop yields lazily in node order.  The
-    shard transport is compiled-only, so an explicit ``engine="dict"``
-    request keeps the serial loop (the reference backend must stay the
-    reference).
+    The per-node ball computations are independent, so with a process or
+    cluster runtime they shard across workers -- OS processes or TCP
+    workers respectively -- and stream back in completion order (ball
+    compilations, boundary extensions and capped marginal-memo deltas are
+    merged into the distribution's cache as each shard lands); otherwise
+    the serial per-node loop yields lazily in node order.  The shard
+    transport is compiled-only, so an explicit ``engine="dict"`` request
+    keeps the serial loop (the reference backend must stay the reference).
     """
     from repro.engine import resolve_engine
     from repro.runtime import resolve_runtime
@@ -64,15 +64,11 @@ def _stream_runtime_marginals(
     resolved = resolve_runtime(runtime)
     targets = instance.free_nodes if nodes is None else list(nodes)
     if (
-        resolved.is_process
+        (resolved.is_process or resolved.is_cluster)
         and len(targets) > 1
         and resolve_engine(engine_obj.engine) == "compiled"
     ):
-        from repro.runtime.shards import stream_padded_ball_marginals
-
-        yield from stream_padded_ball_marginals(
-            instance, targets, radius, n_workers=resolved.n_workers
-        )
+        yield from resolved.stream_ball_marginals(instance, targets, radius)
         return
     for node in targets:
         yield node, engine_obj.marginal(instance, node, error)

@@ -17,12 +17,14 @@ This package owns *how* work executes, separate from *what* is computed
     into the parent :class:`~repro.engine.cache.BallCache` the moment the
     shard completes.
 ``executor``
-    The :class:`Runtime` facade (``serial`` / ``batched`` / ``process``
-    backends) threaded through the samplers, the SSM inference engines, the
-    LOCAL driver and the experiment entry points as a ``runtime=``
-    parameter defaulting to today's serial behaviour, plus the streaming
-    primitives :meth:`Runtime.submit`, :meth:`Runtime.map_unordered` and
-    :meth:`Runtime.stream_ball_marginals`.
+    The :class:`Runtime` facade (``serial`` / ``batched`` / ``process`` /
+    ``cluster`` backends) threaded through the samplers, the SSM inference
+    engines, the LOCAL driver and the experiment entry points as a
+    ``runtime=`` parameter defaulting to today's serial behaviour, plus the
+    streaming primitives :meth:`Runtime.submit`,
+    :meth:`Runtime.map_unordered`, :meth:`Runtime.stream_ball_marginals`
+    and :meth:`Runtime.stream_ball_marginal_tasks`.  The cluster backend's
+    coordinator/worker machinery itself lives in :mod:`repro.cluster`.
 """
 
 from repro.runtime.chains import (
@@ -33,6 +35,7 @@ from repro.runtime.chains import (
 )
 from repro.runtime.executor import (
     BATCHED_BACKEND,
+    CLUSTER_BACKEND,
     PROCESS_BACKEND,
     SERIAL_BACKEND,
     SERIAL_RUNTIME,
@@ -61,6 +64,7 @@ __all__ = [
     "SERIAL_BACKEND",
     "BATCHED_BACKEND",
     "PROCESS_BACKEND",
+    "CLUSTER_BACKEND",
     "SERIAL_RUNTIME",
     "InstanceSpec",
     "MEMO_DELTA_CAP",

@@ -1,6 +1,6 @@
 """The ``Runtime`` facade: *how* work executes, separate from *what* it is.
 
-Three backends:
+Four backends:
 
 ``serial``
     Today's behaviour -- every loop runs in-process, one item at a time.
@@ -18,6 +18,15 @@ Three backends:
     :meth:`Runtime.map_unordered` and :meth:`Runtime.submit` hand results
     back as futures complete, so parent-side work overlaps with in-flight
     shards instead of idling at a ``pool.map`` barrier.
+``cluster``
+    The same shard workloads (plus batched chain blocks) run on *worker
+    processes reached over TCP* (:mod:`repro.cluster`): the picklable
+    ``InstanceSpec`` ships once per worker connection, the coordinator
+    dispatches least-loaded with heartbeat liveness, and tasks from dead
+    workers are requeued transparently.  ``Runtime(backend="cluster",
+    addresses=[...])`` targets existing workers (any hosts); plain
+    ``runtime="cluster"`` spawns localhost workers on first use.  Results
+    are bit-identical to every other backend.
 
 The facade is threaded through ``sampling/glauber.py``,
 ``inference/ssm_inference.py``, the LOCAL driver in ``localmodel/local.py``
@@ -55,6 +64,7 @@ from repro.runtime.chains import (
 from repro.runtime.shards import (
     process_map,
     process_map_unordered,
+    stream_ball_marginal_tasks,
     stream_compiled_balls,
     stream_padded_ball_marginals,
 )
@@ -62,14 +72,35 @@ from repro.runtime.shards import (
 Node = Hashable
 Value = Hashable
 
+
+def _picklable(function: Callable) -> bool:
+    """Whether a callable can cross the cluster's socket transport.
+
+    Functions defined in ``__main__`` are excluded even though they pickle
+    locally (by reference): a worker process cannot import the caller's
+    script module, so dispatching them would fail remotely -- they take the
+    in-process fallback instead.
+    """
+    import pickle
+
+    if getattr(function, "__module__", None) in (None, "__main__"):
+        return False
+    try:
+        pickle.dumps(function)
+    except Exception:
+        return False
+    return True
+
 #: In-process, one item at a time (the default everywhere).
 SERIAL_BACKEND = "serial"
 #: Many chains as one code matrix (see :mod:`repro.runtime.chains`).
 BATCHED_BACKEND = "batched"
 #: Per-node work sharded across OS processes (see :mod:`repro.runtime.shards`).
 PROCESS_BACKEND = "process"
+#: Work dispatched to coordinator-managed TCP workers (see :mod:`repro.cluster`).
+CLUSTER_BACKEND = "cluster"
 
-_BACKENDS = (SERIAL_BACKEND, BATCHED_BACKEND, PROCESS_BACKEND)
+_BACKENDS = (SERIAL_BACKEND, BATCHED_BACKEND, PROCESS_BACKEND, CLUSTER_BACKEND)
 
 
 class Runtime:
@@ -83,23 +114,34 @@ class Runtime:
     n_chains : int
         Chain batch width used by the sampling entry points.
     n_workers : int, optional
-        Worker-pool width for the process backend (default: the CPU count);
-        other backends default to 1.
+        Worker-pool width for the process backend (default: the CPU count).
+        For the cluster backend: the number of localhost workers to spawn
+        when no ``addresses`` are given (default 2), or the address count.
+        Other backends default to 1.
+    addresses : sequence, optional
+        Cluster backend only: worker addresses as ``(host, port)`` pairs or
+        ``"host:port"`` strings.  ``None`` makes the runtime spawn (and own)
+        ``n_workers`` localhost workers on first use.
 
     Notes
     -----
     A ``Runtime`` is cheap to construct and holds no OS resources until the
     first :meth:`submit` on a process backend lazily creates its futures
-    pool; :meth:`shutdown` (or use as a context manager) releases it.
+    pool, or the first cluster operation lazily connects the coordinator
+    (spawning localhost workers when no addresses were given);
+    :meth:`shutdown` (or use as a context manager) releases everything and
+    is safe to call repeatedly -- including while streaming iterators are
+    still abandoned mid-iteration, whose pending work it cancels.
     """
 
-    __slots__ = ("backend", "n_chains", "n_workers", "_pool")
+    __slots__ = ("backend", "n_chains", "n_workers", "addresses", "_pool", "_cluster", "_local_pool")
 
     def __init__(
         self,
         backend: str = SERIAL_BACKEND,
         n_chains: int = 1,
         n_workers: Optional[int] = None,
+        addresses: Optional[Sequence] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(
@@ -107,14 +149,24 @@ class Runtime:
             )
         if n_chains < 1:
             raise ValueError("n_chains must be at least 1")
+        if addresses is not None and backend != CLUSTER_BACKEND:
+            raise ValueError("addresses only apply to the cluster backend")
         self.backend = backend
         self.n_chains = int(n_chains)
+        self.addresses = list(addresses) if addresses is not None else None
         if n_workers is None:
-            n_workers = (os.cpu_count() or 1) if backend == PROCESS_BACKEND else 1
+            if backend == PROCESS_BACKEND:
+                n_workers = os.cpu_count() or 1
+            elif backend == CLUSTER_BACKEND:
+                n_workers = len(self.addresses) if self.addresses else 2
+            else:
+                n_workers = 1
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         self.n_workers = int(n_workers)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._cluster = None
+        self._local_pool = None
 
     # ------------------------------------------------------------------
     @property
@@ -132,14 +184,55 @@ class Runtime:
         """Whether independent work fans out across OS processes."""
         return self.backend == PROCESS_BACKEND
 
+    @property
+    def is_cluster(self) -> bool:
+        """Whether work is dispatched to TCP workers via a coordinator."""
+        return self.backend == CLUSTER_BACKEND
+
+    # ------------------------------------------------------------------
+    def cluster_client(self):
+        """The coordinator behind the cluster backend (lazy, runtime-owned).
+
+        Connects to :attr:`addresses` on first use; when none were given,
+        ``n_workers`` localhost workers are spawned first (and terminated
+        again by :meth:`shutdown`).
+
+        Returns
+        -------
+        repro.cluster.coordinator.ClusterCoordinator
+            The live coordinator.
+
+        Raises
+        ------
+        ValueError
+            When called on a non-cluster backend.
+        """
+        if not self.is_cluster:
+            raise ValueError("cluster_client() requires the cluster backend")
+        if self._cluster is None:
+            from repro.cluster.coordinator import ClusterCoordinator
+
+            addresses = self.addresses
+            if addresses is None:
+                from repro.cluster.local import spawn_workers
+
+                self._local_pool = spawn_workers(self.n_workers)
+                addresses = self._local_pool.addresses
+            self._cluster = ClusterCoordinator(addresses)
+        return self._cluster
+
     # ------------------------------------------------------------------
     def map(self, function: Callable, items: Iterable) -> List:
         """Map a function over independent items under this runtime.
 
         The process backend fans out over forked workers (the function and
         its closure are inherited, so unpicklable model objects are fine;
-        items and results must pickle); the other backends run the plain
-        serial loop.
+        items and results must pickle); the cluster backend dispatches over
+        its TCP workers when the function itself pickles (i.e. is
+        module-level) and otherwise degrades to the in-process loop --
+        closures cannot cross the socket transport, so e.g. the experiment
+        drivers' local row functions still run correctly, just without the
+        fan-out.  The other backends run the plain serial loop.
 
         Parameters
         ----------
@@ -155,6 +248,12 @@ class Runtime:
         """
         if self.is_process:
             return process_map(function, items, n_workers=self.n_workers)
+        if self.is_cluster and _picklable(function):
+            items = list(items)
+            results: List = [None] * len(items)
+            for index, result in self.cluster_client().map_unordered(function, items):
+                results[index] = result
+            return results
         return [function(item) for item in items]
 
     def map_unordered(
@@ -186,6 +285,11 @@ class Runtime:
         if self.is_process:
             yield from process_map_unordered(function, items, n_workers=self.n_workers)
             return
+        if self.is_cluster and _picklable(function):
+            yield from self.cluster_client().map_unordered(function, items)
+            return
+        # Serial/batched conformance -- and the cluster fallback for
+        # closures, which cannot cross the socket transport.
         for index, item in enumerate(items):
             yield index, function(item)
 
@@ -215,6 +319,8 @@ class Runtime:
         """
         if self.is_process:
             return self._futures_pool().submit(function, *args, **kwargs)
+        if self.is_cluster:
+            return self.cluster_client().submit(function, *args, **kwargs)
         future: Future = Future()
         try:
             future.set_result(function(*args, **kwargs))
@@ -237,10 +343,25 @@ class Runtime:
         return self._pool
 
     def shutdown(self) -> None:
-        """Release the futures pool created by :meth:`submit`, if any."""
+        """Release every OS resource this runtime owns (idempotent).
+
+        Shuts the lazily created futures pool down (cancelling queued
+        work), closes the cluster coordinator's worker connections
+        (cancelling in-flight tasks -- streams abandoned mid-iteration
+        included), and terminates localhost workers the runtime spawned
+        itself.  Calling it again -- or never having created any resource
+        -- is a no-op, and a later operation transparently re-creates what
+        it needs.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._cluster is not None:
+            self._cluster.shutdown()
+            self._cluster = None
+        if self._local_pool is not None:
+            self._local_pool.terminate()
+            self._local_pool = None
 
     def __enter__(self) -> "Runtime":
         return self
@@ -289,11 +410,20 @@ class Runtime:
             return batched_glauber_sample(
                 instance, steps, seeds=seeds, initial=initial, engine=engine
             )
+        if self.is_cluster and self._spec_transportable(engine):
+            # Workers run batched chain blocks on the instance rebuilt from
+            # the shipped spec -- bit-identical per chain to the serial
+            # sampler (the batched runner's contract).
+            return self.cluster_client().chain_samples(
+                instance, "glauber", steps, seeds, initial=initial
+            )
         from repro.sampling.glauber import glauber_sample
 
         # Chains are independent, so the process backend fans the per-seed
         # serial chains out over workers via self.map (serial backend: plain
-        # loop); the per-chain results are identical either way.
+        # loop; the cluster backend falls back in-process here, since this
+        # closure cannot cross the socket transport); the per-chain results
+        # are identical either way.
         return self.map(
             lambda chain_seed: glauber_sample(
                 instance, steps, seed=chain_seed, initial=initial, engine=engine
@@ -329,6 +459,10 @@ class Runtime:
             return batched_luby_glauber_sample(
                 instance, rounds, seeds=seeds, initial=initial, engine=engine
             )
+        if self.is_cluster and self._spec_transportable(engine):
+            return self.cluster_client().chain_samples(
+                instance, "luby", rounds, seeds, initial=initial
+            )
         from repro.sampling.glauber import luby_glauber_sample
 
         return self.map(
@@ -337,6 +471,13 @@ class Runtime:
             ),
             seeds,
         )
+
+    @staticmethod
+    def _spec_transportable(engine: Optional[str]) -> bool:
+        """Whether a workload may travel as an ``InstanceSpec`` (compiled-only)."""
+        from repro.engine import resolve_engine
+
+        return resolve_engine(engine) == "compiled"
 
     # ------------------------------------------------------------------
     def stream_ball_marginals(
@@ -353,8 +494,10 @@ class Runtime:
         shard lands -- worker compilations, boundary extensions and capped
         marginal-memo deltas are merged into the parent's ball cache
         incrementally, so the consumer overlaps its own work with the
-        in-flight shards.  Other backends yield the serial per-node loop
-        lazily, in node order.  The shard transport is compiled-only, so an
+        in-flight shards.  The cluster backend does the same over its TCP
+        workers (spec shipped once per connection, dead workers' shards
+        requeued).  Other backends yield the serial per-node loop lazily,
+        in node order.  The shard transport is compiled-only, so an
         explicit ``engine="dict"`` request keeps the serial loop and its
         reference backend.
 
@@ -376,22 +519,69 @@ class Runtime:
             process backend and node order otherwise; values are
             bit-identical across backends.
         """
-        from repro.engine import resolve_engine
-
         nodes = list(nodes)
-        if (
-            self.is_process
-            and len(nodes) > 1
-            and resolve_engine(engine) == "compiled"
-        ):
-            yield from stream_padded_ball_marginals(
-                instance, nodes, radius, n_workers=self.n_workers
-            )
-            return
+        if len(nodes) > 1 and self._spec_transportable(engine):
+            if self.is_process:
+                yield from stream_padded_ball_marginals(
+                    instance, nodes, radius, n_workers=self.n_workers
+                )
+                return
+            if self.is_cluster:
+                yield from self.cluster_client().stream_padded_ball_marginals(
+                    instance, nodes, radius
+                )
+                return
         from repro.inference.ssm_inference import padded_ball_marginal
 
         for node in nodes:
             yield node, padded_ball_marginal(instance, node, radius, engine=engine)
+
+    def stream_ball_marginal_tasks(
+        self,
+        instance: SamplingInstance,
+        tasks: Sequence[Tuple[Node, int]],
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[Tuple[Tuple[Node, int], Dict[Value, float]]]:
+        """Stream Theorem 5.1 marginals for heterogeneous ``(center, radius)`` tasks.
+
+        The multi-radius sibling of :meth:`stream_ball_marginals`, used by
+        the overlapped E5 radius sweep
+        (:func:`repro.spatialmixing.phase_transition.locality_required`):
+        the process backend shards the tasks over its pool, the cluster
+        backend over its TCP workers, and both merge every arriving
+        shard's artefacts into the parent ball cache before yielding in
+        completion order.  Serial and batched backends yield the lazy
+        in-order loop.  Values are bit-identical across backends.
+
+        Parameters
+        ----------
+        instance : SamplingInstance
+            The conditioned instance to query.
+        tasks : sequence of (node, int)
+            ``(center, radius)`` pairs; radii may differ between tasks.
+        chunk_size : int, optional
+            Tasks per dispatched chunk (distributed backends only).
+
+        Yields
+        ------
+        ((node, int), dict)
+            ``((center, radius), marginal)`` pairs.
+        """
+        tasks = list(tasks)
+        if tasks and self.is_process:
+            yield from stream_ball_marginal_tasks(
+                instance, tasks, n_workers=self.n_workers, chunk_size=chunk_size
+            )
+            return
+        if tasks and self.is_cluster:
+            yield from self.cluster_client().stream_ball_marginal_tasks(
+                instance, tasks, chunk_size=chunk_size
+            )
+            return
+        from repro.inference.ssm_inference import padded_ball_marginal
+
+        for center, radius in tasks:
+            yield (center, radius), padded_ball_marginal(instance, center, radius)
 
     def ball_marginals(
         self,
@@ -413,8 +603,9 @@ class Runtime:
     ) -> int:
         """Precompile ``(center, radius)`` balls into the distribution cache.
 
-        With the process backend the compilation streams in from worker
-        shards (duplicates are dropped); other backends compile in-process.
+        With the process or cluster backend the compilation streams in from
+        worker shards (duplicates are dropped); other backends compile
+        in-process.
 
         Returns
         -------
@@ -428,6 +619,10 @@ class Runtime:
                     instance, tasks, n_workers=self.n_workers
                 )
             )
+        if self.is_cluster and len(tasks) > 1:
+            return sum(
+                1 for _ in self.cluster_client().stream_compiled_balls(instance, tasks)
+            )
         unique = list(dict.fromkeys(tasks))
         cache = instance.distribution.ball_cache()
         for center, radius in unique:
@@ -435,14 +630,21 @@ class Runtime:
         return len(unique)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f", addresses={self.addresses!r}" if self.addresses else ""
         return (
             f"Runtime(backend={self.backend!r}, n_chains={self.n_chains}, "
-            f"n_workers={self.n_workers})"
+            f"n_workers={self.n_workers}{suffix})"
         )
 
 
 #: The default runtime: today's serial behaviour.
 SERIAL_RUNTIME = Runtime()
+
+#: The shared runtime behind plain ``runtime="cluster"`` requests (lazily
+#: created).  Sharing it means string-form callers reuse one coordinator
+#: and one set of spawned localhost workers instead of leaking a fresh
+#: pool per call; ``shutdown()`` on it is safe -- the next use respawns.
+_SHARED_CLUSTER_RUNTIME: Optional[Runtime] = None
 
 
 def resolve_runtime(runtime: Union[None, str, Runtime] = None) -> Runtime:
@@ -453,7 +655,10 @@ def resolve_runtime(runtime: Union[None, str, Runtime] = None) -> Runtime:
     runtime : None, str or Runtime
         ``None`` means "serial" (the default everywhere), a string selects
         a backend with default parameters, and a :class:`Runtime` passes
-        through unchanged.
+        through unchanged.  The string ``"cluster"`` resolves to one shared
+        process-wide runtime (which spawns its localhost workers on first
+        use); pass an explicit ``Runtime(backend="cluster", addresses=...)``
+        to target real worker hosts or to control the lifecycle yourself.
 
     Returns
     -------
@@ -470,6 +675,11 @@ def resolve_runtime(runtime: Union[None, str, Runtime] = None) -> Runtime:
     if isinstance(runtime, Runtime):
         return runtime
     if isinstance(runtime, str):
+        if runtime == CLUSTER_BACKEND:
+            global _SHARED_CLUSTER_RUNTIME
+            if _SHARED_CLUSTER_RUNTIME is None:
+                _SHARED_CLUSTER_RUNTIME = Runtime(backend=CLUSTER_BACKEND)
+            return _SHARED_CLUSTER_RUNTIME
         return Runtime(backend=runtime)
     raise ValueError(
         f"expected None, a backend name or a Runtime, got {runtime!r}"

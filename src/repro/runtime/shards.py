@@ -82,6 +82,7 @@ class InstanceSpec:
         "_node_index",
         "_ball_memo",
         "_extras",
+        "_instance",
     )
 
     def __init__(
@@ -104,6 +105,28 @@ class InstanceSpec:
         self._node_index: Optional[Dict[Node, int]] = None
         self._ball_memo: Dict[BallKey, CompiledGibbs] = {}
         self._extras: Dict = {}
+        self._instance: Optional[SamplingInstance] = None
+
+    # The reconstructed instance closes over Python callables (table-backed
+    # factors), so it must never travel; derived indexes are rebuilt lazily.
+    _UNPICKLED_SLOTS = ("_node_index", "_instance")
+
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in self._UNPICKLED_SLOTS
+        }
+
+    def __setstate__(self, state) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, state.get(slot))
+        self._node_index = None
+        self._instance = None
+        if self._ball_memo is None:
+            self._ball_memo = {}
+        if self._extras is None:
+            self._extras = {}
 
     @classmethod
     def from_instance(cls, instance: SamplingInstance) -> "InstanceSpec":
@@ -195,6 +218,53 @@ class InstanceSpec:
             compiled = CompiledGibbs(labels, self.alphabet, scopes, arrays)
             self._ball_memo[key] = compiled
         return compiled
+
+    def to_instance(self) -> SamplingInstance:
+        """Reconstruct a fully functional :class:`SamplingInstance` (memoised).
+
+        The inverse of :meth:`from_instance`, up to model metadata: the
+        graph is rebuilt from the integer adjacency, each factor becomes a
+        table-backed lookup into its dense weight array, and the compiled
+        engine is installed *directly from the spec's arrays* -- so every
+        compiled-engine computation on the reconstruction (batched chain
+        matrices included) is bit-identical to the original instance.
+        This is what lets a cluster worker run chain blocks from nothing
+        but the shipped spec.
+        """
+        if self._instance is not None:
+            return self._instance
+        import networkx as nx
+
+        from repro.gibbs.distribution import GibbsDistribution
+        from repro.gibbs.factors import Factor
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes)
+        for variable, neighbours in enumerate(self.adjacency):
+            for neighbour in neighbours:
+                if neighbour > variable:
+                    graph.add_edge(self.nodes[variable], self.nodes[neighbour])
+        symbol_index = {value: code for code, value in enumerate(self.alphabet)}
+        factors = []
+        for scope, array in zip(self.scopes, self.arrays):
+            scope_nodes = tuple(self.nodes[variable] for variable in scope)
+
+            def lookup(*values, _array=array):
+                return float(_array[tuple(symbol_index[value] for value in values)])
+
+            factors.append(Factor(scope_nodes, lookup, name="spec-factor"))
+        distribution = GibbsDistribution(
+            graph, self.alphabet, factors, name="spec-reconstruction"
+        )
+        # Install the compiled engine straight from the shipped arrays: the
+        # node order of `from_instance` is the distribution's deterministic
+        # order, so this is exactly what `compiled_engine()` would rebuild,
+        # without re-evaluating a single factor.
+        distribution._compiled = CompiledGibbs(
+            self.nodes, self.alphabet, self.scopes, self.arrays
+        )
+        self._instance = SamplingInstance(distribution, self.pinning)
+        return self._instance
 
     # ------------------------------------------------------------------
     def padded_ball_marginal(self, center: Node, radius: int) -> Dict[Value, float]:

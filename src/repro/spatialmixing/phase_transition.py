@@ -51,14 +51,15 @@ def locality_required(
     instance, node, error, max_radius, engine
         As described above; ``engine`` selects the evaluation backend.
     runtime : None, str or Runtime, optional
-        Execution backend (see :mod:`repro.runtime`).  A process runtime
-        runs the sweep *overlapped*: the per-radius ball computations are
-        submitted to worker processes up front and consumed as futures
-        complete, so the radius-``r`` accuracy measurement happens while the
-        radius-``r + 1`` balls are still compiling.  On the first radius
-        within tolerance the still-pending futures are cancelled.  The
-        returned radius is identical to the serial sweep (worker marginals
-        are bit-identical to :func:`padded_ball_marginal`).
+        Execution backend (see :mod:`repro.runtime`).  A process or cluster
+        runtime runs the sweep *overlapped*: the per-radius ball
+        computations are submitted to the workers (OS processes or TCP
+        cluster workers) up front and consumed as they complete, so the
+        radius-``r`` accuracy measurement happens while the radius-``r + 1``
+        balls are still compiling.  On the first radius within tolerance
+        the still-pending tasks are cancelled.  The returned radius is
+        identical to the serial sweep (worker marginals are bit-identical
+        to :func:`padded_ball_marginal`).
     """
     if error <= 0:
         raise ValueError("error must be positive")
@@ -68,7 +69,11 @@ def locality_required(
     from repro.runtime import resolve_runtime
 
     resolved = resolve_runtime(runtime)
-    if resolved.is_process and limit > 0 and resolve_engine(engine) == "compiled":
+    if (
+        (resolved.is_process or resolved.is_cluster)
+        and limit > 0
+        and resolve_engine(engine) == "compiled"
+    ):
         return _locality_required_overlapped(
             instance, node, error, truth, limit, resolved
         )
@@ -98,9 +103,10 @@ def _locality_required_overlapped(
     near-whole-graph elimination per radius up to ``instance.size``, and
     eliminations a few radii past the answer can dwarf the answer's own
     cost.  Closing the stream on success cancels the wave's pending tasks.
-    """
-    from repro.runtime.shards import stream_ball_marginal_tasks
 
+    The tasks go through :meth:`Runtime.stream_ball_marginal_tasks`, so the
+    same sweep runs on the process pool or on TCP cluster workers.
+    """
     wave = 2 * max(1, runtime.n_workers)
     estimates: Dict[int, Dict[Value, float]] = {}
     radius = 0
@@ -109,9 +115,7 @@ def _locality_required_overlapped(
             (node, wave_radius)
             for wave_radius in range(start, min(start + wave, limit + 1))
         ]
-        stream = stream_ball_marginal_tasks(
-            instance, tasks, n_workers=runtime.n_workers, chunk_size=1
-        )
+        stream = runtime.stream_ball_marginal_tasks(instance, tasks, chunk_size=1)
         try:
             for (_, completed_radius), marginal in stream:
                 estimates[completed_radius] = marginal

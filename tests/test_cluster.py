@@ -1,0 +1,673 @@
+"""Cluster subsystem tests: protocol, scheduling, failure, conformance.
+
+The contract of :mod:`repro.cluster` extends the runtime contract over a
+socket transport:
+
+* the framed-pickle protocol rejects malformed frames before interpreting
+  them (magic, type, length, payload all validated);
+* the coordinator adopts ``RESULT`` frames by task id in *any* arrival
+  order, requeues the in-flight tasks of a dead worker, and cancels
+  pending work when a stream is abandoned or the runtime shuts down;
+* ``Runtime(backend="cluster")`` passes the same facade-conformance
+  checks as the serial/batched/process backends, with every result --
+  ball marginals, chain samples, the E5 radius sweep -- bit-identical to
+  the serial loop.
+
+In-process :class:`~repro.cluster.worker.ClusterWorker` threads back the
+fast tests (no interpreter startup); the ``slow``-marked tests exercise
+real subprocess workers via :func:`~repro.cluster.local.spawn_workers`,
+including hard kills.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.coordinator import ClusterCoordinator, ClusterError, parse_address
+from repro.cluster.local import spawn_workers
+from repro.cluster.worker import ClusterWorker, run_task
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, random_tree
+from repro.inference.ssm_inference import TruncatedBallInference, padded_ball_marginal
+from repro.models import coloring_model, hardcore_model
+from repro.runtime import Runtime, resolve_runtime
+from repro.runtime.shards import InstanceSpec
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+@pytest.fixture
+def inprocess_workers():
+    """Two real worker servers on loopback, served from daemon threads."""
+    workers = [ClusterWorker() for _ in range(2)]
+    threads = [
+        threading.Thread(target=worker.serve_forever, daemon=True)
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield workers
+    finally:
+        for worker in workers:
+            worker.close()
+
+
+def _addresses(workers):
+    return [worker.address for worker in workers]
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_roundtrip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            payload = {"tasks": [(0, 2)], "arrays": (1.5, 2.5)}
+            protocol.send_message(left, protocol.TASK, payload)
+            kind, received = protocol.recv_message(right)
+            assert kind == protocol.TASK and received == payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_bad_magic_is_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            data = pickle.dumps(None)
+            left.sendall(struct.pack(">4sBQ", b"XXXX", protocol.TASK, len(data)) + data)
+            with pytest.raises(protocol.ProtocolError, match="magic"):
+                protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_unknown_type_and_oversized_length_are_rejected(self):
+        for kind, length in ((99, 4), (protocol.TASK, protocol.MAX_FRAME_BYTES + 1)):
+            left, right = socket.socketpair()
+            try:
+                left.sendall(struct.pack(">4sBQ", protocol.MAGIC, kind, length) + b"xxxx")
+                with pytest.raises(protocol.ProtocolError):
+                    protocol.recv_message(right)
+            finally:
+                left.close()
+                right.close()
+
+    def test_eof_raises_connection_closed(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(protocol.ConnectionClosed):
+                protocol.recv_message(right)
+        finally:
+            right.close()
+
+    def test_undecodable_payload_is_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            garbage = b"\x80\x05not-a-pickle"
+            left.sendall(
+                struct.pack(">4sBQ", protocol.MAGIC, protocol.RESULT, len(garbage))
+                + garbage
+            )
+            with pytest.raises(protocol.ProtocolError, match="undecodable"):
+                protocol.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_hello_validation(self):
+        payload = protocol.hello_payload("worker")
+        assert protocol.check_hello(payload, "worker") is payload
+        with pytest.raises(protocol.ProtocolError, match="expected a 'coordinator'"):
+            protocol.check_hello(payload, "coordinator")
+        with pytest.raises(protocol.ProtocolError, match="version"):
+            protocol.check_hello({"role": "worker", "version": 99}, "worker")
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert parse_address(("localhost", 8000)) == ("localhost", 8000)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+# ----------------------------------------------------------------------
+# worker loop (in-process servers)
+# ----------------------------------------------------------------------
+class TestWorkerLoop:
+    def test_malformed_frame_gets_error_reply_and_close(self, inprocess_workers):
+        worker = inprocess_workers[0]
+        with socket.create_connection(worker.address, timeout=10) as sock:
+            sock.sendall(b"GARBAGE-THAT-IS-NOT-A-FRAME-" * 4)
+            kind, payload = protocol.recv_message(sock)
+            assert kind == protocol.ERROR
+            task_id, message = payload
+            assert task_id is None and "magic" in message
+            # The worker closes the rejected connection afterwards.
+            with pytest.raises(protocol.ConnectionClosed):
+                protocol.recv_message(sock)
+
+    def test_worker_survives_a_rejected_connection(self, inprocess_workers):
+        worker = inprocess_workers[0]
+        with socket.create_connection(worker.address, timeout=10) as sock:
+            sock.sendall(b"junk-frame-bytes" * 8)
+        # A well-behaved coordinator can still connect and work afterwards.
+        with ClusterCoordinator([worker.address]) as coordinator:
+            assert coordinator.submit_task("ping", "hi").result(timeout=30) == "hi"
+
+    def test_task_before_spec_fails_cleanly(self, inprocess_workers):
+        with ClusterCoordinator([inprocess_workers[0].address]) as coordinator:
+            future = coordinator.submit_task(
+                "ball_marginals", {"spec_id": 123, "tasks": [], "memo_cap": None}
+            )
+            with pytest.raises(ClusterError, match="unknown spec"):
+                future.result(timeout=30)
+
+    def test_run_task_rejects_unknown_kinds(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown task kind"):
+            run_task("explode", {}, {})
+
+
+# ----------------------------------------------------------------------
+# coordinator scheduling
+# ----------------------------------------------------------------------
+class TestCoordinator:
+    def test_generic_submit_and_map_unordered(self, inprocess_workers):
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            assert coordinator.submit(pow, 2, 8).result(timeout=30) == 256
+            results = sorted(coordinator.map_unordered(abs, [-3, 1, -2]))
+            assert results == [(0, 3), (1, 1), (2, 2)]
+
+    def test_worker_task_exception_carries_traceback(self, inprocess_workers):
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            future = coordinator.submit(divmod, 1, 0)
+            with pytest.raises(ClusterError, match="ZeroDivisionError"):
+                future.result(timeout=30)
+
+    def test_unpicklable_submit_fails_without_killing_the_worker(
+        self, inprocess_workers
+    ):
+        with ClusterCoordinator([inprocess_workers[0].address]) as coordinator:
+            with pytest.raises(Exception):
+                coordinator.submit(lambda x: x, 1)
+            # The connection is untouched: no bytes were sent.
+            assert coordinator.live_worker_count == 1
+            assert coordinator.submit_task("ping", 7).result(timeout=30) == 7
+            assert not any(worker.inflight for worker in coordinator.workers)
+
+    def test_least_loaded_dispatch_spreads_tasks(self, inprocess_workers):
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            futures = [coordinator.submit_task("ping", index) for index in range(6)]
+            assert sorted(future.result(timeout=30) for future in futures) == list(
+                range(6)
+            )
+
+    def test_out_of_order_results_are_adopted_by_task_id(self):
+        """A hand-rolled worker answers tasks in reversed order."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        received = []
+
+        def fake_worker():
+            connection, _ = listener.accept()
+            with connection:
+                kind, payload = protocol.recv_message(connection)
+                assert kind == protocol.HELLO
+                protocol.send_message(
+                    connection, protocol.HELLO, protocol.hello_payload("worker")
+                )
+                while len(received) < 3:
+                    kind, payload = protocol.recv_message(connection)
+                    if kind == protocol.TASK:
+                        received.append(payload)
+                # Reply strictly in reverse arrival order.
+                for task_id, kind_, args in reversed(received):
+                    protocol.send_message(
+                        connection, protocol.RESULT, (task_id, f"answer-{args}")
+                    )
+                # Hold the socket open until the coordinator hangs up.
+                try:
+                    while True:
+                        protocol.recv_message(connection)
+                except protocol.ProtocolError:
+                    pass
+
+        thread = threading.Thread(target=fake_worker, daemon=True)
+        thread.start()
+        try:
+            with ClusterCoordinator([listener.getsockname()[:2]]) as coordinator:
+                futures = [
+                    coordinator.submit_task("ping", label) for label in ("a", "b", "c")
+                ]
+                assert [future.result(timeout=30) for future in futures] == [
+                    "answer-a",
+                    "answer-b",
+                    "answer-c",
+                ]
+        finally:
+            listener.close()
+            thread.join(timeout=10)
+
+    def test_late_result_for_cancelled_task_is_dropped(self, inprocess_workers):
+        with ClusterCoordinator([inprocess_workers[0].address]) as coordinator:
+            iterator = coordinator.map_unordered(abs, [-1, -2, -3, -4])
+            next(iterator)
+            iterator.close()  # cancels what is still pending
+            # The connection keeps working; stale RESULT frames (if any) are
+            # dropped because their task ids are no longer in flight.
+            assert coordinator.submit_task("ping", "still-alive").result(
+                timeout=30
+            ) == "still-alive"
+
+    def test_cancel_reaches_the_worker_queue(self, inprocess_workers):
+        import time
+
+        with ClusterCoordinator([inprocess_workers[0].address]) as coordinator:
+            start = time.monotonic()
+            # One blocker occupies the runner; five more sleeps queue behind
+            # it.  Discarding them (what an abandoned stream's finally does)
+            # cancels the queued sleeps on the worker too, so the follow-up
+            # ping must not wait ~5 extra seconds behind work nobody wants.
+            blocker = coordinator.submit(time.sleep, 1.0)
+            sleeps = [coordinator.submit(time.sleep, 1.0) for _ in range(5)]
+            coordinator._discard(sleeps)
+            assert coordinator.submit_task("ping", "after").result(timeout=30) == (
+                "after"
+            )
+            elapsed = time.monotonic() - start
+            assert elapsed < 4.0, f"queued cancelled tasks still ran ({elapsed:.1f}s)"
+            assert blocker.result(timeout=30) is None
+            assert all(sleep.cancelled() for sleep in sleeps)
+
+    def test_dropped_coordinator_is_collected_and_closes_sockets(
+        self, inprocess_workers
+    ):
+        import gc
+        import weakref
+
+        coordinator = ClusterCoordinator([inprocess_workers[0].address])
+        assert coordinator.submit_task("ping", 1).result(timeout=30) == 1
+        workers = coordinator.workers
+        ref = weakref.ref(coordinator)
+        del coordinator
+        gc.collect()
+        assert ref() is None, "service threads pinned the coordinator"
+        # The finalizer closed the connection (fileno -1 once closed).
+        assert all(worker.sock.fileno() == -1 for worker in workers)
+
+    def test_shutdown_is_idempotent_and_rejects_new_work(self, inprocess_workers):
+        coordinator = ClusterCoordinator(_addresses(inprocess_workers))
+        coordinator.shutdown()
+        coordinator.shutdown()
+        with pytest.raises(ClusterError, match="shut down"):
+            coordinator.submit_task("ping", 1)
+
+    def test_at_least_one_address_required(self):
+        with pytest.raises(ValueError):
+            ClusterCoordinator([])
+
+
+# ----------------------------------------------------------------------
+# spec-bound streaming against in-process workers
+# ----------------------------------------------------------------------
+class TestClusterStreams:
+    def test_ball_marginals_match_serial_and_warm_the_cache(self, inprocess_workers):
+        distribution = coloring_model(cycle_graph(9), 3)
+        instance = SamplingInstance(distribution, {0: 1})
+        serial = {
+            node: padded_ball_marginal(instance, node, 2)
+            for node in instance.free_nodes
+        }
+        distribution.ball_cache().clear()
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            streamed = dict(
+                coordinator.stream_padded_ball_marginals(
+                    instance, instance.free_nodes, 2, chunk_size=2
+                )
+            )
+        assert streamed == serial
+        assert len(distribution.ball_cache()._compiled) > 0
+
+    def test_stream_compiled_balls_adopts_into_cache(self, inprocess_workers):
+        distribution = hardcore_model(random_tree(14, seed=4), 1.1)
+        instance = SamplingInstance(distribution)
+        tasks = [(node, 2) for node in list(distribution.nodes)[:5]]
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            balls = dict(coordinator.stream_compiled_balls(instance, tasks))
+        assert set(balls) == set(tasks)
+        cache = distribution.ball_cache()
+        for key, ball in balls.items():
+            assert cache.compiled_ball(*key) is ball
+
+    def test_empty_streams(self, inprocess_workers):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            assert list(coordinator.stream_ball_marginal_tasks(instance, [])) == []
+            assert list(coordinator.stream_compiled_balls(instance, [])) == []
+
+    def test_failed_shard_surfaces_clean_error(self, inprocess_workers):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            with pytest.raises(RuntimeError, match="ball shard failed"):
+                list(
+                    coordinator.stream_ball_marginal_tasks(
+                        instance, [("no-such-node", 1)]
+                    )
+                )
+
+    def test_chain_blocks_match_serial(self, inprocess_workers):
+        from repro.runtime import chain_seed_sequences
+        from repro.sampling.glauber import glauber_sample, luby_glauber_sample
+
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0), {0: 1})
+        seeds = chain_seed_sequences(3, 5)
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            glauber = coordinator.chain_samples(instance, "glauber", 60, seeds)
+            luby = coordinator.chain_samples(instance, "luby", 12, seeds)
+        assert glauber == [glauber_sample(instance, 60, seed=seed) for seed in seeds]
+        assert luby == [luby_glauber_sample(instance, 12, seed=seed) for seed in seeds]
+
+    def test_spec_reconstruction_is_bit_identical(self):
+        instance = SamplingInstance(hardcore_model(random_tree(12, seed=6), 1.4), {0: 0})
+        spec = pickle.loads(pickle.dumps(InstanceSpec.from_instance(instance)))
+        rebuilt = spec.to_instance()
+        assert rebuilt.free_nodes == instance.free_nodes
+        assert rebuilt.distribution.nodes == instance.distribution.nodes
+        compiled = instance.distribution.compiled_engine()
+        clone = rebuilt.distribution.compiled_engine()
+        node = instance.free_nodes[2]
+        assert clone.marginal(node, {0: 0}) == compiled.marginal(node, {0: 0})
+        assert spec.to_instance() is rebuilt  # memoised
+
+    def test_spec_is_reused_across_streams_of_one_instance(self, inprocess_workers):
+        distribution = hardcore_model(cycle_graph(9), 1.1)
+        instance = SamplingInstance(distribution, {0: 0})
+        with ClusterCoordinator([inprocess_workers[0].address]) as coordinator:
+            first = dict(
+                coordinator.stream_padded_ball_marginals(
+                    instance, instance.free_nodes, 1
+                )
+            )
+            second = dict(
+                coordinator.stream_padded_ball_marginals(
+                    instance, instance.free_nodes, 2
+                )
+            )
+            # One instance, one spec id, shipped to the connection once.
+            assert len(coordinator.workers[0].specs) == 1
+        assert set(first) == set(second) == set(instance.free_nodes)
+
+    def test_spec_evicted_by_worker_cache_is_reshipped(self, inprocess_workers):
+        from repro.cluster.worker import SPEC_CACHE_LIMIT
+
+        instances = [
+            SamplingInstance(hardcore_model(cycle_graph(6 + extra), 1.0), {0: 0})
+            for extra in range(SPEC_CACHE_LIMIT + 2)
+        ]
+        with ClusterCoordinator([inprocess_workers[0].address]) as coordinator:
+            for instance in instances:
+                dict(
+                    coordinator.stream_padded_ball_marginals(
+                        instance, instance.free_nodes, 1
+                    )
+                )
+            # The worker's FIFO cache evicted the early specs; the mirror
+            # replayed the eviction, so a fresh stream over the first
+            # instance re-ships its spec instead of failing on the worker.
+            assert len(coordinator.workers[0].specs) == SPEC_CACHE_LIMIT
+            first = instances[0]
+            serial = {
+                node: padded_ball_marginal(first, node, 1)
+                for node in first.free_nodes
+            }
+            streamed = dict(
+                coordinator.stream_padded_ball_marginals(
+                    first, first.free_nodes, 1
+                )
+            )
+            assert streamed == serial
+
+    def test_spec_pickle_excludes_reconstruction(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        spec = InstanceSpec.from_instance(instance)
+        spec.to_instance()  # would not pickle (closure factors)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone._instance is None
+        assert clone.nodes == spec.nodes
+
+
+# ----------------------------------------------------------------------
+# the Runtime facade on the cluster backend (in-process workers)
+# ----------------------------------------------------------------------
+class TestClusterRuntimeFacade:
+    def test_resolve_and_validation(self):
+        assert resolve_runtime("cluster").is_cluster
+        # The string form resolves to one shared runtime (one worker pool).
+        assert resolve_runtime("cluster") is resolve_runtime("cluster")
+        runtime = Runtime("cluster", addresses=["10.0.0.1:9000"])
+        assert runtime.n_workers == 1 and runtime.addresses == ["10.0.0.1:9000"]
+        with pytest.raises(ValueError, match="addresses"):
+            Runtime("serial", addresses=["10.0.0.1:9000"])
+        with pytest.raises(ValueError, match="cluster"):
+            Runtime("serial").cluster_client()
+
+    def test_facade_conformance(self, inprocess_workers):
+        with Runtime("cluster", addresses=_addresses(inprocess_workers)) as runtime:
+            # submit: a real pending future that resolves to the result.
+            assert runtime.submit(pow, 3, 4).result(timeout=30) == 81
+            failing = runtime.submit(divmod, 1, 0)
+            assert failing.exception(timeout=30) is not None
+            # map: ordered results; map_unordered: indexed results.
+            assert runtime.map(abs, [-1, 2, -3]) == [1, 2, 3]
+            assert sorted(runtime.map_unordered(abs, [-5, 6])) == [(0, 5), (1, 6)]
+
+    def test_map_with_closure_falls_back_in_process(self):
+        # Closures cannot cross the socket transport; the facade must run
+        # them in-process instead of crashing with PicklingError -- without
+        # even connecting (the addresses here are deliberately unreachable).
+        runtime = Runtime("cluster", addresses=["127.0.0.1:1"])
+        offset = 10
+        assert runtime.map(lambda x: x + offset, range(3)) == [10, 11, 12]
+        assert list(runtime.map_unordered(lambda x: x + offset, [5])) == [(0, 15)]
+
+        # Functions from a script's __main__ pickle locally by reference but
+        # cannot be imported by a worker -- they must also fall back.
+        def script_function(x):
+            return x * 2
+
+        script_function.__module__ = "__main__"
+        assert runtime.map(script_function, [1, 2]) == [2, 4]
+        assert runtime._cluster is None  # no connection was attempted
+
+    def test_experiment_drivers_accept_a_cluster_runtime(self, inprocess_workers):
+        # E6-style drivers hand local row closures to runtime.map; the
+        # documented contract is that they work unchanged on every backend.
+        from repro.experiments import e06_hardcore_rounds
+
+        serial = e06_hardcore_rounds.run(sizes=(8,))
+        with Runtime("cluster", addresses=_addresses(inprocess_workers)) as runtime:
+            clustered = e06_hardcore_rounds.run(sizes=(8,), runtime=runtime)
+        assert clustered == serial
+
+    def test_stream_ball_marginals_matches_serial(self, inprocess_workers):
+        distribution = hardcore_model(random_tree(13, seed=2), 1.2)
+        instance = SamplingInstance(distribution, {0: 0})
+        serial = dict(Runtime().stream_ball_marginals(instance, instance.free_nodes, 2))
+        with Runtime("cluster", addresses=_addresses(inprocess_workers)) as runtime:
+            streamed = dict(
+                runtime.stream_ball_marginals(instance, instance.free_nodes, 2)
+            )
+        assert streamed == serial
+
+    def test_dict_engine_request_keeps_the_reference_loop(self, inprocess_workers):
+        distribution = hardcore_model(cycle_graph(7), 1.1)
+        instance = SamplingInstance(distribution, {0: 0})
+        reference = TruncatedBallInference(radius=1, engine="dict")
+        with Runtime("cluster", addresses=_addresses(inprocess_workers)) as runtime:
+            clustered = TruncatedBallInference(radius=1, engine="dict", runtime=runtime)
+            assert clustered.marginals(instance, 0.05) == reference.marginals(
+                instance, 0.05
+            )
+            # Chains under engine="dict" likewise stay in-process.
+            serial = Runtime("serial", n_chains=2).glauber_sample(
+                instance, 20, seed=1, engine="dict"
+            )
+            runtime.n_chains = 2
+            assert runtime.glauber_sample(instance, 20, seed=1, engine="dict") == serial
+
+    def test_warm_ball_cache(self, inprocess_workers):
+        distribution = hardcore_model(cycle_graph(8), 1.0)
+        instance = SamplingInstance(distribution)
+        tasks = [(node, 1) for node in list(distribution.nodes)[:4]] + [(0, 1)]
+        with Runtime("cluster", addresses=_addresses(inprocess_workers)) as runtime:
+            assert runtime.warm_ball_cache(instance, tasks) == 4
+        cache = distribution.ball_cache()
+        assert all(key in cache._compiled for key in dict.fromkeys(tasks))
+
+    def test_abandoned_stream_then_shutdown_releases_cleanly(self, inprocess_workers):
+        distribution = coloring_model(cycle_graph(10), 3)
+        instance = SamplingInstance(distribution, {0: 1})
+        runtime = Runtime("cluster", addresses=_addresses(inprocess_workers))
+        stream = runtime.stream_ball_marginals(instance, instance.free_nodes, 2)
+        next(stream)
+        # Abandon the stream mid-iteration, then shut down (twice): neither
+        # may hang on pending socket traffic, and the workers stay serviceable
+        # for the next runtime.
+        runtime.shutdown()
+        runtime.shutdown()
+        stream.close()
+        with Runtime("cluster", addresses=_addresses(inprocess_workers)) as fresh:
+            assert fresh.submit(pow, 2, 2).result(timeout=30) == 4
+
+    def test_repeated_connect_cycles_never_wedge_a_worker(self, inprocess_workers):
+        # Regression: coordinator close() without shutdown(SHUT_RDWR) left
+        # the worker's blocked recv pinning the connection (no FIN), so the
+        # single-connection worker never returned to accept and the *next*
+        # coordinator's handshake timed out.
+        distribution = hardcore_model(cycle_graph(12), fugacity=6.0)
+        instance = SamplingInstance(distribution, {0: 1})
+        for _ in range(3):
+            runtime = Runtime("cluster", addresses=_addresses(inprocess_workers))
+            stream = runtime.stream_ball_marginals(instance, instance.free_nodes, 3)
+            next(stream)
+            stream.close()
+            runtime.shutdown()
+        with ClusterCoordinator(
+            _addresses(inprocess_workers), connect_timeout=30
+        ) as coordinator:
+            assert coordinator.submit_task("ping", "fresh").result(timeout=30) == (
+                "fresh"
+            )
+
+    def test_ssm_engine_and_locality_required_match_serial(self, inprocess_workers):
+        distribution = hardcore_model(random_tree(15, seed=8), 1.3)
+        instance = SamplingInstance(distribution, {0: 0})
+        serial_engine = TruncatedBallInference(radius=2)
+        with Runtime("cluster", addresses=_addresses(inprocess_workers)) as runtime:
+            cluster_engine = TruncatedBallInference(radius=2, runtime=runtime)
+            assert cluster_engine.marginals(instance, 0.05) == serial_engine.marginals(
+                instance, 0.05
+            )
+            streamed = dict(cluster_engine.marginals_stream(instance, 0.05))
+            assert streamed == serial_engine.marginals(instance, 0.05)
+
+            from repro.spatialmixing import locality_required
+
+            e5 = SamplingInstance(
+                hardcore_model(cycle_graph(12), fugacity=6.0), {0: 1}
+            )
+            serial_radius = locality_required(e5, 6, error=0.05, max_radius=6)
+            cluster_radius = locality_required(
+                e5, 6, error=0.05, max_radius=6, runtime=runtime
+            )
+            assert cluster_radius == serial_radius
+
+
+# ----------------------------------------------------------------------
+# subprocess workers: spawn, kill, requeue (the multi-machine rehearsal)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+class TestLocalWorkerPool:
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_workers(0)
+
+    def test_worker_death_mid_stream_requeues_bit_identically(self):
+        import time
+
+        distribution = coloring_model(cycle_graph(10), 3)
+        instance = SamplingInstance(distribution, {0: 1})
+        serial = {
+            node: padded_ball_marginal(instance, node, 2)
+            for node in instance.free_nodes
+        }
+        distribution.ball_cache().clear()
+        with spawn_workers(2) as pool:
+            with ClusterCoordinator(pool.addresses) as coordinator:
+                # Pin one worker on a slow task: its runner executes tasks in
+                # order, so the ball chunks queued behind the sleep are
+                # *guaranteed* to still be in flight when we kill it (without
+                # this, fast workers can drain everything before the kill).
+                coordinator.submit(time.sleep, 1.0)
+                victim = next(
+                    index
+                    for index, worker in enumerate(coordinator.workers)
+                    if worker.inflight
+                )
+                stream = coordinator.stream_ball_marginal_tasks(
+                    instance,
+                    [(node, 2) for node in instance.free_nodes],
+                    chunk_size=1,
+                )
+                merged = {}
+                key, marginal = next(stream)  # from the unblocked worker
+                merged[key[0]] = marginal
+                assert coordinator.workers[victim].inflight
+                pool.kill(victim)
+                for key, marginal in stream:
+                    merged[key[0]] = marginal
+                assert coordinator.requeued > 0
+                assert coordinator.live_worker_count == 1
+        # Bit-identical to the serial loop despite the death + requeue, and
+        # the merged BallCache serves the serial replay as cache hits.
+        assert merged == serial
+        assert {
+            node: padded_ball_marginal(instance, node, 2)
+            for node in instance.free_nodes
+        } == serial
+
+    def test_all_workers_dead_fails_cleanly(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0))
+        with spawn_workers(1) as pool:
+            with ClusterCoordinator(pool.addresses) as coordinator:
+                assert coordinator.submit_task("ping", 1).result(timeout=30) == 1
+                pool.kill(0)
+                with pytest.raises(RuntimeError, match="ball shard failed|no live"):
+                    list(
+                        coordinator.stream_ball_marginal_tasks(
+                            instance, [(node, 1) for node in instance.free_nodes]
+                        )
+                    )
+
+    def test_runtime_spawns_and_owns_local_workers(self):
+        # No addresses: the runtime spawns localhost workers on first use
+        # and terminates them at shutdown.
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0), {0: 0})
+        serial = dict(Runtime().stream_ball_marginals(instance, instance.free_nodes, 1))
+        with Runtime("cluster", n_workers=2) as runtime:
+            streamed = dict(
+                runtime.stream_ball_marginals(instance, instance.free_nodes, 1)
+            )
+            pool = runtime._local_pool
+            assert pool is not None and len(pool) == 2
+        assert streamed == serial
+        assert pool._terminated
