@@ -10,6 +10,12 @@ chains of a hardcore instance, one sample per chain):
   produce bit-identical samples per seed, so the speedup is pure execution
   strategy.
 * ``glauber_chains`` -- 256 single-site Glauber chains, same comparison.
+* ``jvv_chains`` -- 128 JVV rejection-resampling chains
+  (:class:`repro.sampling.jvv.JVVKernel`, the E12 jvv-kernel row): the
+  serial baseline loops ``jvv_rejection_sample`` once per seed, the
+  batched backend advances all chains as one code matrix with per-chain
+  acceptance masks.  Bit-identity (states *and* per-chain failure counts)
+  is asserted before any timing.
 * ``process_ball_shards`` -- the E5/E8 per-node ball computations
   (Theorem 5.1 marginals at every node) serial vs sharded over a 2-worker
   process pool.  Recorded for observability; on a single-core container the
@@ -104,6 +110,43 @@ def _glauber_chain_workload(chains: int = 256, steps: int = 1200, size: int = 64
 
     def batched() -> None:
         batched_glauber_sample(instance, steps, seeds=seeds)
+
+    return {"chains": chains, "steps": steps, "n": size}, serial, batched
+
+
+def _jvv_chain_workload(chains: int = 128, scans: int = 20, size: int = 64):
+    from repro.runtime import ChainBatch
+    from repro.sampling.jvv import JVV_KERNEL, jvv_rejection_sample
+
+    instance = SamplingInstance(hardcore_model(cycle_graph(size), fugacity=1.2))
+    seeds = chain_seed_sequences(13, chains)
+    steps = scans * len(instance.free_nodes)
+    glauber_sample(instance, 1, seed=0)  # pay the one-time compilation
+
+    # Correctness gate before any timing: the batched rejection chains must
+    # be bit-identical to the serial kernel -- final states AND per-chain
+    # failure counts (the acceptance contract of ISSUE 5).
+    reference = [
+        jvv_rejection_sample(instance, steps, seed=seed, return_failures=True)
+        for seed in seeds
+    ]
+    batch = ChainBatch(instance, seeds=seeds)
+    batch.advance(JVV_KERNEL, steps)
+    assert batch.configurations() == [state for state, _ in reference], (
+        "batched JVV states diverge from the serial chain"
+    )
+    assert JVV_KERNEL.failure_counts(batch).tolist() == [
+        failures for _, failures in reference
+    ], "batched JVV failure counts diverge from the serial chain"
+
+    def serial() -> None:
+        for seed in seeds:
+            jvv_rejection_sample(instance, steps, seed=seed)
+
+    def batched() -> None:
+        fresh = ChainBatch(instance, seeds=seeds)
+        fresh.advance(JVV_KERNEL, steps)
+        fresh.configurations()
 
     return {"chains": chains, "steps": steps, "n": size}, serial, batched
 
@@ -227,6 +270,7 @@ def run(repeats: int = 3, cluster: bool = True) -> List[Dict[str, object]]:
     for name, factory in (
         ("luby_chains", _luby_chain_workload),
         ("glauber_chains", _glauber_chain_workload),
+        ("jvv_chains", _jvv_chain_workload),
     ):
         shape, serial, batched = factory()
         serial_seconds = _best_of(serial, repeats)
@@ -306,12 +350,15 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
         "benchmark": "bench_runtime",
         "description": (
             "execution backends of repro.runtime: looped serial chains vs the "
-            "batched (chains, n) code-matrix runner, the 2-worker process "
-            "shard of the per-node ball computations (informational), the "
-            "barrier vs streaming (futures + as_completed) shard executor on "
-            "the E5-style workload (time-to-first-shard-result), and the same "
-            "workload over 2/4 localhost repro.cluster TCP workers "
-            "(single-host transport tax, bit-identity asserted pre-timing)"
+            "batched (chains, n) code-matrix runner for the Glauber, "
+            "LubyGlauber and JVV-rejection kernels (batched JVV bit-identity "
+            "-- states and per-chain failure counts -- asserted pre-timing), "
+            "the 2-worker process shard of the per-node ball computations "
+            "(informational), the barrier vs streaming (futures + "
+            "as_completed) shard executor on the E5-style workload "
+            "(time-to-first-shard-result), and the same workload over 2/4 "
+            "localhost repro.cluster TCP workers (single-host transport tax, "
+            "bit-identity asserted pre-timing)"
         ),
         "workloads": rows,
         "min_batched_speedup": min(row["speedup"] for row in batched),

@@ -3,7 +3,9 @@
 # explicit run of the engine-equivalence suite (the contract between the
 # compiled evaluation engine and the reference dict engine), a fast
 # runtime smoke (batched-chain determinism and pickling, skipping the
-# slow-marked process-pool tests), a cluster smoke (a coordinator driving
+# slow-marked process-pool tests), a kernel smoke (every registered chain
+# kernel runs bit-identically on the serial and batched backends through
+# the unified run_chains path), a cluster smoke (a coordinator driving
 # two real localhost worker subprocesses over the TCP transport, asserting
 # bit-identity with the serial loop) and a docs check (the architecture
 # map exists and the README quickstart executes as a doctest).
@@ -23,6 +25,29 @@ python -m pytest -x -q tests/test_engine_equivalence.py
 
 echo "== tier-1: runtime smoke =="
 python -m pytest -x -q -m "not slow" tests/test_runtime.py tests/test_analysis_convergence.py tests/test_cluster.py
+
+echo "== tier-1: kernel smoke =="
+python - <<'PY'
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph
+from repro.models import hardcore_model
+from repro.runtime import Runtime
+from repro.sampling import registered_kernels
+
+instance = SamplingInstance(hardcore_model(cycle_graph(8), fugacity=1.2), {0: 1})
+kernels = registered_kernels()
+expected = {"glauber", "luby-glauber", "jvv", "sequential"}
+missing = expected - set(kernels)
+assert not missing, f"kernels missing from the registry: {missing}"
+serial = Runtime("serial", n_chains=4)
+batched = Runtime("batched", n_chains=4)
+for name in sorted(kernels):
+    reference = serial.run_chains(name, instance, 12, seed=3)
+    assert batched.run_chains(name, instance, 12, seed=3) == reference, (
+        f"kernel {name} diverges between the serial and batched backends"
+    )
+print(f"kernel smoke OK: {len(kernels)} kernels, serial == batched per chain")
+PY
 
 echo "== tier-1: cluster smoke =="
 python - <<'PY'

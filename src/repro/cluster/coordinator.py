@@ -64,6 +64,8 @@ from repro.gibbs.instance import SamplingInstance
 from repro.runtime.shards import (
     MEMO_DELTA_CAP,
     InstanceSpec,
+    _LEGACY_ALIAS_BY_KERNEL,
+    _LEGACY_CHAIN_KINDS,
     _chunk_tasks,
 )
 
@@ -754,18 +756,28 @@ class ClusterCoordinator:
     def chain_samples(
         self,
         instance: SamplingInstance,
-        kind: str,
+        kernel: str,
         count: int,
         seeds: Sequence,
         initial=None,
     ) -> List[Dict[Node, Value]]:
         """Final states of independent chains, run as blocks on the workers.
 
-        The seed list is split into one contiguous block per live worker;
-        each worker advances its block as a batched code matrix on the
-        instance reconstructed from the spec, so chain ``c`` of the result
-        is bit-identical to the serial sampler run with ``seed=seeds[c]``.
+        ``kernel`` names any registered
+        :class:`~repro.sampling.kernels.ChainKernel` (the legacy block
+        kinds ``"glauber"``/``"luby"`` are accepted as aliases).  The seed
+        list is split into one contiguous block per live worker; each
+        worker advances its block as a batched code matrix on the instance
+        reconstructed from the spec -- the registered ``chain_block`` task
+        body of :data:`~repro.runtime.shards.TASK_REGISTRY`, shared with
+        the process backend -- so chain ``c`` of the result is
+        bit-identical to the kernel's serial chain run with
+        ``seed=seeds[c]``.
         """
+        from repro.sampling.kernels import get_kernel
+
+        kernel_name = _LEGACY_CHAIN_KINDS.get(kernel, kernel)
+        get_kernel(kernel_name)  # fail fast on unknown kernels, caller-side
         seeds = list(seeds)
         if not seeds:
             return []
@@ -773,16 +785,22 @@ class ClusterCoordinator:
         blocks = _chunk_tasks(
             seeds, 1, chunk_size=-(-len(seeds) // max(1, self.live_worker_count))
         )
+        legacy_kind = _LEGACY_ALIAS_BY_KERNEL.get(kernel_name)
         futures = []
         try:
             for block in blocks:
                 payload = {
                     "spec_id": spec[0],
-                    "kind": kind,
+                    "kernel": kernel_name,
                     "count": count,
                     "seeds": block,
                     "initial": dict(initial) if initial is not None else None,
                 }
+                if legacy_kind is not None:
+                    # Wire compat within PROTOCOL_VERSION 1: a previous-release
+                    # worker reads args["kind"] for the two pre-kernel
+                    # dynamics; newer workers prefer "kernel" and ignore this.
+                    payload["kind"] = legacy_kind
                 futures.append(self.submit_task("chain_block", payload, spec=spec))
         except BaseException:
             self._discard(futures)

@@ -11,9 +11,14 @@ The fixed header makes the stream self-describing and cheap to validate:
 a frame whose magic bytes, message type or length field is wrong raises
 :class:`ProtocolError` *before* any payload bytes are unpickled, so a
 stray client speaking the wrong protocol (or a corrupted stream) is
-rejected instead of interpreted.  A clean EOF raises the
-:class:`ConnectionClosed` subclass, which the coordinator treats as
-worker death and the worker treats as the coordinator hanging up.
+rejected instead of interpreted.  Length limits are enforced *per message
+kind* on both sides (see :func:`frame_limit`): control frames (HELLO,
+HEARTBEAT) are capped at :data:`MAX_CONTROL_FRAME_BYTES`, data frames
+(SPEC, TASK, RESULT, ERROR) at :data:`MAX_FRAME_BYTES`, and an oversize
+length field is rejected on the header alone -- no payload byte is read,
+buffered or unpickled.  A clean EOF raises the :class:`ConnectionClosed`
+subclass, which the coordinator treats as worker death and the worker
+treats as the coordinator hanging up.
 
 Message types
 -------------
@@ -63,6 +68,17 @@ PROTOCOL_VERSION = 1
 #: Refuse frames above this payload size (a corrupt length field would
 #: otherwise make the receiver try to allocate petabytes).
 MAX_FRAME_BYTES = 1 << 30
+#: Tighter ceiling for *control* frames (HELLO, HEARTBEAT): their payloads
+#: are a role dict or a timestamp -- never remotely megabytes.  Enforcing
+#: the small limit per kind means a stray or malicious peer cannot make the
+#: receiver buffer a giant allocation *during the handshake*, before it has
+#: proven it speaks the protocol at all.  Data frames (SPEC/TASK/RESULT)
+#: keep the large limit, since they legitimately carry compiled balls and
+#: chain blocks -- and so does ERROR, for wire compatibility within
+#: PROTOCOL_VERSION 1: previous-release workers send untruncated traceback
+#: reports (current workers cap theirs well below this constant, see
+#: :data:`repro.cluster.worker._ERROR_TEXT_LIMIT`).
+MAX_CONTROL_FRAME_BYTES = 1 << 20
 
 _HEADER = struct.Struct(">4sBQ")
 
@@ -86,6 +102,22 @@ MESSAGE_NAMES = {
 
 class ProtocolError(RuntimeError):
     """A malformed frame, unknown message type, or handshake mismatch."""
+
+
+def frame_limit(kind: int) -> int:
+    """The maximum payload size accepted for a message kind.
+
+    Control frames (HELLO, HEARTBEAT) are capped at
+    :data:`MAX_CONTROL_FRAME_BYTES`; data frames -- ERROR included, for
+    version-1 wire compatibility with workers that predate report
+    truncation -- at :data:`MAX_FRAME_BYTES`.  Both sides enforce the
+    limit: the sender before the first byte touches the socket, the
+    receiver after reading the fixed header and *before* reading (let
+    alone unpickling) any payload bytes.
+    """
+    if kind in (HELLO, HEARTBEAT):
+        return MAX_CONTROL_FRAME_BYTES
+    return MAX_FRAME_BYTES
 
 
 class ConnectionClosed(ProtocolError):
@@ -116,10 +148,11 @@ def send_message(sock: socket.socket, kind: int, payload=None) -> None:
     if kind not in MESSAGE_NAMES:
         raise ProtocolError(f"unknown message type {kind!r}")
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(data) > MAX_FRAME_BYTES:
+    limit = frame_limit(kind)
+    if len(data) > limit:
         raise ProtocolError(
-            f"refusing to send a {len(data)}-byte frame "
-            f"(limit {MAX_FRAME_BYTES})"
+            f"refusing to send a {len(data)}-byte {MESSAGE_NAMES[kind]} frame "
+            f"(limit {limit})"
         )
     # Two sends instead of one concatenation: prepending 13 header bytes
     # must not transiently double the memory of a large payload.  Callers
@@ -182,9 +215,13 @@ def recv_message(sock: socket.socket, on_data=None) -> Tuple[int, object]:
         raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
     if kind not in MESSAGE_NAMES:
         raise ProtocolError(f"unknown message type {kind}")
-    if length > MAX_FRAME_BYTES:
+    limit = frame_limit(kind)
+    if length > limit:
+        # Reject oversize frames on the header alone: no payload byte is
+        # read, buffered or unpickled for a length the kind cannot carry.
         raise ProtocolError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+            f"{MESSAGE_NAMES[kind]} frame length {length} exceeds the "
+            f"{limit}-byte limit"
         )
     data = _recv_exact(sock, length, on_data)
     try:

@@ -13,14 +13,15 @@ splits each connection across two threads:
   order, and sends back ``RESULT`` (or ``ERROR`` with the formatted
   traceback) frames.
 
-The task bodies are deliberately *reused* from the process backend
-(:mod:`repro.runtime.shards`): a ``ball_marginals`` task runs
-:func:`~repro.runtime.shards._ball_marginal_chunk` against the cached
-:class:`~repro.runtime.shards.InstanceSpec`, exactly as a process-pool
-worker would, so cluster results are bit-identical to both the process
-backend and the serial loop.  The spec crosses the wire at most once per
-connection and its ball memo stays warm across tasks, mirroring the pool
-initializer of PR 3.
+The task bodies are deliberately *shared* with the process backend: every
+spec-bound kind resolves through the
+:data:`~repro.runtime.shards.TASK_REGISTRY` of :mod:`repro.runtime.shards`,
+so a ``ball_marginals`` task runs exactly the body a process-pool worker
+runs and a ``chain_block`` task runs the same kernel-driven batched block
+-- cluster results are bit-identical to both the process backend and the
+serial loop.  The spec crosses the wire at most once per connection and
+its ball memo stays warm across tasks, mirroring the pool initializer of
+PR 3.
 
 Task kinds
 ----------
@@ -31,11 +32,12 @@ Task kinds
 ``compile_balls``
     ``{"spec_id", "tasks"}`` -> ``{(center, radius): CompiledGibbs}``.
 ``chain_block``
-    ``{"spec_id", "kind", "count", "seeds", "initial"}`` -> final
-    configurations of a batched Glauber (``kind="glauber"``, ``count`` =
-    steps) or LubyGlauber (``kind="luby"``, ``count`` = rounds) block run
-    on the instance reconstructed from the spec
-    (:meth:`~repro.runtime.shards.InstanceSpec.to_instance`).
+    ``{"spec_id", "kernel", "count", "seeds", "initial"}`` -> final
+    configurations of a batched block of chains of any registered
+    :class:`~repro.sampling.kernels.ChainKernel` (``count`` units each),
+    run on the instance reconstructed from the spec
+    (:meth:`~repro.runtime.shards.InstanceSpec.to_instance`).  The legacy
+    ``{"kind": "glauber"|"luby"}`` payload shape is still accepted.
 ``call``
     ``(function, args, kwargs)`` -> ``function(*args, **kwargs)`` for any
     picklable (module-level) callable; backs ``Runtime.submit`` and
@@ -70,11 +72,7 @@ from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.cluster import protocol
-from repro.runtime.shards import (
-    InstanceSpec,
-    _ball_marginal_chunk,
-    _compile_ball_chunk,
-)
+from repro.runtime.shards import TASK_REGISTRY, InstanceSpec
 
 #: Retain at most this many specs per connection (FIFO eviction); a
 #: coordinator normally streams one spec at a time, so this only matters
@@ -90,6 +88,19 @@ CANCEL_BACKLOG_LIMIT = 65536
 
 #: Sentinel pushed on the task queue to stop the runner thread.
 _STOP = object()
+
+#: Cap on the textual error report shipped in an ERROR frame: an exception
+#: whose repr embeds a large payload (e.g. a chain block's full argument
+#: dict) must never make the failure report itself megabytes on the wire.
+_ERROR_TEXT_LIMIT = 64 * 1024
+
+
+def _error_text(error, with_traceback: bool = False) -> str:
+    """A bounded textual error report that always frames cheaply."""
+    message = f"{error}\n{traceback.format_exc()}" if with_traceback else str(error)
+    if len(message) > _ERROR_TEXT_LIMIT:
+        message = message[:_ERROR_TEXT_LIMIT] + "... [error report truncated]"
+    return message
 
 
 def _enable_keepalive(
@@ -127,7 +138,8 @@ def run_task(kind: str, args, specs: Dict[int, InstanceSpec], spec=None):
     if kind == "call":
         function, call_args, call_kwargs = args
         return function(*call_args, **call_kwargs)
-    if kind not in ("ball_marginals", "compile_balls", "chain_block"):
+    body = TASK_REGISTRY.get(kind)
+    if body is None:
         raise protocol.ProtocolError(f"unknown task kind {kind!r}")
     spec_id = args["spec_id"]
     if spec is None:
@@ -137,27 +149,9 @@ def run_task(kind: str, args, specs: Dict[int, InstanceSpec], spec=None):
             f"task references unknown spec {spec_id!r}; "
             "the coordinator must send SPEC before TASK"
         )
-    if kind == "ball_marginals":
-        return _ball_marginal_chunk(args["tasks"], args["memo_cap"], spec=spec)
-    if kind == "compile_balls":
-        return _compile_ball_chunk(args["tasks"], spec=spec)
-    if kind == "chain_block":
-        from repro.runtime.chains import (
-            batched_glauber_sample,
-            batched_luby_glauber_sample,
-        )
-
-        instance = spec.to_instance()
-        if args["kind"] == "glauber":
-            return batched_glauber_sample(
-                instance, args["count"], seeds=args["seeds"], initial=args["initial"]
-            )
-        if args["kind"] == "luby":
-            return batched_luby_glauber_sample(
-                instance, args["count"], seeds=args["seeds"], initial=args["initial"]
-            )
-        raise protocol.ProtocolError(f"unknown chain kind {args['kind']!r}")
-    return None  # pragma: no cover - unreachable (kinds validated above)
+    # One registry, every backend: the same body a process-pool worker (or
+    # the in-process fallback) would execute, against this connection's spec.
+    return body(args, spec=spec)
 
 
 class ClusterWorker:
@@ -306,8 +300,10 @@ class ClusterWorker:
         """Best-effort ERROR reply for a connection-level failure, then close."""
         try:
             with send_lock:
-                protocol.send_message(connection, protocol.ERROR, (None, str(error)))
-        except OSError:
+                protocol.send_message(
+                    connection, protocol.ERROR, (None, _error_text(error))
+                )
+        except (OSError, protocol.ProtocolError):
             pass
         try:
             connection.shutdown(socket.SHUT_RDWR)
@@ -333,7 +329,7 @@ class ClusterWorker:
             try:
                 result = run_task(kind, args, specs, spec=spec)
             except Exception as error:
-                message = f"{error}\n{traceback.format_exc()}"
+                message = _error_text(error, with_traceback=True)
                 try:
                     send(protocol.ERROR, (task_id, message))
                 except OSError:

@@ -1,6 +1,6 @@
 """E4 -- Theorem 4.2: the distributed JVV sampler is exact with failure O(1/n).
 
-Two measurements:
+Three measurements:
 
 * **Exactness.**  Conditioned on acceptance, the empirical distribution of
   the sampler's output must be within Monte-Carlo noise of the enumerated
@@ -8,6 +8,18 @@ Two measurements:
 * **Failure probability.**  The per-run failure probability shrinks with the
   instance size (the per-node acceptance is ``exp(-Theta(1/n^2))``, so the
   global failure probability is ``1 - exp(-Theta(1/n)) = O(1/n)``).
+* **Rejection-kernel failure law.**  The same acceptance mathematics through
+  the chain-kernel API (:class:`repro.sampling.jvv.JVVKernel`): many
+  independent rejection chains advance one full scan each and the fraction
+  of chains with at least one rejected step is compared to the predicted
+  ``1 - e^{-3 n_free / n^2}``.  With ``runtime="batched"`` the chains run
+  as one ``(chains, n)`` code matrix with per-chain acceptance masks --
+  bit-identical failure counts to the serial loop.
+
+Every entry point takes a ``runtime=`` knob (see :mod:`repro.runtime`):
+the SLOCAL measurements fan their independent runs out through
+``runtime.map`` and the kernel measurement goes through the unified
+``run_chains`` path.
 """
 
 from __future__ import annotations
@@ -24,8 +36,18 @@ from repro.models import hardcore_model
 from repro.sampling import enumerate_target_distribution, sample_exact_slocal
 
 
-def run_exactness(sizes=(5, 6), target_accepted: int = 220, max_runs: int = 1200) -> List[Dict]:
-    """Exactness rows: empirical-vs-target TV, per instance size."""
+def run_exactness(
+    sizes=(5, 6), target_accepted: int = 220, max_runs: int = 1200, runtime=None
+) -> List[Dict]:
+    """Exactness rows: empirical-vs-target TV, per instance size.
+
+    Independent sampler runs fan out in waves through ``runtime.map`` (the
+    serial default is the historical loop); the accepted-sample stream is
+    identical across runtimes because runs are seeded by index.
+    """
+    from repro.runtime import resolve_runtime
+
+    runtime_obj = resolve_runtime(runtime)
     rows: List[Dict] = []
     engine = ExactInference()
     for n in sizes:
@@ -34,11 +56,23 @@ def run_exactness(sizes=(5, 6), target_accepted: int = 220, max_runs: int = 1200
         truth = enumerate_target_distribution(instance)
         accepted = []
         runs = 0
+        # Only runtimes whose map actually fans out get waves (accepting a
+        # bounded overshoot per wave).  That is the process backend alone:
+        # serial/batched map is the plain in-process loop, and the cluster
+        # transport cannot carry this closure, so its map falls back
+        # in-process too -- those keep the run-at-a-time target check.
+        wave = max(1, target_accepted // 4) if runtime_obj.is_process else 1
         while len(accepted) < target_accepted and runs < max_runs:
-            result = sample_exact_slocal(instance, engine, seed=runs)
-            if result.success:
-                accepted.append(configuration_key(result.configuration))
-            runs += 1
+            seeds = range(runs, min(runs + wave, max_runs))
+            results = runtime_obj.map(
+                lambda seed: sample_exact_slocal(instance, engine, seed=seed), seeds
+            )
+            for result in results:
+                runs += 1
+                if result.success:
+                    accepted.append(configuration_key(result.configuration))
+                if len(accepted) >= target_accepted:
+                    break
         empirical = empirical_distribution(accepted)
         noise = math.sqrt(len(truth) / (4.0 * max(1, len(accepted))))
         rows.append(
@@ -54,23 +88,67 @@ def run_exactness(sizes=(5, 6), target_accepted: int = 220, max_runs: int = 1200
     return rows
 
 
-def run_failure_scaling(sizes=(4, 6, 8, 10, 12), runs_per_size: int = 50) -> List[Dict]:
+def run_failure_scaling(
+    sizes=(4, 6, 8, 10, 12), runs_per_size: int = 50, runtime=None
+) -> List[Dict]:
     """Failure-probability rows: failure rate and the O(1/n) prediction."""
+    from repro.runtime import resolve_runtime
+
+    runtime_obj = resolve_runtime(runtime)
     rows: List[Dict] = []
     engine = ExactInference()
     for n in sizes:
         distribution = hardcore_model(cycle_graph(n), fugacity=1.0)
         instance = SamplingInstance(distribution)
-        failures = 0
-        for seed in range(runs_per_size):
-            if not sample_exact_slocal(instance, engine, seed=seed).success:
-                failures += 1
+        successes = runtime_obj.map(
+            lambda seed: sample_exact_slocal(instance, engine, seed=seed).success,
+            range(runs_per_size),
+        )
+        failures = sum(1 for success in successes if not success)
         rows.append(
             {
                 "n": n,
                 "runs": runs_per_size,
                 "failure_rate": failures / runs_per_size,
                 "predicted_rate": 1.0 - math.exp(-3.0 / n),
+            }
+        )
+    return rows
+
+
+def run_rejection_kernel(
+    sizes=(16, 32, 64), chains: int = 64, scans: int = 1, runtime=None
+) -> List[Dict]:
+    """Rejection-kernel rows: per-chain failure fraction vs the e^{-3/n} law.
+
+    Each of ``chains`` independent rejection chains advances ``scans`` full
+    scans (``scans * n_free`` kernel steps) of
+    :class:`~repro.sampling.jvv.JVVKernel`; a chain *fails* when any of its
+    steps rejected.  The failure fraction is compared against the paper's
+    prediction ``1 - e^{-3 * steps / n^2}`` (Lemma 4.8 telescoped over the
+    scan).  Failure counts are bit-identical across runtimes: the batched
+    backend accumulates them through per-chain acceptance masks, the serial
+    reference counts per chain -- both under the spawned-seed convention.
+    """
+    from repro.sampling.jvv import jvv_chain_stats
+
+    rows: List[Dict] = []
+    for n in sizes:
+        distribution = hardcore_model(cycle_graph(n), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        steps = scans * len(instance.free_nodes)
+        _, counts = jvv_chain_stats(
+            instance, steps, n_chains=chains, seed=0, runtime=runtime
+        )
+        failed = sum(1 for count in counts if count > 0)
+        rows.append(
+            {
+                "n": n,
+                "chains": chains,
+                "steps": steps,
+                "failure_rate": failed / chains,
+                "predicted_rate": 1.0 - math.exp(-3.0 * steps / max(2, n) ** 2),
+                "mean_rejections": sum(counts) / chains,
             }
         )
     return rows

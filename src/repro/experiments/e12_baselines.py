@@ -17,6 +17,15 @@ numbers do not change -- and each row additionally reports the multi-chain
 convergence diagnostics of :mod:`repro.analysis.convergence` (split R-hat
 and effective sample size of the per-chain occupancy traces), which show
 *when* the chains have actually mixed.
+
+All chain workloads go through the unified kernel execution path
+(:meth:`repro.runtime.executor.Runtime.run_chains`): the LubyGlauber rows
+run the ``luby-glauber`` kernel, and a ``jvv-kernel`` row runs the
+rejection-resampling kernel of :class:`repro.sampling.jvv.JVVKernel` --
+one full scan per chain with per-chain acceptance masks, reporting the
+rejected-chain fraction against the ``e^{-3/n}`` law on every runtime.
+Each row's samples are bit-identical on every backend
+(serial/batched/process/cluster).
 """
 
 from __future__ import annotations
@@ -84,9 +93,14 @@ def run(
                 "mixed": chains_mixed(traces),
             }
         else:
+            # The unified kernel path: per-seed results equal the serial
+            # luby_glauber_sample loop on every backend (integer seeds kept
+            # for continuity with the historical rows).
             keys = [
-                configuration_key(luby_glauber_sample(instance, rounds=rounds, seed=seed))
-                for seed in range(samples)
+                configuration_key(configuration)
+                for configuration in runtime_obj.run_chains(
+                    "luby-glauber", instance, rounds, seeds=range(samples)
+                )
             ]
         row = {
             "sampler": f"luby-glauber({rounds} rounds)",
@@ -134,6 +148,32 @@ def run(
             "tv_to_target": total_variation(empirical_distribution(accepted), truth),
             "noise_floor": math.sqrt(len(truth) / (4.0 * max(1, len(accepted)))),
             "exact_conditional": True,
+        }
+    )
+
+    # JVV rejection kernel: one full scan per chain through the unified
+    # run_chains path (same samples on every backend; conditioning on
+    # acceptance is what the row above does with the SLOCAL machinery).
+    from repro.sampling.jvv import jvv_chain_stats
+
+    scan_steps = len(instance.free_nodes)
+    configurations, failure_counts = jvv_chain_stats(
+        instance, scan_steps, n_chains=samples, seed=0, runtime=runtime_obj
+    )
+    keys = [configuration_key(configuration) for configuration in configurations]
+    rows.append(
+        {
+            "sampler": "jvv-kernel (1 scan)",
+            "rounds": scan_steps,
+            "samples": len(keys),
+            "tv_to_target": total_variation(empirical_distribution(keys), truth),
+            "noise_floor": math.sqrt(len(truth) / (4.0 * max(1, len(keys)))),
+            "exact_conditional": False,
+            # Same row schema on every runtime: the counts come from the
+            # batched acceptance masks or the serial reference identically.
+            "rejected_fraction": sum(1 for c in failure_counts if c > 0) / len(keys),
+            "predicted_rejected": 1.0
+            - math.exp(-3.0 * scan_steps / max(2, instance.size) ** 2),
         }
     )
     return rows

@@ -51,12 +51,14 @@ def _stream_runtime_marginals(
 
     The per-node ball computations are independent, so with a process or
     cluster runtime they shard across workers -- OS processes or TCP
-    workers respectively -- and stream back in completion order (ball
-    compilations, boundary extensions and capped marginal-memo deltas are
-    merged into the distribution's cache as each shard lands); otherwise
-    the serial per-node loop yields lazily in node order.  The shard
-    transport is compiled-only, so an explicit ``engine="dict"`` request
-    keeps the serial loop (the reference backend must stay the reference).
+    workers respectively, both executing the registered ``ball_marginals``
+    task body of :data:`repro.runtime.shards.TASK_REGISTRY` -- and stream
+    back in completion order (ball compilations, boundary extensions and
+    capped marginal-memo deltas are merged into the distribution's cache
+    as each shard lands); otherwise the serial per-node loop yields lazily
+    in node order.  The shard transport is compiled-only, so an explicit
+    ``engine="dict"`` request keeps the serial loop (the reference backend
+    must stay the reference).
     """
     from repro.engine import resolve_engine
     from repro.runtime import resolve_runtime
@@ -225,23 +227,34 @@ class TruncatedBallInference(InferenceAlgorithm):
         return padded_ball_marginal(instance, node, self.radius, engine=self.engine)
 
     def marginals(
-        self, instance: SamplingInstance, error: float, nodes=None
+        self, instance: SamplingInstance, error: float, nodes=None, runtime=None
     ) -> Dict[Node, Dict[Value, float]]:
-        """Per-node marginals, sharded across workers on a process runtime."""
-        return _runtime_marginals(self, self.runtime, self.radius, instance, error, nodes)
+        """Per-node marginals, sharded across workers on a distributed runtime.
+
+        ``runtime`` overrides the engine-level knob per call (``None``
+        keeps the constructor's choice); both resolve through the unified
+        :class:`~repro.runtime.executor.Runtime` facade and its registered
+        task bodies.
+        """
+        return _runtime_marginals(
+            self, runtime if runtime is not None else self.runtime,
+            self.radius, instance, error, nodes,
+        )
 
     def marginals_stream(
-        self, instance: SamplingInstance, error: float, nodes=None
+        self, instance: SamplingInstance, error: float, nodes=None, runtime=None
     ) -> Iterator[Tuple[Node, Dict[Value, float]]]:
         """Stream per-node marginals as they complete (see module notes).
 
-        With a process runtime, ``(node, marginal)`` pairs arrive in shard
-        completion order while later shards are still in flight; otherwise
-        the serial loop yields lazily in node order.  Values are identical
-        to :meth:`marginals` on every backend.
+        With a process or cluster runtime, ``(node, marginal)`` pairs
+        arrive in shard completion order while later shards are still in
+        flight; otherwise the serial loop yields lazily in node order.
+        Values are identical to :meth:`marginals` on every backend;
+        ``runtime`` overrides the engine-level knob per call.
         """
         return _stream_runtime_marginals(
-            self, self.runtime, self.radius, instance, error, nodes
+            self, runtime if runtime is not None else self.runtime,
+            self.radius, instance, error, nodes,
         )
 
 
@@ -300,23 +313,32 @@ class BoundaryPaddedInference(InferenceAlgorithm):
         )
 
     def marginals(
-        self, instance: SamplingInstance, error: float, nodes=None
+        self, instance: SamplingInstance, error: float, nodes=None, runtime=None
     ) -> Dict[Node, Dict[Value, float]]:
-        """Per-node marginals, sharded across workers on a process runtime."""
+        """Per-node marginals, sharded across workers on a distributed runtime.
+
+        ``runtime`` overrides the engine-level knob per call (``None``
+        keeps the constructor's choice); both resolve through the unified
+        :class:`~repro.runtime.executor.Runtime` facade and its registered
+        task bodies.
+        """
         return _runtime_marginals(
-            self, self.runtime, self._radius(instance, error), instance, error, nodes
+            self, runtime if runtime is not None else self.runtime,
+            self._radius(instance, error), instance, error, nodes,
         )
 
     def marginals_stream(
-        self, instance: SamplingInstance, error: float, nodes=None
+        self, instance: SamplingInstance, error: float, nodes=None, runtime=None
     ) -> Iterator[Tuple[Node, Dict[Value, float]]]:
         """Stream per-node marginals at the scheduled radius as they complete.
 
-        With a process runtime, ``(node, marginal)`` pairs arrive in shard
-        completion order while later shards are still in flight; otherwise
-        the serial loop yields lazily in node order.  Values are identical
-        to :meth:`marginals` on every backend.
+        With a process or cluster runtime, ``(node, marginal)`` pairs
+        arrive in shard completion order while later shards are still in
+        flight; otherwise the serial loop yields lazily in node order.
+        Values are identical to :meth:`marginals` on every backend;
+        ``runtime`` overrides the engine-level knob per call.
         """
         return _stream_runtime_marginals(
-            self, self.runtime, self._radius(instance, error), instance, error, nodes
+            self, runtime if runtime is not None else self.runtime,
+            self._radius(instance, error), instance, error, nodes,
         )

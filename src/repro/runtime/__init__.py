@@ -4,32 +4,39 @@ This package owns *how* work executes, separate from *what* is computed
 (which stays in :mod:`repro.engine` and the algorithm modules):
 
 ``chains``
-    :class:`ChainBatch` -- many independent Glauber/LubyGlauber chains as a
-    ``(chains, n)`` integer code matrix, resampled per step with vectorised
-    gathers into the precompiled factor tables.  Bit-identical per chain to
-    the serial samplers under per-chain ``SeedSequence`` streams.
+    :class:`ChainBatch` -- many independent chains of one
+    :class:`~repro.sampling.kernels.ChainKernel` (Glauber, LubyGlauber,
+    JVV rejection, sequential scan, ...) as a ``(chains, n)`` integer code
+    matrix, resampled per step with vectorised gathers into the
+    precompiled factor tables.  Bit-identical per chain to the kernels'
+    serial reference runs under per-chain ``SeedSequence`` streams.
 ``shards``
-    :class:`InstanceSpec` and the *streaming* process-pool sharding of the
-    per-node LOCAL computations (ball compilation, greedy boundary
-    extension, ball marginals): futures instead of ``pool.map`` barriers,
-    the spec shipped once per worker, and every shard's results -- compiled
-    balls, boundary extensions, capped marginal-memo deltas -- merged back
-    into the parent :class:`~repro.engine.cache.BallCache` the moment the
-    shard completes.
+    :class:`InstanceSpec`, the :data:`~repro.runtime.shards.TASK_REGISTRY`
+    of spec-bound task bodies (ball marginals, ball compilation, chain
+    blocks -- executed identically by the process pool, the cluster
+    workers and the in-process fallbacks), and the *streaming*
+    process-pool sharding of the per-node LOCAL computations: futures
+    instead of ``pool.map`` barriers, the spec shipped once per worker,
+    and every shard's results -- compiled balls, boundary extensions,
+    capped marginal-memo deltas -- merged back into the parent
+    :class:`~repro.engine.cache.BallCache` the moment the shard completes.
 ``executor``
     The :class:`Runtime` facade (``serial`` / ``batched`` / ``process`` /
     ``cluster`` backends) threaded through the samplers, the SSM inference
     engines, the LOCAL driver and the experiment entry points as a
-    ``runtime=`` parameter defaulting to today's serial behaviour, plus the
-    streaming primitives :meth:`Runtime.submit`,
-    :meth:`Runtime.map_unordered`, :meth:`Runtime.stream_ball_marginals`
-    and :meth:`Runtime.stream_ball_marginal_tasks`.  The cluster backend's
+    ``runtime=`` parameter defaulting to today's serial behaviour.  Chain
+    workloads of every kernel run through the single
+    :meth:`Runtime.run_chains` path; the streaming primitives are
+    :meth:`Runtime.submit`, :meth:`Runtime.map_unordered`,
+    :meth:`Runtime.stream_ball_marginals` and
+    :meth:`Runtime.stream_ball_marginal_tasks`.  The cluster backend's
     coordinator/worker machinery itself lives in :mod:`repro.cluster`.
 """
 
 from repro.runtime.chains import (
     ChainBatch,
     batched_glauber_sample,
+    batched_kernel_sample,
     batched_luby_glauber_sample,
     chain_seed_sequences,
 )
@@ -44,9 +51,12 @@ from repro.runtime.executor import (
 )
 from repro.runtime.shards import (
     MEMO_DELTA_CAP,
+    TASK_REGISTRY,
     InstanceSpec,
     process_map,
     process_map_unordered,
+    register_task,
+    run_chain_blocks,
     shard_compiled_balls,
     shard_padded_ball_marginals,
     stream_ball_marginal_tasks,
@@ -57,8 +67,12 @@ from repro.runtime.shards import (
 __all__ = [
     "ChainBatch",
     "batched_glauber_sample",
+    "batched_kernel_sample",
     "batched_luby_glauber_sample",
     "chain_seed_sequences",
+    "TASK_REGISTRY",
+    "register_task",
+    "run_chain_blocks",
     "Runtime",
     "resolve_runtime",
     "SERIAL_BACKEND",

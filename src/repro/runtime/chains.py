@@ -1,19 +1,27 @@
 """Batched chain execution: many independent chains as one code matrix.
 
-A :class:`ChainBatch` holds ``n_chains`` independent Glauber / LubyGlauber
-chains of the same instance as a ``(chains, n)`` integer code matrix and
-advances *all* of them per step with a handful of vectorised NumPy gathers
-into the precompiled per-node factor tables -- one batched conditional
-computation instead of a Python loop per chain.  This amortises the
-interpreter overhead of the serial chain across the batch, which is where
+A :class:`ChainBatch` holds ``n_chains`` independent chains of the same
+instance as a ``(chains, n)`` integer code matrix and advances *all* of
+them per step with a handful of vectorised NumPy gathers into the
+precompiled per-node factor tables -- one batched conditional computation
+instead of a Python loop per chain.  This amortises the interpreter
+overhead of the serial chain across the batch, which is where
 E6/E7/E12-style experiments spend their time.
+
+The *dynamics* advanced by a batch is a :class:`~repro.sampling.kernels.ChainKernel`
+(Glauber, LubyGlauber, JVV rejection, sequential scan, or any registered
+kernel): the batch owns the shared execution state (code matrix, per-chain
+generators and buffered streams, padded gather tables, kernel scratch
+space) and :meth:`ChainBatch.advance` hands it to the kernel's
+``batched_advance``.  The historical :meth:`ChainBatch.glauber_steps` /
+:meth:`ChainBatch.luby_rounds` methods are thin wrappers over the
+corresponding kernels.
 
 Determinism contract
 --------------------
 
 Every chain owns its own :class:`numpy.random.Generator`.  The per-chain
-draw pattern reproduces the serial samplers of
-:mod:`repro.sampling.glauber` exactly:
+draw pattern reproduces the serial samplers exactly:
 
 * Glauber draws ``integers(0, free_count, size=chunk)`` then
   ``random(chunk)`` per RNG chunk, with the serial chunk sizes;
@@ -21,28 +29,31 @@ draw pattern reproduces the serial samplers of
   ``random(n_selected)`` update points per round.  These are served from a
   per-chain buffer, which is safe because NumPy generators are
   *prefix-consistent*: one large ``random(k)`` call yields the same stream
-  as any sequence of smaller calls.
+  as any sequence of smaller calls;
+* the scan kernels (JVV, sequential) draw ``random(chunk)`` proposal
+  points (then ``random(chunk)`` acceptance points for gated kernels) per
+  chunk.
 
 All floating-point reductions (factor products, cumulative weights, totals)
 run in the same order as the serial inner loop, so chain ``c`` of a batch is
 **bit-identical** to the serial chain run with ``seed=seeds[c]`` for the same
-number of steps/rounds (matched against a single ``glauber_steps`` /
-``luby_rounds`` call; splitting one serial run across several
-``glauber_steps`` calls changes the chunk boundaries and hence the stream).
-The default seeding convention spawns per-chain ``SeedSequence`` streams from
-one root seed (:func:`chain_seed_sequences`), the standard way to get
-statistically independent chains from a single seed.
+number of steps/rounds (matched against a single ``advance`` call; splitting
+one serial run across several calls changes the chunk boundaries and hence
+the stream).  The default seeding convention spawns per-chain
+``SeedSequence`` streams from one root seed (:func:`chain_seed_sequences`),
+the standard way to get statistically independent chains from a single seed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.engine import resolve_engine
 from repro.gibbs.instance import SamplingInstance
-from repro.sampling.glauber import _RNG_CHUNK, greedy_feasible_configuration
+from repro.sampling.glauber import greedy_feasible_configuration
+from repro.sampling.kernels import ChainKernel, resolve_kernel, stuck_node_error
 
 Node = Hashable
 Value = Hashable
@@ -175,9 +186,45 @@ class _BatchedTables:
         indices = offsets[:, :, None] + self.aq * stride0[:, :, None]
         return np.multiply.reduce(self.pool[indices], axis=1)
 
+    def sample_codes(
+        self,
+        codes: np.ndarray,
+        rows: np.ndarray,
+        variables: np.ndarray,
+        points: np.ndarray,
+        compiled,
+    ) -> np.ndarray:
+        """Batched heat-bath resample: the new code for each (row, variable).
+
+        THE bit-identity-critical inner loop, shared by every kernel's
+        batched step (Glauber, LubyGlauber rounds, the scan kernels):
+        gather the conditional weights, cumulative-sum them in serial
+        order, and pick the first code whose cumulative weight covers
+        ``points[i] * total`` -- the strict ``<`` comparison and the
+        ``q - 1`` clamp reproduce the serial :func:`sample_code` exactly.
+        A non-positive total raises the shared stuck-node error (padded
+        factorless rows total exactly ``q``, so they can never trip it;
+        callers that need the serial factorless *fast path* -- uniform
+        resample via truncation -- handle it before or after this call).
+        """
+        weights = self.weights(codes, rows, variables)
+        cumulative = np.cumsum(weights, axis=1)
+        totals = cumulative[:, -1]
+        if not np.all(totals > 0.0):
+            stuck = int(np.flatnonzero(totals <= 0.0)[0])
+            raise stuck_node_error(compiled, variables[stuck])
+        return np.minimum(
+            np.sum(cumulative < (points * totals)[:, None], axis=1), self.q - 1
+        )
+
 
 class ChainBatch:
     """A batch of independent chains over one instance, as a code matrix.
+
+    The batch is the kernel-agnostic execution state; the dynamics comes
+    from the :class:`~repro.sampling.kernels.ChainKernel` handed to
+    :meth:`advance` (one batch runs one kernel for its lifetime -- the
+    per-chain RNG streams are not interchangeable between dynamics).
 
     Parameters
     ----------
@@ -243,42 +290,40 @@ class ChainBatch:
         self.rngs = [np.random.default_rng(chain_seed) for chain_seed in seeds]
         self._streams: Optional[List[_Stream]] = None
         self._kind: Optional[str] = None
-        free_nodes = instance.free_nodes
-        self._free_index = np.array(
-            [compiled.node_index[node] for node in free_nodes], dtype=np.int64
+        self._scratch: Dict[str, dict] = {}
+        #: Integer ids of the free nodes, in ``instance.free_nodes`` order.
+        self.free_index = np.array(
+            [compiled.node_index[node] for node in instance.free_nodes], dtype=np.int64
         )
-        self._chain_ids = np.arange(self.n_chains)
-        self._any_factorless = bool(
-            len(self._free_index) and np.any(self.tables.factorless[self._free_index])
+        #: ``arange(n_chains)``, the row selector of whole-batch gathers.
+        self.chain_ids = np.arange(self.n_chains)
+        #: Whether any free node has no factor (kernels replicate the serial
+        #: uniform-resample fast path for those).
+        self.any_factorless = bool(
+            len(self.free_index) and np.any(self.tables.factorless[self.free_index])
         )
-        # LubyGlauber selection structure: for each free node, the positions
-        # (into the priority array) of its free neighbours, padded with a
-        # sentinel column that reads a -inf priority (so isolated nodes are
-        # always selected, matching the serial all-of-empty convention).
-        free_set = set(free_nodes)
-        free_position = {
-            variable: position for position, variable in enumerate(self._free_index.tolist())
-        }
-        graph = instance.graph
-        neighbour_positions = [
-            [
-                free_position[compiled.node_index[neighbour]]
-                for neighbour in graph.neighbors(node)
-                if neighbour in free_set
-            ]
-            for node in free_nodes
-        ]
-        width = max((len(positions) for positions in neighbour_positions), default=0) or 1
-        sentinel = len(free_nodes)
-        self._neighbour_index = np.full((len(free_nodes), width), sentinel, dtype=np.int64)
-        for position, neighbours in enumerate(neighbour_positions):
-            self._neighbour_index[position, : len(neighbours)] = neighbours
 
     # ------------------------------------------------------------------
-    def _claim_kind(self, kind: str) -> None:
-        """One batch runs one chain kind.
+    def scratch(self, kernel_name: str) -> dict:
+        """Kernel-private persistent state (scan positions, masks, caches)."""
+        return self._scratch.setdefault(kernel_name, {})
 
-        Glauber and LubyGlauber consume the per-chain streams with different
+    def streams(self) -> List[_Stream]:
+        """Per-chain prefix-consistent buffered streams (created on first use)."""
+        if self._streams is None:
+            self._streams = [_Stream(rng) for rng in self.rngs]
+        return self._streams
+
+    def stack_trace(self, trace: List[np.ndarray]) -> np.ndarray:
+        """Stack per-unit statistic snapshots into a ``(chains, units)`` array."""
+        if not trace:
+            return np.empty((self.n_chains, 0))
+        return np.stack(trace, axis=1)
+
+    def _claim_kind(self, kind: str) -> None:
+        """One batch runs one chain kernel.
+
+        Different kernels consume the per-chain streams with different
         draw patterns; interleaving them on the same generators would yield
         chains that correspond to no serial execution, silently voiding the
         bit-identity contract.  Fail loudly instead.
@@ -289,150 +334,50 @@ class ChainBatch:
             raise RuntimeError(
                 f"this ChainBatch already ran {self._kind} updates; create a "
                 f"fresh batch for {kind} updates (the per-chain RNG streams "
-                "are not interchangeable between chain kinds)"
+                "are not interchangeable between chain kernels)"
             )
 
-    def glauber_steps(self, steps: int) -> "ChainBatch":
-        """Advance every chain by ``steps`` single-site Glauber updates.
+    # ------------------------------------------------------------------
+    def advance(self, kernel, count: int, statistic=None):
+        """Advance every chain by ``count`` units of ``kernel``.
 
         Parameters
         ----------
-        steps : int
-            Number of single-site updates per chain.
-
-        Returns
-        -------
-        ChainBatch
-            ``self``, for chaining.
-        """
-        if steps < 0:
-            raise ValueError("steps must be non-negative")
-        self._claim_kind("glauber")
-        free_count = len(self._free_index)
-        if free_count == 0 or steps == 0:
-            return self
-        chains = self.n_chains
-        tables = self.tables
-        q = tables.q
-        chain_ids = self._chain_ids
-        codes = self.codes
-        factorless = tables.factorless
-        remaining = steps
-        while remaining > 0:
-            chunk = min(remaining, _RNG_CHUNK)
-            remaining -= chunk
-            choices = np.empty((chains, chunk), dtype=np.int64)
-            points = np.empty((chains, chunk))
-            for chain, rng in enumerate(self.rngs):
-                choices[chain] = rng.integers(0, free_count, size=chunk)
-                points[chain] = rng.random(chunk)
-            variables = self._free_index[choices]
-            for step in range(chunk):
-                chosen = variables[:, step]
-                point = points[:, step]
-                weights = tables.weights(codes, chain_ids, chosen)
-                cumulative = np.cumsum(weights, axis=1)
-                totals = cumulative[:, -1]
-                if not np.all(totals > 0.0):
-                    # Padded (factorless) rows total exactly q, so a
-                    # non-positive total is a genuinely stuck node.
-                    self._raise_stuck(chosen, totals)
-                new_codes = np.minimum(
-                    np.sum(cumulative < (point * totals)[:, None], axis=1), q - 1
-                )
-                if self._any_factorless:
-                    # Replicate the serial fast path for factorless nodes
-                    # (uniform resample via truncation, not cumulative search).
-                    uniform = np.minimum((point * q).astype(np.int64), q - 1)
-                    new_codes = np.where(factorless[chosen], uniform, new_codes)
-                codes[chain_ids, chosen] = new_codes
-        return self
-
-    def luby_rounds(
-        self,
-        rounds: int,
-        statistic: Optional[Callable[[np.ndarray], np.ndarray]] = None,
-    ):
-        """Advance every chain by ``rounds`` LubyGlauber rounds.
-
-        Parameters
-        ----------
-        rounds : int
-            Number of LubyGlauber rounds per chain.
+        kernel : str or ChainKernel
+            The dynamics (a registered kernel name or instance).  A batch
+            is claimed by the first kernel it runs; mixing kernels raises.
+        count : int
+            Units (steps/rounds) per chain.
         statistic : callable, optional
-            Applied to the ``(chains, n)`` code matrix after every round.
+            Applied to the ``(chains, n)`` code matrix after every unit;
+            when given, the per-chain traces are returned as a
+            ``(chains, count)`` array (the input of the convergence
+            diagnostics in :mod:`repro.analysis.convergence`).
 
         Returns
         -------
         ChainBatch or numpy.ndarray
-            Without ``statistic``, the batch itself (for chaining); with it,
-            the per-chain traces as a ``(chains, rounds)`` array (the input
-            of the convergence diagnostics in
-            :mod:`repro.analysis.convergence`).
+            ``self`` (for chaining) without ``statistic``, else the trace.
         """
-        if rounds < 0:
-            raise ValueError("rounds must be non-negative")
-        self._claim_kind("luby-glauber")
-        trace: Optional[List[np.ndarray]] = [] if statistic is not None else None
-        streams = self._luby_streams()
-        for _ in range(rounds):
-            if len(self._free_index):
-                self._luby_round(streams)
-            if trace is not None:
-                trace.append(np.asarray(statistic(self.codes), dtype=float))
-        if trace is not None:
-            if not trace:
-                return np.empty((self.n_chains, 0))
-            return np.stack(trace, axis=1)
+        resolved: ChainKernel = resolve_kernel(kernel)
+        self._claim_kind(resolved.name)
+        trace = resolved.batched_advance(self, count, statistic=statistic)
+        if statistic is not None:
+            return trace
         return self
 
-    # ------------------------------------------------------------------
-    def _luby_streams(self) -> List[_Stream]:
-        if self._streams is None:
-            self._streams = [_Stream(rng) for rng in self.rngs]
-        return self._streams
+    def glauber_steps(self, steps: int) -> "ChainBatch":
+        """Advance every chain by ``steps`` single-site Glauber updates."""
+        return self.advance("glauber", steps)
 
-    def _luby_round(self, streams: List[_Stream]) -> None:
-        chains = self.n_chains
-        free_count = len(self._free_index)
-        priorities = np.empty((chains, free_count))
-        for chain, stream in enumerate(streams):
-            priorities[chain] = stream.take(free_count)
-        extended = np.concatenate(
-            [priorities, np.full((chains, 1), -np.inf)], axis=1
-        )
-        selected = priorities > extended[:, self._neighbour_index].max(axis=2)
-        counts = selected.sum(axis=1)
-        # Every chain consumes exactly its selection count from its stream,
-        # matching the serial rng.random(len(selected)) draw.
-        points = np.concatenate(
-            [streams[chain].take(int(counts[chain])) for chain in range(chains)]
-        )
-        rows, positions = np.nonzero(selected)
-        if len(rows) == 0:
-            return
-        variables = self._free_index[positions]
-        # All conditionals read the pre-round snapshot; the selected nodes
-        # form an independent set per chain, so the simultaneous updates
-        # below cannot interact.
-        weights = self.tables.weights(self.codes, rows, variables)
-        cumulative = np.cumsum(weights, axis=1)
-        totals = cumulative[:, -1]
-        if not np.all(totals > 0.0):
-            self._raise_stuck(variables, totals)
-        new_codes = np.minimum(
-            np.sum(cumulative < (points * totals)[:, None], axis=1),
-            self.tables.q - 1,
-        )
-        self.codes[rows, variables] = new_codes
+    def luby_rounds(self, rounds: int, statistic=None):
+        """Advance every chain by ``rounds`` LubyGlauber rounds.
 
-    def _raise_stuck(self, variables: np.ndarray, totals: np.ndarray) -> None:
-        stuck = int(np.flatnonzero(totals <= 0.0)[0])
-        node = self.compiled.nodes[int(variables[stuck])]
-        raise ValueError(
-            f"node {node!r} has no feasible value given its neighbourhood; "
-            "the single-site dynamics is not ergodic here"
-        )
+        With ``statistic`` the per-round traces come back as a
+        ``(chains, rounds)`` array; without it the batch itself (for
+        chaining).
+        """
+        return self.advance("luby-glauber", rounds, statistic=statistic)
 
     # ------------------------------------------------------------------
     def configurations(self) -> List[Dict[Node, Value]]:
@@ -451,6 +396,42 @@ class ChainBatch:
         ]
 
 
+def batched_kernel_sample(
+    kernel,
+    instance: SamplingInstance,
+    count: int,
+    n_chains: Optional[int] = None,
+    seed: Seed = 0,
+    seeds: Optional[Sequence] = None,
+    initial: Optional[Dict[Node, Value]] = None,
+    engine: Optional[str] = None,
+) -> List[Dict[Node, Value]]:
+    """Run a batch of chains of one kernel; return the per-chain final states.
+
+    The single batched entry point behind
+    :meth:`repro.runtime.executor.Runtime.run_chains` (and the cluster
+    workers' chain blocks): entry ``c`` is bit-identical to
+    ``kernel.serial_run(instance, count, seed=seeds[c], initial=initial)``.
+
+    Parameters
+    ----------
+    kernel : str or ChainKernel
+        The dynamics to advance.
+    instance, count, n_chains, seed, seeds, initial, engine
+        As for :class:`ChainBatch`; ``count`` is the per-chain unit count.
+
+    Returns
+    -------
+    list of dict
+        Final configurations, one per chain.
+    """
+    batch = ChainBatch(
+        instance, n_chains=n_chains, seed=seed, seeds=seeds, initial=initial, engine=engine
+    )
+    batch.advance(kernel, count)
+    return batch.configurations()
+
+
 def batched_glauber_sample(
     instance: SamplingInstance,
     steps: int,
@@ -464,22 +445,18 @@ def batched_glauber_sample(
 
     Entry ``c`` is bit-identical to
     ``glauber_sample(instance, steps, seed=seeds[c], initial=initial)``.
-
-    Parameters
-    ----------
-    instance, steps, n_chains, seed, seeds, initial, engine
-        As for :class:`ChainBatch`; ``steps`` is the per-chain update count.
-
-    Returns
-    -------
-    list of dict
-        Final configurations, one per chain.
+    Equivalent to ``batched_kernel_sample("glauber", ...)``.
     """
-    batch = ChainBatch(
-        instance, n_chains=n_chains, seed=seed, seeds=seeds, initial=initial, engine=engine
+    return batched_kernel_sample(
+        "glauber",
+        instance,
+        steps,
+        n_chains=n_chains,
+        seed=seed,
+        seeds=seeds,
+        initial=initial,
+        engine=engine,
     )
-    batch.glauber_steps(steps)
-    return batch.configurations()
 
 
 def batched_luby_glauber_sample(
@@ -495,19 +472,15 @@ def batched_luby_glauber_sample(
 
     Entry ``c`` is bit-identical to
     ``luby_glauber_sample(instance, rounds, seed=seeds[c], initial=initial)``.
-
-    Parameters
-    ----------
-    instance, rounds, n_chains, seed, seeds, initial, engine
-        As for :class:`ChainBatch`; ``rounds`` is the per-chain round count.
-
-    Returns
-    -------
-    list of dict
-        Final configurations, one per chain.
+    Equivalent to ``batched_kernel_sample("luby-glauber", ...)``.
     """
-    batch = ChainBatch(
-        instance, n_chains=n_chains, seed=seed, seeds=seeds, initial=initial, engine=engine
+    return batched_kernel_sample(
+        "luby-glauber",
+        instance,
+        rounds,
+        n_chains=n_chains,
+        seed=seed,
+        seeds=seeds,
+        initial=initial,
+        engine=engine,
     )
-    batch.luby_rounds(rounds)
-    return batch.configurations()

@@ -28,9 +28,17 @@ Four backends:
     ``runtime="cluster"`` spawns localhost workers on first use.  Results
     are bit-identical to every other backend.
 
+Chain workloads of every registered
+:class:`~repro.sampling.kernels.ChainKernel` (Glauber, LubyGlauber, JVV
+rejection, sequential scan, ...) execute through the single
+:meth:`Runtime.run_chains` path on all four backends; the distributed legs
+dispatch the registered ``chain_block`` task body of
+:data:`repro.runtime.shards.TASK_REGISTRY`, so adding a kernel adds zero
+backend plumbing.
+
 The facade is threaded through ``sampling/glauber.py``,
 ``inference/ssm_inference.py``, the LOCAL driver in ``localmodel/local.py``
-and the E5/E6/E7/E8/E12 experiment entry points as a ``runtime=`` parameter
+and the E4/E5/E6/E7/E8/E12 experiment entry points as a ``runtime=`` parameter
 that defaults to serial, mirroring how ``engine=`` selects the evaluation
 backend (see :mod:`repro.engine`).  The two knobs compose: ``engine``
 decides how a single quantity is evaluated, ``runtime`` decides how many of
@@ -41,6 +49,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import (
     Callable,
@@ -57,17 +66,18 @@ from typing import (
 
 from repro.gibbs.instance import SamplingInstance
 from repro.runtime.chains import (
-    batched_glauber_sample,
-    batched_luby_glauber_sample,
+    batched_kernel_sample,
     chain_seed_sequences,
 )
 from repro.runtime.shards import (
     process_map,
     process_map_unordered,
+    run_chain_blocks,
     stream_ball_marginal_tasks,
     stream_compiled_balls,
     stream_padded_ball_marginals,
 )
+from repro.sampling.kernels import ChainKernel, resolve_kernel
 
 Node = Hashable
 Value = Hashable
@@ -370,27 +380,49 @@ class Runtime:
         self.shutdown()
 
     # ------------------------------------------------------------------
-    def glauber_sample(
+    def run_chains(
         self,
+        kernel: Union[str, ChainKernel],
         instance: SamplingInstance,
-        steps: int,
+        count: int,
         seed=0,
         seeds: Optional[Sequence] = None,
         initial: Optional[Dict[Node, Value]] = None,
         engine: Optional[str] = None,
     ) -> List[Dict[Node, Value]]:
-        """Final states of ``n_chains`` independent Glauber chains.
+        """Final states of ``n_chains`` independent chains of one kernel.
 
-        All backends use the same per-chain seed convention
-        (:func:`~repro.runtime.chains.chain_seed_sequences`), so the result
-        is identical across backends; only the execution strategy differs.
+        THE chain execution path: every registered
+        :class:`~repro.sampling.kernels.ChainKernel` (Glauber, LubyGlauber,
+        JVV rejection, sequential scan, ...) runs on every backend through
+        this one method.  All backends use the same per-chain seed
+        convention (:func:`~repro.runtime.chains.chain_seed_sequences`), so
+        the result is bit-identical across backends; only the execution
+        strategy differs:
+
+        * ``serial`` loops the kernel's reference ``serial_run`` per seed;
+        * ``batched`` advances all chains as one ``(chains, n)`` code
+          matrix (:func:`~repro.runtime.chains.batched_kernel_sample`);
+        * ``process`` splits the seeds into contiguous blocks and runs the
+          registered ``chain_block`` task body
+          (:data:`~repro.runtime.shards.TASK_REGISTRY`) on a pool, one
+          batched block per worker;
+        * ``cluster`` dispatches the same ``chain_block`` bodies to its
+          TCP workers against the shipped :class:`InstanceSpec`.
+
+        An explicit ``engine="dict"`` request is not spec-transportable;
+        it degrades to the per-seed serial reference loop (fanned out via
+        :meth:`map` where the backend supports closures).
 
         Parameters
         ----------
+        kernel : str or ChainKernel
+            The dynamics to advance (registered name or instance).
         instance : SamplingInstance
             The instance every chain targets.
-        steps : int
-            Single-site updates per chain.
+        count : int
+            Units of the dynamics per chain (steps, rounds, ... -- see the
+            kernel's ``unit``).
         seed, seeds
             Root seed to spawn per-chain streams from, or explicit per-chain
             seeds (overrides ``seed``).
@@ -402,33 +434,68 @@ class Runtime:
         Returns
         -------
         list of dict
-            Final configurations, one per chain.
+            Final configurations, one per chain, in seed order.
         """
+        resolved = resolve_kernel(kernel)
         if seeds is None:
             seeds = chain_seed_sequences(seed, self.n_chains)
+        else:
+            seeds = list(seeds)
+        if not self._spec_transportable(engine):
+            # The reference backend stays the reference: per-seed serial
+            # chains (the process backend still fans them out via fork).
+            return self.map(
+                lambda chain_seed: resolved.serial_run(
+                    instance, count, seed=chain_seed, initial=initial, engine=engine
+                ),
+                seeds,
+            )
         if self.is_batched:
-            return batched_glauber_sample(
-                instance, steps, seeds=seeds, initial=initial, engine=engine
+            return batched_kernel_sample(
+                resolved, instance, count, seeds=seeds, initial=initial, engine=engine
             )
-        if self.is_cluster and self._spec_transportable(engine):
-            # Workers run batched chain blocks on the instance rebuilt from
-            # the shipped spec -- bit-identical per chain to the serial
-            # sampler (the batched runner's contract).
+        if self.is_process:
+            return run_chain_blocks(
+                instance,
+                resolved.name,
+                count,
+                seeds,
+                initial=initial,
+                n_workers=self.n_workers,
+            )
+        if self.is_cluster:
             return self.cluster_client().chain_samples(
-                instance, "glauber", steps, seeds, initial=initial
+                instance, resolved.name, count, seeds, initial=initial
             )
-        from repro.sampling.glauber import glauber_sample
+        return [
+            resolved.serial_run(
+                instance, count, seed=chain_seed, initial=initial, engine=engine
+            )
+            for chain_seed in seeds
+        ]
 
-        # Chains are independent, so the process backend fans the per-seed
-        # serial chains out over workers via self.map (serial backend: plain
-        # loop; the cluster backend falls back in-process here, since this
-        # closure cannot cross the socket transport); the per-chain results
-        # are identical either way.
-        return self.map(
-            lambda chain_seed: glauber_sample(
-                instance, steps, seed=chain_seed, initial=initial, engine=engine
-            ),
-            seeds,
+    def glauber_sample(
+        self,
+        instance: SamplingInstance,
+        steps: int,
+        seed=0,
+        seeds: Optional[Sequence] = None,
+        initial: Optional[Dict[Node, Value]] = None,
+        engine: Optional[str] = None,
+    ) -> List[Dict[Node, Value]]:
+        """Deprecated: ``run_chains("glauber", ...)`` with ``steps`` updates.
+
+        .. deprecated::
+            Use :meth:`run_chains` -- the single kernel-driven execution
+            path.  This wrapper delegates and returns identical results.
+        """
+        warnings.warn(
+            'Runtime.glauber_sample is deprecated; use Runtime.run_chains("glauber", ...)',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run_chains(
+            "glauber", instance, steps, seed=seed, seeds=seeds, initial=initial, engine=engine
         )
 
     def luby_glauber_sample(
@@ -440,36 +507,25 @@ class Runtime:
         initial: Optional[Dict[Node, Value]] = None,
         engine: Optional[str] = None,
     ) -> List[Dict[Node, Value]]:
-        """Final states of ``n_chains`` independent LubyGlauber chains.
+        """Deprecated: ``run_chains("luby-glauber", ...)`` with ``rounds`` rounds.
 
-        Parameters
-        ----------
-        instance, rounds, seed, seeds, initial, engine
-            As for :meth:`glauber_sample`, with ``rounds`` LubyGlauber
-            rounds per chain.
-
-        Returns
-        -------
-        list of dict
-            Final configurations, one per chain.
+        .. deprecated::
+            Use :meth:`run_chains` -- the single kernel-driven execution
+            path.  This wrapper delegates and returns identical results.
         """
-        if seeds is None:
-            seeds = chain_seed_sequences(seed, self.n_chains)
-        if self.is_batched:
-            return batched_luby_glauber_sample(
-                instance, rounds, seeds=seeds, initial=initial, engine=engine
-            )
-        if self.is_cluster and self._spec_transportable(engine):
-            return self.cluster_client().chain_samples(
-                instance, "luby", rounds, seeds, initial=initial
-            )
-        from repro.sampling.glauber import luby_glauber_sample
-
-        return self.map(
-            lambda chain_seed: luby_glauber_sample(
-                instance, rounds, seed=chain_seed, initial=initial, engine=engine
-            ),
-            seeds,
+        warnings.warn(
+            'Runtime.luby_glauber_sample is deprecated; use Runtime.run_chains("luby-glauber", ...)',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run_chains(
+            "luby-glauber",
+            instance,
+            rounds,
+            seed=seed,
+            seeds=seeds,
+            initial=initial,
+            engine=engine,
         )
 
     @staticmethod

@@ -361,6 +361,26 @@ class InstanceSpec:
 #: keeps its ball memo warm across chunks.
 _WORKER_SPEC: Optional[InstanceSpec] = None
 
+#: The task registry: every spec-bound task body that a distributed backend
+#: can execute, by kind.  One body per kind, shared by *all* backends: the
+#: process pool submits these functions directly, the cluster worker looks
+#: them up by the kind carried in the ``TASK`` frame, and the in-process
+#: fallbacks call them with an explicit spec -- so a result is bit-identical
+#: no matter where it ran.  Bodies take ``(args, spec)`` where ``args`` is
+#: the picklable task payload and ``spec`` the connection/pool-level
+#: :class:`InstanceSpec`.
+TASK_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_task(kind: str) -> Callable:
+    """Decorator: register a ``(args, spec) -> result`` task body by kind."""
+
+    def decorate(body: Callable) -> Callable:
+        TASK_REGISTRY[kind] = body
+        return body
+
+    return decorate
+
 #: Default cap on the per-ball marginal-memo delta a worker ships back.
 MEMO_DELTA_CAP = 64
 
@@ -416,6 +436,125 @@ def _ball_marginal_chunk(
         if (key[1], key[2]) in chunk_keys
     }
     return marginals, balls, extras, memos
+
+
+@register_task("ball_marginals")
+def _ball_marginals_task(args: Dict, spec: Optional[InstanceSpec] = None):
+    """Registered body: Theorem 5.1 marginals for one chunk of ball tasks."""
+    return _ball_marginal_chunk(args["tasks"], args["memo_cap"], spec=spec)
+
+
+@register_task("compile_balls")
+def _compile_balls_task(args: Dict, spec: Optional[InstanceSpec] = None):
+    """Registered body: compile one chunk of ``(center, radius)`` balls."""
+    return _compile_ball_chunk(args["tasks"], spec=spec)
+
+
+#: Legacy chain-block kind names (the pre-kernel wire format) -> kernel names.
+_LEGACY_CHAIN_KINDS = {"glauber": "glauber", "luby": "luby-glauber"}
+#: Reverse view: kernel name -> the legacy alias a previous-release worker
+#: understands (the coordinator ships both fields for these kernels).
+_LEGACY_ALIAS_BY_KERNEL = {name: alias for alias, name in _LEGACY_CHAIN_KINDS.items()}
+
+
+def _chain_block_kernel(args: Dict) -> str:
+    """The kernel name of a chain-block payload (legacy ``kind`` accepted)."""
+    kernel = args.get("kernel")
+    if kernel is None:
+        kernel = _LEGACY_CHAIN_KINDS.get(args.get("kind"))
+    if kernel is None:
+        raise ValueError(f"chain block names no kernel: {args!r}")
+    return kernel
+
+
+@register_task("chain_block")
+def _chain_block_task(args: Dict, spec: Optional[InstanceSpec] = None):
+    """Registered body: advance one block of chains of one kernel.
+
+    ``args`` carries ``{"kernel", "count", "seeds", "initial"}`` (plus the
+    transport-level ``spec_id``); the block runs as a batched code matrix
+    on the instance reconstructed from the spec
+    (:meth:`InstanceSpec.to_instance`), so entry ``c`` of the result is
+    bit-identical to the kernel's serial chain run with ``seed=seeds[c]``
+    -- the contract that makes chain blocks freely movable between the
+    process pool, cluster workers and the in-process fallback.
+    """
+    from repro.runtime.chains import batched_kernel_sample
+    from repro.sampling.kernels import get_kernel
+
+    spec = _WORKER_SPEC if spec is None else spec
+    kernel = get_kernel(_chain_block_kernel(args))
+    return batched_kernel_sample(
+        kernel,
+        spec.to_instance(),
+        args["count"],
+        seeds=args["seeds"],
+        initial=args.get("initial"),
+    )
+
+
+def run_chain_blocks(
+    instance: SamplingInstance,
+    kernel_name: str,
+    count: int,
+    seeds: Sequence,
+    initial=None,
+    n_workers: int = 2,
+) -> List[Dict[Node, Value]]:
+    """Run independent chains as batched blocks over a process pool.
+
+    The process-backend leg of the unified chain path
+    (:meth:`repro.runtime.executor.Runtime.run_chains`): the seed list is
+    split into one contiguous block per worker, each block executes the
+    registered ``chain_block`` task body on a pool worker (the
+    :class:`InstanceSpec` crosses the pipe once per worker via the pool
+    initializer), and the per-block results concatenate back in seed
+    order.  With one block or one worker the body runs in-process -- same
+    body, same results.
+
+    Returns
+    -------
+    list of dict
+        Final configurations, one per seed, bit-identical to the kernel's
+        serial chains.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    spec = InstanceSpec.from_instance(instance)
+    # One contiguous block per worker (same split the cluster coordinator
+    # uses for its chain blocks).
+    blocks = _chunk_tasks(
+        seeds, 1, chunk_size=-(-len(seeds) // max(1, n_workers))
+    )
+
+    def payload(block: List) -> Dict:
+        return {
+            "kernel": kernel_name,
+            "count": count,
+            "seeds": block,
+            "initial": dict(initial) if initial is not None else None,
+        }
+
+    if len(blocks) <= 1 or n_workers <= 1:
+        results: List[Dict[Node, Value]] = []
+        for block in blocks:
+            results.extend(_chain_block_task(payload(block), spec=spec))
+        return results
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(blocks)),
+        initializer=_install_worker_spec,
+        initargs=(spec,),
+    ) as pool:
+        futures = [pool.submit(_chain_block_task, payload(block)) for block in blocks]
+        try:
+            results = []
+            for future in futures:  # block order == seed order
+                results.extend(future.result())
+            return results
+        finally:
+            for future in futures:
+                future.cancel()
 
 
 def _chunk_tasks(

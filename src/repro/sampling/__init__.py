@@ -17,14 +17,33 @@
 """
 
 from repro.sampling.exact import ExactSampler, enumerate_target_distribution
+from repro.sampling.kernels import (
+    ChainKernel,
+    ScanKernel,
+    get_kernel,
+    register_kernel,
+    registered_kernels,
+    resolve_kernel,
+)
 from repro.sampling.sequential import (
+    SequentialKernel,
     SequentialSamplingAlgorithm,
     sample_approximate_local,
     sample_approximate_slocal,
+    sequential_scan_sample,
 )
-from repro.sampling.jvv import LocalJVVSampler, sample_exact_local, sample_exact_slocal
+from repro.sampling.jvv import (
+    JVVKernel,
+    LocalJVVSampler,
+    jvv_chain_stats,
+    jvv_rejection_sample,
+    sample_exact_local,
+    sample_exact_slocal,
+)
 from repro.sampling.sampling_to_inference import InferenceFromSampling
 from repro.sampling.glauber import (
+    GlauberKernel,
+    LubyGlauberKernel,
     glauber_sample,
     greedy_feasible_configuration,
     luby_glauber_sample,
@@ -33,13 +52,26 @@ from repro.sampling.glauber import (
 __all__ = [
     "ExactSampler",
     "enumerate_target_distribution",
+    "ChainKernel",
+    "ScanKernel",
+    "get_kernel",
+    "register_kernel",
+    "registered_kernels",
+    "resolve_kernel",
+    "SequentialKernel",
     "SequentialSamplingAlgorithm",
     "sample_approximate_local",
     "sample_approximate_slocal",
+    "sequential_scan_sample",
+    "JVVKernel",
     "LocalJVVSampler",
+    "jvv_chain_stats",
+    "jvv_rejection_sample",
     "sample_exact_local",
     "sample_exact_slocal",
     "InferenceFromSampling",
+    "GlauberKernel",
+    "LubyGlauberKernel",
     "glauber_sample",
     "greedy_feasible_configuration",
     "luby_glauber_sample",

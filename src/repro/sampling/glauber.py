@@ -24,19 +24,34 @@ followed by a product over the alphabet axis -- instead of ``q x
 ``engine="dict"`` to run the reference implementation.
 
 Both samplers also accept a ``runtime=`` knob (see :mod:`repro.runtime`):
-a batched runtime advances many independent chains as one ``(chains, n)``
-code matrix, bit-identical per chain to the serial functions here.
+a non-serial runtime advances many independent chains through the unified
+kernel execution path (:meth:`repro.runtime.executor.Runtime.run_chains`),
+bit-identical per chain to the serial functions here.
+
+Both dynamics are exposed as *chain kernels*
+(:class:`GlauberKernel` / :class:`LubyGlauberKernel`, see
+:mod:`repro.sampling.kernels`): the serial loops below are the reference
+bit-patterns, the ``batched_advance`` methods are the vectorised
+``(chains, n)`` code-matrix implementations, and every execution backend
+(serial/batched/process/cluster) dispatches them through the same
+``run_chains`` path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
 from repro.analysis.distances import normalize, sample_from
 from repro.engine import resolve_engine
 from repro.gibbs.instance import SamplingInstance
+from repro.sampling.kernels import (
+    RNG_CHUNK,
+    ChainKernel,
+    register_kernel,
+    sample_code,
+)
 
 Node = Hashable
 Value = Hashable
@@ -169,19 +184,10 @@ def _decode_state(compiled, codes) -> Dict[Node, Value]:
     }
 
 
-def _sample_code(weights, point: float) -> int:
-    """The alphabet code whose cumulative weight first covers ``point``."""
-    cumulative = 0.0
-    for code, weight in enumerate(weights):
-        cumulative += weight
-        if point <= cumulative:
-            return code
-    return len(weights) - 1
-
-
-#: Chunk size for pre-drawn random numbers in the chain loops (bounds memory
-#: for very long chains while amortising the per-call RNG overhead).
-_RNG_CHUNK = 8192
+#: Backwards-compatible aliases: the canonical definitions moved to
+#: :mod:`repro.sampling.kernels` with the kernel layer.
+_sample_code = sample_code
+_RNG_CHUNK = RNG_CHUNK
 
 
 def glauber_sample(
@@ -209,8 +215,8 @@ def glauber_sample(
 
         resolved = resolve_runtime(runtime)
         if not resolved.is_serial:
-            return resolved.glauber_sample(
-                instance, steps, seed=seed, initial=initial, engine=engine
+            return resolved.run_chains(
+                GLAUBER_KERNEL, instance, steps, seed=seed, initial=initial, engine=engine
             )
     rng = np.random.default_rng(seed)
     configuration = (
@@ -292,8 +298,13 @@ def luby_glauber_sample(
 
         resolved = resolve_runtime(runtime)
         if not resolved.is_serial:
-            return resolved.luby_glauber_sample(
-                instance, rounds, seed=seed, initial=initial, engine=engine
+            return resolved.run_chains(
+                LUBY_GLAUBER_KERNEL,
+                instance,
+                rounds,
+                seed=seed,
+                initial=initial,
+                engine=engine,
             )
     rng = np.random.default_rng(seed)
     configuration = (
@@ -369,3 +380,174 @@ def luby_glauber_sample(
         for variable, code in updates:
             codes[variable] = code
     return _decode_state(compiled, codes)
+
+
+# ----------------------------------------------------------------------
+# kernel definitions (see repro.sampling.kernels)
+# ----------------------------------------------------------------------
+class GlauberKernel(ChainKernel):
+    """Single-site Glauber dynamics as a chain kernel.
+
+    One unit = one uniformly random free node resampled from its exact
+    local conditional.  ``serial_run`` is :func:`glauber_sample`;
+    ``batched_advance`` is the vectorised ``(chains, n)`` implementation
+    (one batched gather per step), bit-identical per chain under the
+    chunked RNG contract (``integers(0, free, k)`` then ``random(k)`` per
+    chunk of ``k`` steps).
+    """
+
+    name = "glauber"
+    unit = "steps"
+
+    def serial_run(self, instance, count, seed=0, initial=None, engine=None):
+        return glauber_sample(instance, count, seed=seed, initial=initial, engine=engine)
+
+    def batched_advance(self, batch, count, statistic=None):
+        if count < 0:
+            raise ValueError("steps must be non-negative")
+        free_index = batch.free_index
+        free_count = len(free_index)
+        trace: Optional[List[np.ndarray]] = [] if statistic is not None else None
+        if free_count == 0 or count == 0:
+            if trace is not None:
+                for _ in range(count):
+                    trace.append(np.asarray(statistic(batch.codes), dtype=float))
+                return batch.stack_trace(trace)
+            return None
+        chains = batch.n_chains
+        tables = batch.tables
+        q = tables.q
+        chain_ids = batch.chain_ids
+        codes = batch.codes
+        factorless = tables.factorless
+        remaining = count
+        while remaining > 0:
+            chunk = min(remaining, RNG_CHUNK)
+            remaining -= chunk
+            choices = np.empty((chains, chunk), dtype=np.int64)
+            points = np.empty((chains, chunk))
+            for chain, rng in enumerate(batch.rngs):
+                choices[chain] = rng.integers(0, free_count, size=chunk)
+                points[chain] = rng.random(chunk)
+            variables = free_index[choices]
+            for step in range(chunk):
+                chosen = variables[:, step]
+                point = points[:, step]
+                new_codes = tables.sample_codes(
+                    codes, chain_ids, chosen, point, batch.compiled
+                )
+                if batch.any_factorless:
+                    # Replicate the serial fast path for factorless nodes
+                    # (uniform resample via truncation, not cumulative search).
+                    uniform = np.minimum((point * q).astype(np.int64), q - 1)
+                    new_codes = np.where(factorless[chosen], uniform, new_codes)
+                codes[chain_ids, chosen] = new_codes
+                if trace is not None:
+                    trace.append(np.asarray(statistic(codes), dtype=float))
+        if trace is not None:
+            return batch.stack_trace(trace)
+        return None
+
+
+class LubyGlauberKernel(ChainKernel):
+    """The LubyGlauber parallel chain as a chain kernel.
+
+    One unit = one round: every free node draws a priority, the local
+    maxima form an independent set, and all selected nodes resample
+    simultaneously from the pre-round snapshot.  ``serial_run`` is
+    :func:`luby_glauber_sample`; ``batched_advance`` advances every chain's
+    round with one batched priority comparison and one batched gather,
+    serving the per-chain draws from prefix-consistent buffered streams.
+    """
+
+    name = "luby-glauber"
+    unit = "rounds"
+
+    def serial_run(self, instance, count, seed=0, initial=None, engine=None):
+        return luby_glauber_sample(
+            instance, count, seed=seed, initial=initial, engine=engine
+        )
+
+    def batched_advance(self, batch, count, statistic=None):
+        if count < 0:
+            raise ValueError("rounds must be non-negative")
+        trace: Optional[List[np.ndarray]] = [] if statistic is not None else None
+        streams = batch.streams()
+        neighbour_index = self._neighbour_index(batch)
+        for _ in range(count):
+            if len(batch.free_index):
+                self._round(batch, streams, neighbour_index)
+            if trace is not None:
+                trace.append(np.asarray(statistic(batch.codes), dtype=float))
+        if trace is not None:
+            return batch.stack_trace(trace)
+        return None
+
+    def _neighbour_index(self, batch) -> np.ndarray:
+        """Positions (into the priority array) of each free node's free
+        neighbours, padded with a sentinel column that reads a ``-inf``
+        priority -- so isolated nodes are always selected, matching the
+        serial all-of-empty convention.  Cached per batch."""
+        state = batch.scratch(self.name)
+        cached = state.get("neighbour_index")
+        if cached is not None:
+            return cached
+        instance = batch.instance
+        compiled = batch.compiled
+        free_nodes = instance.free_nodes
+        free_set = set(free_nodes)
+        free_position = {
+            variable: position
+            for position, variable in enumerate(batch.free_index.tolist())
+        }
+        graph = instance.graph
+        neighbour_positions = [
+            [
+                free_position[compiled.node_index[neighbour]]
+                for neighbour in graph.neighbors(node)
+                if neighbour in free_set
+            ]
+            for node in free_nodes
+        ]
+        width = max((len(positions) for positions in neighbour_positions), default=0) or 1
+        sentinel = len(free_nodes)
+        neighbour_index = np.full((len(free_nodes), width), sentinel, dtype=np.int64)
+        for position, neighbours in enumerate(neighbour_positions):
+            neighbour_index[position, : len(neighbours)] = neighbours
+        state["neighbour_index"] = neighbour_index
+        return neighbour_index
+
+    def _round(self, batch, streams, neighbour_index) -> None:
+        chains = batch.n_chains
+        free_index = batch.free_index
+        free_count = len(free_index)
+        priorities = np.empty((chains, free_count))
+        for chain, stream in enumerate(streams):
+            priorities[chain] = stream.take(free_count)
+        extended = np.concatenate(
+            [priorities, np.full((chains, 1), -np.inf)], axis=1
+        )
+        selected = priorities > extended[:, neighbour_index].max(axis=2)
+        counts = selected.sum(axis=1)
+        # Every chain consumes exactly its selection count from its stream,
+        # matching the serial rng.random(len(selected)) draw.
+        points = np.concatenate(
+            [streams[chain].take(int(counts[chain])) for chain in range(chains)]
+        )
+        rows, positions = np.nonzero(selected)
+        if len(rows) == 0:
+            return
+        variables = free_index[positions]
+        # All conditionals read the pre-round snapshot; the selected nodes
+        # form an independent set per chain, so the simultaneous updates
+        # below cannot interact.
+        new_codes = batch.tables.sample_codes(
+            batch.codes, rows, variables, points, batch.compiled
+        )
+        batch.codes[rows, variables] = new_codes
+
+
+#: The registered kernel instances (also reachable by name through
+#: :func:`repro.sampling.kernels.get_kernel`).
+GLAUBER_KERNEL = register_kernel(GlauberKernel())
+LUBY_GLAUBER_KERNEL = register_kernel(LubyGlauberKernel())

@@ -29,6 +29,22 @@ The product of the acceptance probabilities telescopes to
 ``mu_hat(sigma_0) * w(Y) / (mu_hat(Y) * w(sigma_0)) * e^{-3/n}``, so
 conditioned on global acceptance the output is distributed exactly according
 to ``mu^tau``, and the failure probability is ``O(1/n)``.
+
+The rejection pass is additionally exposed as a *chain kernel*
+(:class:`JVVKernel`, see :mod:`repro.sampling.kernels`): with an exact
+local oracle the per-node quantity ``q_{v_i}`` of equation (9) collapses to
+the slack constant ``e^{-3/n^2}`` (the ``mu_hat`` ratio cancels the weight
+ratio exactly -- the identity the acceptance test of
+``tests/test_sampling_jvv.py`` pins down), so one unit of the kernel is:
+resample the next scan node from its exact conditional (that is ``sigma_i``
+adopting the proposal) and draw the acceptance gate against ``e^{-3/n^2}``,
+raising the chain's failure count on rejection -- exactly the
+``sigma_{i-1} -> sigma_i`` step of pass 3, iterated over the scan.  A full
+scan (``n_free`` units) is one rejection pass; a chain succeeds iff no step
+rejected, with success probability ``e^{-3 n_free / n^2} ~ e^{-3/n}``
+(Lemma 4.8).  The batched implementation advances many chains as one
+``(chains, n)`` code matrix with per-chain acceptance masks, bit-identical
+per chain to :func:`jvv_rejection_sample`.
 """
 
 from __future__ import annotations
@@ -47,9 +63,123 @@ from repro.inference.base import InferenceAlgorithm
 from repro.localmodel.network import Network
 from repro.localmodel.scheduler import ScheduledRunResult, simulate_slocal_as_local
 from repro.localmodel.slocal import SLocalAlgorithm, StateAccess, run_slocal_algorithm
+from repro.sampling.kernels import ScanKernel, register_kernel
 
 Node = Hashable
 Value = Hashable
+
+
+class JVVKernel(ScanKernel):
+    """JVV-style local rejection resampling as a chain kernel.
+
+    The deterministic-scan heat-bath step of :class:`ScanKernel`, gated by
+    the pass-3 acceptance test of :class:`LocalJVVSampler` specialised to
+    an exact local oracle: each step accepts with probability
+    ``e^{-3/n^2}`` (equation (9) with the ``mu_hat``/weight ratios
+    cancelling) and raises the chain's failure count otherwise, while the
+    proposal is applied either way -- the sequence ``sigma_0, ...,
+    sigma_n`` of the paper's construction advances regardless of the
+    flags.  Per chunk of ``k`` steps each chain draws ``random(k)``
+    proposal points then ``random(k)`` acceptance points, which is the
+    contract making the batched per-chain acceptance masks bit-identical
+    to the serial :func:`jvv_rejection_sample`.
+    """
+
+    name = "jvv"
+    unit = "steps"
+    gated = True
+
+    def acceptance_probability(self, instance: SamplingInstance) -> float:
+        """The slack constant ``e^{-3/n^2}`` of equation (9)."""
+        n = max(2, instance.size)
+        return math.exp(-3.0 / n ** 2)
+
+
+#: The registered kernel instance (also ``kernel="jvv"`` everywhere).
+JVV_KERNEL = register_kernel(JVVKernel())
+
+
+def jvv_rejection_sample(
+    instance: SamplingInstance,
+    steps: int,
+    seed=0,
+    initial: Optional[Dict[Node, Value]] = None,
+    engine: Optional[str] = None,
+    return_failures: bool = False,
+):
+    """Run the serial JVV rejection chain for ``steps`` scan updates.
+
+    The serial reference of :class:`JVVKernel`: starting from ``initial``
+    (default: the greedy ground state, the pass-1 analogue), each step
+    resamples the next free node of the deterministic scan order from its
+    exact local conditional and draws the ``e^{-3/n^2}`` acceptance gate.
+    ``steps = len(instance.free_nodes)`` is one full rejection pass.
+
+    Parameters
+    ----------
+    instance, steps, seed, initial, engine
+        As for :func:`repro.sampling.glauber.glauber_sample`.
+    return_failures : bool
+        When set, return ``(configuration, failure_count)`` instead of the
+        configuration alone; a run is a JVV success iff no step rejected.
+    """
+    configuration, failures = JVV_KERNEL.serial_scan(
+        instance, steps, seed=seed, initial=initial, engine=engine
+    )
+    if return_failures:
+        return configuration, failures
+    return configuration
+
+
+def jvv_chain_stats(
+    instance: SamplingInstance,
+    steps: int,
+    n_chains: Optional[int] = None,
+    seed=0,
+    seeds=None,
+    initial: Optional[Dict[Node, Value]] = None,
+    runtime=None,
+):
+    """Final states *and* per-chain rejection counts of independent JVV chains.
+
+    The failure-count sibling of ``Runtime.run_chains("jvv", ...)``, for
+    consumers (E4's rejection-law rows, E12's jvv-kernel row) that need the
+    acceptance masks alongside the states.  A serial runtime runs the
+    per-seed serial reference loop; every other runtime advances one
+    batched :class:`~repro.runtime.chains.ChainBatch` and reads the
+    accumulated per-chain masks -- the ``chain_block`` wire format does not
+    (yet) carry failure counts back from remote workers, and the in-process
+    batched run is both bit-identical and the fastest single-host strategy.
+    States and counts are identical across runtimes under the spawned-seed
+    convention.
+
+    Returns
+    -------
+    (list of dict, list of int)
+        Per-chain final configurations and rejected-step counts, in seed
+        order.
+    """
+    from repro.runtime import resolve_runtime
+    from repro.runtime.chains import ChainBatch, chain_seed_sequences
+
+    resolved = resolve_runtime(runtime)
+    if seeds is None:
+        seeds = chain_seed_sequences(
+            seed, n_chains if n_chains is not None else resolved.n_chains
+        )
+    else:
+        seeds = list(seeds)
+    if resolved.is_serial:
+        pairs = [
+            jvv_rejection_sample(
+                instance, steps, seed=chain_seed, initial=initial, return_failures=True
+            )
+            for chain_seed in seeds
+        ]
+        return [state for state, _ in pairs], [count for _, count in pairs]
+    batch = ChainBatch(instance, seeds=seeds, initial=initial)
+    batch.advance(JVV_KERNEL, steps)
+    return batch.configurations(), JVV_KERNEL.failure_counts(batch).tolist()
 
 
 class LocalJVVSampler(SLocalAlgorithm):

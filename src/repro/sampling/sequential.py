@@ -14,6 +14,16 @@ The reduction is the classical sequential sampler made local:
 A coupling argument gives total-variation error at most ``delta`` for the
 SLOCAL sampler; the LOCAL simulation preserves the output distribution
 conditioned on success.
+
+The scan is additionally exposed as a *chain kernel*
+(:class:`SequentialKernel`, see :mod:`repro.sampling.kernels`): one unit
+resamples the next free node of the deterministic scan order from its
+exact local conditional -- the sequential sampler with the cheapest local
+oracle (the radius-``l`` conditional given the current boundary values),
+iterated as a dynamics.  It is the ungated sibling of
+:class:`~repro.sampling.jvv.JVVKernel` and, like every kernel, runs
+bit-identically on all four execution backends through
+:meth:`repro.runtime.executor.Runtime.run_chains`.
 """
 
 from __future__ import annotations
@@ -29,9 +39,44 @@ from repro.inference.base import InferenceAlgorithm
 from repro.localmodel.network import Network
 from repro.localmodel.scheduler import ScheduledRunResult, simulate_slocal_as_local
 from repro.localmodel.slocal import SLocalAlgorithm, SLocalRunResult, StateAccess, run_slocal_algorithm
+from repro.sampling.kernels import ScanKernel, register_kernel
 
 Node = Hashable
 Value = Hashable
+
+
+class SequentialKernel(ScanKernel):
+    """The deterministic sequential scan as a chain kernel.
+
+    Exactly the shared :class:`ScanKernel` heat-bath scan, ungated: step
+    ``t`` resamples free node ``t mod n_free`` (deterministic scan order)
+    from its exact local conditional given the full current state.  One
+    full scan from the greedy ground state is the Theorem 3.2 sequential
+    sampler run with the local (radius-``l``) oracle; further scans iterate
+    the dynamics.  This is the "next kernel is a thin file" existence
+    proof: the class body is the name -- serial loop, batched loop, RNG
+    contract and backend dispatch are all inherited.
+    """
+
+    name = "sequential"
+    unit = "steps"
+
+
+#: The registered kernel instance (also ``kernel="sequential"`` everywhere).
+SEQUENTIAL_KERNEL = register_kernel(SequentialKernel())
+
+
+def sequential_scan_sample(
+    instance: SamplingInstance,
+    steps: int,
+    seed=0,
+    initial: Optional[Dict[Node, Value]] = None,
+    engine: Optional[str] = None,
+) -> Dict[Node, Value]:
+    """Serial reference of :class:`SequentialKernel` (one chain, ``steps`` updates)."""
+    return SEQUENTIAL_KERNEL.serial_run(
+        instance, steps, seed=seed, initial=initial, engine=engine
+    )
 
 
 class SequentialSamplingAlgorithm(SLocalAlgorithm):

@@ -101,6 +101,60 @@ class TestProtocol:
                 left.close()
                 right.close()
 
+    def test_control_frames_have_a_tighter_limit(self):
+        # A HELLO/HEARTBEAT frame claiming a giant payload must be rejected
+        # on the header alone -- before any payload byte is read, let alone
+        # unpickled (a stray peer cannot force a big allocation during the
+        # handshake).  The oversize length here is far below the data-frame
+        # limit, so only the per-kind control limit catches it.
+        oversize = protocol.MAX_CONTROL_FRAME_BYTES + 1
+        assert oversize < protocol.MAX_FRAME_BYTES
+        for kind in (protocol.HELLO, protocol.HEARTBEAT):
+            left, right = socket.socketpair()
+            try:
+                left.sendall(struct.pack(">4sBQ", protocol.MAGIC, kind, oversize))
+                with pytest.raises(protocol.ProtocolError, match="exceeds"):
+                    protocol.recv_message(right)
+            finally:
+                left.close()
+                right.close()
+
+    def test_send_side_enforces_the_per_kind_limit(self):
+        left, right = socket.socketpair()
+        try:
+            blob = b"x" * (protocol.MAX_CONTROL_FRAME_BYTES + 1)
+            with pytest.raises(protocol.ProtocolError, match="refusing to send"):
+                protocol.send_message(left, protocol.HEARTBEAT, blob)
+            # The same payload is fine as a data frame (drain concurrently:
+            # it exceeds the socketpair buffer).
+            received = []
+            reader = threading.Thread(
+                target=lambda: received.append(protocol.recv_message(right))
+            )
+            reader.start()
+            protocol.send_message(left, protocol.RESULT, blob)
+            reader.join(timeout=10)
+            assert received and received[0] == (protocol.RESULT, blob)
+        finally:
+            left.close()
+            right.close()
+
+    def test_frame_limit_per_kind(self):
+        for kind in (protocol.HELLO, protocol.HEARTBEAT):
+            assert protocol.frame_limit(kind) == protocol.MAX_CONTROL_FRAME_BYTES
+        # ERROR stays a data frame within PROTOCOL_VERSION 1: previous
+        # releases send untruncated traceback reports.
+        for kind in (protocol.SPEC, protocol.TASK, protocol.RESULT, protocol.ERROR):
+            assert protocol.frame_limit(kind) == protocol.MAX_FRAME_BYTES
+
+    def test_worker_error_reports_are_truncated(self):
+        from repro.cluster.worker import _ERROR_TEXT_LIMIT, _error_text
+
+        report = _error_text(ValueError("x" * (4 * _ERROR_TEXT_LIMIT)))
+        assert len(report) <= _ERROR_TEXT_LIMIT + 64
+        assert report.endswith("[error report truncated]")
+        assert _error_text(ValueError("short")) == "short"
+
     def test_eof_raises_connection_closed(self):
         left, right = socket.socketpair()
         left.close()
@@ -371,10 +425,34 @@ class TestClusterStreams:
         instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0), {0: 1})
         seeds = chain_seed_sequences(3, 5)
         with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            # Legacy block-kind aliases keep working on the kernel path.
             glauber = coordinator.chain_samples(instance, "glauber", 60, seeds)
             luby = coordinator.chain_samples(instance, "luby", 12, seeds)
         assert glauber == [glauber_sample(instance, 60, seed=seed) for seed in seeds]
         assert luby == [luby_glauber_sample(instance, 12, seed=seed) for seed in seeds]
+
+    def test_chain_blocks_conform_for_every_registered_kernel(self, inprocess_workers):
+        """Every registered ChainKernel runs as a cluster chain block,
+        bit-identical per chain to its serial reference run."""
+        from repro.runtime import chain_seed_sequences
+        from repro.sampling import registered_kernels
+
+        instance = SamplingInstance(hardcore_model(cycle_graph(9), 1.2), {0: 1})
+        seeds = chain_seed_sequences(4, 5)
+        kernels = registered_kernels()
+        assert {"glauber", "luby-glauber", "jvv", "sequential"} <= set(kernels)
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            for name, kernel in kernels.items():
+                clustered = coordinator.chain_samples(instance, name, 14, seeds)
+                assert clustered == [
+                    kernel.serial_run(instance, 14, seed=seed) for seed in seeds
+                ], name
+
+    def test_chain_samples_rejects_unknown_kernels(self, inprocess_workers):
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), 1.0))
+        with ClusterCoordinator(_addresses(inprocess_workers)) as coordinator:
+            with pytest.raises(ValueError, match="unknown chain kernel"):
+                coordinator.chain_samples(instance, "no-such-kernel", 3, [0, 1])
 
     def test_spec_reconstruction_is_bit_identical(self):
         instance = SamplingInstance(hardcore_model(random_tree(12, seed=6), 1.4), {0: 0})
@@ -523,6 +601,19 @@ class TestClusterRuntimeFacade:
             )
             runtime.n_chains = 2
             assert runtime.glauber_sample(instance, 20, seed=1, engine="dict") == serial
+
+    def test_run_chains_conforms_for_every_registered_kernel(self, inprocess_workers):
+        from repro.sampling import registered_kernels
+
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.1), {0: 1})
+        serial = Runtime("serial", n_chains=4)
+        with Runtime(
+            "cluster", n_chains=4, addresses=_addresses(inprocess_workers)
+        ) as runtime:
+            for name in registered_kernels():
+                assert runtime.run_chains(name, instance, 10, seed=6) == (
+                    serial.run_chains(name, instance, 10, seed=6)
+                ), name
 
     def test_warm_ball_cache(self, inprocess_workers):
         distribution = hardcore_model(cycle_graph(8), 1.0)

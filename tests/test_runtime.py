@@ -588,3 +588,113 @@ class TestProcessPool:
         )
         streamed = dict(engine.marginals_stream(instance, 0.05))
         assert streamed == TruncatedBallInference(radius=2).marginals(instance, 0.05)
+
+
+class TestKernelRunChains:
+    """The unified kernel execution path (ISSUE 5 acceptance contract)."""
+
+    def _instance(self):
+        return SamplingInstance(hardcore_model(cycle_graph(8), 1.2), {0: 1})
+
+    def test_every_registered_kernel_runs_on_serial_and_batched(self):
+        from repro.sampling import registered_kernels
+
+        instance = self._instance()
+        kernels = registered_kernels()
+        assert {"glauber", "luby-glauber", "jvv", "sequential"} <= set(kernels)
+        serial = Runtime("serial", n_chains=4)
+        batched = Runtime("batched", n_chains=4)
+        for name in kernels:
+            assert serial.run_chains(name, instance, 15, seed=7) == batched.run_chains(
+                name, instance, 15, seed=7
+            )
+
+    def test_every_registered_kernel_runs_on_the_process_backend(self):
+        from repro.sampling import registered_kernels
+
+        instance = self._instance()
+        serial = Runtime("serial", n_chains=4)
+        with Runtime("process", n_chains=4, n_workers=2) as process:
+            for name in registered_kernels():
+                assert process.run_chains(name, instance, 11, seed=3) == (
+                    serial.run_chains(name, instance, 11, seed=3)
+                )
+
+    def test_run_chains_accepts_kernel_instances_and_rejects_unknown_names(self):
+        from repro.sampling import get_kernel
+
+        instance = self._instance()
+        runtime = Runtime("batched", n_chains=2)
+        kernel = get_kernel("glauber")
+        assert runtime.run_chains(kernel, instance, 9, seed=1) == runtime.run_chains(
+            "glauber", instance, 9, seed=1
+        )
+        with pytest.raises(ValueError, match="unknown chain kernel"):
+            runtime.run_chains("no-such-kernel", instance, 1)
+
+    def test_run_chains_dict_engine_uses_serial_reference(self):
+        instance = self._instance()
+        reference = [
+            glauber_sample(instance, 10, seed=seed, engine="dict")
+            for seed in chain_seed_sequences(2, 3)
+        ]
+        assert (
+            Runtime("serial", n_chains=3).run_chains(
+                "glauber", instance, 10, seed=2, engine="dict"
+            )
+            == reference
+        )
+
+    def test_backcompat_wrappers_deprecate_but_delegate(self):
+        instance = self._instance()
+        runtime = Runtime("batched", n_chains=3)
+        with pytest.deprecated_call():
+            old_glauber = runtime.glauber_sample(instance, 20, seed=5)
+        assert old_glauber == runtime.run_chains("glauber", instance, 20, seed=5)
+        with pytest.deprecated_call():
+            old_luby = runtime.luby_glauber_sample(instance, 6, seed=5)
+        assert old_luby == runtime.run_chains("luby-glauber", instance, 6, seed=5)
+
+    def test_chain_batch_advance_claims_one_kernel(self):
+        instance = self._instance()
+        batch = ChainBatch(instance, n_chains=2, seed=0)
+        batch.advance("jvv", 4)
+        with pytest.raises(RuntimeError, match="fresh batch"):
+            batch.advance("sequential", 4)
+
+    def test_generic_statistic_traces(self):
+        instance = self._instance()
+        batch = ChainBatch(instance, n_chains=3, seed=1)
+        traces = batch.advance(
+            "sequential", 8, statistic=lambda codes: codes.mean(axis=1)
+        )
+        assert traces.shape == (3, 8)
+
+    def test_chain_block_task_registered(self):
+        from repro.runtime import TASK_REGISTRY
+
+        assert {"ball_marginals", "compile_balls", "chain_block"} <= set(TASK_REGISTRY)
+
+    def test_chain_block_body_matches_serial(self):
+        from repro.runtime.shards import _chain_block_task
+        from repro.sampling import get_kernel
+
+        instance = self._instance()
+        seeds = chain_seed_sequences(6, 3)
+        spec = InstanceSpec.from_instance(instance)
+        payload = {"kernel": "jvv", "count": 13, "seeds": seeds, "initial": None}
+        kernel = get_kernel("jvv")
+        assert _chain_block_task(payload, spec=spec) == [
+            kernel.serial_run(instance, 13, seed=seed) for seed in seeds
+        ]
+
+    def test_chain_block_accepts_legacy_kind_payloads(self):
+        from repro.runtime.shards import _chain_block_task
+
+        instance = self._instance()
+        seeds = chain_seed_sequences(8, 2)
+        spec = InstanceSpec.from_instance(instance)
+        legacy = {"kind": "luby", "count": 5, "seeds": seeds, "initial": None}
+        assert _chain_block_task(legacy, spec=spec) == [
+            luby_glauber_sample(instance, 5, seed=seed) for seed in seeds
+        ]

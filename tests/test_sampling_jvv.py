@@ -115,3 +115,130 @@ class TestJVVExactness:
                 successes += 1
             assert distribution.weight(result.configuration) > 0
         assert successes > 0
+
+
+class TestJVVKernel:
+    """The rejection pass as a chain kernel (repro.sampling.kernels)."""
+
+    def _instances(self):
+        return [
+            SamplingInstance(hardcore_model(cycle_graph(9), fugacity=1.3), {0: 1}),
+            SamplingInstance(coloring_model(path_graph(6), num_colors=3), {0: 2}),
+        ]
+
+    def test_batched_bit_identical_to_serial_pass(self):
+        """Chain c of a batched JVV run equals the serial rejection pass
+        seeded with seeds[c] -- states AND per-chain failure counts."""
+        from repro.runtime import ChainBatch, chain_seed_sequences
+        from repro.sampling.jvv import JVV_KERNEL, jvv_rejection_sample
+
+        for instance in self._instances():
+            seeds = chain_seed_sequences(5, 6)
+            steps = 3 * len(instance.free_nodes) + 2
+            serial = [
+                jvv_rejection_sample(instance, steps, seed=seed, return_failures=True)
+                for seed in seeds
+            ]
+            batch = ChainBatch(instance, seeds=seeds)
+            batch.advance(JVV_KERNEL, steps)
+            assert batch.configurations() == [state for state, _ in serial]
+            assert JVV_KERNEL.failure_counts(batch).tolist() == [
+                failures for _, failures in serial
+            ]
+
+    def test_acceptance_matches_local_jvv_sampler_pass(self):
+        """The kernel's gate is exactly the pass-3 acceptance of
+        LocalJVVSampler with an exact oracle (equation (9) collapsed to
+        the slack constant e^{-3/n^2})."""
+        from repro.localmodel import Network, run_slocal_algorithm
+        from repro.sampling.jvv import JVV_KERNEL, LocalJVVSampler
+
+        distribution = hardcore_model(cycle_graph(7), fugacity=1.1)
+        instance = SamplingInstance(distribution)
+        algorithm = LocalJVVSampler(instance, ExactInference())
+        network = Network(instance.graph, seed=3)
+        result = run_slocal_algorithm(algorithm, network)
+        kernel_gate = JVV_KERNEL.acceptance_probability(instance)
+        for node in network.nodes:
+            assert result.states[node]["acceptance"] == pytest.approx(
+                kernel_gate, rel=1e-12
+            )
+
+    def test_failure_law_tracks_the_prediction(self):
+        """The rejected-chain fraction of one full scan follows 1 - e^{-3/n}."""
+        from repro.runtime import ChainBatch, chain_seed_sequences
+        from repro.sampling.jvv import JVV_KERNEL
+
+        distribution = hardcore_model(cycle_graph(20), fugacity=1.0)
+        instance = SamplingInstance(distribution)
+        steps = len(instance.free_nodes)
+        batch = ChainBatch(instance, seeds=chain_seed_sequences(1, 200))
+        batch.advance(JVV_KERNEL, steps)
+        failed = (JVV_KERNEL.failure_counts(batch) > 0).mean()
+        predicted = 1.0 - math.exp(-3.0 * steps / instance.size ** 2)
+        assert abs(failed - predicted) < 0.12
+
+    def test_chain_stats_uniform_across_runtimes(self):
+        """States AND failure counts are bit-identical whichever runtime
+        computes them (batched masks vs the serial reference)."""
+        from repro.runtime import Runtime
+        from repro.sampling.jvv import jvv_chain_stats
+
+        instance = SamplingInstance(hardcore_model(cycle_graph(7), fugacity=1.2))
+        serial = jvv_chain_stats(instance, 10, n_chains=5, seed=1)
+        batched = jvv_chain_stats(
+            instance, 10, n_chains=5, seed=1, runtime=Runtime("batched")
+        )
+        assert serial == batched
+
+    def test_runtime_knob_routes_through_run_chains(self):
+        from repro.runtime import Runtime, chain_seed_sequences
+        from repro.sampling.jvv import jvv_rejection_sample
+
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), fugacity=1.0))
+        seeds = chain_seed_sequences(2, 4)
+        serial = [jvv_rejection_sample(instance, 12, seed=seed) for seed in seeds]
+        with Runtime("batched", n_chains=4) as runtime:
+            assert runtime.run_chains("jvv", instance, 12, seed=2) == serial
+
+    def test_rejections_leave_the_proposal_applied(self):
+        """The sigma-sequence advances regardless of the flags (pass-3
+        semantics): an always-reject gate and an always-accept gate consume
+        identical RNG streams, so they must produce IDENTICAL states --
+        only the failure counts differ (all steps vs none)."""
+        from repro.runtime import ChainBatch, chain_seed_sequences
+        from repro.sampling.jvv import JVVKernel
+
+        class AlwaysReject(JVVKernel):
+            name = "jvv-always-reject"
+
+            def acceptance_probability(self, instance):
+                return 0.0
+
+        class AlwaysAccept(JVVKernel):
+            name = "jvv-always-accept"
+
+            def acceptance_probability(self, instance):
+                return 1.0
+
+        instance = SamplingInstance(hardcore_model(cycle_graph(6), fugacity=1.4))
+        steps = 30
+        reject_state, reject_failures = AlwaysReject().serial_scan(
+            instance, steps, seed=9
+        )
+        accept_state, accept_failures = AlwaysAccept().serial_scan(
+            instance, steps, seed=9
+        )
+        assert reject_state == accept_state  # proposals applied either way
+        assert reject_failures == steps and accept_failures == 0
+        assert instance.distribution.weight(reject_state) > 0
+        # Same contract on the batched path, via the acceptance masks.
+        seeds = chain_seed_sequences(9, 3)
+        rejecting = ChainBatch(instance, seeds=seeds)
+        accepting = ChainBatch(instance, seeds=seeds)
+        reject_kernel, accept_kernel = AlwaysReject(), AlwaysAccept()
+        rejecting.advance(reject_kernel, steps)
+        accepting.advance(accept_kernel, steps)
+        assert rejecting.configurations() == accepting.configurations()
+        assert reject_kernel.failure_counts(rejecting).tolist() == [steps] * 3
+        assert accept_kernel.failure_counts(accepting).tolist() == [0] * 3
