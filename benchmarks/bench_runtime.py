@@ -43,6 +43,12 @@ chains of a hardcore instance, one sample per chain):
   deployment fixes with real hardware.  Cluster marginals are asserted
   bit-identical to the serial loop before timing; worker spawn/connect
   time is excluded (a deployment pays it once).
+* ``cluster_auth_overhead_2w`` -- the same workload over 2 localhost
+  cluster workers with the transport plain vs HMAC-SHA256-authenticated
+  (``auth_key=`` on both sides: every frame carries a 32-byte tag,
+  verified before unpickling).  Records what frame authentication costs
+  on the wire; both sides are asserted bit-identical to the serial loop
+  before timing -- authentication must never change answers.
 
 Run directly to (re)record the JSON baseline::
 
@@ -264,6 +270,65 @@ def _cluster_shard_workload(
     return shape, process, cluster, teardown
 
 
+def _cluster_auth_workload(n_workers: int = 2, size: int = 40, radius: int = 3):
+    """Plain vs HMAC-authenticated cluster transport, same E5 workload."""
+    from repro.cluster.coordinator import ClusterCoordinator
+    from repro.cluster.local import spawn_workers
+    from repro.inference.ssm_inference import padded_ball_marginal
+
+    distribution = hardcore_model(random_tree(size, seed=2), fugacity=1.0)
+    instance = SamplingInstance(distribution, {0: 0})
+    nodes = instance.free_nodes
+    key = "bench-hmac-secret"
+
+    serial_reference = {
+        node: padded_ball_marginal(instance, node, radius) for node in nodes
+    }
+
+    stack: List[object] = []
+    try:
+        plain_pool = spawn_workers(n_workers)
+        stack.append(plain_pool.terminate)
+        plain = ClusterCoordinator(plain_pool.addresses)
+        stack.append(plain.shutdown)
+        keyed_pool = spawn_workers(n_workers, auth_key=key)
+        stack.append(keyed_pool.terminate)
+        keyed = ClusterCoordinator(keyed_pool.addresses, auth_key=key)
+        stack.append(keyed.shutdown)
+
+        # Correctness gate before any timing: authentication is transport
+        # dressing -- both sides must reproduce the serial loop exactly.
+        for coordinator in (plain, keyed):
+            distribution.ball_cache().clear()
+            result = dict(
+                coordinator.stream_padded_ball_marginals(instance, nodes, radius)
+            )
+            assert result == serial_reference, (
+                "cluster results diverge from serial"
+            )
+    except BaseException:
+        for release in reversed(stack):
+            release()
+        raise
+
+    def plain_run() -> None:
+        distribution.ball_cache().clear()
+        for _ in plain.stream_padded_ball_marginals(instance, nodes, radius):
+            pass
+
+    def hmac_run() -> None:
+        distribution.ball_cache().clear()
+        for _ in keyed.stream_padded_ball_marginals(instance, nodes, radius):
+            pass
+
+    def teardown() -> None:
+        for release in reversed(stack):
+            release()
+
+    shape = {"nodes": len(nodes), "radius": radius, "cluster_workers": n_workers}
+    return shape, plain_run, hmac_run, teardown
+
+
 def run(repeats: int = 3, cluster: bool = True) -> List[Dict[str, object]]:
     """Time the backends; report the best of ``repeats`` per side."""
     rows: List[Dict[str, object]] = []
@@ -337,6 +402,23 @@ def run(repeats: int = 3, cluster: bool = True) -> List[Dict[str, object]]:
                     "bit_identical_to_serial": True,
                 }
             )
+        shape, plain_run, hmac_run, teardown = _cluster_auth_workload()
+        try:
+            plain_seconds = _best_of(plain_run, repeats)
+            hmac_seconds = _best_of(hmac_run, repeats)
+        finally:
+            teardown()
+        rows.append(
+            {
+                "workload": "cluster_auth_overhead_2w",
+                "backend_pair": "plain-vs-hmac",
+                "shape": shape,
+                "plain_seconds": plain_seconds,
+                "hmac_seconds": hmac_seconds,
+                "overhead": hmac_seconds / plain_seconds,
+                "bit_identical_to_serial": True,
+            }
+        )
     return rows
 
 
@@ -358,7 +440,10 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             "as_completed) shard executor on the E5-style workload "
             "(time-to-first-shard-result), and the same workload over 2/4 "
             "localhost repro.cluster TCP workers (single-host transport tax, "
-            "bit-identity asserted pre-timing)"
+            "bit-identity asserted pre-timing), plus the same cluster "
+            "workload with the transport plain vs HMAC-SHA256-authenticated "
+            "(per-frame tag verified before unpickling; bit-identity "
+            "asserted pre-timing on both sides)"
         ),
         "workloads": rows,
         "min_batched_speedup": min(row["speedup"] for row in batched),
@@ -369,6 +454,11 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
         "cluster_bit_identical_to_serial": all(
             row["bit_identical_to_serial"] for row in clustered
         ),
+        "hmac_bit_identical_to_serial": all(
+            row["bit_identical_to_serial"]
+            for row in rows
+            if row["backend_pair"] == "plain-vs-hmac"
+        ),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
@@ -376,6 +466,13 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
 
 def _print_rows(rows: List[Dict[str, object]]) -> None:
     for row in rows:
+        if row["backend_pair"] == "plain-vs-hmac":
+            print(
+                f"{row['workload']:>22}: plain {row['plain_seconds'] * 1e3:8.1f} ms   "
+                f"hmac {row['hmac_seconds'] * 1e3:8.1f} ms   "
+                f"overhead {row['overhead']:6.2f}x   {row['shape']}"
+            )
+            continue
         if row["backend_pair"] == "process-vs-cluster":
             print(
                 f"{row['workload']:>22}: process {row['process_seconds'] * 1e3:8.1f} ms   "

@@ -7,8 +7,11 @@
 # kernel runs bit-identically on the serial and batched backends through
 # the unified run_chains path), a cluster smoke (a coordinator driving
 # two real localhost worker subprocesses over the TCP transport, asserting
-# bit-identity with the serial loop) and a docs check (the architecture
-# map exists and the README quickstart executes as a doctest).
+# bit-identity with the serial loop), a chaos smoke (one of the two
+# workers is armed with a deterministic FaultPlan and hard-crashes
+# mid-stream; the requeued merge must still be bit-identical) and a docs
+# check (the architecture map exists and the README quickstart executes
+# as a doctest).
 #
 # Usage: scripts/ci_tier1.sh  (from the repository root)
 set -euo pipefail
@@ -24,7 +27,7 @@ echo "== tier-1: engine equivalence =="
 python -m pytest -x -q tests/test_engine_equivalence.py
 
 echo "== tier-1: runtime smoke =="
-python -m pytest -x -q -m "not slow" tests/test_runtime.py tests/test_analysis_convergence.py tests/test_cluster.py
+python -m pytest -x -q -m "not slow" tests/test_runtime.py tests/test_analysis_convergence.py tests/test_cluster.py tests/test_cluster_chaos.py
 
 echo "== tier-1: kernel smoke =="
 python - <<'PY'
@@ -67,6 +70,37 @@ with spawn_workers(2) as pool:
         clustered = runtime.ball_marginals(instance, instance.free_nodes, 1)
 assert clustered == serial, "cluster marginals diverge from the serial loop"
 print("cluster smoke OK: 2 workers, bit-identical marginals")
+PY
+
+echo "== tier-1: chaos smoke =="
+python - <<'PY'
+from repro.cluster import FaultPlan
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.local import spawn_workers
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph
+from repro.inference.ssm_inference import padded_ball_marginal
+from repro.models import hardcore_model
+
+distribution = hardcore_model(cycle_graph(10), fugacity=1.2)
+instance = SamplingInstance(distribution, {0: 0})
+serial = {node: padded_ball_marginal(instance, node, 2) for node in instance.free_nodes}
+distribution.ball_cache().clear()
+# Worker 0 is armed to hard-crash (os._exit) after completing two tasks --
+# the deterministic OOM-killer scenario of repro.cluster.chaos.
+plans = [FaultPlan(kill_after_tasks=2), None]
+with spawn_workers(2, fault_plans=plans) as pool:
+    with ClusterCoordinator(pool.addresses, reconnect=False) as coordinator:
+        merged = {
+            key[0]: marginal
+            for key, marginal in coordinator.stream_ball_marginal_tasks(
+                instance, [(node, 2) for node in instance.free_nodes], chunk_size=1
+            )
+        }
+        survivors = coordinator.live_worker_count
+assert survivors == 1, f"expected exactly one survivor, saw {survivors}"
+assert merged == serial, "post-crash merge diverges from the serial loop"
+print("chaos smoke OK: worker crashed mid-stream, bit-identical merge")
 PY
 
 echo "== tier-1: docs =="

@@ -24,7 +24,21 @@ to the serial and process backends.
     :class:`~repro.engine.cache.BallCache`.
 ``local``
     :func:`spawn_workers` -- N localhost worker subprocesses for tests,
-    benchmarks and the quickstart.
+    benchmarks and the quickstart (leak-proof: a GC/exit finalizer kills
+    abandoned workers).
+``chaos``
+    :class:`FaultPlan` -- seeded, deterministic fault injection (worker
+    crashes, dropped/corrupted/truncated frames, stalled heartbeats) for
+    the chaos tests that certify the fault-tolerance layer.
+
+Fault tolerance and security (this layer's contract): frames are
+optionally HMAC-SHA256-authenticated (``auth_key=``, or the
+``REPRO_CLUSTER_AUTH_KEY`` environment variable) and verified *before*
+unpickling; dead workers' tasks requeue deterministically and their
+addresses are re-dialled with capped exponential backoff; workers may
+join mid-stream (:meth:`ClusterCoordinator.add_worker`) and announce
+capacity weights; ``degrade="local"`` trades throughput for availability
+when every worker is gone.  See ``docs/ARCHITECTURE.md``.
 
 The ergonomic entry point is the :class:`~repro.runtime.executor.Runtime`
 facade: ``Runtime(backend="cluster", addresses=[...])`` (or plain
@@ -34,9 +48,12 @@ conforms to the same ``submit`` / ``map_unordered`` /
 and process backends.
 """
 
+from repro.cluster.chaos import CHAOS_ENV, FaultPlan
 from repro.cluster.coordinator import ClusterCoordinator, ClusterError, parse_address
 from repro.cluster.local import LocalWorkerPool, spawn_workers
 from repro.cluster.protocol import (
+    AUTH_KEY_ENV,
+    AuthenticationError,
     ConnectionClosed,
     ProtocolError,
     recv_message,
@@ -45,10 +62,14 @@ from repro.cluster.protocol import (
 from repro.cluster.worker import ClusterWorker
 
 __all__ = [
+    "AUTH_KEY_ENV",
+    "AuthenticationError",
+    "CHAOS_ENV",
     "ClusterCoordinator",
     "ClusterError",
     "ClusterWorker",
     "ConnectionClosed",
+    "FaultPlan",
     "LocalWorkerPool",
     "ProtocolError",
     "parse_address",

@@ -1,0 +1,234 @@
+"""Deterministic fault injection for the cluster backend.
+
+The Las Vegas contract of the paper's algorithms -- failures are locally
+certifiable and never corrupt the output of non-failed nodes -- is only
+worth claiming for ``runtime="cluster"`` if it survives *injected* faults,
+not just happy-path runs.  This module provides the injection side: a
+seeded, picklable-as-JSON :class:`FaultPlan` that the transport
+(:func:`repro.cluster.protocol.send_message`), the worker loop
+(:mod:`repro.cluster.worker`) and the localhost spawner
+(:mod:`repro.cluster.local`) consult at well-defined points.
+
+Determinism is the whole point.  Every fault is expressed as "the K-th
+frame of this kind" or "after N completed tasks", counted with
+thread-safe counters, and the only randomness (the corrupted byte's
+position) comes from the plan's own seed.  Running the same test twice
+injects byte-identical chaos, so a failure reproduces.
+
+Faults
+------
+
+``kill_after_tasks=N``
+    The worker process calls :func:`os._exit` after completing N tasks --
+    a hard crash, not a clean shutdown, exactly like the OOM killer.
+``stall_heartbeats_after=K``
+    The worker stops echoing HEARTBEAT frames after the K-th echo, so the
+    coordinator's liveness timeout (not EOF) must detect it.
+``drop_frames=(K, ...)``
+    The K-th outgoing frame (1-based, counted per plan across all kinds
+    matched by ``frame_kinds``) is silently never written.
+``delay_frames={K: seconds}``
+    The K-th matched frame is written after sleeping.
+``truncate_frames=(K, ...)``
+    The K-th matched frame is cut mid-payload and the connection torn
+    down -- the receiver sees EOF inside a frame, a
+    :class:`~repro.cluster.protocol.ConnectionClosed`.
+``corrupt_frames=(K, ...)`` with ``corrupt_target``
+    One bit of the K-th matched frame is flipped: in the magic bytes
+    (``"magic"`` -- detected by every receiver) or in the pickled payload
+    (``"payload"`` -- detected *only* when HMAC authentication is on;
+    without a key a payload flip is exactly the silent corruption the
+    auth layer exists to catch, though pickle's framing usually still
+    chokes on it).
+``frame_kinds=(TASK, RESULT, ...)``
+    Restricts which message kinds count toward (and can receive) the
+    frame faults above; ``None`` matches every kind.
+
+Plans cross process boundaries as JSON via the
+:data:`CHAOS_ENV` environment variable, so
+:func:`repro.cluster.local.spawn_workers` can arm a subprocess worker:
+``env[CHAOS_ENV] = plan.to_json()`` and the worker's ``main()`` rebuilds
+it with :func:`FaultPlan.from_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from typing import Dict, Optional, Tuple
+
+#: Environment variable carrying a JSON fault plan into worker subprocesses.
+CHAOS_ENV = "REPRO_CLUSTER_CHAOS"
+
+#: Where a corrupted frame gets its bit flip.
+CORRUPT_TARGETS = ("magic", "payload")
+
+
+class FaultPlan:
+    """A seeded, thread-safe schedule of faults for one process.
+
+    All frame counts are 1-based and count only frames whose kind matches
+    ``frame_kinds`` (every kind when ``None``).  A single plan instance is
+    shared by all connections of the process it arms, so "the 3rd RESULT
+    frame" means the 3rd across the whole process -- deterministic as long
+    as the armed process itself behaves deterministically (single
+    connection, ordered sends), which the cluster worker does.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        kill_after_tasks: Optional[int] = None,
+        stall_heartbeats_after: Optional[int] = None,
+        drop_frames: Tuple[int, ...] = (),
+        delay_frames: Optional[Dict[int, float]] = None,
+        truncate_frames: Tuple[int, ...] = (),
+        corrupt_frames: Tuple[int, ...] = (),
+        corrupt_target: str = "payload",
+        frame_kinds: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        if corrupt_target not in CORRUPT_TARGETS:
+            raise ValueError(
+                f"corrupt_target must be one of {CORRUPT_TARGETS}, "
+                f"got {corrupt_target!r}"
+            )
+        self.seed = int(seed)
+        self.kill_after_tasks = kill_after_tasks
+        self.stall_heartbeats_after = stall_heartbeats_after
+        self.drop_frames = frozenset(int(k) for k in drop_frames)
+        self.delay_frames = {int(k): float(v) for k, v in (delay_frames or {}).items()}
+        self.truncate_frames = frozenset(int(k) for k in truncate_frames)
+        self.corrupt_frames = frozenset(int(k) for k in corrupt_frames)
+        self.corrupt_target = corrupt_target
+        self.frame_kinds = (
+            None if frame_kinds is None else frozenset(int(k) for k in frame_kinds)
+        )
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self._frames_sent = 0
+        self._tasks_done = 0
+        self._heartbeats = 0
+
+    # frame-level hooks (called by protocol.send_message) ---------------
+
+    def frame_action(self, kind: int):
+        """The action for the next outgoing frame of ``kind``, or ``None``.
+
+        Returns one of ``("drop",)``, ``("delay", seconds)``,
+        ``("truncate", keep_bytes)`` or ``("corrupt", target, position)``.
+        Counting and the corruption position draw from plan state under a
+        lock, so concurrent senders stay deterministic in aggregate.
+        """
+        with self._lock:
+            if self.frame_kinds is not None and kind not in self.frame_kinds:
+                return None
+            self._frames_sent += 1
+            index = self._frames_sent
+            if index in self.drop_frames:
+                return ("drop",)
+            if index in self.truncate_frames:
+                # Keep a deterministic sliver of payload so the receiver
+                # is mid-frame (not between frames) when EOF hits.
+                return ("truncate", self._rng.randrange(1, 16))
+            if index in self.corrupt_frames:
+                return ("corrupt", self.corrupt_target, self._rng.randrange(1 << 20))
+            if index in self.delay_frames:
+                return ("delay", self.delay_frames[index])
+        return None
+
+    # worker-level hooks ------------------------------------------------
+
+    def task_completed(self) -> bool:
+        """Record one finished task; ``True`` when the worker must die now."""
+        if self.kill_after_tasks is None:
+            return False
+        with self._lock:
+            self._tasks_done += 1
+            return self._tasks_done >= self.kill_after_tasks
+
+    def stall_heartbeat(self) -> bool:
+        """Record one heartbeat; ``True`` when the echo must be swallowed."""
+        if self.stall_heartbeats_after is None:
+            return False
+        with self._lock:
+            self._heartbeats += 1
+            return self._heartbeats > self.stall_heartbeats_after
+
+    # value semantics ---------------------------------------------------
+
+    def _schedule(self):
+        """The schedule fields -- everything but the runtime counters."""
+        return (
+            self.seed,
+            self.kill_after_tasks,
+            self.stall_heartbeats_after,
+            self.drop_frames,
+            tuple(sorted(self.delay_frames.items())),
+            self.truncate_frames,
+            self.corrupt_frames,
+            self.corrupt_target,
+            self.frame_kinds,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._schedule() == other._schedule()
+
+    def __hash__(self) -> int:
+        return hash(self._schedule())
+
+    # serialisation (environment hand-off to worker subprocesses) -------
+
+    def to_json(self) -> str:
+        """A JSON form that :func:`from_json` round-trips exactly."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "kill_after_tasks": self.kill_after_tasks,
+                "stall_heartbeats_after": self.stall_heartbeats_after,
+                "drop_frames": sorted(self.drop_frames),
+                "delay_frames": {str(k): v for k, v in self.delay_frames.items()},
+                "truncate_frames": sorted(self.truncate_frames),
+                "corrupt_frames": sorted(self.corrupt_frames),
+                "corrupt_target": self.corrupt_target,
+                "frame_kinds": (
+                    None if self.frame_kinds is None else sorted(self.frame_kinds)
+                ),
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Rebuild a plan serialised by :meth:`to_json` (fresh counters)."""
+        raw = json.loads(text)
+        return cls(
+            seed=raw.get("seed", 0),
+            kill_after_tasks=raw.get("kill_after_tasks"),
+            stall_heartbeats_after=raw.get("stall_heartbeats_after"),
+            drop_frames=tuple(raw.get("drop_frames", ())),
+            delay_frames={int(k): v for k, v in raw.get("delay_frames", {}).items()},
+            truncate_frames=tuple(raw.get("truncate_frames", ())),
+            corrupt_frames=tuple(raw.get("corrupt_frames", ())),
+            corrupt_target=raw.get("corrupt_target", "payload"),
+            frame_kinds=(
+                None
+                if raw.get("frame_kinds") is None
+                else tuple(raw["frame_kinds"])
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"seed={self.seed}"]
+        if self.kill_after_tasks is not None:
+            parts.append(f"kill_after_tasks={self.kill_after_tasks}")
+        if self.stall_heartbeats_after is not None:
+            parts.append(f"stall_heartbeats_after={self.stall_heartbeats_after}")
+        for name in ("drop_frames", "truncate_frames", "corrupt_frames"):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={tuple(sorted(value))}")
+        if self.delay_frames:
+            parts.append(f"delay_frames={self.delay_frames}")
+        return f"FaultPlan({', '.join(parts)})"

@@ -50,10 +50,12 @@ down cancels everything and closes the sockets, idempotently.
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import struct
 import threading
 import time
+import warnings
 import weakref
 from collections import OrderedDict
 from concurrent.futures import CancelledError, Future, InvalidStateError, as_completed
@@ -100,7 +102,9 @@ def _reader_thread(coordinator_ref, worker) -> None:
 
     while True:
         try:
-            kind, payload = protocol.recv_message(worker.sock, on_data=touch)
+            kind, payload = protocol.recv_message(
+                worker.sock, on_data=touch, key=worker.key
+            )
         except (protocol.ProtocolError, OSError) as error:
             coordinator = coordinator_ref()
             if coordinator is not None:
@@ -128,6 +132,40 @@ def _heartbeat_thread(coordinator_ref, interval: float) -> None:
         del coordinator
 
 
+def _reconnect_thread(coordinator_ref, address: Address, seed: int) -> None:
+    """Re-dial a dead worker's address with capped exponential backoff.
+
+    One daemon thread per dead address; each attempt waits
+    ``min(base * 2^k, cap)`` seconds, jittered +/-50% (full-jitter style,
+    seeded per address so tests are reproducible), then tries a fresh TCP
+    connect + handshake.  Success re-registers the address as a live
+    worker (empty spec mirror -- specs re-ship lazily on the next task
+    that needs them) and exits; a closed or collected coordinator also
+    exits.  Holds only a weak reference between attempts, like the other
+    service threads.
+    """
+    rng = random.Random(seed)
+    delay = _RECONNECT_BASE_DELAY
+    while True:
+        time.sleep(delay * (0.5 + rng.random()))
+        delay = min(delay * 2.0, _RECONNECT_MAX_DELAY)
+        coordinator = coordinator_ref()
+        if coordinator is None or coordinator._closed:
+            return
+        try:
+            if coordinator._readmit(address):
+                return
+        except Exception:
+            pass  # connect refused / handshake failed: back off and retry
+        del coordinator
+
+
+#: First reconnect attempt fires after ~this many (jittered) seconds.
+_RECONNECT_BASE_DELAY = 0.05
+#: Backoff ceiling between reconnect attempts to one dead address.
+_RECONNECT_MAX_DELAY = 5.0
+
+
 def parse_address(address) -> Address:
     """Normalise an address given as ``(host, port)`` or ``"host:port"``."""
     if isinstance(address, str):
@@ -151,9 +189,18 @@ class _Worker:
         "alive",
         "last_seen",
         "reader",
+        "capacity",
+        "key",
+        "reconnecting",
     )
 
-    def __init__(self, address: Address, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        address: Address,
+        sock: socket.socket,
+        capacity: int = 1,
+        key: Optional[bytes] = None,
+    ) -> None:
         self.address = address
         self.sock = sock
         self.send_lock = threading.Lock()
@@ -168,10 +215,19 @@ class _Worker:
         self.alive = True
         self.last_seen = time.monotonic()
         self.reader: Optional[threading.Thread] = None
+        #: Relative dispatch weight the worker announced in its HELLO.
+        self.capacity = max(1, int(capacity))
+        self.key = key
+        #: A reconnect thread is already backing off toward this address.
+        self.reconnecting = False
+
+    def load(self) -> float:
+        """Capacity-normalised load for least-loaded dispatch."""
+        return len(self.inflight) / self.capacity
 
     def send(self, kind: int, payload) -> None:
         with self.send_lock:
-            protocol.send_message(self.sock, kind, payload)
+            protocol.send_message(self.sock, kind, payload, key=self.key)
 
     def try_send(self, kind: int, payload, timeout: float) -> bool:
         """Send unless the lock is busy (another thread mid-send).
@@ -183,7 +239,7 @@ class _Worker:
         if not self.send_lock.acquire(timeout=timeout):
             return False
         try:
-            protocol.send_message(self.sock, kind, payload)
+            protocol.send_message(self.sock, kind, payload, key=self.key)
         finally:
             self.send_lock.release()
         return True
@@ -245,6 +301,22 @@ class ClusterCoordinator:
         Dispatch attempts per task before it fails with
         :class:`ClusterError` (default: one per connected worker, so a
         task is never bounced around a fully dying cluster forever).
+    auth_key : str or bytes, optional
+        Shared HMAC-SHA256 secret; frames are then authenticated both
+        ways and keyless workers rejected during the handshake.  Defaults
+        to :data:`protocol.AUTH_KEY_ENV` from the environment.
+    reconnect : bool
+        When true (the default), a dead worker's address is re-dialled in
+        the background with capped exponential backoff + jitter; a worker
+        process that restarts rejoins the cluster automatically, with its
+        spec re-shipped lazily.
+    degrade : str
+        ``"raise"`` (default): losing every worker fails outstanding
+        tasks with :class:`ClusterError`.  ``"local"``: tasks that find
+        no live worker run *in this process* instead (same registered
+        task bodies, hence bit-identical results), with a single
+        :class:`RuntimeWarning` -- degraded service beats no service for
+        long sweeps.
     """
 
     def __init__(
@@ -254,10 +326,26 @@ class ClusterCoordinator:
         heartbeat_interval: float = 1.0,
         heartbeat_timeout: float = 30.0,
         max_attempts: Optional[int] = None,
+        auth_key=None,
+        reconnect: bool = True,
+        degrade: str = "raise",
     ) -> None:
         parsed = [parse_address(address) for address in addresses]
         if not parsed:
             raise ValueError("a cluster needs at least one worker address")
+        if degrade not in ("raise", "local"):
+            raise ValueError(
+                f'degrade must be "raise" or "local", got {degrade!r}'
+            )
+        self._key = (
+            protocol.normalize_auth_key(auth_key)
+            if auth_key is not None
+            else protocol.auth_key_from_env()
+        )
+        self.reconnect = bool(reconnect)
+        self.degrade = degrade
+        self._degraded_warned = False
+        self._connect_timeout = float(connect_timeout)
         self._lock = threading.RLock()
         self._closed = False
         self._task_ids = itertools.count()
@@ -288,18 +376,18 @@ class ClusterCoordinator:
         # a coordinator dropped without shutdown() must stay collectable, at
         # which point the finalizer closes the sockets, the blocked reader
         # threads wake with OSError, find their referent gone, and exit.
-        self_ref = weakref.ref(self)
+        self._self_ref = weakref.ref(self)
         self._finalizer = weakref.finalize(
             self, _close_worker_sockets, self.workers
         )
         for worker in self.workers:
             worker.reader = threading.Thread(
-                target=_reader_thread, args=(self_ref, worker), daemon=True
+                target=_reader_thread, args=(self._self_ref, worker), daemon=True
             )
             worker.reader.start()
         self._heartbeat = threading.Thread(
             target=_heartbeat_thread,
-            args=(self_ref, self.heartbeat_interval),
+            args=(self._self_ref, self.heartbeat_interval),
             daemon=True,
         )
         self._heartbeat.start()
@@ -308,20 +396,29 @@ class ClusterCoordinator:
     # connection management
     # ------------------------------------------------------------------
     def _connect(self, address: Address, timeout: float) -> _Worker:
+        key = self._key
         sock = socket.create_connection(address, timeout=timeout)
         sock.settimeout(timeout)
         try:
             protocol.send_message(
-                sock, protocol.HELLO, protocol.hello_payload("coordinator")
+                sock,
+                protocol.HELLO,
+                protocol.hello_payload("coordinator", auth=key is not None),
+                key=key,
             )
-            kind, payload = protocol.recv_message(sock)
+            # A keyed recv rejects a keyless worker's plaintext ERROR reply
+            # without unpickling it (AuthenticationError with the mismatch
+            # attributed); a keyless recv surfaces a keyed worker's
+            # rejection as the ERROR branch below.
+            kind, payload = protocol.recv_message(sock, key=key)
             if kind == protocol.ERROR:
                 raise protocol.ProtocolError(f"worker rejected handshake: {payload}")
             if kind != protocol.HELLO:
                 raise protocol.ProtocolError(
                     f"expected HELLO, got {protocol.MESSAGE_NAMES[kind]}"
                 )
-            protocol.check_hello(payload, expected_role="worker")
+            protocol.check_hello(payload, expected_role="worker", auth=key is not None)
+            capacity = int(payload.get("capacity", 1) or 1)
         except BaseException:
             sock.close()
             raise
@@ -340,7 +437,7 @@ class ClusterCoordinator:
             )
         except (OSError, struct.error):  # pragma: no cover - exotic platforms
             pass
-        return _Worker(address, sock)
+        return _Worker(address, sock, capacity=capacity, key=key)
 
     def _handle_frame(self, worker: _Worker, kind: int, payload) -> bool:
         """Process one received frame; ``False`` once the worker is dead."""
@@ -430,7 +527,21 @@ class ClusterCoordinator:
             worker.alive = False
             orphans = list(worker.inflight.values())
             worker.inflight.clear()
+            spawn_reconnect = (
+                self.reconnect and not self._closed and not worker.reconnecting
+            )
+            if spawn_reconnect:
+                worker.reconnecting = True
         worker.close()
+        if spawn_reconnect:
+            # Self-healing: keep trying the address in the background (capped
+            # exponential backoff + jitter); a restarted worker process
+            # rejoins with a fresh connection and an empty spec mirror.
+            threading.Thread(
+                target=_reconnect_thread,
+                args=(self._self_ref, worker.address, int(worker.address[1])),
+                daemon=True,
+            ).start()
         if orphans and not self._closed:
             with self._lock:
                 self.requeued += len(orphans)
@@ -453,14 +564,19 @@ class ClusterCoordinator:
     # dispatch
     # ------------------------------------------------------------------
     def _pick_worker(self) -> _Worker:
-        """Least-loaded live worker, round-robin among ties (lock held)."""
+        """Least-loaded live worker, round-robin among ties (lock held).
+
+        Load is capacity-normalised (:meth:`_Worker.load`): a capacity-2
+        worker with two tasks in flight ties a capacity-1 worker with one,
+        so announced weights translate directly into dispatch share.
+        """
         live = [worker for worker in self.workers if worker.alive]
         if not live:
             raise ClusterError("no live cluster workers")
         rotation = next(self._rotation)
         return min(
             (live[(rotation + offset) % len(live)] for offset in range(len(live))),
-            key=lambda worker: len(worker.inflight),
+            key=_Worker.load,
         )
 
     def _dispatch(self, task: "_Task") -> None:
@@ -468,7 +584,10 @@ class ClusterCoordinator:
 
         Retries transparently over the remaining live workers when a send
         fails (the send failure marks that worker dead, which requeues
-        whatever else it was running).
+        whatever else it was running).  With ``degrade="local"``, a task
+        that finds no live worker at all runs in-process instead (same
+        registered body, bit-identical result) and its future resolves
+        immediately.
         """
         while True:
             with self._lock:
@@ -479,10 +598,21 @@ class ClusterCoordinator:
                         f"task {task.task_id} ({task.kind}) exhausted "
                         f"{self.max_attempts} dispatch attempts"
                     )
-                worker = self._pick_worker()
-                task.attempts += 1
-                needs_spec = task.spec is not None and task.spec[0] not in worker.specs
-                worker.inflight[task.task_id] = task
+                try:
+                    worker = self._pick_worker()
+                except ClusterError:
+                    if self.degrade != "local":
+                        raise
+                    worker = None
+                if worker is not None:
+                    task.attempts += 1
+                    needs_spec = (
+                        task.spec is not None and task.spec[0] not in worker.specs
+                    )
+                    worker.inflight[task.task_id] = task
+            if worker is None:
+                self._run_degraded(task)
+                return
             try:
                 if needs_spec:
                     worker.send(protocol.SPEC, task.spec)
@@ -509,6 +639,144 @@ class ClusterCoordinator:
                 with self._lock:
                     worker.inflight.pop(task.task_id, None)
                 raise
+
+    def _run_degraded(self, task: "_Task") -> None:
+        """Run a task in-process because no worker is live (``degrade="local"``).
+
+        The body comes from the same :data:`~repro.runtime.shards.TASK_REGISTRY`
+        the workers use (via :func:`repro.cluster.worker.run_task`), so the
+        result is bit-identical to what a worker would have returned -- the
+        cluster degrades to the serial backend, it does not change answers.
+        """
+        from repro.cluster.worker import run_task
+
+        warn = False
+        with self._lock:
+            if not self._degraded_warned:
+                self._degraded_warned = True
+                warn = True
+        if warn:
+            warnings.warn(
+                "every cluster worker is unreachable; degrade='local' is "
+                "running tasks in-process (results stay bit-identical, "
+                "throughput does not)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        try:
+            result = run_task(
+                task.kind,
+                task.args,
+                {},
+                spec=task.spec[1] if task.spec is not None else None,
+            )
+        except Exception as error:
+            self._resolve(
+                task,
+                error=ClusterError(f"degraded in-process execution failed: {error}"),
+            )
+        else:
+            self._resolve(task, result=result)
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _register_worker(self, worker: _Worker) -> None:
+        """Attach a freshly connected worker: list entry + reader thread.
+
+        Replaces a dead entry for the same address in-place when there is
+        one (keeping ``self.workers`` -- the list object the socket
+        finalizer holds -- bounded across arbitrarily many reconnects);
+        otherwise appends.
+        """
+        with self._lock:
+            if self._closed:
+                worker.close()
+                return
+            for index, existing in enumerate(self.workers):
+                if existing.address == worker.address and not existing.alive:
+                    self.workers[index] = worker
+                    break
+            else:
+                self.workers.append(worker)
+        worker.reader = threading.Thread(
+            target=_reader_thread, args=(self._self_ref, worker), daemon=True
+        )
+        worker.reader.start()
+
+    def _readmit(self, address: Address) -> bool:
+        """Reconnect-thread body: one attempt to revive a dead address."""
+        with self._lock:
+            if self._closed:
+                return True  # stop retrying either way
+            for existing in self.workers:
+                if existing.address == address and existing.alive:
+                    return True  # someone else already revived it
+        worker = self._connect(address, self._connect_timeout)
+        self._register_worker(worker)
+        self._rebalance(worker)
+        return True
+
+    def add_worker(self, address, connect_timeout: Optional[float] = None) -> None:
+        """Admit a new worker mid-stream and grant it a share of the queue.
+
+        Connects, handshakes (auth and version checked like any other
+        worker), ships nothing up front -- the cached
+        :class:`~repro.runtime.shards.InstanceSpec` travels lazily with
+        the first task that needs it -- and rebalances: queued tasks are
+        stolen from the most loaded workers and re-dispatched, so a
+        late-joining worker starts pulling weight immediately instead of
+        waiting for the current wave to drain.
+        """
+        worker = self._connect(
+            parse_address(address),
+            self._connect_timeout if connect_timeout is None else connect_timeout,
+        )
+        self._register_worker(worker)
+        self._rebalance(worker)
+
+    def _rebalance(self, newcomer: _Worker) -> None:
+        """Steal queued work for a newly admitted worker.
+
+        Takes the *most recently dispatched* in-flight tasks (those
+        likeliest still sitting in the old worker's queue rather than
+        executing) from workers above the post-join fair share, sends the
+        old owners a ``cancel`` directive, and re-dispatches.  A task that
+        had already started executing runs twice; that is safe -- bodies
+        are pure functions of the spec, duplicates are equal, and the
+        late RESULT's task id is no longer in the old worker's in-flight
+        map, so it is dropped on arrival.
+        """
+        stolen: List["_Task"] = []
+        notify: Dict[_Worker, List[int]] = {}
+        with self._lock:
+            live = [worker for worker in self.workers if worker.alive]
+            total = sum(len(worker.inflight) for worker in live)
+            capacity = sum(worker.capacity for worker in live) or 1
+            for worker in live:
+                if worker is newcomer:
+                    continue
+                fair = -(-total * worker.capacity // capacity)  # ceil share
+                surplus = len(worker.inflight) - fair
+                for task_id in list(worker.inflight)[::-1][:max(0, surplus)]:
+                    task = worker.inflight.pop(task_id)
+                    stolen.append(task)
+                    notify.setdefault(worker, []).append(task_id)
+        for worker, task_ids in notify.items():
+            try:
+                worker.send(protocol.TASK, (None, "cancel", task_ids))
+            except (OSError, protocol.ProtocolError):
+                pass  # its reader will notice the dead connection itself
+        for task in stolen:
+            try:
+                self._dispatch(task)
+            except ClusterError as error:
+                self._resolve(
+                    task,
+                    error=ClusterError(
+                        f"task could not be re-dispatched while rebalancing: {error}"
+                    ),
+                )
 
     def submit_task(self, kind: str, args, spec=None) -> Future:
         """Schedule one task; the returned future resolves to its result.
@@ -760,6 +1028,7 @@ class ClusterCoordinator:
         count: int,
         seeds: Sequence,
         initial=None,
+        stats: bool = False,
     ) -> List[Dict[Node, Value]]:
         """Final states of independent chains, run as blocks on the workers.
 
@@ -773,6 +1042,12 @@ class ClusterCoordinator:
         the process backend -- so chain ``c`` of the result is
         bit-identical to the kernel's serial chain run with
         ``seed=seeds[c]``.
+
+        With ``stats=True`` the return value is ``(configurations,
+        counts)`` where ``counts[c]`` is chain ``c``'s per-chain failure
+        count (gated kernels: rejected proposals; others: zeros) --
+        the payload flag rides the existing ``chain_block`` wire format,
+        so JVV rejection statistics distribute like any other block work.
         """
         from repro.sampling.kernels import get_kernel
 
@@ -780,7 +1055,7 @@ class ClusterCoordinator:
         get_kernel(kernel_name)  # fail fast on unknown kernels, caller-side
         seeds = list(seeds)
         if not seeds:
-            return []
+            return ([], []) if stats else []
         spec = self._spec_for(instance)
         blocks = _chunk_tasks(
             seeds, 1, chunk_size=-(-len(seeds) // max(1, self.live_worker_count))
@@ -796,7 +1071,12 @@ class ClusterCoordinator:
                     "seeds": block,
                     "initial": dict(initial) if initial is not None else None,
                 }
-                if legacy_kind is not None:
+                if stats:
+                    # Behind a flag (not a new message type): an old worker
+                    # would ignore it and return bare configurations, which
+                    # the merge below rejects loudly instead of mis-zipping.
+                    payload["stats"] = True
+                elif legacy_kind is not None:
                     # Wire compat within PROTOCOL_VERSION 1: a previous-release
                     # worker reads args["kind"] for the two pre-kernel
                     # dynamics; newer workers prefer "kernel" and ignore this.
@@ -807,8 +1087,24 @@ class ClusterCoordinator:
             raise
         try:
             results: List[Dict[Node, Value]] = []
+            counts: List[int] = []
             for future in futures:  # block order == seed order
-                results.extend(future.result())
-            return results
+                block_result = future.result()
+                if stats:
+                    if (
+                        not isinstance(block_result, tuple)
+                        or len(block_result) != 2
+                    ):
+                        raise ClusterError(
+                            "worker returned a bare chain_block payload to a "
+                            "stats=True request (worker predates the stats "
+                            "wire flag?)"
+                        )
+                    block_configs, block_counts = block_result
+                    results.extend(block_configs)
+                    counts.extend(block_counts)
+                else:
+                    results.extend(block_result)
+            return (results, counts) if stats else results
         finally:
             self._discard(futures)

@@ -13,19 +13,24 @@ Workers are discovered through their stdout contract: a worker prints
 ``repro-cluster-worker listening on host:port`` as its first line (see
 :func:`repro.cluster.worker.main`), which is how ephemeral ports are
 resolved without a race.  The pool terminates its workers on
-:meth:`LocalWorkerPool.terminate`, on context-manager exit, and -- as a
-safety net for abandoned pools -- at interpreter exit.
+:meth:`LocalWorkerPool.terminate` and on context-manager exit; as a
+safety net, a :func:`weakref.finalize` finalizer kills them when an
+abandoned pool is garbage-collected *and* at interpreter exit -- a
+coordinator that dies before calling ``shutdown()`` cannot leak worker
+processes.
 """
 
 from __future__ import annotations
 
-import atexit
 import os
 import subprocess
 import sys
 import tempfile
+import weakref
 from pathlib import Path
 from typing import List, Optional, Tuple
+
+from repro.cluster import chaos, protocol
 
 Address = Tuple[str, int]
 
@@ -44,6 +49,32 @@ def _stderr_tail(stderr_file, limit: int = 2000) -> str:
     return f"; worker stderr:\n{text[-limit:]}"
 
 
+def _terminate_processes(processes, stderr_files) -> None:
+    """Finalizer body: stop every worker subprocess and close its files.
+
+    Module-level (not a bound method) so :func:`weakref.finalize` can hold
+    it without keeping the pool alive; robust to workers that already
+    exited or were killed individually (``poll``/``kill``/``wait`` are all
+    idempotent on a reaped process).
+    """
+    for process in processes:
+        if process.poll() is None:
+            process.terminate()
+    for process in processes:
+        try:
+            process.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+            process.kill()
+            process.wait()
+        if process.stdout is not None:
+            process.stdout.close()
+    for stderr_file in stderr_files:
+        try:
+            stderr_file.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
 class LocalWorkerPool:
     """A handful of localhost worker subprocesses and their addresses."""
 
@@ -57,42 +88,40 @@ class LocalWorkerPool:
         #: ``(host, port)`` pairs, one per worker, in spawn order.
         self.addresses = list(addresses)
         self._stderr_files = list(stderr_files or [])
-        self._terminated = False
-        atexit.register(self.terminate)
+        # The cleanup runs whichever comes first: an explicit terminate(),
+        # garbage collection of an abandoned pool, or interpreter exit
+        # (weakref.finalize registers itself atexit) -- and exactly once.
+        self._finalizer = weakref.finalize(
+            self, _terminate_processes, self.processes, self._stderr_files
+        )
+
+    @property
+    def _terminated(self) -> bool:
+        """Whether the pool's cleanup has run (test observability hook)."""
+        return not self._finalizer.alive
 
     def __len__(self) -> int:
         return len(self.processes)
 
     def kill(self, index: int) -> None:
-        """Hard-kill one worker (the failure-injection hook of the tests)."""
-        self.processes[index].kill()
-        self.processes[index].wait()
+        """Hard-kill one worker (the failure-injection hook of the tests).
+
+        Idempotent: killing an already-dead or already-killed worker is a
+        no-op, and pool-level :meth:`terminate` afterwards stays safe --
+        double-kill must never raise during cleanup paths.
+        """
+        process = self.processes[index]
+        if process.poll() is None:
+            process.kill()
+        process.wait()
 
     def alive(self, index: int) -> bool:
         """Whether a worker subprocess is still running."""
         return self.processes[index].poll() is None
 
     def terminate(self) -> None:
-        """Stop every worker (idempotent; registered at interpreter exit)."""
-        if self._terminated:
-            return
-        self._terminated = True
-        for process in self.processes:
-            if process.poll() is None:
-                process.terminate()
-        for process in self.processes:
-            try:
-                process.wait(timeout=5)
-            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
-                process.kill()
-                process.wait()
-            if process.stdout is not None:
-                process.stdout.close()
-        for stderr_file in self._stderr_files:
-            try:
-                stderr_file.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
+        """Stop every worker (idempotent; also runs via GC/exit finalizer)."""
+        self._finalizer()
 
     def __enter__(self) -> "LocalWorkerPool":
         return self
@@ -106,6 +135,9 @@ def spawn_workers(
     host: str = "127.0.0.1",
     python: Optional[str] = None,
     startup_timeout: float = 60.0,
+    auth_key=None,
+    capacities: Optional[List[int]] = None,
+    fault_plans: Optional[List[Optional["chaos.FaultPlan"]]] = None,
 ) -> LocalWorkerPool:
     """Start ``count`` cluster workers as subprocesses on loopback.
 
@@ -120,6 +152,17 @@ def spawn_workers(
     startup_timeout : float
         Seconds to wait for each worker's listening line before giving up
         (enforced per worker via a read deadline on its stdout pipe).
+    auth_key : str or bytes, optional
+        Shared HMAC secret handed to every worker (via its environment,
+        not argv -- keys must not show up in ``ps``).  Pair it with the
+        same key on the coordinator/Runtime.
+    capacities : list of int, optional
+        Per-worker dispatch weights (``--capacity``), one per worker.
+    fault_plans : list, optional
+        Per-worker :class:`repro.cluster.chaos.FaultPlan` (or ``None``)
+        entries, shipped through the :data:`repro.cluster.chaos.CHAOS_ENV`
+        environment variable -- the chaos tests' way of arming a real
+        subprocess worker.
 
     Returns
     -------
@@ -131,10 +174,15 @@ def spawn_workers(
     ------
     RuntimeError
         When a worker exits (or prints something unexpected) before
-        announcing its listening address.
+        announcing its listening address; the message carries the tail of
+        the worker's captured stderr.
     """
     if count < 1:
         raise ValueError("count must be at least 1")
+    if capacities is not None and len(capacities) != count:
+        raise ValueError(f"need {count} capacities, got {len(capacities)}")
+    if fault_plans is not None and len(fault_plans) != count:
+        raise ValueError(f"need {count} fault plans, got {len(fault_plans)}")
     import repro
 
     source_root = str(Path(repro.__file__).resolve().parents[1])
@@ -143,31 +191,53 @@ def spawn_workers(
     environment["PYTHONPATH"] = (
         source_root if not existing else source_root + os.pathsep + existing
     )
+    key = protocol.normalize_auth_key(auth_key)
+    if key is not None:
+        try:
+            # Must round-trip the worker-side UTF-8 normalisation of
+            # protocol.normalize_auth_key; arbitrary binary keys cannot
+            # cross an environment variable faithfully.
+            environment[protocol.AUTH_KEY_ENV] = key.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ValueError(
+                "auth_key must be UTF-8 text to hand to subprocess workers "
+                "via the environment"
+            )
     interpreter = python or sys.executable
     processes: List[subprocess.Popen] = []
     stderr_files = []
     addresses: List[Address] = []
     try:
-        for _ in range(count):
+        for index in range(count):
             # Worker stderr goes to an unlinked temp file rather than
             # DEVNULL (a startup crash would otherwise be undiagnosable)
             # or a pipe (which nobody drains and could fill up).
             stderr_file = tempfile.TemporaryFile(mode="w+")
             stderr_files.append(stderr_file)
+            command = [
+                interpreter,
+                "-m",
+                "repro.cluster",
+                "--host",
+                host,
+                "--port",
+                "0",
+            ]
+            if capacities is not None:
+                command += ["--capacity", str(capacities[index])]
+            worker_environment = environment
+            if fault_plans is not None:
+                worker_environment = environment.copy()
+                if fault_plans[index] is not None:
+                    worker_environment[chaos.CHAOS_ENV] = fault_plans[index].to_json()
+                else:
+                    worker_environment.pop(chaos.CHAOS_ENV, None)
             processes.append(
                 subprocess.Popen(
-                    [
-                        interpreter,
-                        "-m",
-                        "repro.cluster",
-                        "--host",
-                        host,
-                        "--port",
-                        "0",
-                    ],
+                    command,
                     stdout=subprocess.PIPE,
                     stderr=stderr_file,
-                    env=environment,
+                    env=worker_environment,
                     text=True,
                 )
             )
@@ -197,7 +267,7 @@ def _read_address(
     if not ready:
         raise RuntimeError(
             f"cluster worker (pid {process.pid}) did not announce its address "
-            f"within {timeout:.0f}s"
+            f"within {timeout:.0f}s{_stderr_tail(stderr_file)}"
         )
     line = process.stdout.readline()
     if not line:
@@ -212,8 +282,12 @@ def _read_address(
     marker = "listening on "
     position = line.rfind(marker)
     if position < 0:
-        raise RuntimeError(f"unexpected worker announcement: {line!r}")
+        raise RuntimeError(
+            f"unexpected worker announcement: {line!r}{_stderr_tail(stderr_file)}"
+        )
     host, _, port = line[position + len(marker) :].strip().rpartition(":")
     if not host or not port.isdigit():
-        raise RuntimeError(f"unexpected worker announcement: {line!r}")
+        raise RuntimeError(
+            f"unexpected worker announcement: {line!r}{_stderr_tail(stderr_file)}"
+        )
     return host, int(port)

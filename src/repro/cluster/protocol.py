@@ -2,10 +2,10 @@
 
 Every message on a coordinator <-> worker connection is one *frame*::
 
-    +-------+------+----------------+---------------------+
-    | magic | type | payload length | pickled payload ... |
-    | 4 B   | 1 B  | 8 B big-endian | `payload length` B  |
-    +-------+------+----------------+---------------------+
+    +-------+------+----------------+---------------------+-----------+
+    | magic | type | payload length | pickled payload ... | HMAC tag  |
+    | 4 B   | 1 B  | 8 B big-endian | `payload length` B  | 0 or 32 B |
+    +-------+------+----------------+---------------------+-----------+
 
 The fixed header makes the stream self-describing and cheap to validate:
 a frame whose magic bytes, message type or length field is wrong raises
@@ -20,13 +20,44 @@ buffered or unpickled.  A clean EOF raises the :class:`ConnectionClosed`
 subclass, which the coordinator treats as worker death and the worker
 treats as the coordinator hanging up.
 
+Authenticated frames
+--------------------
+
+With a shared secret (``auth_key=`` on the coordinator/worker, or the
+:data:`AUTH_KEY_ENV` environment variable) every frame is *authenticated*:
+the magic switches to :data:`MAGIC_AUTH` and a 32-byte HMAC-SHA256 tag
+over ``header || payload`` follows the payload.  The receiver verifies the
+tag with a constant-time compare **before unpickling a single payload
+byte**, so a peer without the key -- or an on-path tamperer flipping bits
+-- produces :class:`AuthenticationError`, never an unpickle of attacker
+bytes.  The two magics keep the stream self-describing in both
+directions:
+
+* an *unauthenticated* frame arriving at a keyed receiver is rejected on
+  the header (and answered with a plaintext ``ERROR`` the keyless peer
+  can actually read, instead of leaving it hanging);
+* an *authenticated* frame arriving at a keyless receiver is likewise a
+  header-level :class:`AuthenticationError`;
+* a keyed receiver that sees a plaintext ``ERROR`` frame (the handshake
+  rejection of a keyless peer) reports the mismatch *without unpickling
+  the untrusted payload*.
+
+The HELLO payloads additionally carry an ``"auth"`` flag, so a mismatch
+that somehow survives the frame layer still fails the handshake.  HMAC
+authenticates peers and frame integrity; the payloads remain pickled, so
+the key must be a *shared secret among mutually trusting hosts* -- anyone
+holding it can execute code on the workers.  Without a key the transport
+trusts its network exactly like ``multiprocessing`` pipes do: only bind
+workers on networks you trust.
+
 Message types
 -------------
 
 ``HELLO``
     Handshake, both directions.  The coordinator speaks first; payloads
-    carry ``{"role", "version", "pid"}`` and a version mismatch is a
-    :class:`ProtocolError`.
+    carry ``{"role", "version", "pid", "auth"}`` (workers add
+    ``"capacity"``, their relative dispatch weight) and a version or auth
+    mismatch is a :class:`ProtocolError`.
 ``SPEC``
     Coordinator -> worker: ``(spec_id, InstanceSpec)``.  Sent at most
     once per spec per connection (the worker caches it, mirroring the
@@ -48,23 +79,40 @@ Message types
 
 The payloads are pickled (protocol :data:`pickle.HIGHEST_PROTOCOL`); the
 transport therefore carries exactly what the process backend's pipes
-carry -- picklable specs, compiled balls, marginal dicts -- and trusts
-its peers exactly as much.  Like ``multiprocessing``, this is a
-cooperating-cluster transport, not a security boundary: only bind
-workers on networks you trust.
+carry -- picklable specs, compiled balls, marginal dicts.
+
+Fault injection
+---------------
+
+:func:`send_message` accepts a ``faults=`` hook (a
+:class:`repro.cluster.chaos.FaultPlan`) consulted once per outgoing frame:
+the plan can *drop* the frame, *delay* it, *corrupt* a deterministic bit
+of its magic or payload, or *truncate* it mid-payload and tear the
+connection down.  The hook sits below the worker/coordinator logic, so
+chaos tests exercise exactly the code paths a flaky network would.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac as hmac_module
+import os
 import pickle
 import socket
 import struct
-from typing import Tuple
+import time
+from typing import Optional, Tuple
 
 #: Frame magic: rejects peers that are not speaking this protocol.
 MAGIC = b"RCW1"
+#: Magic of *authenticated* frames (a 32-byte HMAC tag follows the payload).
+MAGIC_AUTH = b"RCA1"
 #: Bumped on incompatible wire changes; checked during the HELLO handshake.
 PROTOCOL_VERSION = 1
+#: Bytes of the HMAC-SHA256 tag appended to authenticated frames.
+TAG_BYTES = 32
+#: Environment variable both sides read for a default shared auth key.
+AUTH_KEY_ENV = "REPRO_CLUSTER_AUTH_KEY"
 #: Refuse frames above this payload size (a corrupt length field would
 #: otherwise make the receiver try to allocate petabytes).
 MAX_FRAME_BYTES = 1 << 30
@@ -104,6 +152,52 @@ class ProtocolError(RuntimeError):
     """A malformed frame, unknown message type, or handshake mismatch."""
 
 
+class AuthenticationError(ProtocolError):
+    """A frame failed (or lacked) HMAC authentication.
+
+    ``peer_plain`` distinguishes the two directions: ``True`` when the
+    *peer* sent unauthenticated frames to a keyed receiver (the rejection
+    reply must then be plaintext so the keyless peer can read it),
+    ``False`` when the peer sent authenticated frames this side cannot
+    verify (missing key or bad tag).
+    """
+
+    def __init__(self, message: str, peer_plain: bool = False) -> None:
+        super().__init__(message)
+        self.peer_plain = peer_plain
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (EOF mid-frame or between frames)."""
+
+
+def normalize_auth_key(key) -> Optional[bytes]:
+    """Normalise an auth key argument: ``None``, ``str`` (UTF-8) or bytes.
+
+    The empty string/bytes count as "no key", so ``auth_key=os.environ.get(
+    AUTH_KEY_ENV, "")`` composes without surprises.
+    """
+    if key is None:
+        return None
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if not isinstance(key, (bytes, bytearray)):
+        raise TypeError(f"auth key must be str or bytes, got {type(key).__name__}")
+    return bytes(key) or None
+
+
+def auth_key_from_env() -> Optional[bytes]:
+    """The shared key of :data:`AUTH_KEY_ENV`, or ``None`` when unset."""
+    return normalize_auth_key(os.environ.get(AUTH_KEY_ENV))
+
+
+def _tag(key: bytes, header: bytes, data: bytes) -> bytes:
+    """The HMAC-SHA256 tag over one frame's header and payload."""
+    mac = hmac_module.new(key, header, hashlib.sha256)
+    mac.update(data)
+    return mac.digest()
+
+
 def frame_limit(kind: int) -> int:
     """The maximum payload size accepted for a message kind.
 
@@ -120,12 +214,11 @@ def frame_limit(kind: int) -> int:
     return MAX_FRAME_BYTES
 
 
-class ConnectionClosed(ProtocolError):
-    """The peer closed the connection (EOF mid-frame or between frames)."""
-
-
-def send_message(sock: socket.socket, kind: int, payload=None) -> None:
-    """Send one framed message.
+def send_message(
+    sock: socket.socket, kind: int, payload=None, key: Optional[bytes] = None,
+    faults=None,
+) -> None:
+    """Send one framed message, optionally authenticated and fault-injected.
 
     Parameters
     ----------
@@ -136,14 +229,20 @@ def send_message(sock: socket.socket, kind: int, payload=None) -> None:
         One of the message-type constants of this module.
     payload : object
         Any picklable payload (``None`` is fine).
+    key : bytes, optional
+        Shared HMAC key; when given the frame carries :data:`MAGIC_AUTH`
+        and a :data:`TAG_BYTES`-byte tag over header and payload.
+    faults : repro.cluster.chaos.FaultPlan, optional
+        Deterministic fault-injection hook consulted once per frame (test
+        harness only; production paths pass ``None``).
 
     Raises
     ------
     ProtocolError
-        For unknown message kinds or payloads above
-        :data:`MAX_FRAME_BYTES`.
+        For unknown message kinds or payloads above the per-kind limit.
     OSError
-        When the socket write fails (the peer is gone).
+        When the socket write fails (the peer is gone) -- including the
+        injected mid-frame truncation of a fault plan.
     """
     if kind not in MESSAGE_NAMES:
         raise ProtocolError(f"unknown message type {kind!r}")
@@ -154,11 +253,52 @@ def send_message(sock: socket.socket, kind: int, payload=None) -> None:
             f"refusing to send a {len(data)}-byte {MESSAGE_NAMES[kind]} frame "
             f"(limit {limit})"
         )
-    # Two sends instead of one concatenation: prepending 13 header bytes
-    # must not transiently double the memory of a large payload.  Callers
-    # hold a per-connection lock, so the frame stays contiguous on the wire.
-    sock.sendall(_HEADER.pack(MAGIC, kind, len(data)))
+    magic = MAGIC if key is None else MAGIC_AUTH
+    header = _HEADER.pack(magic, kind, len(data))
+    tag = b"" if key is None else _tag(key, header, data)
+    if faults is not None:
+        action = faults.frame_action(kind)
+        if action is not None:
+            name = action[0]
+            if name == "drop":
+                return  # the frame silently never reaches the wire
+            if name == "delay":
+                time.sleep(action[1])
+            elif name == "corrupt":
+                where, position = action[1], action[2]
+                if where == "magic":
+                    header = bytes([header[0] ^ 0x01]) + header[1:]
+                    if key is not None:
+                        # The tag covered the original header; keep it so
+                        # only the magic byte is wrong on the wire.
+                        pass
+                elif data:
+                    position %= len(data)
+                    data = (
+                        data[:position]
+                        + bytes([data[position] ^ 0x01])
+                        + data[position + 1 :]
+                    )
+                    # Deliberately NOT recomputing the tag: a tamperer does
+                    # not hold the key, so the tag no longer matches.
+            elif name == "truncate":
+                keep = min(action[1], len(data))
+                sock.sendall(header)
+                if keep:
+                    sock.sendall(data[:keep])
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                raise OSError("fault injection: frame truncated mid-payload")
+    # Separate sends instead of one concatenation: prepending 13 header
+    # bytes must not transiently double the memory of a large payload.
+    # Callers hold a per-connection lock, so the frame stays contiguous on
+    # the wire.
+    sock.sendall(header)
     sock.sendall(data)
+    if tag:
+        sock.sendall(tag)
 
 
 def _recv_exact(sock: socket.socket, count: int, on_data=None) -> bytes:
@@ -184,8 +324,10 @@ def _recv_exact(sock: socket.socket, count: int, on_data=None) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket, on_data=None) -> Tuple[int, object]:
-    """Receive one framed message, validating the header before unpickling.
+def recv_message(
+    sock: socket.socket, on_data=None, key: Optional[bytes] = None
+) -> Tuple[int, object]:
+    """Receive one framed message, validating header (and tag) before unpickling.
 
     Parameters
     ----------
@@ -194,6 +336,12 @@ def recv_message(sock: socket.socket, on_data=None) -> Tuple[int, object]:
     on_data : callable, optional
         Progress callback invoked per received chunk (see
         :func:`_recv_exact`).
+    key : bytes, optional
+        Shared HMAC key.  With a key, only :data:`MAGIC_AUTH` frames with
+        a valid tag are accepted -- except a plaintext ``ERROR`` frame,
+        which is reported as an auth-mismatch rejection *without its
+        payload being unpickled* (it is how a keyless peer says no).
+        Without a key, authenticated frames are rejected.
 
     Returns
     -------
@@ -206,12 +354,15 @@ def recv_message(sock: socket.socket, on_data=None) -> Tuple[int, object]:
         Bad magic bytes, unknown message type, oversized length field, or
         an unpicklable payload -- the frame is rejected without being
         interpreted.
+    AuthenticationError
+        Tag verification failure or an auth-mode mismatch between the
+        peers; raised before any payload byte is unpickled.
     ConnectionClosed
         EOF from the peer (between frames or mid-frame).
     """
     header = _recv_exact(sock, _HEADER.size, on_data)
     magic, kind, length = _HEADER.unpack(header)
-    if magic != MAGIC:
+    if magic not in (MAGIC, MAGIC_AUTH):
         raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
     if kind not in MESSAGE_NAMES:
         raise ProtocolError(f"unknown message type {kind}")
@@ -223,7 +374,42 @@ def recv_message(sock: socket.socket, on_data=None) -> Tuple[int, object]:
             f"{MESSAGE_NAMES[kind]} frame length {length} exceeds the "
             f"{limit}-byte limit"
         )
+    authenticated = magic == MAGIC_AUTH
+    if authenticated and key is None:
+        # Drain payload + tag (bounded by the per-kind limit) without
+        # unpickling: rejecting on the header alone would leave the frame
+        # unread in the kernel buffer, and the later shutdown would then
+        # RST the connection under a peer still mid-send -- its rejection
+        # reply must travel on a clean stream.
+        _recv_exact(sock, length + TAG_BYTES, on_data)
+        raise AuthenticationError(
+            f"authenticated {MESSAGE_NAMES[kind]} frame received but no auth "
+            "key is configured on this side; payload discarded unread"
+        )
+    if not authenticated and key is not None:
+        if kind == ERROR:
+            # A keyless peer rejecting the connection: drain the frame so
+            # the stream stays parseable, but never unpickle its untrusted
+            # payload.
+            _recv_exact(sock, length, on_data)
+            raise AuthenticationError(
+                "peer rejected the connection with an unauthenticated ERROR "
+                "frame (authentication mismatch: this side has an auth key, "
+                "the peer does not); payload discarded unread"
+            )
+        raise AuthenticationError(
+            f"unauthenticated {MESSAGE_NAMES[kind]} frame rejected: this side "
+            "requires HMAC-authenticated frames",
+            peer_plain=True,
+        )
     data = _recv_exact(sock, length, on_data)
+    if authenticated:
+        tag = _recv_exact(sock, TAG_BYTES, on_data)
+        if not hmac_module.compare_digest(tag, _tag(key, header, data)):
+            raise AuthenticationError(
+                f"HMAC verification failed on a {MESSAGE_NAMES[kind]} frame "
+                "(wrong key or tampered payload); payload not unpickled"
+            )
     try:
         payload = pickle.loads(data)
     except Exception as error:
@@ -231,14 +417,21 @@ def recv_message(sock: socket.socket, on_data=None) -> Tuple[int, object]:
     return kind, payload
 
 
-def hello_payload(role: str) -> dict:
-    """The handshake payload each side announces itself with."""
-    import os
+def hello_payload(role: str, auth: bool = False, capacity: Optional[int] = None) -> dict:
+    """The handshake payload each side announces itself with.
 
-    return {"role": role, "version": PROTOCOL_VERSION, "pid": os.getpid()}
+    ``auth`` states whether this side sends authenticated frames (belt and
+    braces on top of the per-frame magic); workers additionally announce a
+    ``capacity`` -- their relative weight in least-loaded dispatch.
+    """
+    payload = {"role": role, "version": PROTOCOL_VERSION, "pid": os.getpid(),
+               "auth": bool(auth)}
+    if capacity is not None:
+        payload["capacity"] = int(capacity)
+    return payload
 
 
-def check_hello(payload, expected_role: str) -> dict:
+def check_hello(payload, expected_role: str, auth: bool = False) -> dict:
     """Validate a received HELLO payload, raising :class:`ProtocolError`."""
     if not isinstance(payload, dict):
         raise ProtocolError(f"malformed HELLO payload {payload!r}")
@@ -250,5 +443,13 @@ def check_hello(payload, expected_role: str) -> dict:
     if payload.get("role") != expected_role:
         raise ProtocolError(
             f"expected a {expected_role!r} peer, got {payload.get('role')!r}"
+        )
+    if bool(payload.get("auth")) != bool(auth):
+        raise AuthenticationError(
+            "authentication mismatch in HELLO: peer "
+            f"{'sends' if payload.get('auth') else 'does not send'} "
+            "authenticated frames, this side "
+            f"{'does' if auth else 'does not'}",
+            peer_plain=not payload.get("auth"),
         )
     return payload

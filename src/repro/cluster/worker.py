@@ -59,11 +59,22 @@ Run a worker from the command line (also installed as the
 ``--port 0`` binds an ephemeral port; the chosen address is printed as
 the first line of stdout, which is how
 :func:`repro.cluster.local.spawn_workers` discovers its subprocesses.
+
+``--auth-key`` (or the :data:`repro.cluster.protocol.AUTH_KEY_ENV`
+environment variable) arms HMAC-SHA256 frame authentication: keyless or
+wrong-key coordinators are rejected with a clean ERROR before any payload
+is unpickled.  ``--capacity N`` announces a relative dispatch weight, so
+a beefy host can take N times the in-flight tasks of a capacity-1 worker.
+A JSON :class:`repro.cluster.chaos.FaultPlan` in the
+:data:`repro.cluster.chaos.CHAOS_ENV` environment variable arms
+deterministic fault injection (crash after N tasks, stalled heartbeats,
+dropped/corrupted frames) -- test harness only.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import queue
 import socket
 import threading
@@ -71,7 +82,7 @@ import traceback
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
-from repro.cluster import protocol
+from repro.cluster import chaos, protocol
 from repro.runtime.shards import TASK_REGISTRY, InstanceSpec
 
 #: Retain at most this many specs per connection (FIFO eviction); a
@@ -164,9 +175,44 @@ class ClusterWorker:
         only on trusted networks -- the transport pickles).
     port : int
         TCP port; ``0`` picks an ephemeral port (read :attr:`address`).
+    auth_key : str or bytes, optional
+        Shared HMAC secret; every frame is then authenticated and
+        unauthenticated coordinators are rejected with a readable
+        plaintext ERROR.  Defaults to :data:`protocol.AUTH_KEY_ENV` from
+        the environment (unset/empty means no authentication).  The key
+        gates remote code execution -- share it only among mutually
+        trusting hosts.
+    capacity : int
+        Relative dispatch weight announced in the HELLO handshake: a
+        capacity-2 worker is offered twice the in-flight tasks of a
+        capacity-1 worker by the coordinator's least-loaded policy.
+    fault_plan : repro.cluster.chaos.FaultPlan, optional
+        Deterministic fault injection (tests only): arms the outgoing
+        frame hooks, heartbeat stalling and kill-after-N-tasks.  Defaults
+        to :data:`chaos.CHAOS_ENV` from the environment.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_key=None,
+        capacity: int = 1,
+        fault_plan: Optional[chaos.FaultPlan] = None,
+    ) -> None:
+        self._key = (
+            protocol.normalize_auth_key(auth_key)
+            if auth_key is not None
+            else protocol.auth_key_from_env()
+        )
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        if fault_plan is None:
+            raw_plan = os.environ.get(chaos.CHAOS_ENV)
+            if raw_plan:
+                fault_plan = chaos.FaultPlan.from_json(raw_plan)
+        self._faults = fault_plan
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -217,25 +263,35 @@ class ClusterWorker:
         """Handshake, then pump frames until the coordinator hangs up."""
         _enable_keepalive(connection)
         send_lock = threading.Lock()
+        key = self._key
+        faults = self._faults
 
         def send(kind: int, payload) -> None:
             with send_lock:
-                protocol.send_message(connection, kind, payload)
+                protocol.send_message(connection, kind, payload, key=key,
+                                      faults=faults)
 
         try:
-            kind, payload = protocol.recv_message(connection)
+            kind, payload = protocol.recv_message(connection, key=key)
             if kind != protocol.HELLO:
                 raise protocol.ProtocolError(
                     f"expected HELLO, got {protocol.MESSAGE_NAMES[kind]}"
                 )
-            protocol.check_hello(payload, expected_role="coordinator")
-            send(protocol.HELLO, protocol.hello_payload("worker"))
+            protocol.check_hello(
+                payload, expected_role="coordinator", auth=key is not None
+            )
+            send(
+                protocol.HELLO,
+                protocol.hello_payload(
+                    "worker", auth=key is not None, capacity=self.capacity
+                ),
+            )
         except (protocol.ConnectionClosed, OSError):
             # EOF or a reset (e.g. the coordinator closed with unread data
             # in flight): the peer is gone, go back to accept.
             return
         except protocol.ProtocolError as error:
-            self._reject(connection, send_lock, error)
+            self._reject(connection, send_lock, error, key)
             return
 
         specs: "OrderedDict[int, InstanceSpec]" = OrderedDict()
@@ -244,17 +300,19 @@ class ClusterWorker:
         cancelled: set = set()
         tasks: "queue.Queue" = queue.Queue()
         runner = threading.Thread(
-            target=self._run_tasks, args=(tasks, specs, cancelled, send), daemon=True
+            target=self._run_tasks,
+            args=(tasks, specs, cancelled, send, faults),
+            daemon=True,
         )
         runner.start()
         try:
             while True:
                 try:
-                    kind, payload = protocol.recv_message(connection)
+                    kind, payload = protocol.recv_message(connection, key=key)
                 except (protocol.ConnectionClosed, OSError):
                     return  # coordinator hung up (cleanly or by reset)
                 except protocol.ProtocolError as error:
-                    self._reject(connection, send_lock, error)
+                    self._reject(connection, send_lock, error, key)
                     return
                 if kind == protocol.SPEC:
                     spec_id, spec = payload
@@ -279,6 +337,8 @@ class ClusterWorker:
                     )
                     tasks.put((task_id, task_kind, args, spec))
                 elif kind == protocol.HEARTBEAT:
+                    if faults is not None and faults.stall_heartbeat():
+                        continue  # injected stall: swallow the echo
                     try:
                         send(protocol.HEARTBEAT, payload)
                     except OSError:
@@ -290,18 +350,29 @@ class ClusterWorker:
                         protocol.ProtocolError(
                             f"unexpected {protocol.MESSAGE_NAMES[kind]} frame"
                         ),
+                        key,
                     )
                     return
         finally:
             tasks.put(_STOP)
 
     @staticmethod
-    def _reject(connection, send_lock, error) -> None:
-        """Best-effort ERROR reply for a connection-level failure, then close."""
+    def _reject(connection, send_lock, error, key=None) -> None:
+        """Best-effort ERROR reply for a connection-level failure, then close.
+
+        The reply is sent *plaintext* when the failure is that the peer
+        itself spoke plaintext to a keyed worker
+        (:class:`protocol.AuthenticationError` with ``peer_plain``) -- an
+        authenticated rejection would be unreadable to exactly the peer it
+        is meant to inform.  Every other rejection uses the connection's
+        normal framing.
+        """
+        if isinstance(error, protocol.AuthenticationError) and error.peer_plain:
+            key = None
         try:
             with send_lock:
                 protocol.send_message(
-                    connection, protocol.ERROR, (None, _error_text(error))
+                    connection, protocol.ERROR, (None, _error_text(error)), key=key
                 )
         except (OSError, protocol.ProtocolError):
             pass
@@ -311,7 +382,7 @@ class ClusterWorker:
             pass
 
     @staticmethod
-    def _run_tasks(tasks, specs, cancelled, send) -> None:
+    def _run_tasks(tasks, specs, cancelled, send, faults=None) -> None:
         """Runner thread: execute queued tasks in order, one at a time.
 
         Tasks whose id was cancelled by the coordinator are skipped without
@@ -339,6 +410,10 @@ class ClusterWorker:
                 send(protocol.RESULT, (task_id, result))
             except OSError:
                 return
+            if faults is not None and faults.task_completed():
+                # Injected hard crash -- no cleanup, no FIN beyond what the
+                # kernel sends, exactly like the OOM killer.
+                os._exit(17)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -355,8 +430,27 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--port", type=int, default=0, help="TCP port (0 picks an ephemeral port)"
     )
+    parser.add_argument(
+        "--auth-key",
+        default=None,
+        help=(
+            "shared HMAC-SHA256 secret; frames are then authenticated and "
+            f"keyless coordinators rejected (default: ${protocol.AUTH_KEY_ENV})"
+        ),
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        help="relative dispatch weight announced to the coordinator (default 1)",
+    )
     options = parser.parse_args(argv)
-    worker = ClusterWorker(host=options.host, port=options.port)
+    worker = ClusterWorker(
+        host=options.host,
+        port=options.port,
+        auth_key=options.auth_key,
+        capacity=options.capacity,
+    )
     host, port = worker.address
     # The first stdout line is the discovery contract of
     # repro.cluster.local.spawn_workers -- keep its shape stable.

@@ -132,6 +132,19 @@ class Runtime:
         Cluster backend only: worker addresses as ``(host, port)`` pairs or
         ``"host:port"`` strings.  ``None`` makes the runtime spawn (and own)
         ``n_workers`` localhost workers on first use.
+    auth_key : str or bytes, optional
+        Cluster backend only: shared HMAC-SHA256 secret authenticating
+        every frame between coordinator and workers (see
+        :mod:`repro.cluster.protocol`).  Runtime-spawned localhost workers
+        inherit the key automatically; for remote workers start each
+        ``repro-cluster-worker`` with the same key.  Defaults to the
+        ``REPRO_CLUSTER_AUTH_KEY`` environment variable.
+    degrade : str, optional
+        Cluster backend only: what losing *every* worker does to
+        outstanding tasks.  ``"raise"`` (default) fails them with
+        :class:`~repro.cluster.coordinator.ClusterError`; ``"local"`` runs
+        them in-process instead -- same registered task bodies, hence
+        bit-identical results -- after a single :class:`RuntimeWarning`.
 
     Notes
     -----
@@ -144,7 +157,17 @@ class Runtime:
     still abandoned mid-iteration, whose pending work it cancels.
     """
 
-    __slots__ = ("backend", "n_chains", "n_workers", "addresses", "_pool", "_cluster", "_local_pool")
+    __slots__ = (
+        "backend",
+        "n_chains",
+        "n_workers",
+        "addresses",
+        "auth_key",
+        "degrade",
+        "_pool",
+        "_cluster",
+        "_local_pool",
+    )
 
     def __init__(
         self,
@@ -152,6 +175,8 @@ class Runtime:
         n_chains: int = 1,
         n_workers: Optional[int] = None,
         addresses: Optional[Sequence] = None,
+        auth_key=None,
+        degrade: Optional[str] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(
@@ -161,6 +186,14 @@ class Runtime:
             raise ValueError("n_chains must be at least 1")
         if addresses is not None and backend != CLUSTER_BACKEND:
             raise ValueError("addresses only apply to the cluster backend")
+        if auth_key is not None and backend != CLUSTER_BACKEND:
+            raise ValueError("auth_key only applies to the cluster backend")
+        if degrade is not None and backend != CLUSTER_BACKEND:
+            raise ValueError("degrade only applies to the cluster backend")
+        if degrade not in (None, "raise", "local"):
+            raise ValueError(f'degrade must be "raise" or "local", got {degrade!r}')
+        self.auth_key = auth_key
+        self.degrade = degrade
         self.backend = backend
         self.n_chains = int(n_chains)
         self.addresses = list(addresses) if addresses is not None else None
@@ -226,9 +259,17 @@ class Runtime:
             if addresses is None:
                 from repro.cluster.local import spawn_workers
 
-                self._local_pool = spawn_workers(self.n_workers)
+                # Runtime-spawned workers inherit the runtime's auth key,
+                # so a keyed localhost cluster needs no extra wiring.
+                self._local_pool = spawn_workers(
+                    self.n_workers, auth_key=self.auth_key
+                )
                 addresses = self._local_pool.addresses
-            self._cluster = ClusterCoordinator(addresses)
+            self._cluster = ClusterCoordinator(
+                addresses,
+                auth_key=self.auth_key,
+                degrade=self.degrade if self.degrade is not None else "raise",
+            )
         return self._cluster
 
     # ------------------------------------------------------------------

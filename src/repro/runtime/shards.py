@@ -478,19 +478,39 @@ def _chain_block_task(args: Dict, spec: Optional[InstanceSpec] = None):
     bit-identical to the kernel's serial chain run with ``seed=seeds[c]``
     -- the contract that makes chain blocks freely movable between the
     process pool, cluster workers and the in-process fallback.
+
+    An optional ``"stats": True`` flag switches the return value to
+    ``(configurations, counts)`` where ``counts[c]`` is chain ``c``'s
+    accumulated failure count (gated kernels report rejected proposals via
+    :meth:`~repro.sampling.kernels.ScanKernel.failure_counts`; ungated
+    kernels report zeros).  This is how JVV rejection statistics (the E4
+    rejection-law rows, E12's jvv-kernel row) ride the existing block wire
+    format across the process and cluster backends.
     """
-    from repro.runtime.chains import batched_kernel_sample
+    from repro.runtime.chains import ChainBatch, batched_kernel_sample
     from repro.sampling.kernels import get_kernel
 
     spec = _WORKER_SPEC if spec is None else spec
     kernel = get_kernel(_chain_block_kernel(args))
-    return batched_kernel_sample(
-        kernel,
-        spec.to_instance(),
-        args["count"],
-        seeds=args["seeds"],
-        initial=args.get("initial"),
+    if not args.get("stats"):
+        return batched_kernel_sample(
+            kernel,
+            spec.to_instance(),
+            args["count"],
+            seeds=args["seeds"],
+            initial=args.get("initial"),
+        )
+    batch = ChainBatch(
+        spec.to_instance(), seeds=args["seeds"], initial=args.get("initial")
     )
+    batch.advance(kernel, args["count"])
+    counter = getattr(kernel, "failure_counts", None)
+    counts = (
+        counter(batch).tolist()
+        if counter is not None
+        else [0] * batch.n_chains
+    )
+    return batch.configurations(), counts
 
 
 def run_chain_blocks(
@@ -500,6 +520,7 @@ def run_chain_blocks(
     seeds: Sequence,
     initial=None,
     n_workers: int = 2,
+    stats: bool = False,
 ) -> List[Dict[Node, Value]]:
     """Run independent chains as batched blocks over a process pool.
 
@@ -516,11 +537,15 @@ def run_chain_blocks(
     -------
     list of dict
         Final configurations, one per seed, bit-identical to the kernel's
-        serial chains.
+        serial chains.  With ``stats=True``: ``(configurations, counts)``,
+        where ``counts`` are the per-chain failure counts of gated kernels
+        (zeros for ungated ones) -- the same payload flag the cluster
+        coordinator ships, so rejection statistics distribute identically
+        on both multi-host backends.
     """
     seeds = list(seeds)
     if not seeds:
-        return []
+        return ([], []) if stats else []
     spec = InstanceSpec.from_instance(instance)
     # One contiguous block per worker (same split the cluster coordinator
     # uses for its chain blocks).
@@ -529,18 +554,30 @@ def run_chain_blocks(
     )
 
     def payload(block: List) -> Dict:
-        return {
+        body = {
             "kernel": kernel_name,
             "count": count,
             "seeds": block,
             "initial": dict(initial) if initial is not None else None,
         }
+        if stats:
+            body["stats"] = True
+        return body
 
+    def merge(results, counts, block_result) -> None:
+        if stats:
+            block_configs, block_counts = block_result
+            results.extend(block_configs)
+            counts.extend(block_counts)
+        else:
+            results.extend(block_result)
+
+    results: List[Dict[Node, Value]] = []
+    counts: List[int] = []
     if len(blocks) <= 1 or n_workers <= 1:
-        results: List[Dict[Node, Value]] = []
         for block in blocks:
-            results.extend(_chain_block_task(payload(block), spec=spec))
-        return results
+            merge(results, counts, _chain_block_task(payload(block), spec=spec))
+        return (results, counts) if stats else results
     with ProcessPoolExecutor(
         max_workers=min(n_workers, len(blocks)),
         initializer=_install_worker_spec,
@@ -548,10 +585,9 @@ def run_chain_blocks(
     ) as pool:
         futures = [pool.submit(_chain_block_task, payload(block)) for block in blocks]
         try:
-            results = []
             for future in futures:  # block order == seed order
-                results.extend(future.result())
-            return results
+                merge(results, counts, future.result())
+            return (results, counts) if stats else results
         finally:
             for future in futures:
                 future.cancel()
