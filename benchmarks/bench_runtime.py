@@ -70,6 +70,7 @@ from repro.gibbs import SamplingInstance
 from repro.graphs import cycle_graph, random_tree
 from repro.models import hardcore_model
 from repro.runtime import (
+    Runtime,
     batched_glauber_sample,
     batched_luby_glauber_sample,
     chain_seed_sequences,
@@ -155,6 +156,45 @@ def _jvv_chain_workload(chains: int = 128, scans: int = 20, size: int = 64):
         fresh.configurations()
 
     return {"chains": chains, "steps": steps, "n": size}, serial, batched
+
+
+def _obs_overhead_workload(chains: int = 256, steps: int = 1200, size: int = 64):
+    """The batched-chains workload with observability off vs on.
+
+    Prices the repro.obs contract on the hottest instrumented path: with
+    no handle installed, the guarded call sites in run_chains /
+    ChainBatch.advance must be near-free (the "off" leg is the
+    instrumented code, obs disabled), and enabling metrics + tracing must
+    never change the sampled states -- bit-identity is asserted before
+    any timing.
+    """
+    from repro import obs
+
+    instance = SamplingInstance(hardcore_model(cycle_graph(size), fugacity=1.2))
+    seeds = chain_seed_sequences(5, chains)
+    runtime = Runtime("batched", n_chains=chains)
+    reference = runtime.run_chains("glauber", instance, steps, seeds=seeds)
+
+    # Correctness gate before any timing: tracing draws ids from
+    # os.urandom, never from NumPy streams, so states must match exactly.
+    obs.enable()
+    try:
+        traced = runtime.run_chains("glauber", instance, steps, seeds=seeds)
+    finally:
+        obs.disable()
+    assert traced == reference, "observability changed the sampled states"
+
+    def off() -> None:
+        runtime.run_chains("glauber", instance, steps, seeds=seeds)
+
+    def on() -> None:
+        obs.enable()
+        try:
+            runtime.run_chains("glauber", instance, steps, seeds=seeds)
+        finally:
+            obs.disable()
+
+    return {"chains": chains, "steps": steps, "n": size}, off, on
 
 
 def _process_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2):
@@ -350,6 +390,20 @@ def run(repeats: int = 3, cluster: bool = True) -> List[Dict[str, object]]:
                 "speedup": serial_seconds / batched_seconds,
             }
         )
+    shape, obs_off, obs_on = _obs_overhead_workload()
+    off_seconds = _best_of(obs_off, repeats)
+    on_seconds = _best_of(obs_on, repeats)
+    rows.append(
+        {
+            "workload": "obs_overhead_batched",
+            "backend_pair": "obs-off-vs-on",
+            "shape": shape,
+            "off_seconds": off_seconds,
+            "on_seconds": on_seconds,
+            "overhead": on_seconds / off_seconds,
+            "bit_identical_to_serial": True,
+        }
+    )
     shape, serial, sharded = _process_shard_workload()
     serial_seconds = _best_of(serial, repeats)
     process_seconds = _best_of(sharded, repeats)
@@ -443,7 +497,10 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             "bit-identity asserted pre-timing), plus the same cluster "
             "workload with the transport plain vs HMAC-SHA256-authenticated "
             "(per-frame tag verified before unpickling; bit-identity "
-            "asserted pre-timing on both sides)"
+            "asserted pre-timing on both sides), plus the batched-chains "
+            "workload with observability off vs on (repro.obs metrics + "
+            "tracing; the off leg prices the guarded instrumentation "
+            "residue, bit-identity asserted pre-timing)"
         ),
         "workloads": rows,
         "min_batched_speedup": min(row["speedup"] for row in batched),
@@ -459,6 +516,11 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             for row in rows
             if row["backend_pair"] == "plain-vs-hmac"
         ),
+        "obs_bit_identical": all(
+            row["bit_identical_to_serial"]
+            for row in rows
+            if row["backend_pair"] == "obs-off-vs-on"
+        ),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
@@ -466,6 +528,13 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
 
 def _print_rows(rows: List[Dict[str, object]]) -> None:
     for row in rows:
+        if row["backend_pair"] == "obs-off-vs-on":
+            print(
+                f"{row['workload']:>22}: off {row['off_seconds'] * 1e3:8.1f} ms   "
+                f"on {row['on_seconds'] * 1e3:8.1f} ms   "
+                f"overhead {row['overhead']:6.2f}x   {row['shape']}"
+            )
+            continue
         if row["backend_pair"] == "plain-vs-hmac":
             print(
                 f"{row['workload']:>22}: plain {row['plain_seconds'] * 1e3:8.1f} ms   "

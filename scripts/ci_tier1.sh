@@ -9,9 +9,12 @@
 # two real localhost worker subprocesses over the TCP transport, asserting
 # bit-identity with the serial loop), a chaos smoke (one of the two
 # workers is armed with a deterministic FaultPlan and hard-crashes
-# mid-stream; the requeued merge must still be bit-identical) and a docs
-# check (the architecture map exists and the README quickstart executes
-# as a doctest).
+# mid-stream; the requeued merge must still be bit-identical), a traced
+# cluster smoke (the same run with obs=True must stay bit-identical,
+# stitch coordinator and worker spans under one trace id, and export
+# trace JSON that repro-trace validates against the event schema) and a
+# docs check (the architecture map exists and the README quickstart
+# executes as a doctest).
 #
 # Usage: scripts/ci_tier1.sh  (from the repository root)
 set -euo pipefail
@@ -101,6 +104,50 @@ with spawn_workers(2, fault_plans=plans) as pool:
 assert survivors == 1, f"expected exactly one survivor, saw {survivors}"
 assert merged == serial, "post-crash merge diverges from the serial loop"
 print("chaos smoke OK: worker crashed mid-stream, bit-identical merge")
+PY
+
+echo "== tier-1: traced cluster smoke =="
+python - <<'PY'
+import json
+import os
+import tempfile
+
+from repro import obs
+from repro.cluster.local import spawn_workers
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph
+from repro.models import hardcore_model
+from repro.obs.cli import main as trace_cli
+from repro.runtime import Runtime
+
+instance = SamplingInstance(hardcore_model(cycle_graph(10), fugacity=1.2), {0: 1})
+with spawn_workers(2) as pool:
+    with Runtime("cluster", addresses=pool.addresses) as runtime:
+        expected = runtime.run_chains("glauber", instance, 30, seeds=range(6))
+    with Runtime("cluster", addresses=pool.addresses, obs=True) as runtime:
+        observed = runtime.run_chains("glauber", instance, 30, seeds=range(6))
+        events = obs.events()
+        assert observed == expected, "tracing changed the sampled states"
+        traces = {event["trace"] for event in events}
+        procs = {event["proc"] for event in events}
+        assert len(traces) == 1, f"expected one trace id, saw {len(traces)}"
+        assert {"main", "cluster-worker"} <= procs, f"spans not stitched: {procs}"
+        snapshot = runtime.snapshot()
+        assert snapshot["cluster"]["live_workers"] == 2
+        handle, path = tempfile.mkstemp(suffix=".trace.json")
+        os.close(handle)
+        obs.export_chrome(path)
+try:
+    assert trace_cli([path, "--validate"]) == 0, "trace schema validation failed"
+    with open(path) as stream:
+        payload = json.load(stream)
+    assert payload["traceEvents"], "exported trace is empty"
+finally:
+    os.unlink(path)
+print(
+    "traced cluster smoke OK: bit-identical, one trace id across "
+    f"{len(procs)} procs, schema validated"
+)
 PY
 
 echo "== tier-1: docs =="

@@ -13,6 +13,9 @@ setup(
             # The cluster worker loop (see repro/cluster/worker.py); the
             # uninstalled equivalent is `python -m repro.cluster`.
             "repro-cluster-worker=repro.cluster.worker:main",
+            # Trace-file summariser (see repro/obs/cli.py); the
+            # uninstalled equivalent is `python -m repro.obs`.
+            "repro-trace=repro.obs.cli:main",
         ]
     }
 )

@@ -50,6 +50,7 @@ down cancels everything and closes the sockets, idempotently.
 from __future__ import annotations
 
 import itertools
+import logging
 import random
 import socket
 import struct
@@ -61,8 +62,11 @@ from collections import OrderedDict
 from concurrent.futures import CancelledError, Future, InvalidStateError, as_completed
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.cluster import protocol
 from repro.gibbs.instance import SamplingInstance
+
+_log = obs.get_logger("cluster.coordinator")
 from repro.runtime.shards import (
     MEMO_DELTA_CAP,
     InstanceSpec,
@@ -155,8 +159,12 @@ def _reconnect_thread(coordinator_ref, address: Address, seed: int) -> None:
         try:
             if coordinator._readmit(address):
                 return
-        except Exception:
-            pass  # connect refused / handshake failed: back off and retry
+        except Exception as error:
+            # Connect refused / handshake failed: back off and retry.
+            obs.log_event(
+                _log, logging.DEBUG, "cluster.reconnect_attempt_failed",
+                address=f"{address[0]}:{address[1]}", error=error,
+            )
         del coordinator
 
 
@@ -192,6 +200,7 @@ class _Worker:
         "capacity",
         "key",
         "reconnecting",
+        "last_rtt",
     )
 
     def __init__(
@@ -220,6 +229,8 @@ class _Worker:
         self.key = key
         #: A reconnect thread is already backing off toward this address.
         self.reconnecting = False
+        #: Seconds the worker's latest heartbeat echo took round-trip.
+        self.last_rtt: Optional[float] = None
 
     def load(self) -> float:
         """Capacity-normalised load for least-loaded dispatch."""
@@ -361,6 +372,8 @@ class ClusterCoordinator:
         #: Number of task re-dispatches caused by worker death (observability
         #: hook; the worker-failure tests assert it moved).
         self.requeued = 0
+        #: Tasks absorbed in-process because no worker was live.
+        self.degraded_tasks = 0
         self.workers: List[_Worker] = []
         try:
             for address in parsed:
@@ -442,7 +455,11 @@ class ClusterCoordinator:
     def _handle_frame(self, worker: _Worker, kind: int, payload) -> bool:
         """Process one received frame; ``False`` once the worker is dead."""
         if kind == protocol.RESULT:
-            task_id, result = payload
+            # Workers that were handed a trace context append their span
+            # events as a third element; legacy workers send the 2-tuple.
+            task_id, result = payload[0], payload[1]
+            if len(payload) > 2:
+                obs.absorb_events(payload[2])
             task = self._take_inflight(worker, task_id)
             if task is not None:
                 self._resolve(task, result=result)
@@ -461,6 +478,17 @@ class ClusterCoordinator:
                 )
             return True
         if kind == protocol.HEARTBEAT:
+            # The worker echoes our monotonic send stamp back verbatim, so
+            # the difference is this connection's round-trip time.
+            if isinstance(payload, float):
+                rtt = time.monotonic() - payload
+                if rtt >= 0.0:
+                    worker.last_rtt = rtt
+                    handle = obs.active()
+                    if handle is not None:
+                        handle.metrics.histogram(
+                            "cluster.heartbeat_rtt_seconds"
+                        ).observe(rtt)
             return True  # last_seen already refreshed
         self._worker_died(
             worker,
@@ -533,6 +561,17 @@ class ClusterCoordinator:
             if spawn_reconnect:
                 worker.reconnecting = True
         worker.close()
+        obs.log_event(
+            _log, logging.WARNING, "cluster.worker_died",
+            address=f"{worker.address[0]}:{worker.address[1]}",
+            reason=reason, orphaned_tasks=len(orphans),
+            reconnecting=spawn_reconnect,
+        )
+        obs.instant(
+            "cluster.worker_died",
+            address=f"{worker.address[0]}:{worker.address[1]}",
+            reason=str(reason), orphaned_tasks=len(orphans),
+        )
         if spawn_reconnect:
             # Self-healing: keep trying the address in the background (capped
             # exponential backoff + jitter); a restarted worker process
@@ -619,6 +658,22 @@ class ClusterCoordinator:
                     with self._lock:
                         worker.record_spec(task.spec[0])
                 worker.send(protocol.TASK, (task.task_id, task.kind, task.args))
+                handle = obs.active()
+                if handle is not None:
+                    handle.metrics.counter("cluster.tasks_dispatched").inc()
+                    with self._lock:
+                        inflight = sum(
+                            len(peer.inflight)
+                            for peer in self.workers
+                            if peer.alive
+                        )
+                    handle.metrics.gauge("cluster.tasks_inflight").set(inflight)
+                    obs.instant(
+                        "cluster.dispatch",
+                        task_id=task.task_id, kind=task.kind,
+                        worker=f"{worker.address[0]}:{worker.address[1]}",
+                        attempt=task.attempts,
+                    )
                 return
             except OSError as error:
                 # Reclaim the task before declaring the worker dead.  If the
@@ -652,17 +707,34 @@ class ClusterCoordinator:
 
         warn = False
         with self._lock:
+            self.degraded_tasks += 1
             if not self._degraded_warned:
                 self._degraded_warned = True
                 warn = True
+            dead = sorted(
+                f"{worker.address[0]}:{worker.address[1]}"
+                for worker in self.workers
+                if not worker.alive
+            )
+            requeued = self.requeued
         if warn:
             warnings.warn(
-                "every cluster worker is unreachable; degrade='local' is "
-                "running tasks in-process (results stay bit-identical, "
-                "throughput does not)",
+                "every cluster worker is unreachable "
+                f"(dead: {', '.join(dead) or 'none registered'}; "
+                f"{requeued} in-flight task(s) absorbed by requeue so far); "
+                "degrade='local' is running tasks in-process (results stay "
+                "bit-identical, throughput does not)",
                 RuntimeWarning,
                 stacklevel=4,
             )
+            obs.log_event(
+                _log, logging.WARNING, "cluster.degraded",
+                dead_workers=",".join(dead), requeued=requeued,
+            )
+            obs.instant("cluster.degraded", dead_workers=dead, requeued=requeued)
+        handle = obs.active()
+        if handle is not None:
+            handle.metrics.counter("cluster.tasks_degraded").inc()
         try:
             result = run_task(
                 task.kind,
@@ -693,9 +765,11 @@ class ClusterCoordinator:
             if self._closed:
                 worker.close()
                 return
+            rejoined = False
             for index, existing in enumerate(self.workers):
                 if existing.address == worker.address and not existing.alive:
                     self.workers[index] = worker
+                    rejoined = True
                     break
             else:
                 self.workers.append(worker)
@@ -703,6 +777,16 @@ class ClusterCoordinator:
             target=_reader_thread, args=(self._self_ref, worker), daemon=True
         )
         worker.reader.start()
+        obs.log_event(
+            _log, logging.INFO,
+            "cluster.worker_rejoined" if rejoined else "cluster.worker_joined",
+            address=f"{worker.address[0]}:{worker.address[1]}",
+            capacity=worker.capacity,
+        )
+        obs.instant(
+            "cluster.worker_rejoined" if rejoined else "cluster.worker_joined",
+            address=f"{worker.address[0]}:{worker.address[1]}",
+        )
 
     def _readmit(self, address: Address) -> bool:
         """Reconnect-thread body: one attempt to revive a dead address."""
@@ -762,11 +846,27 @@ class ClusterCoordinator:
                     task = worker.inflight.pop(task_id)
                     stolen.append(task)
                     notify.setdefault(worker, []).append(task_id)
+        if stolen:
+            obs.log_event(
+                _log, logging.INFO, "cluster.rebalance",
+                newcomer=f"{newcomer.address[0]}:{newcomer.address[1]}",
+                stolen=len(stolen),
+            )
+            obs.instant(
+                "cluster.rebalance",
+                newcomer=f"{newcomer.address[0]}:{newcomer.address[1]}",
+                stolen=len(stolen),
+            )
         for worker, task_ids in notify.items():
             try:
                 worker.send(protocol.TASK, (None, "cancel", task_ids))
-            except (OSError, protocol.ProtocolError):
-                pass  # its reader will notice the dead connection itself
+            except (OSError, protocol.ProtocolError) as error:
+                # Its reader will notice the dead connection itself.
+                obs.log_event(
+                    _log, logging.DEBUG, "cluster.cancel_notify_failed",
+                    address=f"{worker.address[0]}:{worker.address[1]}",
+                    error=error,
+                )
         for task in stolen:
             try:
                 self._dispatch(task)
@@ -783,7 +883,18 @@ class ClusterCoordinator:
 
         ``spec`` is a ``(spec_id, InstanceSpec)`` pair for spec-bound task
         kinds; it is shipped to each worker at most once.
+
+        When tracing is on and ``args`` is a keyword dict (every spec-bound
+        kind), the current trace context rides along as a versioned
+        ``_obs`` entry inside the pickled payload -- covered by the frame
+        HMAC when authentication is on, ignored by workers that predate
+        it.
         """
+        if spec is not None and isinstance(args, dict) and "_obs" not in args:
+            wire_ctx = obs.wire_context()
+            if wire_ctx is not None:
+                args = dict(args)
+                args["_obs"] = wire_ctx
         task = _Task(next(self._task_ids), kind, args, spec)
         self._dispatch(task)
         return task.future
@@ -830,8 +941,13 @@ class ClusterCoordinator:
                 continue
             try:
                 worker.send(protocol.TASK, (None, "cancel", task_ids))
-            except (OSError, protocol.ProtocolError):
-                pass  # the reader will notice the dead connection itself
+            except (OSError, protocol.ProtocolError) as error:
+                # The reader will notice the dead connection itself.
+                obs.log_event(
+                    _log, logging.DEBUG, "cluster.cancel_notify_failed",
+                    address=f"{worker.address[0]}:{worker.address[1]}",
+                    error=error,
+                )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -840,6 +956,30 @@ class ClusterCoordinator:
     def live_worker_count(self) -> int:
         with self._lock:
             return sum(1 for worker in self.workers if worker.alive)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time cluster state for :meth:`repro.runtime.Runtime.snapshot`."""
+        with self._lock:
+            workers = [
+                {
+                    "address": f"{worker.address[0]}:{worker.address[1]}",
+                    "alive": worker.alive,
+                    "capacity": worker.capacity,
+                    "inflight": len(worker.inflight),
+                    "specs_cached": len(worker.specs),
+                    "last_rtt": worker.last_rtt,
+                }
+                for worker in self.workers
+            ]
+            return {
+                "workers": workers,
+                "live_workers": sum(1 for entry in workers if entry["alive"]),
+                "queue_depth": sum(entry["inflight"] for entry in workers),
+                "requeued": self.requeued,
+                "degraded_tasks": self.degraded_tasks,
+                "degrade": self.degrade,
+                "authenticated": self._key is not None,
+            }
 
     def shutdown(self) -> None:
         """Close every connection and cancel outstanding work (idempotent)."""

@@ -22,6 +22,7 @@ processes.
 
 from __future__ import annotations
 
+import logging
 import os
 import subprocess
 import sys
@@ -30,7 +31,10 @@ import weakref
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.cluster import chaos, protocol
+
+_log = obs.get_logger("cluster.local")
 
 Address = Tuple[str, int]
 
@@ -60,7 +64,7 @@ def _terminate_processes(processes, stderr_files) -> None:
     for process in processes:
         if process.poll() is None:
             process.terminate()
-    for process in processes:
+    for index, process in enumerate(processes):
         try:
             process.wait(timeout=5)
         except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
@@ -68,6 +72,24 @@ def _terminate_processes(processes, stderr_files) -> None:
             process.wait()
         if process.stdout is not None:
             process.stdout.close()
+        # A worker that wrote to stderr (crash traceback, injected fault,
+        # unexpected exit) surfaces here instead of vanishing with the
+        # temp file.  Guarded: this body also runs from an atexit
+        # finalizer, where logging streams may already be torn down.
+        try:
+            tail = (
+                _stderr_tail(stderr_files[index])
+                if index < len(stderr_files)
+                else ""
+            )
+            if tail or (process.returncode or 0) not in (0, -15):
+                obs.log_event(
+                    _log, logging.WARNING, "local.worker_exited",
+                    pid=process.pid, returncode=process.returncode,
+                    stderr=tail.lstrip("; ") or "<empty>",
+                )
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
     for stderr_file in stderr_files:
         try:
             stderr_file.close()
@@ -243,6 +265,11 @@ def spawn_workers(
             )
         for process, stderr_file in zip(processes, stderr_files):
             addresses.append(_read_address(process, startup_timeout, stderr_file))
+        for process, address in zip(processes, addresses):
+            obs.log_event(
+                _log, logging.INFO, "local.worker_spawned",
+                pid=process.pid, address=f"{address[0]}:{address[1]}",
+            )
     except BaseException:
         for process in processes:
             if process.poll() is None:

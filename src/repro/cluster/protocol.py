@@ -96,12 +96,17 @@ from __future__ import annotations
 
 import hashlib
 import hmac as hmac_module
+import logging
 import os
 import pickle
 import socket
 import struct
 import time
 from typing import Optional, Tuple
+
+from repro import obs
+
+_log = obs.get_logger("cluster.protocol")
 
 #: Frame magic: rejects peers that are not speaking this protocol.
 MAGIC = b"RCW1"
@@ -288,8 +293,13 @@ def send_message(
                     sock.sendall(data[:keep])
                 try:
                     sock.shutdown(socket.SHUT_RDWR)
-                except OSError:
-                    pass
+                except OSError as error:
+                    # The socket may already be torn down by the peer; the
+                    # truncation is reported via the OSError below either way.
+                    obs.log_event(
+                        _log, logging.DEBUG, "protocol.truncate_shutdown_failed",
+                        error=error,
+                    )
                 raise OSError("fault injection: frame truncated mid-payload")
     # Separate sends instead of one concatenation: prepending 13 header
     # bytes must not transiently double the memory of a large payload.
@@ -299,6 +309,10 @@ def send_message(
     sock.sendall(data)
     if tag:
         sock.sendall(tag)
+    handle = obs.active()
+    if handle is not None:
+        handle.metrics.counter(f"cluster.frames_sent.{MESSAGE_NAMES[kind]}").inc()
+        handle.metrics.counter("cluster.bytes_sent").inc(len(header) + len(data) + len(tag))
 
 
 def _recv_exact(sock: socket.socket, count: int, on_data=None) -> bytes:
@@ -414,6 +428,10 @@ def recv_message(
         payload = pickle.loads(data)
     except Exception as error:
         raise ProtocolError(f"undecodable {MESSAGE_NAMES[kind]} payload: {error}")
+    handle = obs.active()
+    if handle is not None:
+        handle.metrics.counter(f"cluster.frames_received.{MESSAGE_NAMES[kind]}").inc()
+        handle.metrics.counter("cluster.bytes_received").inc(len(header) + length)
     return kind, payload
 
 

@@ -74,6 +74,7 @@ dropped/corrupted frames) -- test harness only.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import queue
 import socket
@@ -82,8 +83,11 @@ import traceback
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.cluster import chaos, protocol
 from repro.runtime.shards import TASK_REGISTRY, InstanceSpec
+
+_log = obs.get_logger("cluster.worker")
 
 #: Retain at most this many specs per connection (FIFO eviction); a
 #: coordinator normally streams one spec at a time, so this only matters
@@ -231,18 +235,29 @@ class ClusterWorker:
         """
         while not self._closed:
             try:
-                connection, _ = self._listener.accept()
+                connection, peer = self._listener.accept()
             except OSError:
                 return  # listener closed
+            obs.log_event(
+                _log, logging.INFO, "worker.connection_accepted",
+                peer=f"{peer[0]}:{peer[1]}",
+            )
             try:
                 self._serve_connection(connection)
-            except Exception:  # a bad connection must never kill the server
-                pass
+            except Exception as error:
+                # A bad connection must never kill the server.
+                obs.log_event(
+                    _log, logging.WARNING, "worker.connection_failed",
+                    peer=f"{peer[0]}:{peer[1]}", error=error,
+                )
             finally:
                 try:
                     connection.close()
-                except OSError:
-                    pass
+                except OSError as error:
+                    obs.log_event(
+                        _log, logging.DEBUG, "worker.connection_close_failed",
+                        error=error,
+                    )
 
     def close(self) -> None:
         """Stop accepting connections (idempotent)."""
@@ -369,17 +384,26 @@ class ClusterWorker:
         """
         if isinstance(error, protocol.AuthenticationError) and error.peer_plain:
             key = None
+        obs.log_event(
+            _log, logging.WARNING, "worker.connection_rejected", error=error,
+        )
         try:
             with send_lock:
                 protocol.send_message(
                     connection, protocol.ERROR, (None, _error_text(error)), key=key
                 )
-        except (OSError, protocol.ProtocolError):
-            pass
+        except (OSError, protocol.ProtocolError) as send_error:
+            obs.log_event(
+                _log, logging.DEBUG, "worker.reject_reply_failed",
+                error=send_error,
+            )
         try:
             connection.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
+        except OSError as shutdown_error:
+            obs.log_event(
+                _log, logging.DEBUG, "worker.reject_shutdown_failed",
+                error=shutdown_error,
+            )
 
     @staticmethod
     def _run_tasks(tasks, specs, cancelled, send, faults=None) -> None:
@@ -388,6 +412,12 @@ class ClusterWorker:
         Tasks whose id was cancelled by the coordinator are skipped without
         a reply -- the coordinator dropped their bookkeeping when it sent
         the cancel, so nothing is waiting for a RESULT.
+
+        A task whose args carry a valid ``_obs`` trace context runs under
+        a span continuing the coordinator's trace, and its RESULT grows a
+        third element with the recorded events.  Tasks without the field
+        (or with a foreign-version one) keep the legacy 2-tuple RESULT,
+        so an old coordinator never sees the new shape.
         """
         while True:
             item = tasks.get()
@@ -397,17 +427,37 @@ class ClusterWorker:
             if task_id in cancelled:
                 cancelled.discard(task_id)
                 continue
+            wire_ctx = None
+            if isinstance(args, dict) and "_obs" in args:
+                args = dict(args)
+                wire_ctx = args.pop("_obs")
             try:
-                result = run_task(kind, args, specs, spec=spec)
+                if wire_ctx is not None:
+                    result, events = obs.record_remote(
+                        wire_ctx,
+                        lambda: run_task(kind, args, specs, spec=spec),
+                        name="worker.task",
+                        kind=kind,
+                        task_id=task_id,
+                    )
+                else:
+                    result, events = run_task(kind, args, specs, spec=spec), None
             except Exception as error:
+                obs.log_event(
+                    _log, logging.WARNING, "worker.task_failed",
+                    task_id=task_id, kind=kind, error=error,
+                )
                 message = _error_text(error, with_traceback=True)
                 try:
                     send(protocol.ERROR, (task_id, message))
                 except OSError:
                     return
                 continue
+            payload = (
+                (task_id, result) if events is None else (task_id, result, events)
+            )
             try:
-                send(protocol.RESULT, (task_id, result))
+                send(protocol.RESULT, payload)
             except OSError:
                 return
             if faults is not None and faults.task_completed():
@@ -444,7 +494,18 @@ def main(argv: Optional[list] = None) -> int:
         default=1,
         help="relative dispatch weight announced to the coordinator (default 1)",
     )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help=(
+            "emit structured repro.cluster.* log records to stderr at this "
+            "level (default: logging stays silent)"
+        ),
+    )
     options = parser.parse_args(argv)
+    if options.log_level is not None:
+        obs.logs.configure(getattr(logging, options.log_level))
     worker = ClusterWorker(
         host=options.host,
         port=options.port,
@@ -453,12 +514,18 @@ def main(argv: Optional[list] = None) -> int:
     )
     host, port = worker.address
     # The first stdout line is the discovery contract of
-    # repro.cluster.local.spawn_workers -- keep its shape stable.
+    # repro.cluster.local.spawn_workers -- keep its shape stable.  The
+    # structured record carries the same fact for log consumers.
     print(f"repro-cluster-worker listening on {host}:{port}", flush=True)
+    obs.log_event(
+        _log, logging.INFO, "worker.listening",
+        host=host, port=port, capacity=options.capacity,
+        authenticated=worker._key is not None,
+    )
     try:
         worker.serve_forever()
     except KeyboardInterrupt:
-        pass
+        obs.log_event(_log, logging.INFO, "worker.interrupted")
     finally:
         worker.close()
     return 0

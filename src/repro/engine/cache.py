@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.engine.compiled import CompiledGibbs
 from repro.graphs.structure import distances_from
 
@@ -38,7 +39,18 @@ _EXTRAS_LIMIT = 65536
 class BallCache:
     """Compiled ball-restricted sub-instances of one distribution."""
 
-    __slots__ = ("_distribution", "_ball_nodes", "_distances", "_compiled", "extras")
+    __slots__ = (
+        "_distribution",
+        "_ball_nodes",
+        "_distances",
+        "_compiled",
+        "extras",
+        "hits",
+        "misses",
+        "compiles",
+        "adoptions",
+        "drops",
+    )
 
     def __init__(self, distribution) -> None:
         self._distribution = distribution
@@ -48,6 +60,15 @@ class BallCache:
         #: Scratch memo space for ball-local algorithms (e.g. the SSM
         #: engines' greedy boundary extensions); cleared with the cache.
         self.extras: Dict = {}
+        # Lifetime stats -- plain always-on ints (a few ns per lookup), so
+        # ``stats()`` answers even when repro.obs is disabled.  ``drops``
+        # counts entries discarded by cap resets plus marginal-memo deltas
+        # adopted for balls this cache does not hold.
+        self.hits = 0
+        self.misses = 0
+        self.compiles = 0
+        self.adoptions = 0
+        self.drops = 0
 
     # ------------------------------------------------------------------
     def ball_nodes(self, center: Node, radius: int) -> frozenset:
@@ -96,14 +117,23 @@ class BallCache:
         """
         key = (center, radius)
         compiled = self._compiled.get(key)
-        if compiled is None:
+        if compiled is not None:
+            self.hits += 1
+            return compiled
+        self.misses += 1
+        self.compiles += 1
+        with obs.span("engine.compile_ball", center=repr(center), radius=radius):
             distribution = self._distribution
             nodes = sorted(self.ball_nodes(center, radius), key=repr)
             factors = distribution.factors_within(nodes)
             compiled = CompiledGibbs.from_factors(nodes, distribution.alphabet, factors)
-            if len(self._compiled) >= _BALL_CACHE_LIMIT:
-                self.clear()
-            self._compiled[key] = compiled
+        if len(self._compiled) >= _BALL_CACHE_LIMIT:
+            self.drops += len(self._compiled)
+            self.clear()
+        self._compiled[key] = compiled
+        handle = obs.active()
+        if handle is not None:
+            handle.metrics.counter("engine.ball_cache.compiles").inc()
         return compiled
 
     def cached_extra(self, key, factory):
@@ -163,12 +193,14 @@ class BallCache:
         for key, compiled in (balls or {}).items():
             if key not in self._compiled:
                 if len(self._compiled) >= _BALL_CACHE_LIMIT:
+                    self.drops += len(self._compiled)
                     self.clear()
                 self._compiled[key] = compiled
                 added += 1
         for key, value in (extras or {}).items():
             if key not in self.extras:
                 if len(self.extras) >= _EXTRAS_LIMIT:
+                    self.drops += len(self.extras)
                     self.extras.clear()
                 self.extras[key] = value
                 added += 1
@@ -176,7 +208,30 @@ class BallCache:
             target = self._compiled.get(key)
             if target is not None and entries:
                 added += target.absorb_marginal_memo(entries)
+            elif target is None and entries:
+                self.drops += len(entries)
+        self.adoptions += added
+        handle = obs.active()
+        if handle is not None:
+            handle.metrics.counter("engine.ball_cache.adoptions").inc(added)
         return added
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime cache statistics (available with obs disabled).
+
+        Returns ``hits``/``misses``/``compiles`` of :meth:`compiled_ball`,
+        ``adoptions`` merged by :meth:`adopt`, ``drops`` (cap-reset
+        evictions plus memo deltas for unheld balls), and the current
+        ``size`` of the compiled-ball store.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "adoptions": self.adoptions,
+            "drops": self.drops,
+            "size": len(self._compiled),
+        }
 
     # ------------------------------------------------------------------
     def ball_marginal(

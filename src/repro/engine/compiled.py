@@ -33,6 +33,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.engine.contraction import (
     build_schedule,
     execute_schedule,
@@ -228,7 +229,10 @@ class CompiledGibbs:
         """
         key = (pinned, keep)
         schedule = self._schedule_cache.get(key)
+        handle = obs.active()
         if schedule is None:
+            if handle is not None:
+                handle.metrics.counter("engine.schedule_cache.misses").inc()
             restricted_axes = [
                 tuple(v for v in scope if v not in pinned) for scope in self.fused_scopes
             ]
@@ -239,6 +243,8 @@ class CompiledGibbs:
             if len(self._schedule_cache) >= _ORDER_CACHE_LIMIT:
                 self._schedule_cache.clear()
             self._schedule_cache[key] = schedule
+        elif handle is not None:
+            handle.metrics.counter("engine.schedule_cache.hits").inc()
         return schedule
 
     # ------------------------------------------------------------------

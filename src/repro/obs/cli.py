@@ -1,0 +1,135 @@
+"""``repro-trace`` — summarise an exported trace file.
+
+Accepts either exporter format (JSON-lines event dicts from
+``obs.export_jsonl`` or a Chrome ``trace_event`` JSON object from
+``obs.export_chrome``) and prints a per-span table plus trace/process
+counts.  ``--validate`` additionally checks every event against the
+schema in :data:`repro.obs.trace.EVENT_FIELDS` and exits non-zero on
+the first violation — the CI trace smoke runs exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.trace import summarize, validate_events
+
+__all__ = ["main", "load_events"]
+
+
+def _events_from_chrome(document: dict) -> List[dict]:
+    """Reconstruct event dicts from a Chrome trace_event document."""
+    events: List[dict] = []
+    for record in document.get("traceEvents", []):
+        if record.get("ph") == "M":
+            continue
+        args = dict(record.get("args", {}))
+        trace = args.pop("trace", "")
+        span = args.pop("span", "")
+        parent = args.pop("parent", None)
+        events.append(
+            {
+                "name": record.get("name", ""),
+                "cat": record.get("cat", "span"),
+                "trace": trace,
+                "span": span,
+                "parent": parent,
+                "ts": float(record.get("ts", 0.0)) / 1e6,
+                "dur": float(record.get("dur", 0.0)) / 1e6,
+                "pid": int(record.get("pid", 0)),
+                "tid": int(record.get("tid", 0)),
+                "proc": str(args.pop("proc", record.get("pid", ""))),
+                "attrs": args,
+            }
+        )
+    return events
+
+
+def load_events(path: str) -> List[dict]:
+    """Load events from a JSONL or Chrome-format trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None
+        if isinstance(document, dict) and "traceEvents" in document:
+            return _events_from_chrome(document)
+    events = []
+    for line_number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"{path}:{line_number}: not valid JSON: {error}")
+    return events
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f}s "
+    return f"{value * 1e3:8.3f}ms"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarise a repro.obs trace file (JSONL or Chrome trace_event JSON).",
+    )
+    parser.add_argument("trace", help="path to the exported trace file")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every event against the repro.obs event schema",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as JSON instead of a table",
+    )
+    options = parser.parse_args(argv)
+
+    trace_events = load_events(options.trace)
+    if options.validate:
+        try:
+            validate_events(trace_events)
+        except ValueError as error:
+            print(f"repro-trace: schema violation: {error}", file=sys.stderr)
+            return 1
+
+    summary = summarize(trace_events)
+    if options.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    traces = summary["traces"]
+    print(
+        f"{summary['events']} events · {len(traces)} trace(s) · "
+        f"{len(summary['pids'])} process(es)"
+    )
+    for trace_id in traces:
+        print(f"  trace {trace_id}")
+    spans = summary["spans"]
+    if spans:
+        width = max(len(name) for name in spans)
+        print(f"{'span':<{width}}  {'count':>7}  {'total':>10}  {'mean':>10}  {'max':>10}")
+        for name, row in spans.items():
+            print(
+                f"{name:<{width}}  {row['count']:>7}  "
+                f"{_format_seconds(row['total'])}  {_format_seconds(row['mean'])}  "
+                f"{_format_seconds(row['max'])}"
+            )
+    if options.validate:
+        print("schema OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

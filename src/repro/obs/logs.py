@@ -1,0 +1,100 @@
+"""The ``repro.*`` structured logging hierarchy.
+
+Every module logs through :func:`get_logger`, which anchors names under
+the ``repro`` root logger.  Import is inert: the only side effect is a
+``NullHandler`` on the root (standard library practice — it silences the
+``logging.lastResort`` stderr fallback without installing any real
+handler, and records still propagate so ``pytest`` ``caplog`` works).
+
+:func:`configure` opts a process in: it installs one structured handler
+on the ``repro`` root whose formatter renders ``event key=value`` lines
+from the ``fields`` mapping attached by :func:`log_event`.  It is
+idempotent and reversible (:func:`reset`), so the obs-off guarantee —
+no handlers beyond the NullHandler, nothing written anywhere — holds
+for processes that never call it.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import IO, Optional
+
+__all__ = ["get_logger", "log_event", "configure", "reset", "ROOT_NAME"]
+
+ROOT_NAME = "repro"
+
+_root = logging.getLogger(ROOT_NAME)
+_root.addHandler(logging.NullHandler())
+
+#: The handler installed by :func:`configure`, tracked for idempotency.
+_installed_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("cluster.worker")`` and
+    ``get_logger("repro.cluster.worker")`` name the same logger.
+    """
+    if name != ROOT_NAME and not name.startswith(ROOT_NAME + "."):
+        name = f"{ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, level: int, event: str, **fields) -> None:
+    """Emit one structured record: an event name plus key=value fields.
+
+    The fields ride on the record as ``record.fields`` (for structured
+    consumers and tests) and are rendered into the message by the
+    handler installed by :func:`configure`.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    if fields:
+        rendered = " ".join(f"{key}={fields[key]}" for key in sorted(fields))
+        message = f"{event} {rendered}"
+    else:
+        message = event
+    logger.log(level, message, extra={"fields": fields, "event": event})
+
+
+class _StructuredFormatter(logging.Formatter):
+    """``time level logger: event key=value ...`` lines."""
+
+    default_format = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+    def __init__(self) -> None:
+        super().__init__(self.default_format, datefmt="%H:%M:%S")
+
+
+def configure(level: int = logging.INFO, stream: Optional[IO[str]] = None) -> logging.Handler:
+    """Install (or re-target) the single structured handler on ``repro``.
+
+    Returns the handler so callers (tests, the CLI) can flush or detach
+    it.  Calling again replaces the previous handler rather than
+    stacking duplicates.
+    """
+    global _installed_handler
+    reset()
+    handler = logging.StreamHandler(stream) if stream is not None else logging.StreamHandler()
+    handler.setFormatter(_StructuredFormatter())
+    handler.setLevel(level)
+    _root.addHandler(handler)
+    if _root.level == logging.NOTSET or _root.level > level:
+        _root.setLevel(level)
+    _installed_handler = handler
+    return handler
+
+
+def reset() -> None:
+    """Remove the handler installed by :func:`configure`, if any."""
+    global _installed_handler
+    if _installed_handler is not None:
+        _root.removeHandler(_installed_handler)
+        _installed_handler = None
+        _root.setLevel(logging.NOTSET)
+
+
+def installed_handler() -> Optional[logging.Handler]:
+    """The handler :func:`configure` installed, or ``None`` (obs-off)."""
+    return _installed_handler

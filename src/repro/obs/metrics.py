@@ -1,0 +1,164 @@
+"""Process-local metrics: counters, gauges, and histograms.
+
+The registry is deliberately tiny.  The design constraint (ISSUE 7) is a
+lock-free fast path with near-zero overhead: metric objects are plain
+``__slots__`` holders mutated with single bytecode-level operations that
+the GIL serialises, and the registry lookup is one dict ``get`` — the
+creation lock is only taken on first registration of a name.  When the
+observability layer is disabled (`repro.obs.active()` is ``None``) no
+metric object exists at all, so instrumented call sites pay exactly one
+module-attribute read and a ``None`` check.
+
+Histograms use fixed power-of-two bucket boundaries over seconds-scale
+values (the common case here is latencies: heartbeat RTT, chunk walltime)
+so ``observe`` is an integer ``bisect`` with no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram boundaries (seconds): 1 us .. ~65 s in powers of four.
+DEFAULT_BUCKETS = tuple(1e-6 * 4**i for i in range(13))
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, live workers, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A fixed-boundary histogram with count/total/min/max summaries."""
+
+    __slots__ = ("name", "boundaries", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, boundaries: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.boundaries = tuple(boundaries)
+        self.buckets = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.buckets[bisect_right(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, Union[int, float, List[int]]]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": list(self.buckets),
+            "boundaries": list(self.boundaries),
+        }
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name -> metric mapping with lock-free reads of existing metrics.
+
+    ``counter``/``gauge``/``histogram`` return the existing instance when
+    the name is already registered (one dict ``get``); the lock guards
+    only first-time creation, so steady-state instrumentation never
+    contends.
+    """
+
+    __slots__ = ("_metrics", "_lock")
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory(name)
+                self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get_or_create(name, Counter)
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a Counter")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get_or_create(name, Gauge)
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a Gauge")
+        return metric
+
+    def histogram(self, name: str, boundaries: Optional[Sequence[float]] = None) -> Histogram:
+        if boundaries is None:
+            metric = self._get_or_create(name, Histogram)
+        else:
+            metric = self._get_or_create(name, lambda n: Histogram(n, boundaries))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a Histogram")
+        return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe ``{name: value}`` view of every registered metric."""
+        return {name: metric.snapshot() for name, metric in sorted(self._metrics.items())}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()

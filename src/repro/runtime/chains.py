@@ -46,10 +46,12 @@ the standard way to get statistically independent chains from a single seed.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Hashable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.engine import resolve_engine
 from repro.gibbs.instance import SamplingInstance
 from repro.sampling.glauber import greedy_feasible_configuration
@@ -59,6 +61,9 @@ Node = Hashable
 Value = Hashable
 
 Seed = Union[int, np.random.SeedSequence]
+
+#: Histogram boundaries for chain throughput (steps/second): decades 1..1e9.
+_THROUGHPUT_BUCKETS = tuple(10.0**i for i in range(10))
 
 
 def chain_seed_sequences(seed: Seed, n_chains: int) -> List[np.random.SeedSequence]:
@@ -361,7 +366,21 @@ class ChainBatch:
         """
         resolved: ChainKernel = resolve_kernel(kernel)
         self._claim_kind(resolved.name)
-        trace = resolved.batched_advance(self, count, statistic=statistic)
+        handle = obs.active()
+        if handle is None:
+            trace = resolved.batched_advance(self, count, statistic=statistic)
+        else:
+            chains = self.codes.shape[0]
+            with handle.span(
+                "chains.advance", kernel=resolved.name, chains=chains, count=count
+            ):
+                started = time.perf_counter()
+                trace = resolved.batched_advance(self, count, statistic=statistic)
+                elapsed = time.perf_counter() - started
+            if elapsed > 0.0:
+                handle.metrics.histogram(
+                    "runtime.chains.steps_per_second", _THROUGHPUT_BUCKETS
+                ).observe(chains * count / elapsed)
         if statistic is not None:
             return trace
         return self

@@ -64,6 +64,7 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.gibbs.instance import SamplingInstance
 from repro.runtime.chains import (
     batched_kernel_sample,
@@ -145,6 +146,15 @@ class Runtime:
         :class:`~repro.cluster.coordinator.ClusterError`; ``"local"`` runs
         them in-process instead -- same registered task bodies, hence
         bit-identical results -- after a single :class:`RuntimeWarning`.
+    obs : bool or repro.obs.Observability, optional
+        ``True`` enables the process-wide observability handle (metrics +
+        span tracing; see :mod:`repro.obs`) for this runtime's lifetime --
+        :meth:`shutdown` disables it again, and an already-enabled handle
+        is left alone.  Passing an :class:`~repro.obs.Observability`
+        installs that handle without taking ownership.  Tracing never
+        consumes sampler RNG, so results are bit-identical either way.
+        Inspect via :meth:`snapshot`, :func:`repro.obs.events`, or the
+        ``repro-trace`` CLI after exporting.
 
     Notes
     -----
@@ -167,6 +177,7 @@ class Runtime:
         "_pool",
         "_cluster",
         "_local_pool",
+        "_obs_owned",
     )
 
     def __init__(
@@ -177,6 +188,7 @@ class Runtime:
         addresses: Optional[Sequence] = None,
         auth_key=None,
         degrade: Optional[str] = None,
+        obs: Union[None, bool, object] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(
@@ -210,6 +222,23 @@ class Runtime:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._cluster = None
         self._local_pool = None
+        # obs=True enables the process-wide observability handle for the
+        # lifetime of this runtime (shutdown disables it again); an
+        # Observability instance installs that handle without ownership;
+        # None/False leave the subsystem untouched.
+        from repro import obs as obs_api
+
+        self._obs_owned = False
+        if obs is True:
+            if obs_api.active() is None:
+                obs_api.enable()
+                self._obs_owned = True
+        elif obs is not None and obs is not False:
+            if not isinstance(obs, obs_api.Observability):
+                raise ValueError(
+                    "obs must be True, False, None, or an obs.Observability handle"
+                )
+            obs_api.install(obs)
 
     # ------------------------------------------------------------------
     @property
@@ -413,6 +442,32 @@ class Runtime:
         if self._local_pool is not None:
             self._local_pool.terminate()
             self._local_pool = None
+        if self._obs_owned:
+            obs.disable()
+            self._obs_owned = False
+
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time observability view of this runtime.
+
+        Always includes the runtime's own shape (``backend``,
+        ``n_chains``, ``n_workers``); when the process-wide observability
+        handle is enabled (``obs=True`` or :func:`repro.obs.enable`), the
+        metrics registry and trace-buffer summary ride along under
+        ``"obs"``, and a live cluster coordinator contributes worker
+        liveness/queue counters under ``"cluster"``.  Purely a read --
+        never touches RNG state or results.
+        """
+        out: Dict[str, object] = {
+            "backend": self.backend,
+            "n_chains": self.n_chains,
+            "n_workers": self.n_workers,
+        }
+        handle = obs.active()
+        if handle is not None:
+            out["obs"] = handle.snapshot()
+        if self._cluster is not None:
+            out["cluster"] = self._cluster.snapshot()
+        return out
 
     def __enter__(self) -> "Runtime":
         return self
@@ -482,38 +537,45 @@ class Runtime:
             seeds = chain_seed_sequences(seed, self.n_chains)
         else:
             seeds = list(seeds)
-        if not self._spec_transportable(engine):
-            # The reference backend stays the reference: per-seed serial
-            # chains (the process backend still fans them out via fork).
-            return self.map(
-                lambda chain_seed: resolved.serial_run(
+        with obs.span(
+            "runtime.run_chains",
+            backend=self.backend,
+            kernel=resolved.name,
+            chains=len(seeds),
+            count=count,
+        ):
+            if not self._spec_transportable(engine):
+                # The reference backend stays the reference: per-seed serial
+                # chains (the process backend still fans them out via fork).
+                return self.map(
+                    lambda chain_seed: resolved.serial_run(
+                        instance, count, seed=chain_seed, initial=initial, engine=engine
+                    ),
+                    seeds,
+                )
+            if self.is_batched:
+                return batched_kernel_sample(
+                    resolved, instance, count, seeds=seeds, initial=initial, engine=engine
+                )
+            if self.is_process:
+                return run_chain_blocks(
+                    instance,
+                    resolved.name,
+                    count,
+                    seeds,
+                    initial=initial,
+                    n_workers=self.n_workers,
+                )
+            if self.is_cluster:
+                return self.cluster_client().chain_samples(
+                    instance, resolved.name, count, seeds, initial=initial
+                )
+            return [
+                resolved.serial_run(
                     instance, count, seed=chain_seed, initial=initial, engine=engine
-                ),
-                seeds,
-            )
-        if self.is_batched:
-            return batched_kernel_sample(
-                resolved, instance, count, seeds=seeds, initial=initial, engine=engine
-            )
-        if self.is_process:
-            return run_chain_blocks(
-                instance,
-                resolved.name,
-                count,
-                seeds,
-                initial=initial,
-                n_workers=self.n_workers,
-            )
-        if self.is_cluster:
-            return self.cluster_client().chain_samples(
-                instance, resolved.name, count, seeds, initial=initial
-            )
-        return [
-            resolved.serial_run(
-                instance, count, seed=chain_seed, initial=initial, engine=engine
-            )
-            for chain_seed in seeds
-        ]
+                )
+                for chain_seed in seeds
+            ]
 
     def glauber_sample(
         self,

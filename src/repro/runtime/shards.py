@@ -52,6 +52,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.engine.compiled import CompiledGibbs
 from repro.gibbs.instance import SamplingInstance
 
@@ -385,10 +386,31 @@ def register_task(kind: str) -> Callable:
 MEMO_DELTA_CAP = 64
 
 
-def _install_worker_spec(spec: InstanceSpec) -> None:
-    """Pool initializer: pin the shared :class:`InstanceSpec` in this worker."""
+def _install_worker_spec(spec: InstanceSpec, obs_ctx=None) -> None:
+    """Pool initializer: pin the shared :class:`InstanceSpec` in this worker.
+
+    ``obs_ctx`` is the parent's trace context as a versioned wire dict
+    (``None`` when tracing is off): when present, the worker process arms
+    a recorder continuing the parent's trace, so spans recorded by chunk
+    bodies stitch into the parent timeline (shipped back by
+    :func:`_traced_chunk`).  Unknown/foreign contexts are ignored.
+    """
     global _WORKER_SPEC
     _WORKER_SPEC = spec
+    if obs_ctx is not None:
+        obs.arm_remote(obs_ctx, proc="pool-worker")
+
+
+def _traced_chunk(body: Callable, chunk, extra_args: tuple):
+    """Pool-worker wrapper shipping trace events alongside a chunk result.
+
+    Only submitted when the parent is tracing (so untraced runs keep the
+    exact legacy submission path); returns ``(payload, events)`` with the
+    worker's buffered events drained per chunk.
+    """
+    with obs.span("shards.chunk", kind=getattr(body, "__name__", str(body)), tasks=len(chunk)):
+        payload = body(chunk, *extra_args)
+    return payload, obs.drain_events()
 
 
 def _compile_ball_chunk(
@@ -576,17 +598,34 @@ def run_chain_blocks(
     counts: List[int] = []
     if len(blocks) <= 1 or n_workers <= 1:
         for block in blocks:
-            merge(results, counts, _chain_block_task(payload(block), spec=spec))
+            with obs.span(
+                "shards.chain_block", kernel=kernel_name, chains=len(block),
+                mode="inprocess",
+            ):
+                merge(results, counts, _chain_block_task(payload(block), spec=spec))
         return (results, counts) if stats else results
+    ctx = obs.wire_context()
     with ProcessPoolExecutor(
         max_workers=min(n_workers, len(blocks)),
         initializer=_install_worker_spec,
-        initargs=(spec,),
+        initargs=(spec, ctx),
     ) as pool:
-        futures = [pool.submit(_chain_block_task, payload(block)) for block in blocks]
+        if ctx is None:
+            futures = [
+                pool.submit(_chain_block_task, payload(block)) for block in blocks
+            ]
+        else:
+            futures = [
+                pool.submit(_traced_chunk, _chain_block_task, payload(block), ())
+                for block in blocks
+            ]
         try:
             for future in futures:  # block order == seed order
-                merge(results, counts, future.result())
+                block_result = future.result()
+                if ctx is not None:
+                    block_result, events = block_result
+                    obs.absorb_events(events)
+                merge(results, counts, block_result)
             return (results, counts) if stats else results
         finally:
             for future in futures:
@@ -612,42 +651,72 @@ def _chunk_tasks(
     return [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
 
 
-def _stream_chunks(spec, chunks, submit, inprocess, n_workers):
+def _stream_chunks(spec, chunks, body, extra_args, n_workers):
     """Drive chunks through a futures pool, yielding payloads as they land.
 
-    ``submit(pool, chunk)`` submits one chunk, ``inprocess(chunk)`` is the
-    pool-free equivalent used when a pool is pointless (single chunk or a
-    single worker).  The spec crosses the pipe exactly once per worker via
-    the pool initializer.  A failed chunk -- worker exception, broken pool,
-    or the in-process fallback raising -- surfaces as a ``RuntimeError``
-    naming the chunk instead of a hang; pending chunks are cancelled both
-    on failure and when the consumer abandons the generator early.
+    ``body(chunk, *extra_args, spec=...)`` is a module-level chunk body
+    from this file; with a pool it is submitted directly (the worker-global
+    spec applies), in-process it is called with the explicit spec.  The
+    spec crosses the pipe exactly once per worker via the pool initializer.
+    A failed chunk -- worker exception, broken pool, or the in-process
+    fallback raising -- surfaces as a ``RuntimeError`` naming the chunk
+    instead of a hang; pending chunks are cancelled both on failure and
+    when the consumer abandons the generator early.
+
+    When tracing is on, the parent's trace context rides the initializer
+    and chunks are submitted through :func:`_traced_chunk`, so worker-side
+    spans come back with each payload and are absorbed here; queue depth
+    and chunk counts land in the metrics registry.  With obs off the
+    submission path is exactly the legacy one.
     """
+    handle = obs.active()
     if len(chunks) <= 1 or n_workers <= 1:
         for chunk in chunks:
             try:
-                payload = inprocess(chunk)
+                with obs.span("shards.chunk", kind=getattr(body, "__name__", str(body)),
+                              tasks=len(chunk), mode="inprocess"):
+                    payload = body(chunk, *extra_args, spec=spec)
             except Exception as error:
                 raise RuntimeError(
                     f"ball shard failed on chunk {chunk!r}: {error}"
                 ) from error
             yield payload
         return
+    ctx = obs.wire_context()
+    pending_gauge = (
+        handle.metrics.gauge("runtime.shards.pending") if handle is not None else None
+    )
     with ProcessPoolExecutor(
         max_workers=min(n_workers, len(chunks)),
         initializer=_install_worker_spec,
-        initargs=(spec,),
+        initargs=(spec, ctx),
     ) as pool:
-        futures = {submit(pool, chunk): chunk for chunk in chunks}
+        if ctx is None:
+            futures = {pool.submit(body, chunk, *extra_args): chunk for chunk in chunks}
+        else:
+            futures = {
+                pool.submit(_traced_chunk, body, chunk, extra_args): chunk
+                for chunk in chunks
+            }
+        if pending_gauge is not None:
+            pending_gauge.set(len(futures))
         try:
             for future in as_completed(futures):
                 try:
-                    yield future.result()
+                    payload = future.result()
                 except Exception as error:
                     chunk = futures[future]
                     raise RuntimeError(
                         f"ball shard failed on chunk {chunk!r}: {error}"
                     ) from error
+                if ctx is not None:
+                    payload, events = payload
+                    obs.absorb_events(events)
+                if handle is not None:
+                    handle.metrics.counter("runtime.shards.chunks").inc()
+                    if pending_gauge is not None:
+                        pending_gauge.add(-1)
+                yield payload
         finally:
             for future in futures:
                 future.cancel()
@@ -712,8 +781,8 @@ def stream_ball_marginal_tasks(
     payloads = _stream_chunks(
         spec,
         chunks,
-        submit=lambda pool, chunk: pool.submit(_ball_marginal_chunk, chunk, memo_cap),
-        inprocess=lambda chunk: _ball_marginal_chunk(chunk, memo_cap, spec=spec),
+        body=_ball_marginal_chunk,
+        extra_args=(memo_cap,),
         n_workers=n_workers,
     )
     for marginals, balls, extras, memos in payloads:
@@ -771,8 +840,8 @@ def stream_compiled_balls(
     payloads = _stream_chunks(
         spec,
         chunks,
-        submit=lambda pool, chunk: pool.submit(_compile_ball_chunk, chunk),
-        inprocess=lambda chunk: _compile_ball_chunk(chunk, spec=spec),
+        body=_compile_ball_chunk,
+        extra_args=(),
         n_workers=n_workers,
     )
     for compiled in payloads:
