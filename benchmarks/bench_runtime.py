@@ -49,6 +49,13 @@ chains of a hardcore instance, one sample per chain):
   verified before unpickling).  Records what frame authentication costs
   on the wire; both sides are asserted bit-identical to the serial loop
   before timing -- authentication must never change answers.
+* ``serve_coalescing`` -- 16 concurrent HTTP sample requests against one
+  in-process :mod:`repro.serve` server, ``max_batch=1`` (every request is
+  its own ``run_chains`` call) vs ``max_batch=16`` (the coalescer folds
+  the burst into one batched code-matrix call).  The per-request seed
+  contract keeps every coalesced response bit-identical to a solo
+  request; identity and the batch count are asserted on real JSON
+  responses before any timing.
 
 Run directly to (re)record the JSON baseline::
 
@@ -195,6 +202,117 @@ def _obs_overhead_workload(chains: int = 256, steps: int = 1200, size: int = 64)
             obs.disable()
 
     return {"chains": chains, "steps": steps, "n": size}, off, on
+
+
+def _serve_coalescing_workload(
+    n_requests: int = 16, count: int = 600, size: int = 64, max_batch: int = 16
+):
+    """The serving layer's cross-request coalescing win (ISSUE 8).
+
+    ``n_requests`` concurrent HTTP clients hit one ``repro-serve`` model.
+    With ``max_batch=1`` every request is its own ``run_chains`` call
+    (the no-coalescing control); with ``max_batch=n_requests`` the
+    coalescer folds the burst into one batched code-matrix call.  The
+    seed contract makes both paths bit-identical to a solo request, so
+    the speedup is pure batching -- and it is asserted (together with
+    the batch count) on real JSON responses before any timing.
+    """
+    import asyncio
+
+    from repro.serve.client import request_json, sample_payload
+    from repro.serve.registry import ModelRegistry, build_instance, encode_state
+    from repro.serve.server import SamplingServer
+
+    spec = {
+        "family": "hardcore",
+        "graph": {"kind": "cycle", "n": size},
+        "fugacity": 1.2,
+        "pinning": {"0": 1},
+    }
+    instance, _ = build_instance(spec)
+    nodes = list(instance.distribution.graph)
+
+    # Solo baseline: each request's seed through run_chains on its own.
+    with Runtime("batched") as runtime:
+        solo = {
+            seed: json.loads(
+                json.dumps(
+                    [
+                        encode_state(nodes, state)
+                        for state in runtime.run_chains(
+                            "glauber", instance, count, seed=seed
+                        )
+                    ]
+                )
+            )
+            for seed in range(n_requests)
+        }
+
+    def burst(batch_limit: int, check: bool = False) -> float:
+        async def go() -> float:
+            registry = ModelRegistry()
+            registry.register_payload("hc", spec)
+            server = SamplingServer(
+                registry=registry,
+                max_batch=batch_limit,
+                max_wait_ms=100.0 if batch_limit > 1 else 0.0,
+                max_queue=4 * n_requests,
+            )
+            host, port = await server.start()
+            try:
+                # Warm the connection path and the compiled engine.
+                await request_json(
+                    host, port, "POST", "/v1/sample",
+                    sample_payload("hc", count=1, seed=999),
+                )
+                start = time.perf_counter()
+                responses = await asyncio.gather(
+                    *[
+                        request_json(
+                            host, port, "POST", "/v1/sample",
+                            sample_payload("hc", count=count, seed=seed),
+                        )
+                        for seed in range(n_requests)
+                    ]
+                )
+                elapsed = time.perf_counter() - start
+                if check:
+                    batches = set()
+                    for seed, (status, body) in enumerate(responses):
+                        assert status == 200, f"seed {seed}: HTTP {status}: {body}"
+                        assert body["states"] == solo[seed], (
+                            f"coalesced response for seed {seed} is not "
+                            "bit-identical to the solo run"
+                        )
+                        batches.add(body["batch_id"])
+                    limit = -(-n_requests // batch_limit)  # ceil
+                    assert len(batches) <= limit, (
+                        f"{n_requests} requests ran {len(batches)} batches "
+                        f"(limit {limit} at max_batch={batch_limit})"
+                    )
+                return elapsed
+            finally:
+                await server.close()
+
+        return asyncio.run(go())
+
+    # Correctness gate before any timing (the acceptance contract): the
+    # coalesced path must coalesce AND stay bit-identical.
+    burst(max_batch, check=True)
+
+    def solo_serving() -> float:
+        return burst(1)
+
+    def coalesced_serving() -> float:
+        return burst(max_batch)
+
+    shape = {
+        "requests": n_requests,
+        "count": count,
+        "n": size,
+        "max_batch": max_batch,
+    }
+    return shape, solo_serving, coalesced_serving
 
 
 def _process_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2):
@@ -369,7 +487,9 @@ def _cluster_auth_workload(n_workers: int = 2, size: int = 40, radius: int = 3):
     return shape, plain_run, hmac_run, teardown
 
 
-def run(repeats: int = 3, cluster: bool = True) -> List[Dict[str, object]]:
+def run(
+    repeats: int = 3, cluster: bool = True, serve: bool = True
+) -> List[Dict[str, object]]:
     """Time the backends; report the best of ``repeats`` per side."""
     rows: List[Dict[str, object]] = []
     for name, factory in (
@@ -404,6 +524,21 @@ def run(repeats: int = 3, cluster: bool = True) -> List[Dict[str, object]]:
             "bit_identical_to_serial": True,
         }
     )
+    if serve:
+        shape, solo_serving, coalesced_serving = _serve_coalescing_workload()
+        solo_seconds = min(solo_serving() for _ in range(repeats))
+        coalesced_seconds = min(coalesced_serving() for _ in range(repeats))
+        rows.append(
+            {
+                "workload": "serve_coalescing",
+                "backend_pair": "solo-vs-coalesced",
+                "shape": shape,
+                "solo_seconds": solo_seconds,
+                "coalesced_seconds": coalesced_seconds,
+                "speedup": solo_seconds / coalesced_seconds,
+                "bit_identical_to_solo": True,
+            }
+        )
     shape, serial, sharded = _process_shard_workload()
     serial_seconds = _best_of(serial, repeats)
     process_seconds = _best_of(sharded, repeats)
@@ -500,7 +635,14 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             "asserted pre-timing on both sides), plus the batched-chains "
             "workload with observability off vs on (repro.obs metrics + "
             "tracing; the off leg prices the guarded instrumentation "
-            "residue, bit-identity asserted pre-timing)"
+            "residue, bit-identity asserted pre-timing), plus the serving "
+            "layer's cross-request coalescing: 16 concurrent HTTP sample "
+            "requests against one repro-serve model with max_batch=1 (one "
+            "run_chains call per request) vs max_batch=16 (the burst folds "
+            "into one batched code-matrix call); the seed contract keeps "
+            "every coalesced response bit-identical to a solo request, "
+            "asserted on real JSON responses -- with the batch count -- "
+            "before any timing"
         ),
         "workloads": rows,
         "min_batched_speedup": min(row["speedup"] for row in batched),
@@ -521,6 +663,11 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             for row in rows
             if row["backend_pair"] == "obs-off-vs-on"
         ),
+        "serve_bit_identical_to_solo": all(
+            row["bit_identical_to_solo"]
+            for row in rows
+            if row["backend_pair"] == "solo-vs-coalesced"
+        ),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
@@ -533,6 +680,13 @@ def _print_rows(rows: List[Dict[str, object]]) -> None:
                 f"{row['workload']:>22}: off {row['off_seconds'] * 1e3:8.1f} ms   "
                 f"on {row['on_seconds'] * 1e3:8.1f} ms   "
                 f"overhead {row['overhead']:6.2f}x   {row['shape']}"
+            )
+            continue
+        if row["backend_pair"] == "solo-vs-coalesced":
+            print(
+                f"{row['workload']:>22}: solo {row['solo_seconds'] * 1e3:8.1f} ms   "
+                f"coalesced {row['coalesced_seconds'] * 1e3:8.1f} ms   "
+                f"speedup {row['speedup']:6.2f}x   {row['shape']}"
             )
             continue
         if row["backend_pair"] == "plain-vs-hmac":
@@ -588,6 +742,10 @@ def test_batched_runner_amortises_the_python_loop(once=None) -> None:
             assert (
                 row["time_to_first_result_seconds"] < row["barrier_wall_seconds"]
             ), f"streaming lost its overlap win: {row}"
+        if row["backend_pair"] == "solo-vs-coalesced":
+            # BENCH_runtime.json documents the recorded ratio (>= 3x); this
+            # is a conservative floor so CI noise cannot flake.
+            assert row["speedup"] > 1.5, f"serving coalescing regressed: {row}"
 
 
 if __name__ == "__main__":

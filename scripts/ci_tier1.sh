@@ -12,9 +12,13 @@
 # mid-stream; the requeued merge must still be bit-identical), a traced
 # cluster smoke (the same run with obs=True must stay bit-identical,
 # stitch coordinator and worker spans under one trace id, and export
-# trace JSON that repro-trace validates against the event schema) and a
-# docs check (the architecture map exists and the README quickstart
-# executes as a doctest).
+# trace JSON that repro-trace validates against the event schema), a
+# serving smoke (a real `repro-serve` subprocess on a free port takes 8
+# concurrent HTTP sample requests, which must coalesce into at most two
+# run_chains batches -- observable from the JSON responses alone -- with
+# every response bit-identical to a solo run, then drains cleanly on
+# SIGTERM) and a docs check (the architecture map and testing guide
+# exist and the README quickstart executes as a doctest).
 #
 # Usage: scripts/ci_tier1.sh  (from the repository root)
 set -euo pipefail
@@ -24,7 +28,7 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1: full suite =="
-python -m pytest -x -q
+python -m pytest -x -q --durations=15
 
 echo "== tier-1: engine equivalence =="
 python -m pytest -x -q tests/test_engine_equivalence.py
@@ -150,8 +154,88 @@ print(
 )
 PY
 
+echo "== tier-1: serving smoke =="
+python - <<'PY'
+import json
+import signal
+import subprocess
+import sys
+import threading
+
+from repro.runtime import Runtime
+from repro.serve.client import http_request, sample_payload
+from repro.serve.registry import build_instance, encode_state
+
+MODEL = {
+    "family": "hardcore",
+    "graph": {"kind": "cycle", "n": 16},
+    "fugacity": 1.2,
+    "pinning": {"0": 1},
+}
+# max_wait_ms is generous so all 8 requests land inside one window: the
+# coalescing assertion below is then deterministic, not racy.
+server = subprocess.Popen(
+    [
+        sys.executable, "-m", "repro.serve",
+        "--host", "127.0.0.1", "--port", "0",
+        "--model", "hc=" + json.dumps(MODEL),
+        "--max-batch", "8", "--max-wait-ms", "250",
+    ],
+    stdout=subprocess.PIPE,
+    text=True,
+)
+try:
+    banner = server.stdout.readline().strip()
+    assert banner.startswith("repro-serve listening on "), f"bad banner: {banner!r}"
+    host, _, port = banner.rsplit(" ", 1)[-1].rpartition(":")
+    port = int(port)
+
+    count, seed_base, n_requests = 20, 100, 8
+    responses = [None] * n_requests
+
+    def one(i):
+        status, body = http_request(
+            host, port, "POST", "/v1/sample",
+            sample_payload("hc", kernel="glauber", count=count, seed=seed_base + i),
+        )
+        responses[i] = (status, body)
+
+    threads = [threading.Thread(target=one, args=(i,)) for i in range(n_requests)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    # Solo baseline: the same seeds through a local Runtime, one at a time.
+    instance, _ = build_instance(MODEL)
+    nodes = list(instance.distribution.graph)
+    with Runtime("batched") as runtime:
+        for i, (status, body) in enumerate(responses):
+            assert status == 200, f"request {i}: HTTP {status}: {body}"
+            solo = runtime.run_chains("glauber", instance, count, seed=seed_base + i)
+            expected = json.loads(json.dumps([encode_state(nodes, s) for s in solo]))
+            assert body["states"] == expected, f"request {i} not bit-identical to solo"
+
+    batches = {body["batch_id"] for _, body in responses}
+    sizes = sum(body["batch_size"] for _, body in responses)
+    assert len(batches) <= 2, f"8 concurrent requests ran {len(batches)} batches"
+    assert sizes >= n_requests, f"batch sizes do not cover the requests: {sizes}"
+
+    server.send_signal(signal.SIGTERM)
+    assert server.wait(timeout=30) == 0, "server did not drain cleanly on SIGTERM"
+    print(
+        f"serving smoke OK: {n_requests} concurrent requests coalesced into "
+        f"{len(batches)} batch(es), bit-identical to solo runs, clean drain"
+    )
+finally:
+    if server.poll() is None:
+        server.kill()
+        server.wait()
+PY
+
 echo "== tier-1: docs =="
 test -f docs/ARCHITECTURE.md || { echo "docs/ARCHITECTURE.md is missing" >&2; exit 1; }
+test -f docs/TESTING.md || { echo "docs/TESTING.md is missing" >&2; exit 1; }
 python -m doctest README.md
 
 echo "tier-1 OK"

@@ -16,6 +16,9 @@ setup(
             # Trace-file summariser (see repro/obs/cli.py); the
             # uninstalled equivalent is `python -m repro.obs`.
             "repro-trace=repro.obs.cli:main",
+            # The sampling-as-a-service HTTP server (see repro/serve/cli.py);
+            # the uninstalled equivalent is `python -m repro.serve`.
+            "repro-serve=repro.serve.cli:main",
         ]
     }
 )

@@ -47,8 +47,10 @@ them execute at once.
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import os
+import threading
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import (
@@ -178,6 +180,8 @@ class Runtime:
         "_cluster",
         "_local_pool",
         "_obs_owned",
+        "_shutdown_lock",
+        "_snapshot_sections",
     )
 
     def __init__(
@@ -222,6 +226,8 @@ class Runtime:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._cluster = None
         self._local_pool = None
+        self._shutdown_lock = threading.RLock()
+        self._snapshot_sections: Dict[str, Callable[[], object]] = {}
         # obs=True enables the process-wide observability handle for the
         # lifetime of this runtime (shutdown disables it again); an
         # Observability instance installs that handle without ownership;
@@ -422,8 +428,8 @@ class Runtime:
             )
         return self._pool
 
-    def shutdown(self) -> None:
-        """Release every OS resource this runtime owns (idempotent).
+    def shutdown(self, wait: Optional[bool] = None) -> None:
+        """Release every OS resource this runtime owns (idempotent, thread-safe).
 
         Shuts the lazily created futures pool down (cancelling queued
         work), closes the cluster coordinator's worker connections
@@ -431,20 +437,57 @@ class Runtime:
         included), and terminates localhost workers the runtime spawned
         itself.  Calling it again -- or never having created any resource
         -- is a no-op, and a later operation transparently re-creates what
-        it needs.
+        it needs.  Concurrent callers are safe: each resource is detached
+        under a lock and released exactly once.
+
+        Parameters
+        ----------
+        wait : bool, optional
+            Whether to block until the futures pool's workers have
+            joined.  The default is *context-sensitive*: ``True`` from a
+            plain thread (the historical behaviour), ``False`` when
+            called from a running asyncio event loop -- the serving
+            layer's drain path -- where blocking on worker joins would
+            stall every coroutine on the loop.  With ``wait=False`` the
+            pool still cancels queued futures and its workers exit in the
+            background.
         """
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
-        if self._cluster is not None:
-            self._cluster.shutdown()
-            self._cluster = None
-        if self._local_pool is not None:
-            self._local_pool.terminate()
-            self._local_pool = None
-        if self._obs_owned:
+        if wait is None:
+            try:
+                asyncio.get_running_loop()
+            except RuntimeError:
+                wait = True
+            else:
+                wait = False
+        with self._shutdown_lock:
+            pool, self._pool = self._pool, None
+            cluster, self._cluster = self._cluster, None
+            local_pool, self._local_pool = self._local_pool, None
+            obs_owned, self._obs_owned = self._obs_owned, False
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+        if cluster is not None:
+            cluster.shutdown()
+        if local_pool is not None:
+            local_pool.terminate()
+        if obs_owned:
             obs.disable()
-            self._obs_owned = False
+
+    def register_snapshot_section(
+        self, name: str, provider: Callable[[], object]
+    ) -> None:
+        """Attach a named section to :meth:`snapshot` (e.g. ``"serve"``).
+
+        The serving layer uses this to publish its coalescer stats next
+        to the built-in ``"obs"`` and ``"cluster"`` blocks; any subsystem
+        sharing a runtime can do the same.  Re-registering a name
+        replaces its provider.
+        """
+        self._snapshot_sections[str(name)] = provider
+
+    def unregister_snapshot_section(self, name: str) -> None:
+        """Detach a section registered via :meth:`register_snapshot_section`."""
+        self._snapshot_sections.pop(str(name), None)
 
     def snapshot(self) -> Dict[str, object]:
         """A point-in-time observability view of this runtime.
@@ -454,8 +497,11 @@ class Runtime:
         handle is enabled (``obs=True`` or :func:`repro.obs.enable`), the
         metrics registry and trace-buffer summary ride along under
         ``"obs"``, and a live cluster coordinator contributes worker
-        liveness/queue counters under ``"cluster"``.  Purely a read --
-        never touches RNG state or results.
+        liveness/queue counters under ``"cluster"``.  Subsystems sharing
+        the runtime add their own blocks via
+        :meth:`register_snapshot_section` (the serving layer publishes
+        ``"serve"``).  Purely a read -- never touches RNG state or
+        results.
         """
         out: Dict[str, object] = {
             "backend": self.backend,
@@ -467,6 +513,11 @@ class Runtime:
             out["obs"] = handle.snapshot()
         if self._cluster is not None:
             out["cluster"] = self._cluster.snapshot()
+        for name, provider in list(self._snapshot_sections.items()):
+            try:
+                out[name] = provider()
+            except Exception as error:  # a read must never raise
+                out[name] = {"error": f"{type(error).__name__}: {error}"}
         return out
 
     def __enter__(self) -> "Runtime":

@@ -1,0 +1,136 @@
+"""A tiny asyncio HTTP/1.1 client for the sampling server.
+
+Just enough HTTP to talk to :mod:`repro.serve.server` from tests, the CI
+smoke, and the benchmarks: one request per call (a fresh connection each
+time -- the concurrency the server coalesces comes from many client
+tasks, exactly like independent remote clients), ``Content-Length`` and
+chunked bodies, JSON and ndjson decoding.  No third-party dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+
+
+async def _read_body(reader: asyncio.StreamReader, headers: Dict[str, str]) -> bytes:
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        chunks: List[bytes] = []
+        while True:
+            size_line = await reader.readline()
+            size = int(size_line.strip().split(b";")[0], 16)
+            if size == 0:
+                await reader.readline()  # trailing CRLF of the terminator
+                return b"".join(chunks)
+            chunks.append(await reader.readexactly(size))
+            await reader.readexactly(2)  # chunk-terminating CRLF
+    length = int(headers.get("content-length", "0"))
+    if length:
+        return await reader.readexactly(length)
+    return b""
+
+
+async def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload=None,
+    timeout: float = 60.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP request; returns ``(status, headers, body)``."""
+
+    async def _go() -> Tuple[int, Dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = b""
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Content-Type: application/json\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(" ", 2)
+            status = int(parts[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            return status, headers, await _read_body(reader, headers)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    return await asyncio.wait_for(_go(), timeout=timeout)
+
+
+async def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload=None,
+    timeout: float = 60.0,
+) -> Tuple[int, object]:
+    """One request with the body decoded as JSON (``None`` when empty)."""
+    status, _, body = await request(host, port, method, path, payload, timeout)
+    return status, (json.loads(body.decode("utf-8")) if body else None)
+
+
+async def request_ndjson(
+    host: str,
+    port: int,
+    path: str,
+    payload=None,
+    timeout: float = 60.0,
+) -> Tuple[int, List[object]]:
+    """One POST whose response is an ndjson stream, decoded line by line."""
+    status, _, body = await request(host, port, "POST", path, payload, timeout)
+    lines = [line for line in body.decode("utf-8").splitlines() if line.strip()]
+    return status, [json.loads(line) for line in lines]
+
+
+def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload=None,
+    timeout: float = 60.0,
+) -> Tuple[int, object]:
+    """Synchronous convenience wrapper around :func:`request_json`."""
+    return asyncio.run(request_json(host, port, method, path, payload, timeout))
+
+
+def sample_payload(
+    model: str,
+    kernel: str = "glauber",
+    count: int = 1,
+    seed: int = 0,
+    n_chains: int = 1,
+    deadline_ms: Optional[float] = None,
+) -> Dict[str, object]:
+    """The ``POST /v1/sample`` body for one request."""
+    payload: Dict[str, object] = {
+        "model": model,
+        "kernel": kernel,
+        "count": count,
+        "seed": seed,
+        "n_chains": n_chains,
+    }
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return payload

@@ -1,0 +1,343 @@
+"""Cross-request coalescing: many concurrent sample requests, one chain batch.
+
+The production-scale move of the serving layer (the continuous-batching
+shape of modern inference servers): concurrent ``POST /v1/sample``
+requests against the same model are held for a bounded window
+(``max_wait`` seconds, or until ``max_batch`` requests are queued) and
+merged into a *single* :meth:`Runtime.run_chains` call.
+
+Bit-identity is free, not a trade-off.  The chain contract
+(:func:`~repro.runtime.chains.chain_seed_sequences` + per-chain RNG
+streams) makes chain ``c`` of any multi-chain execution depend only on
+its own spawned ``SeedSequence`` -- never on how many other chains share
+the code matrix.  So the coalescer spawns each request's per-chain seeds
+from *its own* root seed, concatenates the seed lists into one
+``run_chains(kernel, instance, count, seeds=concat)`` call, and splits
+the resulting states back by offset: every response is bit-identical to
+the same request served alone.
+
+Each coalescer owns one model's execution: one shared
+:class:`~repro.runtime.Runtime`, one warmed ball cache, and one
+dedicated single-thread executor -- so batches for a model are
+serialised (no cache races between threads) while the event loop stays
+free to accept and queue more requests.
+
+Backpressure and deadlines live here too: admitting a request beyond
+``max_queue`` outstanding raises :class:`Backpressure` (HTTP 429), and a
+caller that abandons its request (``asyncio.wait_for`` timeout -> HTTP
+504) is removed from its queued bucket -- a bucket whose every request
+was abandoned is dropped without running at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import os
+import time
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.gibbs import SamplingInstance
+from repro.runtime import Runtime
+from repro.runtime.chains import chain_seed_sequences
+
+Node = Hashable
+Value = Hashable
+
+
+class Backpressure(RuntimeError):
+    """The coalescer's outstanding-request cap was hit (HTTP 429)."""
+
+
+class CoalescerClosed(RuntimeError):
+    """The coalescer is draining; no new requests are admitted (HTTP 503)."""
+
+
+def new_request_id() -> str:
+    """A fresh request id (never touches numpy RNG state)."""
+    return os.urandom(8).hex()
+
+
+class _Pending:
+    """One admitted request waiting for its slice of a batch."""
+
+    __slots__ = ("request_id", "seeds", "future", "admitted", "settled")
+
+    def __init__(self, request_id: str, seeds: Sequence, future: asyncio.Future) -> None:
+        self.request_id = request_id
+        self.seeds = list(seeds)
+        self.future = future
+        self.admitted = time.monotonic()
+        self.settled = False
+
+
+class _Bucket:
+    """Requests merged into one ``run_chains`` call: same kernel/count/initial."""
+
+    __slots__ = ("key", "requests", "timer")
+
+    def __init__(self, key: Tuple) -> None:
+        self.key = key
+        self.requests: List[_Pending] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class RequestCoalescer:
+    """Per-model request coalescer over one shared runtime.
+
+    Parameters
+    ----------
+    name : str
+        Model name (metric labels and span attributes).
+    instance : SamplingInstance
+        The model every batch samples from (shared ball cache included).
+    runtime : Runtime
+        The shared execution policy for merged batches (typically
+        ``Runtime("batched")``).
+    max_batch : int
+        Requests merged per batch; the ``max_batch``-th admission flushes
+        immediately.
+    max_wait : float
+        Seconds a partially filled bucket waits for co-travellers.
+    max_queue : int
+        Outstanding-request cap across queued and in-flight batches;
+        admissions beyond it raise :class:`Backpressure`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instance: SamplingInstance,
+        runtime: Runtime,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        max_queue: int = 128,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.name = name
+        self.instance = instance
+        self.runtime = runtime
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.max_queue = int(max_queue)
+        self._open: Dict[Tuple, _Bucket] = {}
+        self._inflight: set = set()
+        self._outstanding = 0
+        self._closing = False
+        # One executor thread per model: batches are serialised, so the
+        # shared instance/ball cache is only ever touched by one thread,
+        # and the event loop never blocks on a running batch.
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"serve-{name}"
+        )
+        self._batches = 0
+        self._served = 0
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted but not yet answered (the queue depth)."""
+        return self._outstanding
+
+    @property
+    def batches(self) -> int:
+        """Batches dispatched to ``run_chains`` so far."""
+        return self._batches
+
+    def stats(self) -> Dict[str, object]:
+        """The serving block this model contributes to ``Runtime.snapshot()``."""
+        return {
+            "model": self.name,
+            "outstanding": self._outstanding,
+            "batches": self._batches,
+            "served": self._served,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait * 1000.0,
+            "max_queue": self.max_queue,
+            "draining": self._closing,
+        }
+
+    def _gauge(self) -> None:
+        handle = obs.active()
+        if handle is not None:
+            handle.metrics.gauge("serve.queue_depth").set(self._outstanding)
+
+    def _settle(self, pending: _Pending) -> None:
+        if not pending.settled:
+            pending.settled = True
+            self._outstanding -= 1
+            self._gauge()
+
+    # -- admission -----------------------------------------------------
+    async def sample(
+        self,
+        kernel: str,
+        count: int,
+        seed=0,
+        n_chains: int = 1,
+        initial: Optional[Dict[Node, Value]] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[List[Dict[Node, Value]], str, int]:
+        """Admit one sample request; resolves to ``(states, batch_id, batch_size)``.
+
+        ``states`` is bit-identical to ``Runtime.run_chains(kernel,
+        instance, count, seeds=chain_seed_sequences(seed, n_chains))``
+        served alone -- regardless of which other requests share the
+        batch.  ``batch_id``/``batch_size`` identify the coalesced batch
+        the request rode in, so clients can observe coalescing from
+        responses alone.
+        """
+        if self._closing:
+            raise CoalescerClosed(f"model {self.name!r} is draining")
+        if self._outstanding >= self.max_queue:
+            handle = obs.active()
+            if handle is not None:
+                handle.metrics.counter("serve.rejected.backpressure").inc()
+            raise Backpressure(
+                f"model {self.name!r} has {self._outstanding} outstanding "
+                f"requests (cap {self.max_queue})"
+            )
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if n_chains < 1:
+            raise ValueError("n_chains must be at least 1")
+        loop = asyncio.get_running_loop()
+        seeds = chain_seed_sequences(seed, n_chains)
+        pending = _Pending(
+            request_id or new_request_id(), seeds, loop.create_future()
+        )
+        self._outstanding += 1
+        self._gauge()
+        initial_token = (
+            None
+            if initial is None
+            else tuple(sorted(initial.items(), key=repr))
+        )
+        key = (str(kernel), int(count), initial_token)
+        bucket = self._open.get(key)
+        if bucket is None:
+            bucket = self._open[key] = _Bucket(key)
+            bucket.timer = loop.call_later(
+                self.max_wait, functools.partial(self._flush, key)
+            )
+        bucket.requests.append(pending)
+        if len(bucket.requests) >= self.max_batch:
+            self._flush(key)
+        try:
+            return await pending.future
+        except asyncio.CancelledError:
+            # The caller gave up (deadline): take the request back out of
+            # its queued bucket so abandoned work is never executed.
+            self._discard(key, pending)
+            raise
+
+    def _discard(self, key: Tuple, pending: _Pending) -> None:
+        self._settle(pending)
+        bucket = self._open.get(key)
+        if bucket is None:
+            return
+        bucket.requests = [
+            request for request in bucket.requests if request is not pending
+        ]
+        if not bucket.requests:
+            if bucket.timer is not None:
+                bucket.timer.cancel()
+            del self._open[key]
+
+    # -- flushing ------------------------------------------------------
+    def _flush(self, key: Tuple) -> None:
+        """Close a bucket and dispatch it as one batch (sync, loop thread)."""
+        bucket = self._open.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        live = [
+            request
+            for request in bucket.requests
+            if not request.future.cancelled() and not request.settled
+        ]
+        if not live:
+            return
+        task = asyncio.get_running_loop().create_task(self._run_batch(key, live))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, key: Tuple, requests: List[_Pending]) -> None:
+        kernel, count, initial_token = key
+        initial = None if initial_token is None else dict(initial_token)
+        seeds: List = []
+        offsets = [0]
+        for request in requests:
+            seeds.extend(request.seeds)
+            offsets.append(len(seeds))
+        self._batches += 1
+        batch_id = new_request_id()
+        handle = obs.active()
+        if handle is not None:
+            handle.metrics.counter("serve.batches").inc()
+            handle.metrics.counter("serve.coalesced_requests").inc(len(requests))
+        call = functools.partial(
+            self.runtime.run_chains,
+            kernel,
+            self.instance,
+            count,
+            seeds=seeds,
+        )
+        if initial is not None:
+            call = functools.partial(call, initial=initial)
+        loop = asyncio.get_running_loop()
+        try:
+            # One span per coalesced batch, carrying every request id it
+            # serves -- the stitch between per-request traces and the
+            # single run_chains execution.
+            with obs.span(
+                "serve.batch",
+                model=self.name,
+                kernel=kernel,
+                count=count,
+                batch_id=batch_id,
+                requests=",".join(request.request_id for request in requests),
+                size=len(requests),
+                chains=len(seeds),
+            ):
+                states = await loop.run_in_executor(self._executor, call)
+        except Exception as error:
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(error)
+                self._settle(request)
+            return
+        now = time.monotonic()
+        for index, request in enumerate(requests):
+            slice_ = states[offsets[index] : offsets[index + 1]]
+            if not request.future.done():
+                request.future.set_result((slice_, batch_id, len(requests)))
+                self._served += 1
+                if handle is not None:
+                    handle.metrics.histogram("serve.ttfr_seconds").observe(
+                        now - request.admitted
+                    )
+            self._settle(request)
+
+    # -- lifecycle -----------------------------------------------------
+    async def drain(self) -> None:
+        """Flush every queued bucket and wait for in-flight batches.
+
+        Admissions after this point raise :class:`CoalescerClosed`;
+        requests already admitted complete normally (graceful drain).
+        """
+        self._closing = True
+        for key in list(self._open):
+            self._flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,509 @@
+"""Sampling-as-a-service: the asyncio HTTP/JSON front end.
+
+``SamplingServer`` binds the pieces together: the model registry
+(:mod:`repro.serve.registry`), one shared :class:`~repro.runtime.Runtime`
+plus :class:`~repro.serve.coalesce.RequestCoalescer` per model, and the
+thin HTTP/1.1 framing of :mod:`repro.serve.http`.
+
+Endpoints
+---------
+
+``POST /v1/sample``
+    ``{"model", "kernel", "count", "seed", "n_chains", "initial"?,
+    "deadline_ms"?}`` -> ``{"states": [...], "request_id", "batch_id",
+    "batch_size", ...}``.  Concurrent requests against one model coalesce
+    into shared ``run_chains`` batches; every response is bit-identical
+    to the same request served alone (see :mod:`repro.serve.coalesce`).
+``POST /v1/marginal``
+    ``{"model", "radius", "nodes"?, "deadline_ms"?}`` -> a chunked
+    ndjson stream of ``{"node", "marginal"}`` lines, one per completed
+    shard of :meth:`Runtime.stream_ball_marginals`.
+``GET /v1/models`` / ``PUT /v1/models/<name>``
+    List / declaratively register models.
+``GET /v1/healthz``
+    Liveness plus the per-model serving stats.
+
+Error mapping: unknown model -> 404, malformed payloads -> 400,
+queue-cap backpressure -> 429, per-request deadline -> 504 (the queued
+work is cancelled), draining -> 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.runtime import Runtime
+from repro.sampling.kernels import get_kernel
+from repro.serve.coalesce import (
+    Backpressure,
+    CoalescerClosed,
+    RequestCoalescer,
+    new_request_id,
+)
+from repro.serve.http import (
+    HttpError,
+    Request,
+    finish_chunked,
+    json_response,
+    read_request,
+    start_chunked,
+    write_chunk,
+)
+from repro.serve.registry import (
+    ModelEntry,
+    ModelRegistry,
+    RegistryError,
+    UnknownModelError,
+    encode_state,
+    jsonable_node,
+    parse_node,
+)
+
+
+class _ModelState:
+    """One model's serving machinery: shared runtime + coalescer."""
+
+    __slots__ = ("entry", "runtime", "coalescer")
+
+    def __init__(
+        self,
+        entry: ModelEntry,
+        runtime: Runtime,
+        max_batch: int,
+        max_wait: float,
+        max_queue: int,
+    ) -> None:
+        self.entry = entry
+        self.runtime = runtime
+        self.coalescer = RequestCoalescer(
+            entry.name,
+            entry.instance,
+            runtime,
+            max_batch=max_batch,
+            max_wait=max_wait,
+            max_queue=max_queue,
+        )
+        # The serving layer contributes its block to the shared runtime's
+        # snapshot, next to "obs" and "cluster".
+        self.runtime.register_snapshot_section("serve", self.coalescer.stats)
+
+
+class SamplingServer:
+    """The coalescing sampling server (one asyncio event loop).
+
+    Parameters
+    ----------
+    registry : ModelRegistry, optional
+        Models served at startup; an empty registry accepts ``PUT``
+        registrations (unless ``allow_register=False``).
+    host, port : str, int
+        Bind address; port 0 picks a free port (read :attr:`address`).
+    max_batch, max_wait_ms, max_queue
+        Coalescer shape per model (see
+        :class:`~repro.serve.coalesce.RequestCoalescer`).
+    default_deadline_ms : float, optional
+        Deadline applied to requests that do not carry their own
+        ``deadline_ms``; ``None`` means no deadline.
+    runtime_factory : callable, optional
+        Builds the per-model shared runtime (default:
+        ``Runtime("batched")`` -- merged requests advance as one code
+        matrix).
+    allow_register : bool
+        Whether ``PUT /v1/models/<name>`` is accepted.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 128,
+        default_deadline_ms: Optional[float] = None,
+        runtime_factory=None,
+        allow_register: bool = True,
+    ) -> None:
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.host = host
+        self.port = port
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self.default_deadline = (
+            None if default_deadline_ms is None else float(default_deadline_ms) / 1000.0
+        )
+        self.runtime_factory = runtime_factory or (lambda: Runtime("batched"))
+        self.allow_register = bool(allow_register)
+        self._models: Dict[str, _ModelState] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._draining = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        return self.host, self.port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def close(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, release.
+
+        Requests already admitted (queued in a coalescer or mid-batch)
+        complete and their responses are written; new requests during the
+        drain are answered 503.  Runtimes shut down last -- via the
+        event-loop-safe :meth:`Runtime.shutdown` path.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for state in list(self._models.values()):
+            await state.coalescer.drain()
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        for state in list(self._models.values()):
+            state.runtime.unregister_snapshot_section("serve")
+            state.runtime.shutdown()
+        self._models.clear()
+
+    def _model_state(self, name: str) -> _ModelState:
+        state = self._models.get(name)
+        if state is None:
+            entry = self.registry.get(name)
+            state = self._models[name] = _ModelState(
+                entry,
+                self.runtime_factory(),
+                self.max_batch,
+                self.max_wait,
+                self.max_queue,
+            )
+        return state
+
+    # -- connection handling -------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as error:
+                    writer.write(
+                        json_response(
+                            error.status,
+                            {"error": error.message, "status": error.status},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                keep_alive = request.keep_alive and not self._draining
+                try:
+                    handled = await self._dispatch(request, writer, keep_alive)
+                except HttpError as error:
+                    self._count_rejection(error.status)
+                    writer.write(
+                        json_response(
+                            error.status,
+                            {"error": error.message, "status": error.status},
+                            keep_alive=keep_alive,
+                        )
+                    )
+                    await writer.drain()
+                    handled = True
+                except (ConnectionResetError, BrokenPipeError):
+                    return
+                except Exception as error:  # defensive: never kill the connection loop silently
+                    writer.write(
+                        json_response(
+                            500,
+                            {"error": f"{type(error).__name__}: {error}", "status": 500},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if not handled or not keep_alive:
+                    return
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    def _count_rejection(status: int) -> None:
+        handle = obs.active()
+        if handle is not None and status == 504:
+            handle.metrics.counter("serve.rejected.deadline").inc()
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        handle = obs.active()
+        if handle is not None:
+            handle.metrics.counter("serve.requests").inc()
+        method, path = request.method, request.path
+        if method == "GET" and path == "/v1/healthz":
+            payload = {
+                "status": "draining" if self._draining else "ok",
+                "models": self.registry.names(),
+                "serving": {
+                    name: state.coalescer.stats()
+                    for name, state in self._models.items()
+                },
+            }
+            writer.write(json_response(200, payload, keep_alive))
+            await writer.drain()
+            return True
+        if method == "GET" and path == "/v1/models":
+            writer.write(
+                json_response(200, {"models": self.registry.describe()}, keep_alive)
+            )
+            await writer.drain()
+            return True
+        if method == "PUT" and path.startswith("/v1/models/"):
+            await self._handle_register(request, writer, keep_alive)
+            return True
+        if method == "POST" and path == "/v1/sample":
+            await self._handle_sample(request, writer, keep_alive)
+            return True
+        if method == "POST" and path == "/v1/marginal":
+            await self._handle_marginal(request, writer)
+            return True
+        raise HttpError(404, f"no route for {method} {path}")
+
+    # -- routes --------------------------------------------------------
+    async def _handle_register(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        if not self.allow_register:
+            raise HttpError(405, "model registration is disabled on this server")
+        if self._draining:
+            raise HttpError(503, "server is draining")
+        name = request.path[len("/v1/models/") :]
+        try:
+            entry = self.registry.register_payload(name, request.json())
+        except RegistryError as error:
+            raise HttpError(400, str(error))
+        # A re-registration replaces the model; drop any cached serving
+        # state so the next request sees the new spec.
+        stale = self._models.pop(name, None)
+        if stale is not None:
+            await stale.coalescer.drain()
+            stale.runtime.unregister_snapshot_section("serve")
+            stale.runtime.shutdown()
+        writer.write(json_response(200, {"registered": entry.describe()}, keep_alive))
+        await writer.drain()
+
+    def _deadline(self, payload) -> Optional[float]:
+        deadline_ms = payload.get("deadline_ms", None)
+        if deadline_ms is None:
+            return self.default_deadline
+        try:
+            deadline = float(deadline_ms) / 1000.0
+        except (TypeError, ValueError):
+            raise HttpError(400, f"malformed deadline_ms {deadline_ms!r}")
+        if deadline <= 0:
+            raise HttpError(400, "deadline_ms must be positive")
+        return deadline
+
+    async def _handle_sample(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        if self._draining:
+            raise HttpError(503, "server is draining")
+        payload = request.json()
+        name = payload.get("model")
+        if not isinstance(name, str):
+            raise HttpError(400, 'sample request needs a string "model"')
+        try:
+            state = self._model_state(name)
+        except UnknownModelError as error:
+            raise HttpError(404, str(error))
+        kernel = payload.get("kernel", "glauber")
+        try:
+            get_kernel(str(kernel))
+        except ValueError as error:
+            raise HttpError(400, str(error))
+        try:
+            count = int(payload.get("count", 0))
+            seed = int(payload.get("seed", 0))
+            n_chains = int(payload.get("n_chains", 1))
+        except (TypeError, ValueError) as error:
+            raise HttpError(400, f"malformed sample request: {error}")
+        if count < 1:
+            raise HttpError(400, '"count" must be a positive integer')
+        if n_chains < 1:
+            raise HttpError(400, '"n_chains" must be a positive integer')
+        initial = None
+        if payload.get("initial") is not None:
+            if not isinstance(payload["initial"], dict):
+                raise HttpError(400, '"initial" must be an object of node -> value')
+            initial = {
+                parse_node(str(key)): value
+                for key, value in payload["initial"].items()
+            }
+        deadline = self._deadline(payload)
+        request_id = new_request_id()
+        coalescer = state.coalescer
+        with obs.span(
+            "serve.request",
+            endpoint="sample",
+            model=name,
+            kernel=str(kernel),
+            request_id=request_id,
+        ):
+            call = coalescer.sample(
+                str(kernel),
+                count,
+                seed=seed,
+                n_chains=n_chains,
+                initial=initial,
+                request_id=request_id,
+            )
+            try:
+                if deadline is None:
+                    states, batch_id, batch_size = await call
+                else:
+                    states, batch_id, batch_size = await asyncio.wait_for(
+                        call, timeout=deadline
+                    )
+            except asyncio.TimeoutError:
+                raise HttpError(
+                    504,
+                    f"deadline of {deadline * 1000.0:g} ms exceeded; "
+                    "queued work cancelled",
+                )
+            except Backpressure as error:
+                raise HttpError(429, str(error))
+            except CoalescerClosed as error:
+                raise HttpError(503, str(error))
+            except ValueError as error:
+                raise HttpError(400, str(error))
+        nodes = state.entry.nodes
+        body = {
+            "model": name,
+            "kernel": str(kernel),
+            "count": count,
+            "seed": seed,
+            "n_chains": n_chains,
+            "request_id": request_id,
+            # batch_id/batch_size let a client observe coalescing from the
+            # JSON responses alone (the CI smoke asserts on them).
+            "batch_id": batch_id,
+            "batch_size": batch_size,
+            "nodes": [jsonable_node(node) for node in nodes],
+            "states": [encode_state(nodes, chain_state) for chain_state in states],
+        }
+        writer.write(json_response(200, body, keep_alive))
+        await writer.drain()
+
+    async def _handle_marginal(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining:
+            raise HttpError(503, "server is draining")
+        payload = request.json()
+        name = payload.get("model")
+        if not isinstance(name, str):
+            raise HttpError(400, 'marginal request needs a string "model"')
+        try:
+            state = self._model_state(name)
+        except UnknownModelError as error:
+            raise HttpError(404, str(error))
+        try:
+            radius = int(payload.get("radius", 0))
+        except (TypeError, ValueError) as error:
+            raise HttpError(400, f"malformed radius: {error}")
+        if radius < 0:
+            raise HttpError(400, '"radius" must be a non-negative integer')
+        instance = state.entry.instance
+        if payload.get("nodes") is None:
+            nodes = list(instance.free_nodes)
+        else:
+            if not isinstance(payload["nodes"], list):
+                raise HttpError(400, '"nodes" must be a list')
+            free = set(instance.free_nodes)
+            nodes = [parse_node(str(node)) for node in payload["nodes"]]
+            unknown = [node for node in nodes if node not in free]
+            if unknown:
+                raise HttpError(400, f"nodes not free in {name!r}: {unknown!r}")
+        request_id = new_request_id()
+        handle = obs.active()
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        _END = object()
+
+        def pump() -> None:
+            try:
+                for node, marginal in state.runtime.stream_ball_marginals(
+                    instance, nodes, radius
+                ):
+                    loop.call_soon_threadsafe(queue.put_nowait, (node, marginal))
+                loop.call_soon_threadsafe(queue.put_nowait, _END)
+            except Exception as error:  # surfaced as the stream's last line
+                loop.call_soon_threadsafe(queue.put_nowait, error)
+
+        with obs.span(
+            "serve.request",
+            endpoint="marginal",
+            model=name,
+            radius=radius,
+            request_id=request_id,
+        ):
+            import time as _time
+
+            started = _time.monotonic()
+            first = True
+            future = loop.run_in_executor(state.coalescer._executor, pump)
+            await start_chunked(writer)
+            try:
+                while True:
+                    item = await queue.get()
+                    if item is _END:
+                        break
+                    if isinstance(item, Exception):
+                        line = {"error": f"{type(item).__name__}: {item}"}
+                        await write_chunk(
+                            writer, json.dumps(line).encode("utf-8") + b"\n"
+                        )
+                        break
+                    node, marginal = item
+                    if first and handle is not None:
+                        handle.metrics.histogram("serve.ttfr_seconds").observe(
+                            _time.monotonic() - started
+                        )
+                    first = False
+                    line = {
+                        "node": jsonable_node(node),
+                        "marginal": sorted(marginal.items()),
+                        "request_id": request_id,
+                    }
+                    await write_chunk(
+                        writer, json.dumps(line).encode("utf-8") + b"\n"
+                    )
+            finally:
+                await future
+            await finish_chunked(writer)

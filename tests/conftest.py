@@ -87,3 +87,92 @@ def pinned_hardcore_instance(hardcore_cycle):
 def coloring_instance(coloring_cycle):
     """Coloring instance with one node pinned."""
     return SamplingInstance(coloring_cycle, {0: 2})
+
+
+# ----------------------------------------------------------------------
+# kernel x backend conformance harness
+# ----------------------------------------------------------------------
+#
+# THE cross-backend bit-identity contract in one place: every registered
+# ChainKernel, on every Runtime backend, equals the kernel's own
+# ``serial_run`` per spawned seed (``tests/test_conformance.py``).  Adding
+# a kernel (register_kernel) or a backend (extend the fixture params)
+# grows the matrix automatically -- no new test code.  The cluster leg
+# spins up two real TCP workers per test, so it rides behind the ``slow``
+# marker like the other subprocess-heavy tests.
+
+#: Chains per conformance run (enough to exercise block splitting on the
+#: distributed backends, which chunk seeds across 2 workers).
+CONFORMANCE_CHAINS = 4
+
+
+def serial_chain_reference(kernel_name, instance, count, seed=0, n_chains=CONFORMANCE_CHAINS):
+    """The reference result: the kernel's serial_run per spawned seed."""
+    from repro.runtime import chain_seed_sequences
+    from repro.sampling import get_kernel
+
+    kernel = get_kernel(kernel_name)
+    return [
+        kernel.serial_run(instance, count, seed=chain_seed)
+        for chain_seed in chain_seed_sequences(seed, n_chains)
+    ]
+
+
+@pytest.fixture(scope="session")
+def conformance_chains():
+    """Chains per conformance run (importable only as a fixture: a bare
+    ``from conftest import ...`` is ambiguous when pytest collects the
+    whole repo, since ``benchmarks/`` has a conftest too)."""
+    return CONFORMANCE_CHAINS
+
+
+@pytest.fixture(scope="session")
+def serial_reference():
+    """The :func:`serial_chain_reference` helper, as a fixture."""
+    return serial_chain_reference
+
+
+@pytest.fixture(
+    params=[
+        "serial",
+        "batched",
+        "process",
+        pytest.param("cluster", marks=pytest.mark.slow),
+    ]
+)
+def conformance_runtime(request):
+    """One Runtime per backend of the conformance matrix (torn down clean).
+
+    ``process`` uses a 2-worker pool; ``cluster`` serves two real TCP
+    workers from daemon threads (the in-process idiom of
+    ``tests/test_cluster.py``).
+    """
+    import threading
+
+    from repro.runtime import Runtime
+
+    backend = request.param
+    if backend == "cluster":
+        from repro.cluster.worker import ClusterWorker
+
+        workers = [ClusterWorker() for _ in range(2)]
+        for worker in workers:
+            threading.Thread(target=worker.serve_forever, daemon=True).start()
+        runtime = Runtime(
+            "cluster",
+            n_chains=CONFORMANCE_CHAINS,
+            addresses=[worker.address for worker in workers],
+        )
+        try:
+            yield runtime
+        finally:
+            runtime.shutdown()
+            for worker in workers:
+                worker.close()
+    elif backend == "process":
+        with Runtime(
+            "process", n_chains=CONFORMANCE_CHAINS, n_workers=2
+        ) as runtime:
+            yield runtime
+    else:
+        yield Runtime(backend, n_chains=CONFORMANCE_CHAINS)

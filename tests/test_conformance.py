@@ -1,0 +1,91 @@
+"""The kernel x backend conformance matrix (one harness, every combination).
+
+Consolidates the bit-identity assertions that used to be scattered across
+``test_runtime.py`` (serial/batched/process sweeps), ``test_cluster.py``
+(cluster sweeps) and ``test_sampling_*.py`` (per-kernel batched==serial
+checks) into one parametrized matrix:
+
+    every registered ChainKernel
+      x  serial / batched / process / cluster (slow)
+      x  a binary-alphabet instance and a 3-colour instance
+
+with the kernel's own ``serial_run`` per spawned seed as the reference.
+A new kernel registered via ``register_kernel`` -- or a new backend added
+to the ``conformance_runtime`` fixture in ``conftest.py`` -- gets the
+whole matrix with zero new test code.  Kernel-specific *statistics*
+(e.g. JVV failure counts) stay next to their kernels in
+``test_sampling_*.py``; this file owns the states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.models import coloring_model, hardcore_model
+from repro.sampling import registered_kernels
+
+KERNELS = sorted(registered_kernels())
+
+#: Two shapes: a pinned binary-alphabet model and a pinned 3-colour model
+#: (alphabet size > 2 exercises the code-matrix gathers differently).
+CONFORMANCE_INSTANCES = [
+    (
+        "hardcore-cycle",
+        SamplingInstance(hardcore_model(cycle_graph(9), fugacity=1.3), {0: 1}),
+    ),
+    (
+        "coloring-path",
+        SamplingInstance(coloring_model(path_graph(6), num_colors=3), {0: 2}),
+    ),
+]
+
+#: Units of dynamics per chain: enough steps that every free node moves.
+CONFORMANCE_COUNT = 14
+CONFORMANCE_SEED = 3
+
+
+def test_the_registry_holds_the_expected_builtins():
+    assert {"glauber", "luby-glauber", "jvv", "sequential"} <= set(KERNELS)
+
+
+@pytest.mark.parametrize("kernel_name", KERNELS)
+def test_every_kernel_is_bit_identical_on_every_backend(
+    conformance_runtime, serial_reference, kernel_name
+):
+    """run_chains on any backend == the serial reference, per chain."""
+    for label, instance in CONFORMANCE_INSTANCES:
+        reference = serial_reference(
+            kernel_name, instance, CONFORMANCE_COUNT, seed=CONFORMANCE_SEED
+        )
+        observed = conformance_runtime.run_chains(
+            kernel_name, instance, CONFORMANCE_COUNT, seed=CONFORMANCE_SEED
+        )
+        assert observed == reference, (
+            f"kernel {kernel_name!r} diverges from the serial reference on "
+            f"the {conformance_runtime.backend!r} backend ({label})"
+        )
+
+
+@pytest.mark.parametrize("kernel_name", KERNELS)
+def test_explicit_seed_lists_conform_too(
+    conformance_runtime, conformance_chains, kernel_name
+):
+    """The seeds= path (the serving coalescer's transport) conforms as
+    well: integer seeds, not just spawned SeedSequences."""
+    _, instance = CONFORMANCE_INSTANCES[0]
+    from repro.sampling import get_kernel
+
+    kernel = get_kernel(kernel_name)
+    seeds = list(range(10, 10 + conformance_chains))
+    reference = [
+        kernel.serial_run(instance, CONFORMANCE_COUNT, seed=seed) for seed in seeds
+    ]
+    observed = conformance_runtime.run_chains(
+        kernel_name, instance, CONFORMANCE_COUNT, seeds=seeds
+    )
+    assert observed == reference, (
+        f"kernel {kernel_name!r} diverges under explicit seeds on the "
+        f"{conformance_runtime.backend!r} backend"
+    )

@@ -126,9 +126,11 @@ class TestJVVKernel:
             SamplingInstance(coloring_model(path_graph(6), num_colors=3), {0: 2}),
         ]
 
-    def test_batched_bit_identical_to_serial_pass(self):
-        """Chain c of a batched JVV run equals the serial rejection pass
-        seeded with seeds[c] -- states AND per-chain failure counts."""
+    def test_batched_failure_counts_match_the_serial_pass(self):
+        """Per-chain failure counts of a batched JVV run equal the serial
+        rejection pass seeded with seeds[c].  (The *states* sweep lives in
+        the cross-backend conformance harness, tests/test_conformance.py;
+        the failure-count statistic is JVV-specific and stays here.)"""
         from repro.runtime import ChainBatch, chain_seed_sequences
         from repro.sampling.jvv import JVV_KERNEL, jvv_rejection_sample
 

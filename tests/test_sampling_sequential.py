@@ -101,19 +101,8 @@ class TestLocalSimulation:
 class TestSequentialKernel:
     """The sequential scan as a chain kernel (repro.sampling.kernels)."""
 
-    def test_batched_bit_identical_to_serial_scan(self):
-        from repro.runtime import chain_seed_sequences
-        from repro.runtime.chains import batched_kernel_sample
-        from repro.sampling.sequential import sequential_scan_sample
-
-        distribution = coloring_model(cycle_graph(7), num_colors=3)
-        instance = SamplingInstance(distribution, {0: 1})
-        seeds = chain_seed_sequences(4, 5)
-        steps = 2 * len(instance.free_nodes) + 3
-        serial = [
-            sequential_scan_sample(instance, steps, seed=seed) for seed in seeds
-        ]
-        assert batched_kernel_sample("sequential", instance, steps, seeds=seeds) == serial
+    # The batched==serial states sweep for this kernel lives in the
+    # cross-backend conformance harness (tests/test_conformance.py).
 
     def test_one_scan_is_feasible_and_respects_pinning(self):
         from repro.sampling.sequential import sequential_scan_sample

@@ -1,0 +1,506 @@
+"""End-to-end tests of the sampling-as-a-service layer (repro.serve).
+
+Every test drives the real asyncio server over a real localhost socket
+through the bundled client (``asyncio.run`` inside plain test functions
+-- no pytest plugin dependency).  The load-bearing guarantees:
+
+* a served sample is *bit-identical* to the same ``Runtime.run_chains``
+  call made directly with the same seed -- solo and coalesced alike;
+* N concurrent requests coalesce into at most ``ceil(N / max_batch)``
+  ``run_chains`` batches (asserted via the obs counters AND the
+  batch ids the responses carry);
+* operational behaviour: deadline -> 504 with the queued work cancelled,
+  queue cap -> 429, graceful drain completes in-flight requests,
+  registry errors -> 404/400.
+"""
+
+import asyncio
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph
+from repro.inference.ssm_inference import padded_ball_marginal
+from repro.models import hardcore_model
+from repro.runtime import Runtime
+from repro.serve import ModelRegistry, SamplingServer, encode_state
+from repro.serve.client import (
+    request_json,
+    request_ndjson,
+    sample_payload,
+)
+
+
+def _registry():
+    instance = SamplingInstance(
+        hardcore_model(cycle_graph(10), fugacity=1.2), {0: 1}
+    )
+    registry = ModelRegistry()
+    registry.register_instance("hc", instance)
+    return registry
+
+
+def _expected_states(entry, kernel, count, seed, n_chains):
+    """The JSON-level solo baseline: run_chains + the canonical encoding."""
+    with Runtime("batched", n_chains=n_chains) as runtime:
+        states = runtime.run_chains(kernel, entry.instance, count, seed=seed)
+    return json.loads(
+        json.dumps([encode_state(entry.nodes, state) for state in states])
+    )
+
+
+def _serve(test_body, **server_kwargs):
+    """Start a server, run ``test_body(host, port, server)``, close."""
+
+    async def main():
+        registry = server_kwargs.pop("registry", None) or _registry()
+        server = SamplingServer(registry, **server_kwargs)
+        host, port = await server.start()
+        try:
+            return await test_body(host, port, server)
+        finally:
+            await server.close()
+
+    return asyncio.run(main())
+
+
+class TestSampleEndpoint:
+    def test_solo_request_is_bit_identical_to_direct_run_chains(self):
+        registry = _registry()
+        entry = registry.get("hc")
+
+        async def body(host, port, server):
+            status, response = await request_json(
+                host,
+                port,
+                "POST",
+                "/v1/sample",
+                sample_payload("hc", "glauber", 25, seed=7, n_chains=3),
+            )
+            assert status == 200
+            assert response["states"] == _expected_states(
+                entry, "glauber", 25, 7, 3
+            )
+            assert response["n_chains"] == 3 and len(response["states"]) == 3
+            assert response["batch_size"] == 1
+
+        _serve(body, registry=registry)
+
+    def test_every_registered_kernel_serves_bit_identically(self):
+        registry = _registry()
+        entry = registry.get("hc")
+        from repro.sampling import registered_kernels
+
+        async def body(host, port, server):
+            for kernel in sorted(registered_kernels()):
+                status, response = await request_json(
+                    host,
+                    port,
+                    "POST",
+                    "/v1/sample",
+                    sample_payload("hc", kernel, 12, seed=3, n_chains=2),
+                )
+                assert status == 200, (kernel, response)
+                assert response["states"] == _expected_states(
+                    entry, kernel, 12, 3, 2
+                ), f"served {kernel} diverges from the direct run"
+
+        _serve(body, registry=registry)
+
+    def test_concurrent_requests_coalesce_and_stay_bit_identical(self):
+        """16 concurrent requests, max_batch=4: <= 4 run_chains batches
+        (obs counters AND response batch ids agree), every response
+        bit-identical to its solo baseline."""
+        registry = _registry()
+        entry = registry.get("hc")
+        n_requests, max_batch = 16, 4
+        obs.enable()
+        try:
+            handle = obs.active()
+            batches_before = handle.metrics.counter("serve.batches").value
+            coalesced_before = handle.metrics.counter(
+                "serve.coalesced_requests"
+            ).value
+
+            async def body(host, port, server):
+                tasks = [
+                    request_json(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/sample",
+                        sample_payload("hc", "glauber", 20, seed=100 + i),
+                    )
+                    for i in range(n_requests)
+                ]
+                return await asyncio.gather(*tasks)
+
+            results = _serve(
+                body, registry=registry, max_batch=max_batch, max_wait_ms=250
+            )
+            batches = (
+                handle.metrics.counter("serve.batches").value - batches_before
+            )
+            coalesced = (
+                handle.metrics.counter("serve.coalesced_requests").value
+                - coalesced_before
+            )
+        finally:
+            obs.disable()
+        assert batches <= math.ceil(n_requests / max_batch)
+        assert coalesced == n_requests
+        batch_ids = {response["batch_id"] for status, response in results}
+        assert len(batch_ids) == batches
+        assert sum(response["batch_size"] for _, response in results) >= n_requests
+        for i, (status, response) in enumerate(results):
+            assert status == 200
+            assert response["states"] == _expected_states(
+                entry, "glauber", 20, 100 + i, 1
+            ), f"request {i} lost bit-identity inside its coalesced batch"
+
+    def test_deadline_returns_504_and_cancels_queued_work(self):
+        """A lone request in a never-filling bucket times out -> 504, and
+        the all-cancelled bucket is dropped without running a batch."""
+
+        async def body(host, port, server):
+            status, response = await request_json(
+                host,
+                port,
+                "POST",
+                "/v1/sample",
+                sample_payload("hc", "glauber", 10, deadline_ms=80),
+            )
+            assert status == 504, response
+            # Give the (cancelled) bucket's timer a chance to fire, then
+            # confirm no batch ever ran for the abandoned request.
+            await asyncio.sleep(0.1)
+            state = server._models["hc"]
+            assert state.coalescer.batches == 0
+            assert state.coalescer.outstanding == 0
+
+        # max_batch larger than the request count and a long window: the
+        # request can only be answered by the timer, which outlives the
+        # deadline.
+        _serve(body, max_batch=64, max_wait_ms=10_000)
+
+    def test_queue_cap_returns_429(self):
+        async def body(host, port, server):
+            first = [
+                asyncio.ensure_future(
+                    request_json(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/sample",
+                        sample_payload("hc", "glauber", 10, seed=i),
+                    )
+                )
+                for i in range(2)
+            ]
+            # Wait until both are admitted (queued in the coalescer).
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                state = server._models.get("hc")
+                if state is not None and state.coalescer.outstanding >= 2:
+                    break
+            status, response = await request_json(
+                host,
+                port,
+                "POST",
+                "/v1/sample",
+                sample_payload("hc", "glauber", 10, seed=99),
+            )
+            assert status == 429, response
+            assert "outstanding" in response["error"]
+            # Unblock the queued pair so close() drains clean.
+            results = await asyncio.gather(*first)
+            assert all(status == 200 for status, _ in results)
+
+        _serve(body, max_batch=64, max_wait_ms=3_000, max_queue=2)
+
+    def test_graceful_drain_completes_in_flight_requests(self):
+        """Requests queued when close() is called still get 200 + correct
+        states: the drain flushes them as one final batch."""
+        registry = _registry()
+        entry = registry.get("hc")
+
+        async def body(host, port, server):
+            tasks = [
+                asyncio.ensure_future(
+                    request_json(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/sample",
+                        sample_payload("hc", "glauber", 15, seed=40 + i),
+                    )
+                )
+                for i in range(3)
+            ]
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                state = server._models.get("hc")
+                if state is not None and state.coalescer.outstanding >= 3:
+                    break
+            await server.close()  # idempotent with the fixture's close
+            results = await asyncio.gather(*tasks)
+            for i, (status, response) in enumerate(results):
+                assert status == 200
+                assert response["states"] == _expected_states(
+                    entry, "glauber", 15, 40 + i, 1
+                )
+            # After the drain, new requests are refused.
+            status, response = await request_json(
+                host, port, "GET", "/v1/healthz"
+            )
+
+        # The post-drain connection attempt may fail outright (listener
+        # closed) -- both outcomes are a correct refusal.
+        async def wrapped(host, port, server):
+            try:
+                await body(host, port, server)
+            except OSError:
+                pass
+
+        _serve(wrapped, registry=registry, max_batch=64, max_wait_ms=5_000)
+
+
+class TestRegistryEndpoints:
+    def test_unknown_model_is_404(self):
+        async def body(host, port, server):
+            status, response = await request_json(
+                host, port, "POST", "/v1/sample", sample_payload("nope", count=5)
+            )
+            assert status == 404
+            assert "unknown model" in response["error"]
+
+        _serve(body)
+
+    def test_unknown_kernel_and_malformed_payloads_are_400(self):
+        async def body(host, port, server):
+            cases = [
+                {"model": "hc", "kernel": "bogus", "count": 5},
+                {"model": "hc", "count": 0},
+                {"model": "hc", "count": 5, "n_chains": 0},
+                {"model": "hc", "count": 5, "deadline_ms": -3},
+                {"count": 5},
+            ]
+            for payload in cases:
+                status, response = await request_json(
+                    host, port, "POST", "/v1/sample", payload
+                )
+                assert status == 400, (payload, response)
+
+        _serve(body)
+
+    def test_put_registers_a_model_and_serves_it(self):
+        async def body(host, port, server):
+            spec = {
+                "family": "hardcore",
+                "graph": {"kind": "cycle", "n": 8},
+                "fugacity": 1.5,
+                "pinning": {"0": 1},
+            }
+            status, response = await request_json(
+                host, port, "PUT", "/v1/models/put-model", spec
+            )
+            assert status == 200
+            assert response["registered"]["name"] == "put-model"
+            status, listing = await request_json(host, port, "GET", "/v1/models")
+            assert "put-model" in [m["name"] for m in listing["models"]]
+            status, sampled = await request_json(
+                host,
+                port,
+                "POST",
+                "/v1/sample",
+                sample_payload("put-model", "glauber", 10, seed=2),
+            )
+            assert status == 200
+            # Bit-identity against an instance built locally from the
+            # same declarative payload.
+            from repro.serve import build_instance
+            from repro.serve.registry import ModelRegistry as _Reg
+
+            local = _Reg()
+            entry = local.register_instance(
+                "local", build_instance(spec)[0]
+            )
+            assert sampled["states"] == _expected_states(
+                entry, "glauber", 10, 2, 1
+            )
+
+        _serve(body)
+
+    def test_invalid_registrations_are_400(self):
+        async def body(host, port, server):
+            cases = [
+                ("bad..name!!", {"family": "hardcore", "graph": {"kind": "cycle", "n": 5}}),
+                ("ok", {"family": "nope", "graph": {"kind": "cycle", "n": 5}}),
+                ("ok", {"family": "hardcore", "graph": {"kind": "moebius", "n": 5}}),
+                ("ok", {"family": "coloring", "graph": {"kind": "cycle", "n": 5}}),
+                ("ok", {"family": "hardcore"}),
+                ("ok", []),
+            ]
+            for name, payload in cases:
+                status, response = await request_json(
+                    host, port, "PUT", f"/v1/models/{name}", payload
+                )
+                assert status == 400, (name, payload, response)
+            # Infeasible pinning: two adjacent occupied hardcore nodes.
+            status, response = await request_json(
+                host,
+                port,
+                "PUT",
+                "/v1/models/ok",
+                {
+                    "family": "hardcore",
+                    "graph": {"kind": "cycle", "n": 5},
+                    "pinning": {"0": 1, "1": 1},
+                },
+            )
+            assert status == 400
+
+        _serve(body)
+
+    def test_registration_can_be_disabled(self):
+        async def body(host, port, server):
+            status, response = await request_json(
+                host,
+                port,
+                "PUT",
+                "/v1/models/denied",
+                {"family": "hardcore", "graph": {"kind": "cycle", "n": 5}},
+            )
+            assert status == 405
+
+        _serve(body, allow_register=False)
+
+
+class TestMarginalEndpoint:
+    def test_streamed_marginals_match_the_serial_loop(self):
+        registry = _registry()
+        instance = registry.get("hc").instance
+        expected = {
+            node: padded_ball_marginal(instance, node, 1)
+            for node in instance.free_nodes
+        }
+
+        async def body(host, port, server):
+            status, lines = await request_ndjson(
+                host, port, "/v1/marginal", {"model": "hc", "radius": 1}
+            )
+            assert status == 200
+            served = {
+                line["node"]: {value: p for value, p in line["marginal"]}
+                for line in lines
+            }
+            assert served == expected
+
+        _serve(body, registry=registry)
+
+    def test_marginal_validation_errors(self):
+        async def body(host, port, server):
+            status, _ = await request_json(
+                host, port, "POST", "/v1/marginal", {"model": "nope", "radius": 1}
+            )
+            assert status == 404
+            status, _ = await request_json(
+                host, port, "POST", "/v1/marginal", {"model": "hc", "radius": -1}
+            )
+            assert status == 400
+            status, _ = await request_json(
+                host,
+                port,
+                "POST",
+                "/v1/marginal",
+                {"model": "hc", "radius": 1, "nodes": ["77"]},
+            )
+            assert status == 400
+
+        _serve(body)
+
+
+class TestOperational:
+    def test_healthz_and_snapshot_serving_block(self):
+        async def body(host, port, server):
+            status, before = await request_json(host, port, "GET", "/v1/healthz")
+            assert status == 200 and before["status"] == "ok"
+            await request_json(
+                host,
+                port,
+                "POST",
+                "/v1/sample",
+                sample_payload("hc", "glauber", 5, seed=1),
+            )
+            status, after = await request_json(host, port, "GET", "/v1/healthz")
+            assert after["serving"]["hc"]["batches"] == 1
+            assert after["serving"]["hc"]["served"] == 1
+            assert after["serving"]["hc"]["outstanding"] == 0
+            # The shared runtime's snapshot carries the serving block.
+            snapshot = server._models["hc"].runtime.snapshot()
+            assert snapshot["serve"]["model"] == "hc"
+            assert snapshot["serve"]["batches"] == 1
+
+        _serve(body)
+
+    def test_unknown_route_is_404_and_bad_json_is_400(self):
+        async def body(host, port, server):
+            status, _ = await request_json(host, port, "GET", "/v1/nothing")
+            assert status == 404
+            from repro.serve.client import request as raw_request
+
+            status, _, body_bytes = await raw_request(
+                host, port, "POST", "/v1/sample", payload=None
+            )
+            # Empty body decodes as {} -> missing model -> 400.
+            assert status == 400
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /v1/sample HTTP/1.1\r\nContent-Length: 7\r\n\r\nnotjson"
+            )
+            await writer.drain()
+            line = await reader.readline()
+            assert b"400" in line
+            writer.close()
+            await writer.wait_closed()
+
+        _serve(body)
+
+    def test_request_ids_and_batch_span_are_stitched(self):
+        """Each request gets its own id; the coalesced batch's span lists
+        every request id it served (the trace stitch)."""
+        obs.enable()
+        try:
+
+            async def body(host, port, server):
+                tasks = [
+                    request_json(
+                        host,
+                        port,
+                        "POST",
+                        "/v1/sample",
+                        sample_payload("hc", "glauber", 10, seed=i),
+                    )
+                    for i in range(4)
+                ]
+                return await asyncio.gather(*tasks)
+
+            results = _serve(body, max_batch=4, max_wait_ms=250)
+            request_ids = {response["request_id"] for _, response in results}
+            assert len(request_ids) == 4
+            batch_events = [
+                event
+                for event in obs.events()
+                if event.get("name") == "serve.batch"
+            ]
+            served = set()
+            for event in batch_events:
+                served.update(event["attrs"]["requests"].split(","))
+            assert request_ids <= served
+            trace_ids = {event["trace"] for event in obs.events()}
+            assert len(trace_ids) == 1
+        finally:
+            obs.disable()
