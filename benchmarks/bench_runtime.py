@@ -315,6 +315,58 @@ def _serve_coalescing_workload(
     return shape, solo_serving, coalesced_serving
 
 
+def _cd_negative_phase_workload(
+    size: int = 16,
+    samples: int = 200,
+    burn_in: int = 150,
+    max_iter: int = 10,
+    n_negative: int = 64,
+    k: int = 5,
+):
+    """Contrastive-divergence fits, serial vs batched negative phase (ISSUE 9).
+
+    The CD estimator's inner loop is ``Runtime.run_chains`` over
+    ``n_negative`` short chains per gradient step; this times a whole short
+    fit with that negative phase looped serially vs advanced as one
+    ``(chains, n)`` code matrix.  The per-iteration seed contract makes the
+    two fits produce bit-identical weights -- asserted before any timing.
+    """
+    from repro.learning import IsingFamily, Trainer, encode_configurations
+    from repro.models import ising_model
+
+    graph = cycle_graph(size)
+    truth = ising_model(graph, interaction=0.4, external_field=0.25)
+    data = Runtime("batched", n_chains=samples).run_chains(
+        "glauber", SamplingInstance(truth, {}), burn_in, seed=42
+    )
+    family = IsingFamily(graph)
+    codes = encode_configurations(family.template().compiled_engine(), data)
+    options = dict(method="cd", max_iter=max_iter, n_negative=n_negative, k=k, seed=0)
+
+    # Correctness gate before any timing (the acceptance contract): the
+    # fitted weights must be bit-identical across the two backends.
+    serial_theta = Trainer(family, runtime="serial", **options).fit(codes).theta
+    batched_theta = Trainer(family, runtime="batched", **options).fit(codes).theta
+    assert np.array_equal(serial_theta, batched_theta), (
+        "CD fitted weights diverge between the serial and batched runtimes"
+    )
+
+    def serial() -> None:
+        Trainer(family, runtime="serial", **options).fit(codes)
+
+    def batched() -> None:
+        Trainer(family, runtime="batched", **options).fit(codes)
+
+    shape = {
+        "samples": samples,
+        "n": size,
+        "iterations": max_iter,
+        "negative_chains": n_negative,
+        "k": k,
+    }
+    return shape, serial, batched
+
+
 def _process_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2):
     from repro.inference.ssm_inference import padded_ball_marginal
 
@@ -510,6 +562,20 @@ def run(
                 "speedup": serial_seconds / batched_seconds,
             }
         )
+    shape, cd_serial, cd_batched = _cd_negative_phase_workload()
+    cd_serial_seconds = _best_of(cd_serial, repeats)
+    cd_batched_seconds = _best_of(cd_batched, repeats)
+    rows.append(
+        {
+            "workload": "cd_negative_phase",
+            "backend_pair": "cd-serial-vs-batched",
+            "shape": shape,
+            "serial_seconds": cd_serial_seconds,
+            "batched_seconds": cd_batched_seconds,
+            "speedup": cd_serial_seconds / cd_batched_seconds,
+            "bit_identical_across_backends": True,
+        }
+    )
     shape, obs_off, obs_on = _obs_overhead_workload()
     off_seconds = _best_of(obs_off, repeats)
     on_seconds = _best_of(obs_on, repeats)
@@ -642,7 +708,11 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             "into one batched code-matrix call); the seed contract keeps "
             "every coalesced response bit-identical to a solo request, "
             "asserted on real JSON responses -- with the batch count -- "
-            "before any timing"
+            "before any timing, plus the learning layer's contrastive-"
+            "divergence fit with its run_chains negative phase looped "
+            "serially vs advanced as one batched code matrix (fitted "
+            "weights asserted bit-identical across the backends before "
+            "any timing)"
         ),
         "workloads": rows,
         "min_batched_speedup": min(row["speedup"] for row in batched),
@@ -667,6 +737,11 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             row["bit_identical_to_solo"]
             for row in rows
             if row["backend_pair"] == "solo-vs-coalesced"
+        ),
+        "cd_bit_identical_across_backends": all(
+            row["bit_identical_across_backends"]
+            for row in rows
+            if row["backend_pair"] == "cd-serial-vs-batched"
         ),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -746,6 +821,10 @@ def test_batched_runner_amortises_the_python_loop(once=None) -> None:
             # BENCH_runtime.json documents the recorded ratio (>= 3x); this
             # is a conservative floor so CI noise cannot flake.
             assert row["speedup"] > 1.5, f"serving coalescing regressed: {row}"
+        if row["backend_pair"] == "cd-serial-vs-batched":
+            # The CD fit also pays objective-side work per iteration, so its
+            # floor is more modest than the raw chain workloads'.
+            assert row["speedup"] > 1.2, f"CD negative phase regressed: {row}"
 
 
 if __name__ == "__main__":

@@ -17,8 +17,12 @@
 # concurrent HTTP sample requests, which must coalesce into at most two
 # run_chains batches -- observable from the JSON responses alone -- with
 # every response bit-identical to a solo run, then drains cleanly on
-# SIGTERM) and a docs check (the architecture map and testing guide
-# exist and the README quickstart executes as a doctest).
+# SIGTERM), a learning smoke (seeded pseudo-likelihood and contrastive
+# divergence fits on a small Ising dataset must recover the generating
+# weights within the documented tolerances, with the CD negative phase
+# bit-identical between the serial and batched runtimes) and a docs
+# check (the architecture map and testing guide exist and the README
+# quickstart executes as a doctest).
 #
 # Usage: scripts/ci_tier1.sh  (from the repository root)
 set -euo pipefail
@@ -231,6 +235,46 @@ finally:
     if server.poll() is None:
         server.kill()
         server.wait()
+PY
+
+echo "== tier-1: learning smoke =="
+python - <<'PY'
+import numpy as np
+
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph
+from repro.learning import IsingFamily, encode_configurations, fit
+from repro.models import ising_model
+from repro.runtime import Runtime
+
+# The documented calibration workload (docs/ARCHITECTURE.md): PL must land
+# within 0.05 of the generating weights, CD within 0.15, fully seeded.
+TRUE = np.array([0.4, 0.25])
+graph = cycle_graph(10)
+truth = ising_model(graph, interaction=TRUE[0], external_field=TRUE[1])
+data = Runtime("batched", n_chains=400).run_chains(
+    "glauber", SamplingInstance(truth, {}), 300, seed=42
+)
+family = IsingFamily(graph)
+codes = encode_configurations(family.template().compiled_engine(), data)
+
+pl = fit(family, codes, method="pl")
+assert pl.converged, "PL did not converge on the calibration workload"
+pl_err = float(np.abs(pl.theta - TRUE).max())
+assert pl_err < 0.05, f"PL recovery error {pl_err:.4f} exceeds 0.05"
+
+cd_serial = fit(family, codes, method="cd", runtime="serial", seed=0, max_iter=40)
+cd_batched = fit(family, codes, method="cd", runtime="batched", seed=0, max_iter=40)
+assert np.array_equal(cd_serial.theta, cd_batched.theta), (
+    "CD fitted weights diverge between the serial and batched runtimes"
+)
+cd = fit(family, codes, method="cd", runtime="batched", seed=0)
+cd_err = float(np.abs(cd.theta - TRUE).max())
+assert cd_err < 0.15, f"CD recovery error {cd_err:.4f} exceeds 0.15"
+print(
+    f"learning smoke OK: PL err {pl_err:.4f} (<0.05), CD err {cd_err:.4f} "
+    "(<0.15), serial == batched negative phase"
+)
 PY
 
 echo "== tier-1: docs =="

@@ -19,6 +19,9 @@ setup(
             # The sampling-as-a-service HTTP server (see repro/serve/cli.py);
             # the uninstalled equivalent is `python -m repro.serve`.
             "repro-serve=repro.serve.cli:main",
+            # Weight-learning round trip (see repro/learning/cli.py);
+            # the uninstalled equivalent is `python -m repro.learning`.
+            "repro-fit=repro.learning.cli:main",
         ]
     }
 )

@@ -161,6 +161,32 @@ class CompiledGibbs:
             arrays.append(array)
         return cls(nodes, alphabet, scopes, arrays)
 
+    def reweighted(self, arrays: Sequence[np.ndarray]) -> "CompiledGibbs":
+        """A compiled twin with new factor weights on the same structure.
+
+        The learning loop re-evaluates the model at a fresh parameter vector
+        every iteration; the nodes, alphabet and factor scopes never change,
+        only the dense weight tables do.  Elimination orders and contraction
+        schedules depend solely on the scope structure and the pinned domain,
+        so the twin *shares* those caches by reference (both sides keep
+        warming the same dicts), while the value-dependent state -- fused
+        tables, marginal memo, gathered conditionals -- is rebuilt fresh.
+        """
+        if len(arrays) != len(self.scopes):
+            raise ValueError(
+                f"expected {len(self.scopes)} factor arrays, got {len(arrays)}"
+            )
+        for scope, array in zip(self.scopes, arrays):
+            if np.shape(array) != (self.q,) * len(scope):
+                raise ValueError(
+                    f"factor array shape {np.shape(array)} does not match scope "
+                    f"{scope} over a q={self.q} alphabet"
+                )
+        twin = CompiledGibbs(self.nodes, self.alphabet, self.scopes, arrays)
+        twin._order_cache = self._order_cache
+        twin._schedule_cache = self._schedule_cache
+        return twin
+
     # ------------------------------------------------------------------
     # pinning encoding
     # ------------------------------------------------------------------

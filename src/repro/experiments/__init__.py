@@ -27,6 +27,7 @@ from repro.experiments import (
     e10_ising,
     e11_decomposition,
     e12_baselines,
+    e13_learning,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "e10_ising",
     "e11_decomposition",
     "e12_baselines",
+    "e13_learning",
 ]

@@ -394,6 +394,43 @@ class GibbsDistribution:
             )
         return self._compiled
 
+    def update_factors(self, factors: Sequence[Factor]) -> None:
+        """Swap in reweighted factors, invalidating value-dependent caches.
+
+        The learning subsystem re-evaluates the model at a new parameter
+        vector every gradient step; the graph, alphabet and factor *scopes*
+        are fixed, only the weights change.  This method therefore requires
+        the replacement factors to match the existing ones scope-for-scope
+        (in order), and then invalidates exactly the caches whose contents
+        depend on weight values: the dict factor tables, the ball cache
+        (compiled balls and their marginal memos embed the old arrays), and
+        the compiled full instance -- rebuilt cheaply via
+        :meth:`~repro.engine.compiled.CompiledGibbs.reweighted`, which keeps
+        the structural elimination-order and schedule caches warm.
+        """
+        if len(factors) != len(self.factors):
+            raise ValueError(
+                f"expected {len(self.factors)} factors, got {len(factors)}"
+            )
+        for old, new in zip(self.factors, factors):
+            if tuple(new.scope) != tuple(old.scope):
+                raise ValueError(
+                    f"replacement factor {new.name!r} has scope {tuple(new.scope)}, "
+                    f"expected {tuple(old.scope)} (scopes must match in order)"
+                )
+        self.factors = tuple(factors)
+        self._factor_tables = None
+        self._factors_by_node = {node: [] for node in self.graph.nodes()}
+        for factor in self.factors:
+            for node in factor.scope:
+                self._factors_by_node[node].append(factor)
+        if self._ball_cache is not None:
+            self._ball_cache.clear()
+        if self._compiled is not None:
+            self._compiled = self._compiled.reweighted(
+                [factor.dense_table(self.alphabet) for factor in self.factors]
+            )
+
     def ball_cache(self) -> BallCache:
         """The memoised ball-compilation cache shared by ball-local algorithms."""
         if self._ball_cache is None:

@@ -1,0 +1,8 @@
+"""``python -m repro.learning`` -- the uninstalled ``repro-fit`` entry point."""
+
+import sys
+
+from repro.learning.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Small deterministic optimisers for the learning subsystem.
+
+Two regimes (mirroring pracmln's ``optimize.py`` split):
+
+* :func:`maximize` -- exact-gradient ascent of a deterministic objective
+  (the pseudo-likelihood path): adaptive-step backtracking gradient ascent
+  by default, with an optional scipy L-BFGS path when scipy is importable
+  (never required -- the dependency is gated, not assumed);
+* :func:`follow_gradient` -- fixed-schedule stochastic approximation for
+  estimated gradients with no evaluable objective (the contrastive
+  divergence path): ``theta_{t+1} = theta_t + step * decay^t * g_t``.
+
+Everything here is seeded by its inputs alone -- no RNG is consumed, so a
+fit is a pure function of ``(data, theta0, hyperparameters)`` and the
+bit-identity guarantees of the gradient estimators carry through to the
+fitted weights.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+
+class OptimizeResult:
+    """The outcome of an optimisation run."""
+
+    __slots__ = ("theta", "value", "iterations", "converged", "trajectory")
+
+    def __init__(
+        self,
+        theta: np.ndarray,
+        value: Optional[float],
+        iterations: int,
+        converged: bool,
+        trajectory: List[dict],
+    ) -> None:
+        self.theta = theta
+        self.value = value
+        self.iterations = iterations
+        self.converged = converged
+        #: Per-iteration log entries (objective, gradient norm, step size).
+        self.trajectory = trajectory
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OptimizeResult(theta={np.array2string(self.theta, precision=4)}, "
+            f"value={self.value}, iterations={self.iterations}, "
+            f"converged={self.converged})"
+        )
+
+
+def scipy_available() -> bool:
+    """Whether scipy can be imported (checked without importing it)."""
+    return importlib.util.find_spec("scipy") is not None
+
+
+def maximize_ascent(
+    value_and_grad: Callable[[np.ndarray], Tuple[float, np.ndarray]],
+    theta0: np.ndarray,
+    step: float = 0.5,
+    max_iter: int = 200,
+    tol: float = 1e-6,
+    shrink: float = 0.5,
+    grow: float = 1.1,
+    min_step: float = 1e-12,
+    callback: Optional[Callable[[int, np.ndarray, float, np.ndarray], None]] = None,
+) -> OptimizeResult:
+    """Backtracking adaptive-step gradient ascent.
+
+    Each iteration proposes ``theta + step * grad`` and backtracks
+    (``step *= shrink``) until the objective improves, then lets the step
+    grow again (``step *= grow``).  Terminates when the gradient's infinity
+    norm drops below ``tol``, the step underflows ``min_step``, or
+    ``max_iter`` is reached.  Fully deterministic.
+    """
+    theta = np.asarray(theta0, dtype=float).copy()
+    value, grad = value_and_grad(theta)
+    trajectory: List[dict] = []
+    converged = False
+    iterations = 0
+    for iteration in range(max_iter):
+        gnorm = float(np.abs(grad).max()) if grad.size else 0.0
+        if callback is not None:
+            callback(iteration, theta, value, grad)
+        trajectory.append(
+            {"iteration": iteration, "value": value, "grad_norm": gnorm, "step": step}
+        )
+        if gnorm < tol:
+            converged = True
+            break
+        while step >= min_step:
+            candidate = theta + step * grad
+            candidate_value, candidate_grad = value_and_grad(candidate)
+            if candidate_value > value:
+                theta, value, grad = candidate, candidate_value, candidate_grad
+                step *= grow
+                break
+            step *= shrink
+        else:
+            # The step underflowed: no ascent direction at working precision.
+            break
+        iterations = iteration + 1
+    return OptimizeResult(theta, value, iterations, converged, trajectory)
+
+
+def maximize_lbfgs(
+    value_and_grad: Callable[[np.ndarray], Tuple[float, np.ndarray]],
+    theta0: np.ndarray,
+    max_iter: int = 200,
+    tol: float = 1e-6,
+    callback: Optional[Callable[[int, np.ndarray, float, np.ndarray], None]] = None,
+) -> OptimizeResult:
+    """L-BFGS-B ascent via scipy (gated -- raises when scipy is unavailable)."""
+    if not scipy_available():
+        raise RuntimeError(
+            'scipy is not installed; use method="ascent" (the default)'
+        )
+    from scipy.optimize import minimize as scipy_minimize
+
+    trajectory: List[dict] = []
+    counter = {"iteration": 0}
+
+    def negated(theta: np.ndarray) -> Tuple[float, np.ndarray]:
+        value, grad = value_and_grad(theta)
+        iteration = counter["iteration"]
+        counter["iteration"] = iteration + 1
+        if callback is not None:
+            callback(iteration, theta, value, grad)
+        trajectory.append(
+            {
+                "iteration": iteration,
+                "value": value,
+                "grad_norm": float(np.abs(grad).max()) if grad.size else 0.0,
+            }
+        )
+        return -value, -grad
+
+    outcome = scipy_minimize(
+        negated,
+        np.asarray(theta0, dtype=float),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iter, "gtol": tol},
+    )
+    return OptimizeResult(
+        np.asarray(outcome.x, dtype=float),
+        float(-outcome.fun),
+        int(outcome.nit),
+        bool(outcome.success),
+        trajectory,
+    )
+
+
+def maximize(
+    value_and_grad: Callable[[np.ndarray], Tuple[float, np.ndarray]],
+    theta0: np.ndarray,
+    method: str = "ascent",
+    **options,
+) -> OptimizeResult:
+    """Maximise a deterministic objective with the named method.
+
+    ``"ascent"`` (default) is always available and fully deterministic;
+    ``"lbfgs"`` requires scipy; ``"auto"`` picks lbfgs when scipy is
+    importable and falls back to ascent otherwise.
+    """
+    if method == "auto":
+        method = "lbfgs" if scipy_available() else "ascent"
+    if method == "ascent":
+        return maximize_ascent(value_and_grad, theta0, **options)
+    if method == "lbfgs":
+        return maximize_lbfgs(value_and_grad, theta0, **options)
+    raise ValueError(
+        f'unknown optimiser {method!r}; expected "ascent", "lbfgs" or "auto"'
+    )
+
+
+def follow_gradient(
+    grad_fn: Callable[[np.ndarray, int], np.ndarray],
+    theta0: np.ndarray,
+    step: float = 0.1,
+    decay: float = 1.0,
+    max_iter: int = 100,
+    tol: float = 0.0,
+    callback: Optional[Callable[[int, np.ndarray, np.ndarray], None]] = None,
+) -> OptimizeResult:
+    """Fixed-schedule stochastic gradient ascent for estimated gradients.
+
+    ``grad_fn(theta, iteration)`` returns a (possibly noisy) gradient
+    estimate; there is no objective to line-search against, so the step
+    schedule is ``step * decay^iteration``.  Stops early when the estimate's
+    infinity norm drops below ``tol`` (``tol=0`` runs all iterations --
+    a noisy estimate near the optimum rarely vanishes exactly).
+    """
+    theta = np.asarray(theta0, dtype=float).copy()
+    trajectory: List[dict] = []
+    converged = False
+    iterations = 0
+    current = step
+    for iteration in range(max_iter):
+        grad = np.asarray(grad_fn(theta, iteration), dtype=float)
+        gnorm = float(np.abs(grad).max()) if grad.size else 0.0
+        if callback is not None:
+            callback(iteration, theta, grad)
+        trajectory.append(
+            {"iteration": iteration, "grad_norm": gnorm, "step": current}
+        )
+        if tol and gnorm < tol:
+            converged = True
+            break
+        theta = theta + current * grad
+        current *= decay
+        iterations = iteration + 1
+    return OptimizeResult(theta, None, iterations, converged, trajectory)

@@ -1,0 +1,117 @@
+"""Vectorised sufficient-statistics extraction from code matrices.
+
+The learning subsystem works on the engine's integer coding: a dataset is a
+``(samples, n)`` int64 matrix whose columns follow the compiled node order
+(``CompiledGibbs.nodes``) and whose entries are alphabet codes
+(``CompiledGibbs.symbol_index``).  This module converts between
+configuration dicts and code matrices and extracts the count statistics the
+estimators consume:
+
+* :func:`encode_configurations` / :func:`decode_codes` -- the boundary with
+  the sampler API (``run_chains`` speaks configuration dicts);
+* :func:`feature_counts` / :func:`mean_feature_counts` -- a family's
+  sufficient statistics ``phi`` per sample / averaged;
+* :func:`empirical_node_marginals` -- per-node empirical value frequencies;
+* :func:`factor_value_counts` -- per-factor counts over joint value tuples,
+  the raw "how often did this factor see this local configuration" tables
+  (one ``ravel_multi_index`` + ``bincount`` per factor, no Python loop over
+  samples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+import numpy as np
+
+Node = Hashable
+Value = Hashable
+
+
+def encode_configurations(
+    compiled, configurations: Sequence[Mapping[Node, Value]]
+) -> np.ndarray:
+    """Encode configuration dicts as a ``(samples, n)`` int64 code matrix.
+
+    Parameters
+    ----------
+    compiled : CompiledGibbs
+        Supplies the node order (columns) and the symbol coding (entries).
+    configurations : sequence of mapping
+        Full configurations; every node of ``compiled.nodes`` must be
+        assigned an alphabet value.
+    """
+    symbol_index = compiled.symbol_index
+    nodes = compiled.nodes
+    out = np.empty((len(configurations), len(nodes)), dtype=np.int64)
+    for i, configuration in enumerate(configurations):
+        for j, node in enumerate(nodes):
+            try:
+                out[i, j] = symbol_index[configuration[node]]
+            except KeyError:
+                if node not in configuration:
+                    raise ValueError(
+                        f"configuration {i} is missing node {node!r}"
+                    ) from None
+                raise ValueError(
+                    f"configuration {i} assigns node {node!r} the value "
+                    f"{configuration[node]!r}, outside the alphabet"
+                ) from None
+    return out
+
+
+def decode_codes(compiled, codes: np.ndarray) -> List[Dict[Node, Value]]:
+    """Decode a ``(samples, n)`` code matrix back to configuration dicts."""
+    alphabet = compiled.alphabet
+    nodes = compiled.nodes
+    return [
+        {node: alphabet[code] for node, code in zip(nodes, row)}
+        for row in np.asarray(codes, dtype=np.int64).tolist()
+    ]
+
+
+def feature_counts(family, codes: np.ndarray) -> np.ndarray:
+    """A family's sufficient statistics per sample, as ``(samples, K)``."""
+    return np.asarray(family.features(codes), dtype=float)
+
+
+def mean_feature_counts(family, codes: np.ndarray) -> np.ndarray:
+    """A family's sufficient statistics averaged over the samples (length ``K``)."""
+    return feature_counts(family, codes).mean(axis=0)
+
+
+def empirical_node_marginals(compiled, codes: np.ndarray) -> np.ndarray:
+    """Per-node empirical value frequencies, as ``(n, q)``.
+
+    Row ``v`` is the observed distribution of node ``compiled.nodes[v]``
+    over the alphabet codes -- the sample estimate of the marginal the
+    fit-then-sample experiments compare against exact marginals.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    m, n = codes.shape
+    q = compiled.q
+    out = np.empty((n, q))
+    for v in range(n):
+        out[v] = np.bincount(codes[:, v], minlength=q) / m
+    return out
+
+
+def factor_value_counts(compiled, codes: np.ndarray) -> List[np.ndarray]:
+    """Per-factor counts over joint value tuples.
+
+    For factor ``f`` with scope arity ``r`` the result entry is a
+    ``(q,) * r`` integer array whose ``(a_1, ..., a_r)`` cell counts the
+    samples in which ``f``'s scope nodes held codes ``(a_1, ..., a_r)`` --
+    the per-factor feature counts in the engine's own table layout, computed
+    with one ``ravel_multi_index`` + ``bincount`` per factor.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    q = compiled.q
+    counts: List[np.ndarray] = []
+    for scope in compiled.scopes:
+        shape = (q,) * len(scope)
+        flat = np.ravel_multi_index(
+            tuple(codes[:, variable] for variable in scope), shape
+        )
+        counts.append(np.bincount(flat, minlength=q ** len(scope)).reshape(shape))
+    return counts

@@ -35,10 +35,12 @@ This package owns *how* work executes, separate from *what* is computed
 
 from repro.runtime.chains import (
     ChainBatch,
+    ChainState,
     batched_glauber_sample,
     batched_kernel_sample,
     batched_luby_glauber_sample,
     chain_seed_sequences,
+    make_chain_state,
 )
 from repro.runtime.executor import (
     BATCHED_BACKEND,
@@ -66,6 +68,8 @@ from repro.runtime.shards import (
 
 __all__ = [
     "ChainBatch",
+    "ChainState",
+    "make_chain_state",
     "batched_glauber_sample",
     "batched_kernel_sample",
     "batched_luby_glauber_sample",

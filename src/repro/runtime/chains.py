@@ -246,6 +246,10 @@ class ChainBatch:
     initial:
         Optional shared initial configuration (default: the deterministic
         greedy feasible configuration, exactly like the serial samplers).
+    initial_codes:
+        Optional ``(chains, n)`` integer code matrix giving each chain its
+        *own* starting state (the resume path of :class:`ChainState`);
+        mutually exclusive with ``initial``.
     engine:
         Must resolve to the compiled engine; the batched runner *is* a
         compiled-engine execution strategy.
@@ -259,6 +263,7 @@ class ChainBatch:
         seeds: Optional[Sequence] = None,
         initial: Optional[Dict[Node, Value]] = None,
         engine: Optional[str] = None,
+        initial_codes: Optional[np.ndarray] = None,
     ) -> None:
         if resolve_engine(engine) != "compiled":
             raise ValueError(
@@ -281,17 +286,28 @@ class ChainBatch:
         compiled = instance.distribution.compiled_engine()
         self.compiled = compiled
         self.tables = _BatchedTables(compiled)
-        configuration = (
-            dict(initial)
-            if initial is not None
-            else greedy_feasible_configuration(instance, engine=engine)
-        )
-        start = np.array(
-            [compiled.symbol_index[configuration[node]] for node in compiled.nodes],
-            dtype=np.int64,
-        )
-        #: The ``(chains, n)`` state matrix of alphabet codes.
-        self.codes = np.tile(start, (self.n_chains, 1))
+        if initial_codes is not None:
+            if initial is not None:
+                raise ValueError("pass initial or initial_codes, not both")
+            initial_codes = np.asarray(initial_codes, dtype=np.int64)
+            if initial_codes.shape != (self.n_chains, len(compiled.nodes)):
+                raise ValueError(
+                    f"initial_codes has shape {initial_codes.shape}, expected "
+                    f"{(self.n_chains, len(compiled.nodes))}"
+                )
+            #: The ``(chains, n)`` state matrix of alphabet codes.
+            self.codes = initial_codes.copy()
+        else:
+            configuration = (
+                dict(initial)
+                if initial is not None
+                else greedy_feasible_configuration(instance, engine=engine)
+            )
+            start = np.array(
+                [compiled.symbol_index[configuration[node]] for node in compiled.nodes],
+                dtype=np.int64,
+            )
+            self.codes = np.tile(start, (self.n_chains, 1))
         self.rngs = [np.random.default_rng(chain_seed) for chain_seed in seeds]
         self._streams: Optional[List[_Stream]] = None
         self._kind: Optional[str] = None
@@ -399,6 +415,37 @@ class ChainBatch:
         return self.advance("luby-glauber", rounds, statistic=statistic)
 
     # ------------------------------------------------------------------
+    def retarget(self, instance: SamplingInstance) -> "ChainBatch":
+        """Rebind these chains to a reweighted twin of their instance.
+
+        Persistent contrastive divergence keeps one set of chains alive
+        while the model's factor *weights* move every gradient step.  The
+        structure (nodes, alphabet, free set) is fixed, so the live chain
+        state transfers verbatim: the returned batch targets ``instance``,
+        rebuilds the weight-dependent gather tables, and *adopts* this
+        batch's code matrix, per-chain generators, buffered streams and
+        kernel scratch by reference -- continuing the exact RNG streams, so
+        resuming on the twin is bit-identical to having run on it all along.
+        The old batch must not be advanced afterwards.
+        """
+        compiled = instance.distribution.compiled_engine()
+        if (
+            compiled.nodes != self.compiled.nodes
+            or compiled.alphabet != self.compiled.alphabet
+        ):
+            raise ValueError(
+                "retarget requires an instance with identical nodes and alphabet"
+            )
+        twin = ChainBatch(instance, seeds=self.seeds, initial_codes=self.codes)
+        if not np.array_equal(twin.free_index, self.free_index):
+            raise ValueError("retarget requires an instance with the same free nodes")
+        twin.rngs = self.rngs
+        twin._streams = self._streams
+        twin._scratch = self._scratch
+        twin._kind = self._kind
+        return twin
+
+    # ------------------------------------------------------------------
     def configurations(self) -> List[Dict[Node, Value]]:
         """The current state of every chain, decoded to configurations.
 
@@ -413,6 +460,147 @@ class ChainBatch:
             {node: alphabet[code] for node, code in zip(nodes, row)}
             for row in self.codes.tolist()
         ]
+
+
+class ChainState:
+    """Resumable per-chain execution state across ``run_chains`` calls.
+
+    Returned by :meth:`repro.runtime.executor.Runtime.run_chains` with
+    ``return_state=True`` and accepted back via ``state=``: the final code
+    matrix, the per-chain generators (with their buffered stream positions)
+    and the kernel scratch all persist, so a later segment continues the
+    *same* chains -- the resume path persistent contrastive divergence needs.
+
+    Determinism contract: for a fixed segmentation, the serial and batched
+    backends produce bit-identical chains (a one-chain batched advance
+    replays the serial draw pattern exactly).  Splitting a run into
+    *different* segments changes the RNG chunk boundaries, so
+    ``advance(30); advance(30)`` is a valid chain but not bit-equal to a
+    single ``advance(60)`` -- the same caveat the serial samplers document.
+
+    The state may be resumed against a *reweighted* twin of its instance
+    (same nodes/alphabet/free set, new factor weights): each segment
+    retargets its batches when the instance's compiled engine has moved
+    (see :meth:`ChainBatch.retarget`).
+    """
+
+    __slots__ = ("kernel_name", "batches", "layout", "units")
+
+    def __init__(
+        self, kernel_name: str, batches: List[ChainBatch], layout: str = "batched"
+    ) -> None:
+        self.kernel_name = kernel_name
+        self.batches = batches
+        #: ``"batched"`` (all chains in one batch) or ``"serial"`` (one
+        #: single-chain batch per chain).
+        self.layout = layout
+        #: Total units (steps/rounds) advanced through this state so far.
+        self.units = 0
+
+    @property
+    def n_chains(self) -> int:
+        return sum(batch.n_chains for batch in self.batches)
+
+    @property
+    def seeds(self) -> List:
+        """Per-chain seeds, in chain order."""
+        return [seed for batch in self.batches for seed in batch.seeds]
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The current ``(chains, n)`` code matrix (a fresh copy)."""
+        return np.concatenate([batch.codes for batch in self.batches], axis=0).copy()
+
+    def advance(self, kernel, instance: SamplingInstance, count: int) -> List[Dict[Node, Value]]:
+        """Advance every chain by ``count`` units against ``instance``.
+
+        ``instance`` may be the original instance or a reweighted twin
+        (batches are retargeted on the fly); the kernel must match the one
+        that created the state.  Returns the per-chain final configurations.
+        """
+        resolved: ChainKernel = resolve_kernel(kernel)
+        if resolved.name != self.kernel_name:
+            raise ValueError(
+                f"this ChainState ran {self.kernel_name!r} chains; "
+                f"cannot resume it with kernel {resolved.name!r}"
+            )
+        compiled = instance.distribution.compiled_engine()
+        for i, batch in enumerate(self.batches):
+            if batch.compiled is not compiled:
+                self.batches[i] = batch.retarget(instance)
+        for batch in self.batches:
+            batch.advance(resolved, count)
+        self.units += count
+        return self.configurations()
+
+    def configurations(self) -> List[Dict[Node, Value]]:
+        """The current state of every chain, in chain order."""
+        states: List[Dict[Node, Value]] = []
+        for batch in self.batches:
+            states.extend(batch.configurations())
+        return states
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChainState(kernel={self.kernel_name!r}, chains={self.n_chains}, "
+            f"batches={len(self.batches)}, units={self.units})"
+        )
+
+
+def make_chain_state(
+    kernel,
+    instance: SamplingInstance,
+    seeds: Sequence,
+    initial: Optional[Dict[Node, Value]] = None,
+    initial_codes: Optional[np.ndarray] = None,
+    layout: str = "batched",
+    engine: Optional[str] = None,
+) -> ChainState:
+    """Build a fresh :class:`ChainState` without advancing any chain.
+
+    Parameters
+    ----------
+    kernel : str or ChainKernel
+        The dynamics the state will run (fixed for its lifetime).
+    instance, seeds, initial, engine
+        As for :class:`ChainBatch`; one chain per entry of ``seeds``.
+    initial_codes : numpy.ndarray, optional
+        A ``(chains, n)`` code matrix giving each chain its own start
+        (e.g. data configurations for persistent CD).
+    layout : str
+        ``"batched"`` advances all chains as one code matrix;
+        ``"serial"`` keeps one single-chain batch per chain (the serial
+        backend's layout -- bit-identical to batched per chain for the
+        same segmentation, kept for conformance testing).
+    """
+    resolved: ChainKernel = resolve_kernel(kernel)
+    seeds = list(seeds)
+    if layout == "batched":
+        batches = [
+            ChainBatch(
+                instance,
+                seeds=seeds,
+                initial=initial,
+                initial_codes=initial_codes,
+                engine=engine,
+            )
+        ]
+    elif layout == "serial":
+        batches = [
+            ChainBatch(
+                instance,
+                seeds=[chain_seed],
+                initial=initial,
+                initial_codes=(
+                    None if initial_codes is None else initial_codes[chain : chain + 1]
+                ),
+                engine=engine,
+            )
+            for chain, chain_seed in enumerate(seeds)
+        ]
+    else:
+        raise ValueError(f"unknown ChainState layout {layout!r}")
+    return ChainState(resolved.name, batches, layout=layout)
 
 
 def batched_kernel_sample(

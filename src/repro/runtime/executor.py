@@ -69,8 +69,10 @@ from typing import (
 from repro import obs
 from repro.gibbs.instance import SamplingInstance
 from repro.runtime.chains import (
+    ChainState,
     batched_kernel_sample,
     chain_seed_sequences,
+    make_chain_state,
 )
 from repro.runtime.shards import (
     process_map,
@@ -536,7 +538,10 @@ class Runtime:
         seeds: Optional[Sequence] = None,
         initial: Optional[Dict[Node, Value]] = None,
         engine: Optional[str] = None,
-    ) -> List[Dict[Node, Value]]:
+        init: Optional[str] = None,
+        state: Optional[ChainState] = None,
+        return_state: bool = False,
+    ):
         """Final states of ``n_chains`` independent chains of one kernel.
 
         THE chain execution path: every registered
@@ -577,17 +582,92 @@ class Runtime:
             Shared initial configuration.
         engine : str, optional
             Evaluation backend (see :mod:`repro.engine`).
+        init : str, optional
+            Named initial-state strategy.  ``"greedy"`` seeds every chain
+            from the deterministic local-search warm start of
+            :func:`~repro.sampling.glauber.warm_start_configuration`
+            (the SAMaxWalkSAT chain-bootstrap idiom) -- this changes only
+            the starting configuration, never the kernel's draw sequence.
+            Mutually exclusive with ``initial``.
+        state : ChainState, optional
+            Resume these chains instead of starting fresh (serial and
+            batched backends, compiled engine only).  ``seeds`` /
+            ``initial`` / ``init`` must not be combined with a resume;
+            ``instance`` may be the original instance or a reweighted twin
+            of it (see :meth:`~repro.runtime.chains.ChainBatch.retarget`).
+        return_state : bool
+            Also return the resumable :class:`~repro.runtime.chains.ChainState`
+            -- final per-chain codes plus the live per-chain generators and
+            buffered streams -- so a later ``state=`` call continues the
+            same chains bit-identically (for the given segmentation).
+            Serial and batched backends only.
 
         Returns
         -------
-        list of dict
-            Final configurations, one per chain, in seed order.
+        list of dict, or (list of dict, ChainState)
+            Final configurations, one per chain, in seed order; with
+            ``return_state=True``, the resumable state rides along.
         """
         resolved = resolve_kernel(kernel)
+        stateful = state is not None or return_state
+        if stateful:
+            if not (self.is_serial or self.is_batched):
+                raise ValueError(
+                    "resumable chain state requires the serial or batched "
+                    f"backend, not {self.backend!r} (the distributed backends "
+                    "do not keep per-chain generators in-process)"
+                )
+            if not self._spec_transportable(engine):
+                raise ValueError(
+                    "resumable chain state requires the compiled engine"
+                )
+        if state is not None:
+            if seeds is not None or initial is not None or init is not None:
+                raise ValueError(
+                    "state= resumes existing chains; seeds/initial/init "
+                    "cannot be changed mid-flight"
+                )
+            with obs.span(
+                "runtime.run_chains",
+                backend=self.backend,
+                kernel=resolved.name,
+                chains=state.n_chains,
+                count=count,
+                resumed=True,
+            ):
+                states = state.advance(resolved, instance, count)
+            return (states, state) if return_state else states
+        if init is not None:
+            if initial is not None:
+                raise ValueError("pass init= or initial=, not both")
+            if init != "greedy":
+                raise ValueError(f'unknown init strategy {init!r}; expected "greedy"')
+            from repro.sampling.glauber import warm_start_configuration
+
+            initial = warm_start_configuration(instance, engine=engine)
         if seeds is None:
             seeds = chain_seed_sequences(seed, self.n_chains)
         else:
             seeds = list(seeds)
+        if return_state:
+            fresh = make_chain_state(
+                resolved,
+                instance,
+                seeds,
+                initial=initial,
+                layout="serial" if self.is_serial else "batched",
+                engine=engine,
+            )
+            with obs.span(
+                "runtime.run_chains",
+                backend=self.backend,
+                kernel=resolved.name,
+                chains=len(seeds),
+                count=count,
+                stateful=True,
+            ):
+                states = fresh.advance(resolved, instance, count)
+            return states, fresh
         with obs.span(
             "runtime.run_chains",
             backend=self.backend,

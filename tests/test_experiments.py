@@ -27,6 +27,7 @@ from repro.experiments import (
     e10_ising,
     e11_decomposition,
     e12_baselines,
+    e13_learning,
 )
 from repro.experiments.common import format_table, geometric_sizes
 
@@ -119,3 +120,21 @@ class TestExperimentSmoke:
         assert "local-JVV (Thm 4.2)" in names
         assert any(name.startswith("luby-glauber") for name in names)
         assert all(0.0 <= row["tv_to_target"] <= 1.0 for row in rows)
+
+    def test_e13(self):
+        rows = e13_learning.run(
+            nodes=8,
+            samples=120,
+            burn_in=120,
+            resample=120,
+            methods=("pl", "cd"),
+            runtimes=("serial", "batched"),
+            probes=2,
+            cd_max_iter=20,
+            cd_n_negative=16,
+        )
+        assert len(rows) == 4
+        assert all(0.0 <= row["exact_marginal_tv"] <= 1.0 for row in rows)
+        assert all(0.0 <= row["sampled_marginal_tv"] <= 1.0 for row in rows)
+        invariance = e13_learning.backend_invariance(rows)
+        assert invariance == {"cd": True, "pl": True}

@@ -761,3 +761,119 @@ class TestKernelRunChains:
         assert _chain_block_task(legacy, spec=spec) == [
             luby_glauber_sample(instance, 5, seed=seed) for seed in seeds
         ]
+
+
+class TestRunChainsState:
+    """Resumable chain state (ISSUE 9 satellite): split runs == one run... per layout."""
+
+    def _instance(self):
+        return SamplingInstance(hardcore_model(cycle_graph(8), 1.2), {0: 1})
+
+    @pytest.mark.parametrize("backend", ["serial", "batched"])
+    def test_return_state_run_matches_plain_run(self, backend):
+        instance = self._instance()
+        runtime = Runtime(backend, n_chains=3)
+        plain = runtime.run_chains("glauber", instance, 25, seed=7)
+        states, state = runtime.run_chains(
+            "glauber", instance, 25, seed=7, return_state=True
+        )
+        assert states == plain
+        assert state.n_chains == 3
+        assert state.units == 25
+        assert state.kernel_name == "glauber"
+
+    def test_split_resume_identical_across_layouts(self):
+        instance = self._instance()
+        serial = Runtime("serial", n_chains=4)
+        batched = Runtime("batched", n_chains=4)
+        first_s, state_s = serial.run_chains(
+            "glauber", instance, 20, seed=3, return_state=True
+        )
+        first_b, state_b = batched.run_chains(
+            "glauber", instance, 20, seed=3, return_state=True
+        )
+        assert first_s == first_b
+        assert state_s.layout == "serial"
+        assert state_b.layout == "batched"
+        second_s = serial.run_chains("glauber", instance, 20, state=state_s)
+        second_b = batched.run_chains("glauber", instance, 20, state=state_b)
+        assert second_s == second_b
+        assert state_s.units == state_b.units == 40
+
+    def test_state_retargets_onto_reweighted_model(self):
+        graph = cycle_graph(8)
+        runtime = Runtime("batched", n_chains=2)
+        cold = SamplingInstance(hardcore_model(graph, 1.2), {0: 1})
+        hot = SamplingInstance(hardcore_model(graph, 2.0), {0: 1})
+        _, state = runtime.run_chains("glauber", cold, 10, seed=0, return_state=True)
+        resumed = runtime.run_chains("glauber", hot, 10, state=state)
+        assert len(resumed) == 2
+        for configuration in resumed:
+            assert configuration[0] == 1
+
+    def test_state_rejects_kernel_change_and_seed_overrides(self):
+        instance = self._instance()
+        runtime = Runtime("batched", n_chains=2)
+        _, state = runtime.run_chains("glauber", instance, 5, seed=1, return_state=True)
+        with pytest.raises(ValueError, match="kernel"):
+            runtime.run_chains("sequential", instance, 5, state=state)
+        with pytest.raises(ValueError, match="state"):
+            runtime.run_chains(
+                "glauber",
+                instance,
+                5,
+                seeds=chain_seed_sequences(9, 2),
+                state=state,
+            )
+        with pytest.raises(ValueError, match="state"):
+            runtime.run_chains("glauber", instance, 5, init="greedy", state=state)
+
+    def test_stateful_paths_need_local_compiled_backend(self):
+        instance = self._instance()
+        with pytest.raises(ValueError, match="serial or batched"):
+            Runtime("process", n_chains=2).run_chains(
+                "glauber", instance, 5, return_state=True
+            )
+        with pytest.raises(ValueError, match="compiled"):
+            Runtime("serial", n_chains=2).run_chains(
+                "glauber", instance, 5, engine="dict", return_state=True
+            )
+
+
+class TestGreedyInit:
+    """``init="greedy"`` warm starts (ISSUE 9 satellite)."""
+
+    def _instance(self):
+        return SamplingInstance(hardcore_model(cycle_graph(8), 1.2), {0: 1})
+
+    def test_greedy_init_equals_explicit_warm_start(self):
+        from repro.sampling.glauber import warm_start_configuration
+
+        instance = self._instance()
+        warm = warm_start_configuration(instance)
+        for backend in ("serial", "batched"):
+            runtime = Runtime(backend, n_chains=3)
+            assert runtime.run_chains(
+                "glauber", instance, 15, seed=2, init="greedy"
+            ) == runtime.run_chains("glauber", instance, 15, seed=2, initial=warm)
+
+    def test_warm_start_is_deterministic_feasible_and_rng_free(self):
+        from repro.sampling.glauber import warm_start_configuration
+
+        instance = self._instance()
+        warm = warm_start_configuration(instance)
+        assert warm == warm_start_configuration(instance)
+        assert warm[0] == 1  # respects the pinning
+        compiled = instance.distribution.compiled_engine()
+        assert compiled.configuration_weight(warm) > 0
+        assert warm == warm_start_configuration(instance, engine="dict")
+
+    def test_greedy_init_rejects_explicit_initial(self):
+        instance = self._instance()
+        runtime = Runtime("batched", n_chains=2)
+        with pytest.raises(ValueError, match="init"):
+            runtime.run_chains(
+                "glauber", instance, 5, init="greedy", initial={0: 1}
+            )
+        with pytest.raises(ValueError, match="init"):
+            runtime.run_chains("glauber", instance, 5, init="no-such-init")
