@@ -16,12 +16,32 @@ chains of a hardcore instance, one sample per chain):
   batched backend advances all chains as one code matrix with per-chain
   acceptance masks.  Bit-identity (states *and* per-chain failure counts)
   is asserted before any timing.
-* ``process_ball_shards`` -- the E5/E8 per-node ball computations
-  (Theorem 5.1 marginals at every node) serial vs sharded over a 2-worker
-  process pool.  Recorded for observability; on a single-core container the
-  fork/pickle overhead typically makes this *slower*, which is exactly what
-  the JSON should document.  Only the batched chain workloads feed
+* ``process_ball_shards`` / ``process_ball_shards_shm`` -- the E5/E8
+  per-node ball computations (Theorem 5.1 marginals at every node) serial
+  vs sharded over a 2-worker process pool, once over the default pickle
+  transport and once with ``transport="shm"`` (the ``InstanceSpec`` dense
+  arrays cross as shared-memory descriptors instead of by value).
+  Recorded for observability; on a single-core container the fork
+  overhead typically makes both *slower*, which is exactly what the JSON
+  should document.  Only the batched chain workloads feed
   ``min_batched_speedup``.
+* ``process_shard_phase_residual`` -- the same workload instrumented per
+  phase (spawn / map / compute / merge) for both transports: *why* the
+  2-worker shard cannot reach 1x vs serial on this box.  Spawn is pool
+  creation plus the per-worker initializer round trip (where the spec
+  crosses the pipe -- by value under pickle, as descriptors under shm),
+  map is serializing and enqueueing the chunk payloads, compute is
+  waiting for the workers' chunk results, merge is adopting the shipped
+  balls/memos into the parent cache and building the result dict.  Each
+  instrumented run is asserted bit-identical to the serial loop before
+  its timings are recorded.
+* ``packed_multi_instance`` -- many small same-alphabet models advanced
+  as ONE padded ``(total_chains, n_max)`` code matrix
+  (``Runtime.run_packed``) vs looping one batched ``run_chains`` call per
+  model (the pre-packing serving path).  Every packed group is asserted
+  bit-identical to the kernel's serial chains before any timing; the
+  recorded speedup is the cross-model batching win the serving layer's
+  ``PackedCoalescer`` rides.
 * ``streaming_ball_shards`` -- the same E5-style workload on the barrier
   API (``shard_padded_ball_marginals``, which returns nothing until every
   shard lands) vs the streaming API (``stream_padded_ball_marginals``,
@@ -367,12 +387,28 @@ def _cd_negative_phase_workload(
     return shape, serial, batched
 
 
-def _process_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2):
+def _process_shard_workload(
+    size: int = 40, radius: int = 3, n_workers: int = 2, transport: str = "pickle"
+):
     from repro.inference.ssm_inference import padded_ball_marginal
 
     distribution = hardcore_model(random_tree(size, seed=2), fugacity=1.0)
     instance = SamplingInstance(distribution, {0: 0})
     nodes = instance.free_nodes
+
+    if transport != "pickle":
+        # Correctness gate before any timing: the shared-memory transport
+        # must never change answers, only how the spec crosses the pipe.
+        serial_reference = {
+            node: padded_ball_marginal(instance, node, radius) for node in nodes
+        }
+        distribution.ball_cache().clear()
+        sharded_result = shard_padded_ball_marginals(
+            instance, nodes, radius, n_workers=n_workers, transport=transport
+        )
+        assert sharded_result == serial_reference, (
+            f"transport={transport!r} shard diverges from the serial loop"
+        )
 
     def serial() -> None:
         distribution.ball_cache().clear()
@@ -381,9 +417,156 @@ def _process_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2)
 
     def sharded() -> None:
         distribution.ball_cache().clear()
-        shard_padded_ball_marginals(instance, nodes, radius, n_workers=n_workers)
+        shard_padded_ball_marginals(
+            instance, nodes, radius, n_workers=n_workers, transport=transport
+        )
 
-    return {"nodes": len(nodes), "radius": radius, "workers": n_workers}, serial, sharded
+    shape = {
+        "nodes": len(nodes),
+        "radius": radius,
+        "workers": n_workers,
+        "transport": transport,
+    }
+    return shape, serial, sharded
+
+
+def _shard_phase_residual(size: int = 40, radius: int = 3, n_workers: int = 2):
+    """Per-phase residual of the sharded ball workload, per transport.
+
+    On a single-core container the process shard of the E5 workload cannot
+    reach 1x vs serial; this measures *why* by splitting one real sharded
+    run into spawn (pool creation + per-worker initializer round trip --
+    the phase where the :class:`InstanceSpec` crosses the pipe, by value
+    under pickle, as shared-memory descriptors under shm), map
+    (serializing and enqueueing the chunk payloads), compute (waiting for
+    the workers' chunk results) and merge (adopting the shipped
+    balls/extras/memos into the parent cache and building the result
+    dict).  The instrumented pipeline is the same machinery
+    ``shard_padded_ball_marginals`` drives, and every instrumented run is
+    asserted bit-identical to the serial loop before its timings count.
+    """
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    from repro.inference.ssm_inference import padded_ball_marginal
+    from repro.runtime.shards import (
+        MEMO_DELTA_CAP,
+        InstanceSpec,
+        _ball_marginal_chunk,
+        _chunk_tasks,
+        _install_worker_spec,
+        _spec_wire,
+    )
+
+    distribution = hardcore_model(random_tree(size, seed=2), fugacity=1.0)
+    instance = SamplingInstance(distribution, {0: 0})
+    nodes = instance.free_nodes
+    tasks = [(node, radius) for node in nodes]
+    serial_reference = {
+        node: padded_ball_marginal(instance, node, radius) for node in nodes
+    }
+
+    def phases(transport: str) -> Dict[str, float]:
+        distribution.ball_cache().clear()
+        spec = InstanceSpec.from_instance(instance)
+        chunks = _chunk_tasks(tasks, n_workers, None)
+        start = time.perf_counter()
+        wire_spec, pack = _spec_wire(spec, transport)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(chunks)),
+                initializer=_install_worker_spec,
+                initargs=(wire_spec, None),
+            ) as pool:
+                # Per-worker warm-up round trip (best effort): forces the
+                # worker processes to start and run the initializer before
+                # any real work, so spec transfer lands in this phase.
+                for future in [
+                    pool.submit(_ball_marginal_chunk, [], MEMO_DELTA_CAP)
+                    for _ in range(n_workers)
+                ]:
+                    future.result()
+                spawned = time.perf_counter()
+                futures = [
+                    pool.submit(_ball_marginal_chunk, chunk, MEMO_DELTA_CAP)
+                    for chunk in chunks
+                ]
+                mapped = time.perf_counter()
+                payloads = [future.result() for future in as_completed(futures)]
+                computed = time.perf_counter()
+                cache = instance.distribution.ball_cache()
+                results: Dict[object, Dict[object, float]] = {}
+                for marginals, balls, extras, memos in payloads:
+                    cache.adopt(balls=balls, extras=extras, memos=memos)
+                    for (center, _), marginal in marginals.items():
+                        results[center] = marginal
+                merged = time.perf_counter()
+        finally:
+            if pack is not None:
+                pack.release()
+        assert results == serial_reference, (
+            f"instrumented {transport!r} shard diverges from the serial loop"
+        )
+        return {
+            "spawn_seconds": spawned - start,
+            "map_seconds": mapped - spawned,
+            "compute_seconds": computed - mapped,
+            "merge_seconds": merged - computed,
+            "total_seconds": merged - start,
+        }
+
+    shape = {"nodes": len(nodes), "radius": radius, "workers": n_workers}
+    return shape, phases
+
+
+def _packed_multi_instance_workload(
+    models: int = 8, chains: int = 8, steps: int = 400, size: int = 24
+):
+    """Many small same-alphabet models in ONE padded code matrix (ISSUE 10).
+
+    The loop leg advances one batched ``run_chains`` call per model (the
+    pre-packing serving path); the packed leg folds all models into a
+    single padded ``(total_chains, n_max)`` code matrix via
+    ``Runtime.run_packed``.  Sizes differ per model so the pack really
+    pads and masks.  Every packed group is asserted bit-identical to the
+    kernel's serial chains before any timing.
+    """
+    from repro.sampling import get_kernel
+
+    instances = [
+        SamplingInstance(
+            hardcore_model(cycle_graph(size + group), fugacity=1.0 + group / 20)
+        )
+        for group in range(models)
+    ]
+    seeds = [chain_seed_sequences(17 + group, chains) for group in range(models)]
+    runtime = Runtime("batched")
+    kernel = get_kernel("glauber")
+
+    # Correctness gate before any timing (the acceptance contract): chain c
+    # of packed group g == the kernel's serial chain with seed seeds[g][c].
+    # This also pays each model's one-time engine compilation.
+    reference = [
+        [kernel.serial_run(instance, steps, seed=seed) for seed in seeds[group]]
+        for group, instance in enumerate(instances)
+    ]
+    packed = runtime.run_packed("glauber", list(zip(instances, seeds)), steps)
+    assert packed == reference, "packed groups diverge from the serial chains"
+
+    def loop() -> None:
+        for group, instance in enumerate(instances):
+            runtime.run_chains("glauber", instance, steps, seeds=seeds[group])
+
+    def packed_run() -> None:
+        runtime.run_packed("glauber", list(zip(instances, seeds)), steps)
+
+    shape = {
+        "models": models,
+        "chains_per_model": chains,
+        "steps": steps,
+        "n_min": size,
+        "n_max": size + models - 1,
+    }
+    return shape, loop, packed_run
 
 
 def _streaming_shard_workload(size: int = 40, radius: int = 3, n_workers: int = 2):
@@ -605,17 +788,68 @@ def run(
                 "bit_identical_to_solo": True,
             }
         )
-    shape, serial, sharded = _process_shard_workload()
-    serial_seconds = _best_of(serial, repeats)
-    process_seconds = _best_of(sharded, repeats)
+    shape, loop, packed_run = _packed_multi_instance_workload()
+    loop_seconds = _best_of(loop, repeats)
+    packed_seconds = _best_of(packed_run, repeats)
     rows.append(
         {
-            "workload": "process_ball_shards",
+            "workload": "packed_multi_instance",
+            "backend_pair": "loop-vs-packed",
+            "shape": shape,
+            "loop_seconds": loop_seconds,
+            "packed_seconds": packed_seconds,
+            "speedup": loop_seconds / packed_seconds,
+            "bit_identical_to_serial": True,
+        }
+    )
+    for transport in ("pickle", "shm"):
+        shape, serial, sharded = _process_shard_workload(transport=transport)
+        serial_seconds = _best_of(serial, repeats)
+        process_seconds = _best_of(sharded, repeats)
+        row = {
+            "workload": (
+                "process_ball_shards"
+                if transport == "pickle"
+                else "process_ball_shards_shm"
+            ),
             "backend_pair": "serial-vs-process",
             "shape": shape,
             "serial_seconds": serial_seconds,
             "process_seconds": process_seconds,
             "speedup": serial_seconds / process_seconds,
+        }
+        if transport != "pickle":
+            row["bit_identical_to_serial"] = True
+        rows.append(row)
+    shape, phases = _shard_phase_residual()
+    residual: Dict[str, Dict[str, float]] = {}
+    for transport in ("pickle", "shm"):
+        best = None
+        for _ in range(repeats):
+            sample = phases(transport)
+            if best is None or sample["total_seconds"] < best["total_seconds"]:
+                best = sample
+        residual[transport] = best
+    rows.append(
+        {
+            "workload": "process_shard_phase_residual",
+            "backend_pair": "phase-residual",
+            "shape": shape,
+            "phases": residual,
+            "bit_identical_to_serial": True,
+            "note": (
+                "why the 2-worker shard stays below 1x vs serial on a "
+                "single-core container: spawn is pool creation + the "
+                "per-worker initializer round trip (where the InstanceSpec "
+                "crosses -- by value under pickle, as shared-memory "
+                "descriptors under shm), map is chunk-payload enqueueing, "
+                "compute is waiting for the workers' chunk results (cold "
+                "workers recompile their chunks' balls and ship them back, "
+                "which time-sliced on one core costs more than the whole "
+                "serial loop), merge adopts the shipped balls/memos into "
+                "the parent cache -- so compute + spawn together exceed "
+                "the serial wall regardless of transport"
+            ),
         }
     )
     shape, barrier, streaming = _streaming_shard_workload()
@@ -646,17 +880,28 @@ def run(
                 cluster_seconds = _best_of(clustered, repeats)
             finally:
                 teardown()
-            rows.append(
-                {
-                    "workload": f"cluster_ball_shards_{n_workers}w",
-                    "backend_pair": "process-vs-cluster",
-                    "shape": shape,
-                    "process_seconds": process_seconds,
-                    "cluster_seconds": cluster_seconds,
-                    "speedup": process_seconds / cluster_seconds,
-                    "bit_identical_to_serial": True,
+            row = {
+                "workload": f"cluster_ball_shards_{n_workers}w",
+                "backend_pair": "process-vs-cluster",
+                "shape": shape,
+                "process_seconds": process_seconds,
+                "cluster_seconds": cluster_seconds,
+                "speedup": process_seconds / cluster_seconds,
+                "bit_identical_to_serial": True,
+            }
+            if n_workers == 4:
+                # The coordinator's default chunking used to target ~4
+                # chunks per worker regardless of fleet size, so 4 workers
+                # split these 39 tasks into 13 tiny chunks and the framing
+                # tax sank the 4w run to 0.837x of the 2w process pool
+                # (previous recorded baseline).  The chunk count is now
+                # capped (8 chunks here) -- this row records the after.
+                row["chunk_granularity_fix"] = {
+                    "speedup_before": 0.8374,
+                    "chunks_before": 13,
+                    "chunks_after": 8,
                 }
-            )
+            rows.append(row)
         shape, plain_run, hmac_run, teardown = _cluster_auth_workload()
         try:
             plain_seconds = _best_of(plain_run, repeats)
@@ -712,7 +957,18 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             "divergence fit with its run_chains negative phase looped "
             "serially vs advanced as one batched code matrix (fitted "
             "weights asserted bit-identical across the backends before "
-            "any timing)"
+            "any timing), plus the zero-copy data plane of ISSUE 10: the "
+            "2-worker ball shard over the pickle vs shared-memory "
+            "transport (InstanceSpec dense arrays crossing as segment "
+            "descriptors; bit-identity asserted pre-timing), the same "
+            "workload's per-phase residual (spawn/map/compute/merge, both "
+            "transports -- documenting why the shard stays below 1x vs "
+            "serial on a single-core container), and packed multi-"
+            "instance batching: many small same-alphabet models advanced "
+            "as one padded (total_chains, n_max) code matrix via "
+            "Runtime.run_packed vs looping one batched run_chains call "
+            "per model (every packed group asserted bit-identical to the "
+            "kernel's serial chains pre-timing)"
         ),
         "workloads": rows,
         "min_batched_speedup": min(row["speedup"] for row in batched),
@@ -742,6 +998,20 @@ def record_baseline(path: Path = BASELINE_PATH, repeats: int = 3) -> Dict[str, o
             row["bit_identical_across_backends"]
             for row in rows
             if row["backend_pair"] == "cd-serial-vs-batched"
+        ),
+        "packed_bit_identical_to_serial": all(
+            row["bit_identical_to_serial"]
+            for row in rows
+            if row["backend_pair"] == "loop-vs-packed"
+        ),
+        "shm_bit_identical_to_serial": all(
+            row["bit_identical_to_serial"]
+            for row in rows
+            if row["backend_pair"] in ("phase-residual",)
+            or row["workload"] == "process_ball_shards_shm"
+        ),
+        "shard_phase_residual_documented": any(
+            row["backend_pair"] == "phase-residual" for row in rows
         ),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -777,6 +1047,23 @@ def _print_rows(rows: List[Dict[str, object]]) -> None:
                 f"cluster {row['cluster_seconds'] * 1e3:8.1f} ms   "
                 f"speedup {row['speedup']:6.2f}x   {row['shape']}"
             )
+            continue
+        if row["backend_pair"] == "loop-vs-packed":
+            print(
+                f"{row['workload']:>22}: loop {row['loop_seconds'] * 1e3:8.1f} ms   "
+                f"packed {row['packed_seconds'] * 1e3:8.1f} ms   "
+                f"speedup {row['speedup']:6.2f}x   {row['shape']}"
+            )
+            continue
+        if row["backend_pair"] == "phase-residual":
+            for transport, timings in row["phases"].items():
+                print(
+                    f"{row['workload']:>22}: [{transport:>6}] "
+                    f"spawn {timings['spawn_seconds'] * 1e3:7.1f} ms   "
+                    f"map {timings['map_seconds'] * 1e3:6.1f} ms   "
+                    f"compute {timings['compute_seconds'] * 1e3:7.1f} ms   "
+                    f"merge {timings['merge_seconds'] * 1e3:6.1f} ms"
+                )
             continue
         if row["backend_pair"] == "barrier-vs-streaming":
             print(
@@ -825,6 +1112,18 @@ def test_batched_runner_amortises_the_python_loop(once=None) -> None:
             # The CD fit also pays objective-side work per iteration, so its
             # floor is more modest than the raw chain workloads'.
             assert row["speedup"] > 1.2, f"CD negative phase regressed: {row}"
+        if row["backend_pair"] == "loop-vs-packed":
+            # The ISSUE 10 acceptance floor: one padded code matrix over
+            # all models must at least double the per-model loop
+            # (BENCH_runtime.json records ~4x).
+            assert row["speedup"] > 2.0, f"packed batching regressed: {row}"
+        if row["backend_pair"] == "phase-residual":
+            # The residual must actually be decomposed: every phase
+            # measured, for both transports.
+            for timings in row["phases"].values():
+                assert set(timings) >= {
+                    "spawn_seconds", "map_seconds", "compute_seconds", "merge_seconds",
+                }, f"phase residual incomplete: {row}"
 
 
 if __name__ == "__main__":

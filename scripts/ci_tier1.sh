@@ -20,9 +20,12 @@
 # SIGTERM), a learning smoke (seeded pseudo-likelihood and contrastive
 # divergence fits on a small Ising dataset must recover the generating
 # weights within the documented tolerances, with the CD negative phase
-# bit-identical between the serial and batched runtimes) and a docs
-# check (the architecture map and testing guide exist and the README
-# quickstart executes as a doctest).
+# bit-identical between the serial and batched runtimes), an shm smoke
+# (the shared-memory transport of the process backend and the packed
+# multi-instance code matrix must both be bit-identical to the serial
+# loop, and /dev/shm must hold no repro-shm-* segments afterwards) and a
+# docs check (the architecture map and testing guide exist and the
+# README quickstart executes as a doctest).
 #
 # Usage: scripts/ci_tier1.sh  (from the repository root)
 set -euo pipefail
@@ -275,6 +278,50 @@ print(
     f"learning smoke OK: PL err {pl_err:.4f} (<0.05), CD err {cd_err:.4f} "
     "(<0.15), serial == batched negative phase"
 )
+PY
+
+echo "== tier-1: shm smoke =="
+python - <<'PY'
+from repro.gibbs import SamplingInstance
+from repro.graphs import cycle_graph, path_graph
+from repro.models import hardcore_model
+from repro.runtime import Runtime, chain_seed_sequences
+from repro.runtime.shm import leaked_dev_shm_segments, shm_available
+
+before = leaked_dev_shm_segments()
+assert not before, f"/dev/shm already holds repro segments: {before}"
+
+instance = SamplingInstance(hardcore_model(cycle_graph(12), fugacity=1.2), {0: 1})
+serial = Runtime("serial", n_chains=4)
+reference = serial.run_chains("glauber", instance, 25, seed=7)
+
+# The shared-memory transport: a real 2-worker pool, the InstanceSpec and
+# result matrix crossing as segment descriptors (inline_threshold=0 so
+# this small workload exercises the pool, not the in-process guard).
+with Runtime(
+    "process", n_chains=4, n_workers=2, transport="shm", inline_threshold=0
+) as runtime:
+    shipped = runtime.run_chains("glauber", instance, 25, seed=7)
+assert shipped == reference, "shm transport diverges from the serial loop"
+
+# Packed multi-instance batching: two models in one padded code matrix,
+# each group bit-identical to its own serial chains.
+groups = [
+    (instance, chain_seed_sequences(7, 4)),
+    (
+        SamplingInstance(hardcore_model(path_graph(9), fugacity=1.1)),
+        chain_seed_sequences(8, 4),
+    ),
+]
+packed = serial.run_packed("glauber", groups, 25)
+for index, (member, seeds) in enumerate(groups):
+    solo = serial.run_chains("glauber", member, 25, seeds=seeds)
+    assert packed[index] == solo, f"packed group {index} diverges from solo"
+
+after = leaked_dev_shm_segments()
+assert not after, f"leaked /dev/shm segments: {after}"
+mode = "shm" if shm_available() else "pickle-fallback"
+print(f"shm smoke OK ({mode}): transport + packed bit-identical, /dev/shm clean")
 PY
 
 echo "== tier-1: docs =="

@@ -1057,7 +1057,19 @@ class ClusterCoordinator:
         """
         spec = self._spec_for(instance)
         cache = instance.distribution.ball_cache()
-        chunks = _chunk_tasks(tasks, max(1, self.live_worker_count), chunk_size)
+        workers = max(1, self.live_worker_count)
+        if chunk_size is None and tasks:
+            # Scale chunk granularity with the fleet, but cap the chunk
+            # COUNT: the pool default (4 chunks per worker) shrinks chunks
+            # linearly with worker count, and over TCP the fixed per-chunk
+            # dispatch cost (frame + payload round-trip) then dominates --
+            # the measured 4-worker regression in BENCH_runtime.json.  A
+            # few chunks per worker is plenty of load-balancing slack;
+            # beyond ~2x the fleet (floor 8, so small fleets keep today's
+            # granularity) more chunks only buy more round-trips.
+            target_chunks = min(4 * workers, max(2 * workers, 8))
+            chunk_size = -(-len(tasks) // target_chunks)
+        chunks = _chunk_tasks(tasks, workers, chunk_size)
         futures = {}
         try:
             for chunk in chunks:

@@ -20,6 +20,13 @@ This package owns *how* work executes, separate from *what* is computed
     and every shard's results -- compiled balls, boundary extensions,
     capped marginal-memo deltas -- merged back into the parent
     :class:`~repro.engine.cache.BallCache` the moment the shard completes.
+``shm``
+    The zero-copy data plane of the process backend: bulk ndarray
+    payloads (the spec's dense factor tables, chain-result code matrices)
+    live in ``multiprocessing.shared_memory`` segments and only tiny
+    ``(name, dtype, shape, offset)`` descriptors cross the pipe, with
+    automatic pickle fallback and owner-only, leak-proof segment
+    lifetime.  Selected per runtime via ``transport="shm"``.
 ``executor``
     The :class:`Runtime` facade (``serial`` / ``batched`` / ``process`` /
     ``cluster`` backends) threaded through the samplers, the SSM inference
@@ -36,6 +43,7 @@ This package owns *how* work executes, separate from *what* is computed
 from repro.runtime.chains import (
     ChainBatch,
     ChainState,
+    PackedBatch,
     batched_glauber_sample,
     batched_kernel_sample,
     batched_luby_glauber_sample,
@@ -45,6 +53,7 @@ from repro.runtime.chains import (
 from repro.runtime.executor import (
     BATCHED_BACKEND,
     CLUSTER_BACKEND,
+    INLINE_CHAIN_UPDATES,
     PROCESS_BACKEND,
     SERIAL_BACKEND,
     SERIAL_RUNTIME,
@@ -54,6 +63,7 @@ from repro.runtime.executor import (
 from repro.runtime.shards import (
     MEMO_DELTA_CAP,
     TASK_REGISTRY,
+    TRANSPORTS,
     InstanceSpec,
     process_map,
     process_map_unordered,
@@ -65,10 +75,17 @@ from repro.runtime.shards import (
     stream_compiled_balls,
     stream_padded_ball_marginals,
 )
+from repro.runtime.shm import (
+    SharedArrayPack,
+    attach_array,
+    pack_arrays,
+    shm_available,
+)
 
 __all__ = [
     "ChainBatch",
     "ChainState",
+    "PackedBatch",
     "make_chain_state",
     "batched_glauber_sample",
     "batched_kernel_sample",
@@ -84,8 +101,14 @@ __all__ = [
     "PROCESS_BACKEND",
     "CLUSTER_BACKEND",
     "SERIAL_RUNTIME",
+    "INLINE_CHAIN_UPDATES",
     "InstanceSpec",
     "MEMO_DELTA_CAP",
+    "TRANSPORTS",
+    "SharedArrayPack",
+    "attach_array",
+    "pack_arrays",
+    "shm_available",
     "process_map",
     "process_map_unordered",
     "shard_compiled_balls",

@@ -462,6 +462,271 @@ class ChainBatch:
         ]
 
 
+#: Histogram boundaries for pack efficiency (used cells / padded cells).
+_PACK_EFFICIENCY_BUCKETS = tuple(i / 10.0 for i in range(1, 11))
+
+
+class _PackedLayout:
+    """The fused execution layout of a :class:`PackedBatch` (cached).
+
+    Precomputes everything a mask-aware kernel step needs to advance all
+    groups' chains as one padded ``(total_chains, n_max)`` code matrix:
+
+    * merged gather tables -- the per-group :class:`_BatchedTables` pools
+      concatenated with rebased offsets, node axes stacked so the *global*
+      variable id ``node_offset[g] + local_id`` selects group ``g``'s
+      table row.  Neighbour columns (``other``) stay **column-local**:
+      each packed row belongs to exactly one group whose variables occupy
+      columns ``[0, n_g)``, so a row's gathers never cross into padding.
+      Per-group padding entries multiply by 1.0 after the real entries,
+      exactly like solo padding, keeping float products bit-identical.
+    * per-chain group ids, node offsets, free counts and a padded
+      ``free_lookup`` (the local column of each group's ``j``-th free
+      node), so per-chain draws replicate each solo batch's RNG calls.
+    * ``nodes`` -- the concatenated node labels, letting the shared
+      stuck-node error name the right node from a global variable id.
+
+    Requires every group to share one alphabet size ``q`` (kernels fall
+    back to groupwise advance otherwise).
+    """
+
+    __slots__ = (
+        "tables",
+        "nodes",
+        "node_offsets",
+        "chain_group",
+        "chain_node_offset",
+        "free_counts",
+        "free_lookup",
+        "rngs",
+        "any_factorless",
+        "total_chains",
+        "n_max",
+        "row_offsets",
+    )
+
+    def __init__(self, groups: Sequence["ChainBatch"]) -> None:
+        qs = {group.tables.q for group in groups}
+        if len(qs) != 1:
+            raise ValueError("a fused packed layout requires one alphabet size")
+        q = qs.pop()
+        tables_list = [group.tables for group in groups]
+        max_entries = max(t.base.shape[1] for t in tables_list)
+        max_others = max(t.other.shape[2] for t in tables_list)
+        pools: List[np.ndarray] = []
+        bases: List[np.ndarray] = []
+        stride0s: List[np.ndarray] = []
+        others: List[np.ndarray] = []
+        ostrides: List[np.ndarray] = []
+        factorless: List[np.ndarray] = []
+        pool_offset = 0
+        for t in tables_list:
+            n, entries = t.base.shape
+            base = np.full((n, max_entries), pool_offset, dtype=np.int64)
+            base[:, :entries] = t.base + pool_offset
+            stride0 = np.ones((n, max_entries), dtype=np.int64)
+            stride0[:, :entries] = t.stride0
+            other = np.zeros((n, max_entries, max_others), dtype=np.int64)
+            other[:, :entries, : t.other.shape[2]] = t.other
+            ostride = np.zeros((n, max_entries, max_others), dtype=np.int64)
+            ostride[:, :entries, : t.ostride.shape[2]] = t.ostride
+            pools.append(t.pool)
+            bases.append(base)
+            stride0s.append(stride0)
+            others.append(other)
+            ostrides.append(ostride)
+            factorless.append(t.factorless)
+            pool_offset += len(t.pool)
+        merged = _BatchedTables.__new__(_BatchedTables)
+        merged.q = q
+        merged.pool = np.concatenate(pools)
+        merged.base = np.concatenate(bases, axis=0)
+        merged.stride0 = np.concatenate(stride0s, axis=0)
+        merged.other = np.concatenate(others, axis=0)
+        merged.ostride = np.concatenate(ostrides, axis=0)
+        merged.factorless = np.concatenate(factorless)
+        merged.aq = np.arange(q)
+        self.tables = merged
+        self.nodes = tuple(
+            node for group in groups for node in group.compiled.nodes
+        )
+        sizes = [len(group.compiled.nodes) for group in groups]
+        self.node_offsets = np.cumsum([0] + sizes[:-1]).astype(np.int64)
+        self.n_max = max(sizes)
+        counts = [group.n_chains for group in groups]
+        self.total_chains = sum(counts)
+        self.row_offsets = np.cumsum([0] + counts[:-1]).astype(np.int64)
+        self.chain_group = np.repeat(np.arange(len(groups)), counts)
+        self.chain_node_offset = self.node_offsets[self.chain_group]
+        group_free = np.array(
+            [len(group.free_index) for group in groups], dtype=np.int64
+        )
+        self.free_counts = group_free[self.chain_group]
+        max_free = int(group_free.max()) if len(group_free) else 0
+        free_lookup = np.zeros((self.total_chains, max(1, max_free)), dtype=np.int64)
+        for g, group in enumerate(groups):
+            rows = slice(self.row_offsets[g], self.row_offsets[g] + counts[g])
+            free_lookup[rows, : len(group.free_index)] = group.free_index
+        self.free_lookup = free_lookup
+        self.rngs = [rng for group in groups for rng in group.rngs]
+        self.any_factorless = any(group.any_factorless for group in groups)
+
+
+class PackedBatch:
+    """Many small instances (possibly different models) as one padded matrix.
+
+    The million-user serving shape: concurrent requests target *different*
+    registered models, each a small instance with a handful of chains.
+    Advancing them one :class:`ChainBatch` at a time pays the per-step
+    Python overhead once **per model**; a ``PackedBatch`` packs all groups
+    into one ``(total_chains, n_max)`` code matrix -- rows left-aligned,
+    group ``g``'s variables in columns ``[0, n_g)``, per-instance column
+    masks implied by the layout -- so mask-aware kernels
+    (:meth:`~repro.sampling.kernels.ChainKernel.packed_advance`) pay it
+    once per **step** across every model.
+
+    Determinism contract: group ``g`` seeded with ``seeds_g`` leaves its
+    chains bit-identical to a solo ``ChainBatch(instance_g,
+    seeds=seeds_g)`` advanced the same ``count`` -- the fused step
+    replicates each chain's exact solo draw pattern (same per-chain
+    ``integers``/``random`` calls, same float product order thanks to
+    all-ones padding), and kernels without a fused step fall back to
+    advancing each group independently, which is solo execution by
+    definition.  Same per-request seed contract as the serving coalescer.
+
+    Parameters
+    ----------
+    requests:
+        One entry per group: a ``(instance, seeds)`` pair, an
+        ``(instance, seeds, initial)`` triple, or a ready
+        :class:`ChainBatch`.
+    engine:
+        Must resolve to the compiled engine (as for :class:`ChainBatch`).
+    """
+
+    def __init__(self, requests: Sequence, engine: Optional[str] = None) -> None:
+        groups: List[ChainBatch] = []
+        for request in requests:
+            if isinstance(request, ChainBatch):
+                groups.append(request)
+            else:
+                instance, seeds, *rest = request
+                initial = rest[0] if rest else None
+                groups.append(
+                    ChainBatch(instance, seeds=seeds, initial=initial, engine=engine)
+                )
+        if not groups:
+            raise ValueError("a packed batch needs at least one group")
+        self.groups = groups
+        self._layout: Optional[_PackedLayout] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def total_chains(self) -> int:
+        return sum(group.n_chains for group in self.groups)
+
+    @property
+    def n_max(self) -> int:
+        return max(len(group.compiled.nodes) for group in self.groups)
+
+    def pack_efficiency(self) -> float:
+        """Used cells / padded cells of the ``(total_chains, n_max)`` matrix."""
+        used = sum(
+            group.n_chains * len(group.compiled.nodes) for group in self.groups
+        )
+        return used / float(self.total_chains * self.n_max)
+
+    def fusable(self) -> bool:
+        """Whether a single fused kernel step can cover every group.
+
+        Requires one shared alphabet size (the padded gather tables merge
+        along the node axis) and at least one free node per group (a group
+        with nothing to resample draws nothing, which no uniform fused
+        draw pattern can replicate).  Non-fusable packs still run -- group
+        by group.
+        """
+        qs = {group.tables.q for group in self.groups}
+        return len(qs) == 1 and all(
+            len(group.free_index) > 0 for group in self.groups
+        )
+
+    def layout(self) -> _PackedLayout:
+        """The cached fused layout (build on first use; requires fusable)."""
+        if self._layout is None:
+            self._layout = _PackedLayout(self.groups)
+        return self._layout
+
+    # ------------------------------------------------------------------
+    def gather_codes(self) -> np.ndarray:
+        """Assemble the padded ``(total_chains, n_max)`` code matrix.
+
+        Padding cells (columns ``>= n_g`` of group ``g``'s rows) are zero;
+        they are never read -- neighbour gathers are column-local -- and
+        never written.
+        """
+        layout = self.layout()
+        codes = np.zeros((layout.total_chains, layout.n_max), dtype=np.int64)
+        for g, group in enumerate(self.groups):
+            rows = slice(
+                layout.row_offsets[g], layout.row_offsets[g] + group.n_chains
+            )
+            codes[rows, : group.codes.shape[1]] = group.codes
+        return codes
+
+    def scatter_codes(self, codes: np.ndarray) -> None:
+        """Write the packed matrix back into each group's own code matrix."""
+        layout = self.layout()
+        for g, group in enumerate(self.groups):
+            rows = slice(
+                layout.row_offsets[g], layout.row_offsets[g] + group.n_chains
+            )
+            group.codes[...] = codes[rows, : group.codes.shape[1]]
+
+    # ------------------------------------------------------------------
+    def advance(self, kernel, count: int) -> "PackedBatch":
+        """Advance every chain of every group by ``count`` units of ``kernel``.
+
+        Dispatches to the kernel's
+        :meth:`~repro.sampling.kernels.ChainKernel.packed_advance` -- the
+        fused mask-aware step where the kernel defines one and the pack is
+        fusable, the groupwise solo loop otherwise.  Either way each
+        group's chains end bit-identical to its solo batch.
+        """
+        resolved: ChainKernel = resolve_kernel(kernel)
+        for group in self.groups:
+            group._claim_kind(resolved.name)
+        handle = obs.active()
+        if handle is None:
+            resolved.packed_advance(self, count)
+            return self
+        with handle.span(
+            "chains.packed_advance",
+            kernel=resolved.name,
+            groups=self.n_groups,
+            chains=self.total_chains,
+            count=count,
+        ):
+            started = time.perf_counter()
+            resolved.packed_advance(self, count)
+            elapsed = time.perf_counter() - started
+        handle.metrics.histogram(
+            "runtime.chains.pack_efficiency", _PACK_EFFICIENCY_BUCKETS
+        ).observe(self.pack_efficiency())
+        if elapsed > 0.0:
+            handle.metrics.histogram(
+                "runtime.chains.steps_per_second", _THROUGHPUT_BUCKETS
+            ).observe(self.total_chains * count / elapsed)
+        return self
+
+    def configurations(self) -> List[List[Dict[Node, Value]]]:
+        """Per-group lists of decoded chain states, in request order."""
+        return [group.configurations() for group in self.groups]
+
+
 class ChainState:
     """Resumable per-chain execution state across ``run_chains`` calls.
 

@@ -70,11 +70,13 @@ from repro import obs
 from repro.gibbs.instance import SamplingInstance
 from repro.runtime.chains import (
     ChainState,
+    PackedBatch,
     batched_kernel_sample,
     chain_seed_sequences,
     make_chain_state,
 )
 from repro.runtime.shards import (
+    TRANSPORTS,
     process_map,
     process_map_unordered,
     run_chain_blocks,
@@ -117,6 +119,17 @@ CLUSTER_BACKEND = "cluster"
 
 _BACKENDS = (SERIAL_BACKEND, BATCHED_BACKEND, PROCESS_BACKEND, CLUSTER_BACKEND)
 
+#: Chain-update budget (``chains * count``) below which the process backend
+#: runs the registered ``chain_block`` task body in-process instead of
+#: spinning up a pool.  Measured on the benchmark box: a fresh fork-pool
+#: spin-up plus teardown costs ~45-60 ms (the dominant phase of the
+#: ``process_ball_shards`` residual in ``BENCH_runtime.json``), while the
+#: batched runner sustains well over 200k single-site updates per second --
+#: so below ~10k updates the pool can never pay for itself.  Results are
+#: bit-identical either way (same task body, same per-chain seed streams);
+#: pass ``inline_threshold=0`` to always dispatch.
+INLINE_CHAIN_UPDATES = 10_000
+
 
 class Runtime:
     """An execution policy: backend, chain batch width, worker count.
@@ -150,6 +163,21 @@ class Runtime:
         :class:`~repro.cluster.coordinator.ClusterError`; ``"local"`` runs
         them in-process instead -- same registered task bodies, hence
         bit-identical results -- after a single :class:`RuntimeWarning`.
+    transport : str, optional
+        Process backend only: how bulk ndarray payloads reach the workers.
+        ``"pickle"`` (default) serialises them per hop; ``"shm"`` moves the
+        ``InstanceSpec`` dense arrays and chain-result code matrices into
+        :mod:`multiprocessing.shared_memory` segments and ships only tiny
+        descriptors (see :mod:`repro.runtime.shm`), falling back to pickle
+        automatically where shared memory is unavailable.  Results are
+        bit-identical either way.
+    inline_threshold : int, optional
+        Adaptive dispatch guard: chain workloads whose total update budget
+        (``chains * count``) does not exceed this run the registered task
+        body in-process instead of spinning up a pool -- below the
+        measured spin-up cost the pool can never pay for itself.  Default
+        :data:`INLINE_CHAIN_UPDATES`; ``0`` always dispatches.  Results
+        are bit-identical either way.
     obs : bool or repro.obs.Observability, optional
         ``True`` enables the process-wide observability handle (metrics +
         span tracing; see :mod:`repro.obs`) for this runtime's lifetime --
@@ -178,6 +206,8 @@ class Runtime:
         "addresses",
         "auth_key",
         "degrade",
+        "transport",
+        "inline_threshold",
         "_pool",
         "_cluster",
         "_local_pool",
@@ -194,6 +224,8 @@ class Runtime:
         addresses: Optional[Sequence] = None,
         auth_key=None,
         degrade: Optional[str] = None,
+        transport: Optional[str] = None,
+        inline_threshold: Optional[int] = None,
         obs: Union[None, bool, object] = None,
     ) -> None:
         if backend not in _BACKENDS:
@@ -210,6 +242,22 @@ class Runtime:
             raise ValueError("degrade only applies to the cluster backend")
         if degrade not in (None, "raise", "local"):
             raise ValueError(f'degrade must be "raise" or "local", got {degrade!r}')
+        if transport is not None and transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        if transport == "shm" and backend != PROCESS_BACKEND:
+            raise ValueError(
+                'transport="shm" applies to the process backend only (the '
+                "cluster backend crosses machine boundaries, the in-process "
+                "backends ship nothing)"
+            )
+        self.transport = transport if transport is not None else "pickle"
+        if inline_threshold is None:
+            inline_threshold = INLINE_CHAIN_UPDATES
+        if inline_threshold < 0:
+            raise ValueError("inline_threshold must be >= 0")
+        self.inline_threshold = int(inline_threshold)
         self.auth_key = auth_key
         self.degrade = degrade
         self.backend = backend
@@ -472,6 +520,12 @@ class Runtime:
             cluster.shutdown()
         if local_pool is not None:
             local_pool.terminate()
+        # Safety net for the shm transport: per-call packs release in their
+        # own finally blocks, so anything still live here belongs to work
+        # this shutdown just cancelled -- unlink it rather than leak it.
+        from repro.runtime import shm
+
+        shm.release_all()
         if obs_owned:
             obs.disable()
 
@@ -509,6 +563,7 @@ class Runtime:
             "backend": self.backend,
             "n_chains": self.n_chains,
             "n_workers": self.n_workers,
+            "transport": self.transport,
         }
         handle = obs.active()
         if handle is not None:
@@ -570,8 +625,15 @@ class Runtime:
         ----------
         kernel : str or ChainKernel
             The dynamics to advance (registered name or instance).
-        instance : SamplingInstance
-            The instance every chain targets.
+        instance : SamplingInstance or sequence of SamplingInstance
+            The instance every chain targets.  A *sequence* of instances
+            (possibly different models) delegates to :meth:`run_packed`:
+            all groups advance as one packed code matrix, each group
+            bit-identical to its solo run, and the return value is a list
+            of per-instance configuration lists.  ``seeds`` must then be a
+            per-instance sequence of seed sequences (or ``seed`` a scalar
+            root / per-instance roots); ``initial``/``init``/``state`` do
+            not apply.
         count : int
             Units of the dynamics per chain (steps, rounds, ... -- see the
             kernel's ``unit``).
@@ -609,6 +671,44 @@ class Runtime:
             ``return_state=True``, the resumable state rides along.
         """
         resolved = resolve_kernel(kernel)
+        if not isinstance(instance, SamplingInstance) and isinstance(
+            instance, (list, tuple)
+        ):
+            # Multi-instance form: pack the groups into one code matrix.
+            if state is not None or return_state:
+                raise ValueError(
+                    "resumable chain state does not apply to packed "
+                    "multi-instance runs"
+                )
+            if initial is not None or init is not None:
+                raise ValueError(
+                    "initial/init do not apply to packed multi-instance "
+                    "runs (pass per-group initials to run_packed)"
+                )
+            instances = list(instance)
+            if seeds is not None:
+                per_group = [list(group_seeds) for group_seeds in seeds]
+                if len(per_group) != len(instances):
+                    raise ValueError(
+                        "seeds must hold one seed sequence per instance"
+                    )
+            else:
+                roots = (
+                    list(seed)
+                    if isinstance(seed, (list, tuple))
+                    else [seed] * len(instances)
+                )
+                if len(roots) != len(instances):
+                    raise ValueError("seed must be a scalar or one root per instance")
+                per_group = [
+                    chain_seed_sequences(root, self.n_chains) for root in roots
+                ]
+            return self.run_packed(
+                resolved,
+                list(zip(instances, per_group)),
+                count,
+                engine=engine,
+            )
         stateful = state is not None or return_state
         if stateful:
             if not (self.is_serial or self.is_batched):
@@ -689,6 +789,27 @@ class Runtime:
                     resolved, instance, count, seeds=seeds, initial=initial, engine=engine
                 )
             if self.is_process:
+                if len(seeds) * count <= self.inline_threshold:
+                    # Adaptive dispatch guard: this workload is smaller than
+                    # the measured pool spin-up cost, so run the same task
+                    # body (batched code matrix, same per-chain streams)
+                    # in-process -- bit-identical, just without the fork tax.
+                    obs.instant(
+                        "runtime.dispatch.inline",
+                        backend=self.backend,
+                        kernel=resolved.name,
+                        chains=len(seeds),
+                        count=count,
+                        threshold=self.inline_threshold,
+                    )
+                    return batched_kernel_sample(
+                        resolved,
+                        instance,
+                        count,
+                        seeds=seeds,
+                        initial=initial,
+                        engine=engine,
+                    )
                 return run_chain_blocks(
                     instance,
                     resolved.name,
@@ -696,6 +817,7 @@ class Runtime:
                     seeds,
                     initial=initial,
                     n_workers=self.n_workers,
+                    transport=self.transport,
                 )
             if self.is_cluster:
                 return self.cluster_client().chain_samples(
@@ -707,6 +829,61 @@ class Runtime:
                 )
                 for chain_seed in seeds
             ]
+
+    def run_packed(
+        self,
+        kernel: Union[str, ChainKernel],
+        requests: Sequence,
+        count: int,
+        engine: Optional[str] = None,
+    ) -> List[List[Dict[Node, Value]]]:
+        """Advance many instances' chains as ONE packed code matrix.
+
+        The multi-instance sibling of :meth:`run_chains` (which delegates
+        here for a sequence of instances): every request group -- possibly
+        a *different* registered model -- packs into a single padded
+        ``(total_chains, n_max)`` matrix
+        (:class:`~repro.runtime.chains.PackedBatch`) so mask-aware kernels
+        pay the per-step Python overhead once across all groups instead of
+        once per model.  Each group ends bit-identical to its solo
+        ``run_chains`` with the same seeds; kernels without a fused step
+        (and non-fusable packs, e.g. mixed alphabet sizes) fall back to
+        advancing group by group, which *is* solo execution.
+
+        Runs in-process on every backend: packing exists to amortise
+        per-step overhead, which distributing would reintroduce.
+
+        Parameters
+        ----------
+        kernel : str or ChainKernel
+            The dynamics every group advances.
+        requests : sequence
+            One entry per group: ``(instance, seeds)``,
+            ``(instance, seeds, initial)``, or a ready
+            :class:`~repro.runtime.chains.ChainBatch`.
+        count : int
+            Units of the dynamics per chain.
+        engine : str, optional
+            Must resolve to the compiled engine.
+
+        Returns
+        -------
+        list of list of dict
+            Per-group configuration lists, in request order; group ``g``
+            equals ``run_chains(kernel, instance_g, count, seeds=seeds_g)``.
+        """
+        resolved = resolve_kernel(kernel)
+        packed = PackedBatch(requests, engine=engine)
+        with obs.span(
+            "runtime.run_packed",
+            backend=self.backend,
+            kernel=resolved.name,
+            groups=packed.n_groups,
+            chains=packed.total_chains,
+            count=count,
+        ):
+            packed.advance(resolved, count)
+        return packed.configurations()
 
     def glauber_sample(
         self,
@@ -813,7 +990,11 @@ class Runtime:
         if len(nodes) > 1 and self._spec_transportable(engine):
             if self.is_process:
                 yield from stream_padded_ball_marginals(
-                    instance, nodes, radius, n_workers=self.n_workers
+                    instance,
+                    nodes,
+                    radius,
+                    n_workers=self.n_workers,
+                    transport=self.transport,
                 )
                 return
             if self.is_cluster:
@@ -860,7 +1041,11 @@ class Runtime:
         tasks = list(tasks)
         if tasks and self.is_process:
             yield from stream_ball_marginal_tasks(
-                instance, tasks, n_workers=self.n_workers, chunk_size=chunk_size
+                instance,
+                tasks,
+                n_workers=self.n_workers,
+                chunk_size=chunk_size,
+                transport=self.transport,
             )
             return
         if tasks and self.is_cluster:
@@ -906,7 +1091,10 @@ class Runtime:
             return sum(
                 1
                 for _ in stream_compiled_balls(
-                    instance, tasks, n_workers=self.n_workers
+                    instance,
+                    tasks,
+                    n_workers=self.n_workers,
+                    transport=self.transport,
                 )
             )
         if self.is_cluster and len(tasks) > 1:

@@ -355,6 +355,71 @@ class InstanceSpec:
 
 
 # ----------------------------------------------------------------------
+# transport: how the spec (and chain-result matrices) cross the pipe
+# ----------------------------------------------------------------------
+#: Accepted values of the ``transport=`` knob threaded down from
+#: :class:`~repro.runtime.executor.Runtime`.
+TRANSPORTS = ("pickle", "shm")
+
+
+class _ShmSpec:
+    """Wire form of an :class:`InstanceSpec` with its arrays in shared memory.
+
+    Pickles as the spec's light state (nodes, alphabet, scopes, adjacency,
+    pinning, locality) plus one ``(name, dtype, shape, offset)`` descriptor
+    per dense factor array; :meth:`restore` rebuilds the spec worker-side
+    with zero-copy read-only views into the owner's segment.  The owner
+    keeps the backing :class:`~repro.runtime.shm.SharedArrayPack` alive for
+    the lifetime of the pool and unlinks it afterwards.
+    """
+
+    __slots__ = ("state", "descriptors")
+
+    def __init__(self, state: Dict, descriptors: Tuple) -> None:
+        self.state = state
+        self.descriptors = descriptors
+
+    def __getstate__(self):
+        return (self.state, self.descriptors)
+
+    def __setstate__(self, wire) -> None:
+        self.state, self.descriptors = wire
+
+    def restore(self) -> InstanceSpec:
+        from repro.runtime import shm
+
+        spec = InstanceSpec.__new__(InstanceSpec)
+        spec.__setstate__(self.state)
+        spec.arrays = tuple(
+            shm.attach_array(descriptor) for descriptor in self.descriptors
+        )
+        return spec
+
+
+def _spec_wire(spec: InstanceSpec, transport: str):
+    """The pool-initializer payload for ``spec`` under ``transport``.
+
+    Returns ``(payload, pack)``: with ``transport="shm"`` (and shared memory
+    actually available) the payload is a :class:`_ShmSpec` whose dense
+    arrays live in ``pack``; otherwise the spec itself travels by pickle and
+    ``pack`` is None.  The caller owns ``pack`` and must release it once the
+    pool is done.
+    """
+    if transport == "shm":
+        from repro.runtime import shm
+
+        pack = shm.pack_arrays(spec.arrays, label="instance-spec")
+        if pack is not None:
+            state = spec.__getstate__()
+            state.pop("arrays")
+            # Workers rebuild ball memos locally; never ship the parent's.
+            state["_ball_memo"] = {}
+            state["_extras"] = {}
+            return _ShmSpec(state, pack.descriptors), pack
+    return spec, None
+
+
+# ----------------------------------------------------------------------
 # worker entry points (must be importable at module top level)
 # ----------------------------------------------------------------------
 #: The spec installed once per worker process by the pool initializer, so a
@@ -389,6 +454,11 @@ MEMO_DELTA_CAP = 64
 def _install_worker_spec(spec: InstanceSpec, obs_ctx=None) -> None:
     """Pool initializer: pin the shared :class:`InstanceSpec` in this worker.
 
+    ``spec`` is either the pickled :class:`InstanceSpec` itself or -- under
+    ``transport="shm"`` -- a :class:`_ShmSpec` of descriptors, restored here
+    into a spec whose dense arrays are zero-copy views of the owner's
+    shared-memory segment.
+
     ``obs_ctx`` is the parent's trace context as a versioned wire dict
     (``None`` when tracing is off): when present, the worker process arms
     a recorder continuing the parent's trace, so spans recorded by chunk
@@ -396,6 +466,8 @@ def _install_worker_spec(spec: InstanceSpec, obs_ctx=None) -> None:
     :func:`_traced_chunk`).  Unknown/foreign contexts are ignored.
     """
     global _WORKER_SPEC
+    if isinstance(spec, _ShmSpec):
+        spec = spec.restore()
     _WORKER_SPEC = spec
     if obs_ctx is not None:
         obs.arm_remote(obs_ctx, proc="pool-worker")
@@ -508,13 +580,23 @@ def _chain_block_task(args: Dict, spec: Optional[InstanceSpec] = None):
     kernels report zeros).  This is how JVV rejection statistics (the E4
     rejection-law rows, E12's jvv-kernel row) ride the existing block wire
     format across the process and cluster backends.
+
+    An optional ``"out": (descriptor, row_offset)`` entry -- set by the
+    parent under ``transport="shm"`` -- switches the result channel: the
+    block's final ``(chains, n)`` code matrix is written straight into the
+    parent-owned shared segment at ``row_offset`` (no pickling of result
+    configurations), and the return value shrinks to ``None`` (or
+    ``(None, counts)`` with stats).  The codes written are exactly
+    ``ChainBatch.codes``, so the parent's decode replays
+    :meth:`~repro.runtime.chains.ChainBatch.configurations` bit for bit.
     """
     from repro.runtime.chains import ChainBatch, batched_kernel_sample
     from repro.sampling.kernels import get_kernel
 
     spec = _WORKER_SPEC if spec is None else spec
     kernel = get_kernel(_chain_block_kernel(args))
-    if not args.get("stats"):
+    out = args.get("out")
+    if out is None and not args.get("stats"):
         return batched_kernel_sample(
             kernel,
             spec.to_instance(),
@@ -526,12 +608,21 @@ def _chain_block_task(args: Dict, spec: Optional[InstanceSpec] = None):
         spec.to_instance(), seeds=args["seeds"], initial=args.get("initial")
     )
     batch.advance(kernel, args["count"])
-    counter = getattr(kernel, "failure_counts", None)
-    counts = (
-        counter(batch).tolist()
-        if counter is not None
-        else [0] * batch.n_chains
-    )
+    counts: Optional[List[int]] = None
+    if args.get("stats"):
+        counter = getattr(kernel, "failure_counts", None)
+        counts = (
+            counter(batch).tolist()
+            if counter is not None
+            else [0] * batch.n_chains
+        )
+    if out is not None:
+        from repro.runtime import shm
+
+        descriptor, row_offset = out
+        matrix = shm.attach_array(descriptor, writable=True)
+        matrix[row_offset : row_offset + batch.n_chains] = batch.codes
+        return None if counts is None else (None, counts)
     return batch.configurations(), counts
 
 
@@ -543,6 +634,7 @@ def run_chain_blocks(
     initial=None,
     n_workers: int = 2,
     stats: bool = False,
+    transport: str = "pickle",
 ) -> List[Dict[Node, Value]]:
     """Run independent chains as batched blocks over a process pool.
 
@@ -554,6 +646,15 @@ def run_chain_blocks(
     initializer), and the per-block results concatenate back in seed
     order.  With one block or one worker the body runs in-process -- same
     body, same results.
+
+    ``transport="shm"`` moves the two bulk payloads out of pickle: the
+    spec's dense factor arrays ship as shared-memory descriptors
+    (:class:`_ShmSpec`) and each block writes its final code matrix into
+    one parent-owned ``(len(seeds), n)`` shared segment, decoded here with
+    the exact :meth:`~repro.runtime.chains.ChainBatch.configurations` rule
+    -- results are bit-identical to the pickle transport.  When shared
+    memory is unavailable the call silently degrades to pickle; the parent
+    unlinks both segments before returning.
 
     Returns
     -------
@@ -575,7 +676,7 @@ def run_chain_blocks(
         seeds, 1, chunk_size=-(-len(seeds) // max(1, n_workers))
     )
 
-    def payload(block: List) -> Dict:
+    def payload(block: List, out=None) -> Dict:
         body = {
             "kernel": kernel_name,
             "count": count,
@@ -584,14 +685,17 @@ def run_chain_blocks(
         }
         if stats:
             body["stats"] = True
+        if out is not None:
+            body["out"] = out
         return body
 
     def merge(results, counts, block_result) -> None:
         if stats:
             block_configs, block_counts = block_result
-            results.extend(block_configs)
+            if block_configs is not None:
+                results.extend(block_configs)
             counts.extend(block_counts)
-        else:
+        elif block_result is not None:
             results.extend(block_result)
 
     results: List[Dict[Node, Value]] = []
@@ -605,31 +709,68 @@ def run_chain_blocks(
                 merge(results, counts, _chain_block_task(payload(block), spec=spec))
         return (results, counts) if stats else results
     ctx = obs.wire_context()
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(blocks)),
-        initializer=_install_worker_spec,
-        initargs=(spec, ctx),
-    ) as pool:
-        if ctx is None:
-            futures = [
-                pool.submit(_chain_block_task, payload(block)) for block in blocks
+    wire_spec, spec_pack = _spec_wire(spec, transport)
+    out_pack = None
+    if spec_pack is not None:
+        from repro.runtime import shm
+
+        out_pack = shm.pack_arrays(
+            [np.zeros((len(seeds), len(spec.nodes)), dtype=np.int64)],
+            label="chain-codes",
+        )
+    offsets = np.cumsum([0] + [len(block) for block in blocks[:-1]]).tolist()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(blocks)),
+            initializer=_install_worker_spec,
+            initargs=(wire_spec, ctx),
+        ) as pool:
+            payloads = [
+                payload(
+                    block,
+                    out=(
+                        (out_pack.descriptors[0], offset)
+                        if out_pack is not None
+                        else None
+                    ),
+                )
+                for block, offset in zip(blocks, offsets)
             ]
-        else:
-            futures = [
-                pool.submit(_traced_chunk, _chain_block_task, payload(block), ())
-                for block in blocks
+            if ctx is None:
+                futures = [
+                    pool.submit(_chain_block_task, body) for body in payloads
+                ]
+            else:
+                futures = [
+                    pool.submit(_traced_chunk, _chain_block_task, body, ())
+                    for body in payloads
+                ]
+            try:
+                for future in futures:  # block order == seed order
+                    block_result = future.result()
+                    if ctx is not None:
+                        block_result, events = block_result
+                        obs.absorb_events(events)
+                    merge(results, counts, block_result)
+            finally:
+                for future in futures:
+                    future.cancel()
+        if out_pack is not None:
+            # Decode the shared code matrix with the exact
+            # ChainBatch.configurations() rule (spec.nodes/alphabet are the
+            # compiled engine's, so this is bit-identical to pickled results).
+            alphabet = spec.alphabet
+            nodes = spec.nodes
+            results = [
+                {node: alphabet[code] for node, code in zip(nodes, row)}
+                for row in out_pack.view(0).tolist()
             ]
-        try:
-            for future in futures:  # block order == seed order
-                block_result = future.result()
-                if ctx is not None:
-                    block_result, events = block_result
-                    obs.absorb_events(events)
-                merge(results, counts, block_result)
-            return (results, counts) if stats else results
-        finally:
-            for future in futures:
-                future.cancel()
+        return (results, counts) if stats else results
+    finally:
+        if spec_pack is not None:
+            spec_pack.release()
+        if out_pack is not None:
+            out_pack.release()
 
 
 def _chunk_tasks(
@@ -651,13 +792,16 @@ def _chunk_tasks(
     return [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
 
 
-def _stream_chunks(spec, chunks, body, extra_args, n_workers):
+def _stream_chunks(spec, chunks, body, extra_args, n_workers, transport="pickle"):
     """Drive chunks through a futures pool, yielding payloads as they land.
 
     ``body(chunk, *extra_args, spec=...)`` is a module-level chunk body
     from this file; with a pool it is submitted directly (the worker-global
     spec applies), in-process it is called with the explicit spec.  The
-    spec crosses the pipe exactly once per worker via the pool initializer.
+    spec crosses the pipe exactly once per worker via the pool initializer
+    -- as descriptors into one shared-memory segment under
+    ``transport="shm"`` (falling back to pickle when shared memory is
+    unavailable; the segment is unlinked when the stream finishes).
     A failed chunk -- worker exception, broken pool, or the in-process
     fallback raising -- surfaces as a ``RuntimeError`` naming the chunk
     instead of a hang; pending chunks are cancelled both on failure and
@@ -686,40 +830,45 @@ def _stream_chunks(spec, chunks, body, extra_args, n_workers):
     pending_gauge = (
         handle.metrics.gauge("runtime.shards.pending") if handle is not None else None
     )
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(chunks)),
-        initializer=_install_worker_spec,
-        initargs=(spec, ctx),
-    ) as pool:
-        if ctx is None:
-            futures = {pool.submit(body, chunk, *extra_args): chunk for chunk in chunks}
-        else:
-            futures = {
-                pool.submit(_traced_chunk, body, chunk, extra_args): chunk
-                for chunk in chunks
-            }
-        if pending_gauge is not None:
-            pending_gauge.set(len(futures))
-        try:
-            for future in as_completed(futures):
-                try:
-                    payload = future.result()
-                except Exception as error:
-                    chunk = futures[future]
-                    raise RuntimeError(
-                        f"ball shard failed on chunk {chunk!r}: {error}"
-                    ) from error
-                if ctx is not None:
-                    payload, events = payload
-                    obs.absorb_events(events)
-                if handle is not None:
-                    handle.metrics.counter("runtime.shards.chunks").inc()
-                    if pending_gauge is not None:
-                        pending_gauge.add(-1)
-                yield payload
-        finally:
-            for future in futures:
-                future.cancel()
+    wire_spec, spec_pack = _spec_wire(spec, transport)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(chunks)),
+            initializer=_install_worker_spec,
+            initargs=(wire_spec, ctx),
+        ) as pool:
+            if ctx is None:
+                futures = {pool.submit(body, chunk, *extra_args): chunk for chunk in chunks}
+            else:
+                futures = {
+                    pool.submit(_traced_chunk, body, chunk, extra_args): chunk
+                    for chunk in chunks
+                }
+            if pending_gauge is not None:
+                pending_gauge.set(len(futures))
+            try:
+                for future in as_completed(futures):
+                    try:
+                        payload = future.result()
+                    except Exception as error:
+                        chunk = futures[future]
+                        raise RuntimeError(
+                            f"ball shard failed on chunk {chunk!r}: {error}"
+                        ) from error
+                    if ctx is not None:
+                        payload, events = payload
+                        obs.absorb_events(events)
+                    if handle is not None:
+                        handle.metrics.counter("runtime.shards.chunks").inc()
+                        if pending_gauge is not None:
+                            pending_gauge.add(-1)
+                    yield payload
+            finally:
+                for future in futures:
+                    future.cancel()
+    finally:
+        if spec_pack is not None:
+            spec_pack.release()
 
 
 # ----------------------------------------------------------------------
@@ -731,6 +880,7 @@ def stream_ball_marginal_tasks(
     n_workers: int = 2,
     chunk_size: Optional[int] = None,
     memo_cap: Optional[int] = MEMO_DELTA_CAP,
+    transport: str = "pickle",
 ) -> Iterator[Tuple[BallKey, Dict[Value, float]]]:
     """Stream Theorem 5.1 marginals for heterogeneous ``(center, radius)`` tasks.
 
@@ -759,6 +909,10 @@ def stream_ball_marginal_tasks(
     memo_cap : int, optional
         Per-ball cap on the marginal-memo delta shipped back (``None``
         ships every entry, ``0`` disables memo deltas).
+    transport : str
+        ``"pickle"`` (default) ships the spec by value; ``"shm"`` ships its
+        dense arrays as shared-memory descriptors (pickle fallback when
+        unavailable).
 
     Yields
     ------
@@ -784,6 +938,7 @@ def stream_ball_marginal_tasks(
         body=_ball_marginal_chunk,
         extra_args=(memo_cap,),
         n_workers=n_workers,
+        transport=transport,
     )
     for marginals, balls, extras, memos in payloads:
         cache.adopt(balls=balls, extras=extras, memos=memos)
@@ -798,6 +953,7 @@ def stream_padded_ball_marginals(
     n_workers: int = 2,
     chunk_size: Optional[int] = None,
     memo_cap: Optional[int] = MEMO_DELTA_CAP,
+    transport: str = "pickle",
 ) -> Iterator[Tuple[Node, Dict[Value, float]]]:
     """Stream Theorem 5.1 marginals at many centers of one radius.
 
@@ -814,6 +970,7 @@ def stream_padded_ball_marginals(
         n_workers=n_workers,
         chunk_size=chunk_size,
         memo_cap=memo_cap,
+        transport=transport,
     ):
         yield center, marginal
 
@@ -823,6 +980,7 @@ def stream_compiled_balls(
     tasks: Sequence[BallKey],
     n_workers: int = 2,
     chunk_size: Optional[int] = None,
+    transport: str = "pickle",
 ) -> Iterator[Tuple[BallKey, CompiledGibbs]]:
     """Stream ``(center, radius)`` ball compilations from a process pool.
 
@@ -843,6 +1001,7 @@ def stream_compiled_balls(
         body=_compile_ball_chunk,
         extra_args=(),
         n_workers=n_workers,
+        transport=transport,
     )
     for compiled in payloads:
         cache.adopt(balls=compiled)
@@ -856,6 +1015,7 @@ def shard_compiled_balls(
     instance: SamplingInstance,
     tasks: Sequence[BallKey],
     n_workers: int = 2,
+    transport: str = "pickle",
 ) -> Dict[BallKey, CompiledGibbs]:
     """Compile ``(center, radius)`` balls across a process pool (barrier).
 
@@ -865,7 +1025,9 @@ def shard_compiled_balls(
     Callers that can make use of partial results should iterate the stream
     instead.
     """
-    return dict(stream_compiled_balls(instance, tasks, n_workers=n_workers))
+    return dict(
+        stream_compiled_balls(instance, tasks, n_workers=n_workers, transport=transport)
+    )
 
 
 def shard_padded_ball_marginals(
@@ -873,6 +1035,7 @@ def shard_padded_ball_marginals(
     centers: Sequence[Node],
     radius: int,
     n_workers: int = 2,
+    transport: str = "pickle",
 ) -> Dict[Node, Dict[Value, float]]:
     """Theorem 5.1 marginals at many centers, sharded across processes (barrier).
 
@@ -883,7 +1046,9 @@ def shard_padded_ball_marginals(
     :func:`repro.inference.ssm_inference.padded_ball_marginal` loop.
     """
     return dict(
-        stream_padded_ball_marginals(instance, centers, radius, n_workers=n_workers)
+        stream_padded_ball_marginals(
+            instance, centers, radius, n_workers=n_workers, transport=transport
+        )
     )
 
 

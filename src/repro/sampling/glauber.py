@@ -507,6 +507,67 @@ class GlauberKernel(ChainKernel):
             return batch.stack_trace(trace)
         return None
 
+    def packed_advance(self, packed, count) -> None:
+        """Fused multi-instance step over one padded code matrix.
+
+        Advances every group of a :class:`~repro.runtime.chains.PackedBatch`
+        -- possibly *different models* -- with one ``sample_codes`` gather
+        per step across all ``total_chains`` rows, instead of one per
+        group.  Bit-identity with solo groups holds because each chain
+        replays its exact solo draw pattern (``integers(0, group_free,
+        chunk)`` then ``random(chunk)`` per chunk, per chain) and the
+        merged tables' padding multiplies by 1.0 after the real factor
+        entries; the *write* column is the chain's group-local variable,
+        while the *table* row is its global id (group node offset +
+        local).  Falls back to the groupwise loop when the pack is not
+        fusable (mixed alphabet sizes or a group with no free nodes).
+        """
+        if count < 0:
+            raise ValueError("steps must be non-negative")
+        if count == 0:
+            return None
+        if not packed.fusable():
+            return super().packed_advance(packed, count)
+        layout = packed.layout()
+        codes = packed.gather_codes()
+        tables = layout.tables
+        q = tables.q
+        factorless = tables.factorless
+        total = layout.total_chains
+        chain_ids = np.arange(total)
+        node_offsets = layout.chain_node_offset
+        free_counts = layout.free_counts
+        free_lookup = layout.free_lookup
+        any_factorless = layout.any_factorless
+        # stuck_node_error only reads .nodes; give it the packed label map.
+        class _packed_compiled:  # noqa: N801 - local shim
+            nodes = layout.nodes
+        remaining = count
+        while remaining > 0:
+            chunk = min(remaining, RNG_CHUNK)
+            remaining -= chunk
+            choices = np.empty((total, chunk), dtype=np.int64)
+            points = np.empty((total, chunk))
+            for chain, rng in enumerate(layout.rngs):
+                choices[chain] = rng.integers(0, free_counts[chain], size=chunk)
+                points[chain] = rng.random(chunk)
+            local = free_lookup[chain_ids[:, None], choices]
+            for step in range(chunk):
+                cols = local[:, step]
+                variables = node_offsets + cols
+                point = points[:, step]
+                new_codes = tables.sample_codes(
+                    codes, chain_ids, variables, point, _packed_compiled
+                )
+                if any_factorless:
+                    # The serial fast path for factorless nodes (uniform
+                    # resample via truncation), per packed row.
+                    uniform = np.minimum((point * q).astype(np.int64), q - 1)
+                    new_codes = np.where(factorless[variables], uniform, new_codes)
+                codes[chain_ids, cols] = new_codes
+        packed.scatter_codes(codes)
+        return None
+
 
 class LubyGlauberKernel(ChainKernel):
     """The LubyGlauber parallel chain as a chain kernel.

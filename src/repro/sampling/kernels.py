@@ -128,6 +128,20 @@ class ChainKernel(abc.ABC):
             ``None`` without ``statistic``, else the trace array.
         """
 
+    def packed_advance(self, packed, count: int) -> None:
+        """Advance every group of a :class:`~repro.runtime.chains.PackedBatch`.
+
+        The default advances each group's :class:`~repro.runtime.chains.ChainBatch`
+        independently -- solo execution by definition, so bit-identity is
+        free.  Kernels with a mask-aware vectorised step (Glauber) override
+        this to advance all groups' chains through one padded
+        ``(total_chains, n_max)`` code matrix, replicating each chain's
+        exact solo draw pattern; the override must fall back to this
+        groupwise loop whenever :meth:`PackedBatch.fusable` is false.
+        """
+        for group in packed.groups:
+            self.batched_advance(group, count)
+
     def describe(self) -> str:
         """One-line description used by docs and smoke checks."""
         return f"{self.name} ({self.unit})"

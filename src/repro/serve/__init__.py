@@ -16,7 +16,12 @@ Layout: :mod:`~repro.serve.registry` (named models),
 :mod:`~repro.serve.cli` (the ``repro-serve`` console script).
 """
 
-from repro.serve.coalesce import Backpressure, CoalescerClosed, RequestCoalescer
+from repro.serve.coalesce import (
+    Backpressure,
+    CoalescerClosed,
+    PackedCoalescer,
+    RequestCoalescer,
+)
 from repro.serve.registry import (
     ModelEntry,
     ModelRegistry,
@@ -30,6 +35,7 @@ from repro.serve.server import SamplingServer
 __all__ = [
     "Backpressure",
     "CoalescerClosed",
+    "PackedCoalescer",
     "RequestCoalescer",
     "ModelEntry",
     "ModelRegistry",

@@ -72,6 +72,14 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         help="disable PUT /v1/models registration",
     )
     parser.add_argument(
+        "--cross-model",
+        action="store_true",
+        help=(
+            "coalesce concurrent requests for different models into one "
+            "packed kernel step (PackedCoalescer)"
+        ),
+    )
+    parser.add_argument(
         "--obs",
         action="store_true",
         help="enable metrics + span tracing for the server's lifetime",
@@ -108,6 +116,7 @@ async def _serve(args: argparse.Namespace, registry: ModelRegistry) -> int:
         max_queue=args.max_queue,
         default_deadline_ms=args.deadline_ms,
         allow_register=not args.no_register,
+        cross_model=args.cross_model,
     )
     host, port = await server.start()
     print(f"repro-serve listening on {host}:{port}", flush=True)

@@ -22,6 +22,14 @@ dedicated single-thread executor -- so batches for a model are
 serialised (no cache races between threads) while the event loop stays
 free to accept and queue more requests.
 
+:class:`PackedCoalescer` extends the same move *across* models: requests
+for different registered models (same kernel and count) merge into one
+:meth:`Runtime.run_packed` call, advancing every group inside a single
+packed code matrix (:class:`~repro.runtime.chains.PackedBatch`) -- the
+per-step Python overhead is paid once per step, not once per model, and
+the per-request seed contract keeps every response bit-identical to a
+solo run.  Enable it with ``SamplingServer(cross_model=True)``.
+
 Backpressure and deadlines live here too: admitting a request beyond
 ``max_queue`` outstanding raises :class:`Backpressure` (HTTP 429), and a
 caller that abandons its request (``asyncio.wait_for`` timeout -> HTTP
@@ -335,6 +343,270 @@ class RequestCoalescer:
         Admissions after this point raise :class:`CoalescerClosed`;
         requests already admitted complete normally (graceful drain).
         """
+        self._closing = True
+        for key in list(self._open):
+            self._flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+
+class _PackedPending(_Pending):
+    """One admitted cross-model request: carries its own model group."""
+
+    __slots__ = ("name", "instance", "initial")
+
+    def __init__(
+        self,
+        request_id: str,
+        seeds: Sequence,
+        future: asyncio.Future,
+        name: str,
+        instance: SamplingInstance,
+        initial: Optional[Dict[Node, Value]],
+    ) -> None:
+        super().__init__(request_id, seeds, future)
+        self.name = name
+        self.instance = instance
+        self.initial = initial
+
+
+class PackedCoalescer:
+    """Cross-model request coalescer: one packed kernel step per batch.
+
+    The multi-tenant sibling of :class:`RequestCoalescer`: concurrent
+    requests for *different* registered models -- same kernel and count,
+    any mix of instances -- are held for the same bounded window and
+    merged into a single :meth:`Runtime.run_packed` call.  All groups
+    advance inside one padded :class:`~repro.runtime.chains.PackedBatch`
+    code matrix, so the per-step Python overhead is paid once across every
+    model instead of once per model (and non-fusable mixes fall back to
+    group-by-group execution transparently).
+
+    Bit-identity is the same free property as the per-model coalescer's:
+    each request is its own pack group with per-chain seeds spawned from
+    *its own* root seed, and a pack group's chains are bit-identical to
+    the solo batch (the :class:`~repro.runtime.chains.PackedBatch`
+    determinism contract) -- so every response equals the same request
+    served alone, regardless of which models share the step.
+
+    One coalescer serves every model: one shared runtime and one
+    dedicated single-thread executor, so batches across all models are
+    serialised and no instance is ever touched by two threads.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        max_queue: int = 128,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.runtime = runtime
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.max_queue = int(max_queue)
+        self._open: Dict[Tuple, _Bucket] = {}
+        self._inflight: set = set()
+        self._outstanding = 0
+        self._closing = False
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-packed"
+        )
+        self._batches = 0
+        self._served = 0
+        self._served_by_model: Dict[str, int] = {}
+
+    # -- accounting ----------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Requests admitted but not yet answered (across all models)."""
+        return self._outstanding
+
+    @property
+    def batches(self) -> int:
+        """Packed batches dispatched to ``run_packed`` so far."""
+        return self._batches
+
+    def stats(self) -> Dict[str, object]:
+        """The cross-model serving block (``/v1/healthz`` and snapshots)."""
+        return {
+            "mode": "packed",
+            "outstanding": self._outstanding,
+            "batches": self._batches,
+            "served": self._served,
+            "served_by_model": dict(sorted(self._served_by_model.items())),
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait * 1000.0,
+            "max_queue": self.max_queue,
+            "draining": self._closing,
+        }
+
+    def _gauge(self) -> None:
+        handle = obs.active()
+        if handle is not None:
+            handle.metrics.gauge("serve.queue_depth").set(self._outstanding)
+
+    def _settle(self, pending: _Pending) -> None:
+        if not pending.settled:
+            pending.settled = True
+            self._outstanding -= 1
+            self._gauge()
+
+    # -- admission -----------------------------------------------------
+    async def sample(
+        self,
+        name: str,
+        instance: SamplingInstance,
+        kernel: str,
+        count: int,
+        seed=0,
+        n_chains: int = 1,
+        initial: Optional[Dict[Node, Value]] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[List[Dict[Node, Value]], str, int]:
+        """Admit one request for ``name``; resolves like the per-model path.
+
+        ``states`` is bit-identical to ``Runtime.run_chains(kernel,
+        instance, count, seeds=chain_seed_sequences(seed, n_chains))``
+        served alone, even when the batch packs other models' requests.
+        """
+        if self._closing:
+            raise CoalescerClosed("the packed coalescer is draining")
+        if self._outstanding >= self.max_queue:
+            handle = obs.active()
+            if handle is not None:
+                handle.metrics.counter("serve.rejected.backpressure").inc()
+            raise Backpressure(
+                f"packed coalescer has {self._outstanding} outstanding "
+                f"requests (cap {self.max_queue})"
+            )
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if n_chains < 1:
+            raise ValueError("n_chains must be at least 1")
+        loop = asyncio.get_running_loop()
+        pending = _PackedPending(
+            request_id or new_request_id(),
+            chain_seed_sequences(seed, n_chains),
+            loop.create_future(),
+            name,
+            instance,
+            initial,
+        )
+        self._outstanding += 1
+        self._gauge()
+        # Unlike the per-model key, the model name is NOT part of the
+        # bucket key -- folding different models into one step is the
+        # whole point.  Per-request initials ride in the pending instead.
+        key = (str(kernel), int(count))
+        bucket = self._open.get(key)
+        if bucket is None:
+            bucket = self._open[key] = _Bucket(key)
+            bucket.timer = loop.call_later(
+                self.max_wait, functools.partial(self._flush, key)
+            )
+        bucket.requests.append(pending)
+        if len(bucket.requests) >= self.max_batch:
+            self._flush(key)
+        try:
+            return await pending.future
+        except asyncio.CancelledError:
+            self._discard(key, pending)
+            raise
+
+    def _discard(self, key: Tuple, pending: _Pending) -> None:
+        self._settle(pending)
+        bucket = self._open.get(key)
+        if bucket is None:
+            return
+        bucket.requests = [
+            request for request in bucket.requests if request is not pending
+        ]
+        if not bucket.requests:
+            if bucket.timer is not None:
+                bucket.timer.cancel()
+            del self._open[key]
+
+    # -- flushing ------------------------------------------------------
+    def _flush(self, key: Tuple) -> None:
+        bucket = self._open.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        live = [
+            request
+            for request in bucket.requests
+            if not request.future.cancelled() and not request.settled
+        ]
+        if not live:
+            return
+        task = asyncio.get_running_loop().create_task(self._run_batch(key, live))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, key: Tuple, requests: List[_PackedPending]) -> None:
+        kernel, count = key
+        self._batches += 1
+        batch_id = new_request_id()
+        models = sorted({request.name for request in requests})
+        handle = obs.active()
+        if handle is not None:
+            handle.metrics.counter("serve.batches").inc()
+            handle.metrics.counter("serve.coalesced_requests").inc(len(requests))
+            handle.metrics.counter("serve.packed_batches").inc()
+            handle.metrics.counter("serve.packed_models").inc(len(models))
+        groups = [
+            (request.instance, request.seeds, request.initial)
+            for request in requests
+        ]
+        call = functools.partial(self.runtime.run_packed, kernel, groups, count)
+        loop = asyncio.get_running_loop()
+        try:
+            with obs.span(
+                "serve.packed_batch",
+                kernel=kernel,
+                count=count,
+                batch_id=batch_id,
+                models=",".join(models),
+                requests=",".join(request.request_id for request in requests),
+                size=len(requests),
+                chains=sum(len(request.seeds) for request in requests),
+            ):
+                results = await loop.run_in_executor(self._executor, call)
+        except Exception as error:
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(error)
+                self._settle(request)
+            return
+        now = time.monotonic()
+        for index, request in enumerate(requests):
+            states = results[index]
+            if not request.future.done():
+                request.future.set_result((states, batch_id, len(requests)))
+                self._served += 1
+                self._served_by_model[request.name] = (
+                    self._served_by_model.get(request.name, 0) + 1
+                )
+                if handle is not None:
+                    handle.metrics.histogram("serve.ttfr_seconds").observe(
+                        now - request.admitted
+                    )
+            self._settle(request)
+
+    # -- lifecycle -----------------------------------------------------
+    async def drain(self) -> None:
+        """Flush every queued bucket and wait for in-flight packed batches."""
         self._closing = True
         for key in list(self._open):
             self._flush(key)

@@ -12,8 +12,11 @@ Endpoints
     ``{"model", "kernel", "count", "seed", "n_chains", "initial"?,
     "deadline_ms"?}`` -> ``{"states": [...], "request_id", "batch_id",
     "batch_size", ...}``.  Concurrent requests against one model coalesce
-    into shared ``run_chains`` batches; every response is bit-identical
-    to the same request served alone (see :mod:`repro.serve.coalesce`).
+    into shared ``run_chains`` batches; with ``cross_model=True`` requests
+    against *different* models additionally fold into one packed kernel
+    step (``Runtime.run_packed``).  Either way every response is
+    bit-identical to the same request served alone (see
+    :mod:`repro.serve.coalesce`).
 ``POST /v1/marginal``
     ``{"model", "radius", "nodes"?, "deadline_ms"?}`` -> a chunked
     ndjson stream of ``{"node", "marginal"}`` lines, one per completed
@@ -40,6 +43,7 @@ from repro.sampling.kernels import get_kernel
 from repro.serve.coalesce import (
     Backpressure,
     CoalescerClosed,
+    PackedCoalescer,
     RequestCoalescer,
     new_request_id,
 )
@@ -113,6 +117,13 @@ class SamplingServer:
         matrix).
     allow_register : bool
         Whether ``PUT /v1/models/<name>`` is accepted.
+    cross_model : bool
+        Route ``POST /v1/sample`` through one shared
+        :class:`~repro.serve.coalesce.PackedCoalescer`: concurrent
+        requests for *different* registered models (same kernel and
+        count) fold into a single packed kernel step
+        (:meth:`Runtime.run_packed`) instead of one batch per model.
+        Responses stay bit-identical to solo runs either way.
     """
 
     def __init__(
@@ -126,6 +137,7 @@ class SamplingServer:
         default_deadline_ms: Optional[float] = None,
         runtime_factory=None,
         allow_register: bool = True,
+        cross_model: bool = False,
     ) -> None:
         self.registry = registry if registry is not None else ModelRegistry()
         self.host = host
@@ -138,6 +150,16 @@ class SamplingServer:
         )
         self.runtime_factory = runtime_factory or (lambda: Runtime("batched"))
         self.allow_register = bool(allow_register)
+        self._packed: Optional[PackedCoalescer] = (
+            PackedCoalescer(
+                self.runtime_factory(),
+                max_batch=self.max_batch,
+                max_wait=self.max_wait,
+                max_queue=self.max_queue,
+            )
+            if cross_model
+            else None
+        )
         self._models: Dict[str, _ModelState] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
@@ -170,10 +192,14 @@ class SamplingServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._packed is not None:
+            await self._packed.drain()
         for state in list(self._models.values()):
             await state.coalescer.drain()
         if self._connections:
             await asyncio.gather(*list(self._connections), return_exceptions=True)
+        if self._packed is not None:
+            self._packed.runtime.shutdown()
         for state in list(self._models.values()):
             state.runtime.unregister_snapshot_section("serve")
             state.runtime.shutdown()
@@ -274,6 +300,8 @@ class SamplingServer:
                     for name, state in self._models.items()
                 },
             }
+            if self._packed is not None:
+                payload["packed"] = self._packed.stats()
             writer.write(json_response(200, payload, keep_alive))
             await writer.drain()
             return True
@@ -367,7 +395,6 @@ class SamplingServer:
             }
         deadline = self._deadline(payload)
         request_id = new_request_id()
-        coalescer = state.coalescer
         with obs.span(
             "serve.request",
             endpoint="sample",
@@ -375,14 +402,28 @@ class SamplingServer:
             kernel=str(kernel),
             request_id=request_id,
         ):
-            call = coalescer.sample(
-                str(kernel),
-                count,
-                seed=seed,
-                n_chains=n_chains,
-                initial=initial,
-                request_id=request_id,
-            )
+            if self._packed is not None:
+                # Cross-model mode: different models' requests fold into
+                # one packed kernel step (same bit-identity contract).
+                call = self._packed.sample(
+                    name,
+                    state.entry.instance,
+                    str(kernel),
+                    count,
+                    seed=seed,
+                    n_chains=n_chains,
+                    initial=initial,
+                    request_id=request_id,
+                )
+            else:
+                call = state.coalescer.sample(
+                    str(kernel),
+                    count,
+                    seed=seed,
+                    n_chains=n_chains,
+                    initial=initial,
+                    request_id=request_id,
+                )
             try:
                 if deadline is None:
                     states, batch_id, batch_size = await call

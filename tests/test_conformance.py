@@ -6,10 +6,13 @@ Consolidates the bit-identity assertions that used to be scattered across
 checks) into one parametrized matrix:
 
     every registered ChainKernel
-      x  serial / batched / process / cluster (slow)
+      x  serial / batched / process / process-shm (slow) / cluster (slow)
       x  a binary-alphabet instance and a 3-colour instance
 
-with the kernel's own ``serial_run`` per spawned seed as the reference.
+with the kernel's own ``serial_run`` per spawned seed as the reference,
+plus a PackedBatch row per kernel: many instances packed into one padded
+code matrix (fused and mixed-alphabet-fallback shapes alike) stay
+bit-identical per group to their solo runs.
 A new kernel registered via ``register_kernel`` -- or a new backend added
 to the ``conformance_runtime`` fixture in ``conftest.py`` -- gets the
 whole matrix with zero new test code.  Kernel-specific *statistics*
@@ -66,6 +69,47 @@ def test_every_kernel_is_bit_identical_on_every_backend(
             f"kernel {kernel_name!r} diverges from the serial reference on "
             f"the {conformance_runtime.backend!r} backend ({label})"
         )
+
+
+@pytest.mark.parametrize("kernel_name", KERNELS)
+def test_packed_multi_instance_matches_solo(kernel_name, conformance_chains):
+    """The PackedBatch row: many instances in one padded code matrix,
+    each group bit-identical per chain to its solo run.
+
+    Two pack shapes: the mixed-alphabet pair (q=2 hardcore + q=3
+    coloring) exercises the groupwise fallback of kernels whose fused
+    step cannot span alphabets, and a same-alphabet hardcore pair
+    exercises the fused mask-aware step where the kernel defines one.
+    """
+    from repro.runtime import Runtime, chain_seed_sequences
+
+    runtime = Runtime()
+    packs = [
+        ("mixed-alphabet", [instance for _, instance in CONFORMANCE_INSTANCES]),
+        (
+            "fused-same-alphabet",
+            [
+                CONFORMANCE_INSTANCES[0][1],
+                SamplingInstance(hardcore_model(path_graph(7), fugacity=1.1)),
+            ],
+        ),
+    ]
+    for label, instances in packs:
+        seeds = [
+            chain_seed_sequences(CONFORMANCE_SEED + group, conformance_chains)
+            for group in range(len(instances))
+        ]
+        packed = runtime.run_packed(
+            kernel_name, list(zip(instances, seeds)), CONFORMANCE_COUNT
+        )
+        for group, instance in enumerate(instances):
+            solo = runtime.run_chains(
+                kernel_name, instance, CONFORMANCE_COUNT, seeds=seeds[group]
+            )
+            assert packed[group] == solo, (
+                f"kernel {kernel_name!r} group {group} diverges from its "
+                f"solo run inside the {label} pack"
+            )
 
 
 @pytest.mark.parametrize("kernel_name", KERNELS)

@@ -294,7 +294,11 @@ class TestBitIdentity:
 
     def test_process_backend_stitches_pool_worker_spans(self):
         instance = SamplingInstance(coloring_model(cycle_graph(8), 3), {0: 0})
-        runtime = Runtime(backend="process", n_chains=2, n_workers=2, obs=True)
+        # inline_threshold=0: this small workload must reach the real pool
+        # (the point is the worker-side spans), not the in-process guard.
+        runtime = Runtime(
+            backend="process", n_chains=2, n_workers=2, obs=True, inline_threshold=0
+        )
         try:
             runtime.run_chains("glauber", instance, 25, seeds=range(4))
             events = obs.events()

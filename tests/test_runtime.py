@@ -12,6 +12,7 @@ The contract of :mod:`repro.runtime` is threefold:
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import numpy as np
@@ -588,6 +589,185 @@ class TestProcessPool:
         )
         streamed = dict(engine.marginals_stream(instance, 0.05))
         assert streamed == TruncatedBallInference(radius=2).marginals(instance, 0.05)
+
+
+class TestSharedMemoryTransport:
+    """The zero-copy data plane (repro.runtime.shm): round-trip, fallback,
+    and leak-proof lifetime -- after clean shutdown AND after a killed
+    attacher."""
+
+    def test_pack_roundtrip_reconstructs_every_descriptor(self):
+        from repro.runtime import shm
+
+        arrays = [
+            np.arange(12, dtype=np.int64).reshape(3, 4),
+            np.linspace(0.0, 1.0, 7),
+            np.array([], dtype=np.float64),
+        ]
+        pack = shm.pack_arrays(arrays, label="test")
+        if pack is None:
+            pytest.skip("shared memory unavailable on this platform")
+        try:
+            assert len(pack.descriptors) == len(arrays)
+            for index, array in enumerate(arrays):
+                name, dtype, shape, offset = pack.descriptors[index]
+                assert name == pack.name
+                assert shape == array.shape
+                assert offset % 64 == 0
+                view = shm.attach_array(pack.descriptors[index])
+                assert view.dtype == array.dtype
+                assert np.array_equal(view, array)
+                assert not view.flags.writeable  # shared input is read-only
+            # Owner-allocated output matrices are the one writable case,
+            # and writes land in the owner's own view (one segment).
+            out = shm.attach_array(pack.descriptors[0], writable=True)
+            out[0, 0] = 41
+            assert pack.view(0)[0, 0] == 41
+        finally:
+            pack.release()
+        assert pack.name not in shm.live_segment_names()
+        assert shm.leaked_dev_shm_segments() == []
+
+    def test_pickle_fallback_when_shared_memory_unavailable(self, monkeypatch):
+        from repro.runtime import shm
+        from repro.runtime.shards import _ShmSpec, _spec_wire
+
+        monkeypatch.setattr(shm, "_availability", False)
+        assert shm.pack_arrays([np.arange(4)]) is None
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.0), {0: 1})
+        spec = InstanceSpec.from_instance(instance)
+        wire, pack = _spec_wire(spec, "shm")
+        # Degraded wire form: the plain picklable spec, no segments.
+        assert wire is spec and pack is None
+        assert not isinstance(wire, _ShmSpec)
+        assert shm.live_segment_names() == []
+
+    def test_shm_spec_wire_restores_identical_spec(self):
+        from repro.runtime import shm
+        from repro.runtime.shards import _ShmSpec, _spec_wire
+
+        instance = SamplingInstance(hardcore_model(random_tree(14, seed=4), 1.2), {0: 0})
+        spec = InstanceSpec.from_instance(instance)
+        wire, pack = _spec_wire(spec, "shm")
+        if pack is None:
+            pytest.skip("shared memory unavailable on this platform")
+        try:
+            assert isinstance(wire, _ShmSpec)
+            clone = pickle.loads(pickle.dumps(wire)).restore()
+            assert clone.nodes == spec.nodes
+            assert all(
+                np.array_equal(a, b) for a, b in zip(clone.arrays, spec.arrays)
+            )
+            node = instance.free_nodes[3]
+            assert clone.padded_ball_marginal(node, 2) == spec.padded_ball_marginal(
+                node, 2
+            )
+        finally:
+            pack.release()
+        assert shm.leaked_dev_shm_segments() == []
+
+    def test_runtime_shutdown_releases_live_packs(self):
+        from repro.runtime import shm
+
+        pack = shm.pack_arrays([np.arange(6)], label="orphan")
+        if pack is None:
+            pytest.skip("shared memory unavailable on this platform")
+        assert pack.name in shm.live_segment_names()
+        runtime = Runtime("process", n_workers=2, transport="shm")
+        runtime.shutdown()  # the safety net unlinks anything still live
+        assert shm.live_segment_names() == []
+        assert shm.leaked_dev_shm_segments() == []
+
+    @pytest.mark.slow
+    def test_killed_attacher_leaks_nothing(self):
+        """A worker that dies mid-attachment must not unlink (or pin) the
+        owner's segment: only the owner manages lifetime."""
+        import signal
+        import subprocess
+        import sys
+
+        from repro.runtime import shm
+
+        pack = shm.pack_arrays([np.arange(32, dtype=np.int64)], label="kill-test")
+        if pack is None:
+            pytest.skip("shared memory unavailable on this platform")
+        try:
+            name, dtype, shape, offset = pack.descriptors[0]
+            script = (
+                "import os, signal\n"
+                "from repro.runtime import shm\n"
+                f"view = shm.attach_array(({name!r}, {dtype!r}, {tuple(shape)!r}, {offset}))\n"
+                "assert view[5] == 5\n"
+                "os.kill(os.getpid(), signal.SIGKILL)\n"
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                env={"PYTHONPATH": "src", "PATH": os.environ.get("PATH", "")},
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                capture_output=True,
+            )
+            assert result.returncode == -signal.SIGKILL, result.stderr.decode()
+            # The kill dropped the attachment without unlinking: the owner
+            # still reads its data, then releases cleanly.
+            assert pack.view(0)[5] == 5
+        finally:
+            pack.release()
+        assert shm.leaked_dev_shm_segments() == []
+
+    @pytest.mark.slow
+    def test_chain_blocks_shm_transport_matches_pickle(self):
+        from repro.runtime import run_chain_blocks, shm
+        from repro.runtime.chains import chain_seed_sequences as spawn
+
+        instance = SamplingInstance(hardcore_model(cycle_graph(9), 1.2), {0: 1})
+        seeds = spawn(5, 4)
+        pickled = run_chain_blocks(
+            instance, "glauber", 60, seeds, n_workers=2, transport="pickle"
+        )
+        shared = run_chain_blocks(
+            instance, "glauber", 60, seeds, n_workers=2, transport="shm"
+        )
+        assert shared == pickled
+        assert shm.live_segment_names() == []
+        assert shm.leaked_dev_shm_segments() == []
+
+
+class TestAdaptiveDispatchGuard:
+    """Small process-backend chain workloads run in-process (satellite)."""
+
+    def test_small_workload_inlines_and_stays_bit_identical(self):
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.2), {0: 1})
+        runtime = Runtime("process", n_chains=3, n_workers=2)
+        states = runtime.run_chains("glauber", instance, 40, seed=6)
+        assert states == Runtime("serial", n_chains=3).run_chains(
+            "glauber", instance, 40, seed=6
+        )
+        # The guard never spun the pool up (3 * 40 updates << threshold).
+        assert runtime._pool is None
+
+    def test_threshold_zero_disables_the_guard(self):
+        runtime = Runtime("process", n_workers=2, inline_threshold=0)
+        assert runtime.inline_threshold == 0
+        with pytest.raises(ValueError):
+            Runtime("process", inline_threshold=-1)
+
+    def test_inline_dispatch_emits_the_obs_instant(self):
+        from repro import obs
+
+        instance = SamplingInstance(hardcore_model(cycle_graph(8), 1.2), {0: 1})
+        obs.enable()
+        try:
+            Runtime("process", n_chains=2, n_workers=2).run_chains(
+                "glauber", instance, 10, seed=1
+            )
+            instants = [
+                event
+                for event in obs.events()
+                if event.get("name") == "runtime.dispatch.inline"
+            ]
+            assert instants and instants[-1]["attrs"]["chains"] == 2
+        finally:
+            obs.disable()
 
 
 class TestRuntimeShutdownSafety:
